@@ -1,0 +1,259 @@
+//! The ATM cell.
+//!
+//! An ATM cell is 53 bytes: a 5-byte header and a 48-byte payload. The
+//! header carries (for UNI cells) a 4-bit generic flow control field, an
+//! 8-bit virtual path identifier, a 16-bit virtual circuit identifier, a
+//! 3-bit payload-type indicator, the cell-loss-priority bit, and a header
+//! checksum octet (HEC). The payload-type indicator's least significant
+//! bit is the AAL-user bit that AAL5 uses to mark the final cell of a
+//! frame.
+
+/// Size of a full ATM cell in bytes.
+pub const CELL_SIZE: usize = 53;
+/// Size of the cell payload in bytes.
+pub const PAYLOAD_SIZE: usize = 48;
+/// Size of the cell header in bytes.
+pub const HEADER_SIZE: usize = 5;
+
+/// A virtual circuit identifier (16 bits on the wire).
+pub type Vci = u16;
+
+/// One ATM cell.
+///
+/// Cells are `Clone` and small; the simulator copies them freely between
+/// queues the same way hardware copies them between port buffers.
+///
+/// # Examples
+///
+/// ```
+/// use pegasus_atm::cell::Cell;
+///
+/// let mut cell = Cell::new(42);
+/// cell.set_last(true);
+/// let bytes = cell.to_bytes();
+/// let back = Cell::from_bytes(&bytes).unwrap();
+/// assert_eq!(back.vci(), 42);
+/// assert!(back.is_last());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    gfc: u8,
+    vpi: u8,
+    vci: Vci,
+    pti: u8,
+    clp: bool,
+    /// The 48-byte payload.
+    pub payload: [u8; PAYLOAD_SIZE],
+}
+
+impl Cell {
+    /// Creates a zero-payload cell on virtual circuit `vci`.
+    pub fn new(vci: Vci) -> Self {
+        Cell {
+            gfc: 0,
+            vpi: 0,
+            vci,
+            pti: 0,
+            clp: false,
+            payload: [0; PAYLOAD_SIZE],
+        }
+    }
+
+    /// Creates a cell on `vci` with the given payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than [`PAYLOAD_SIZE`]; shorter data is
+    /// zero-padded, matching what AAL5 segmentation produces.
+    pub fn with_payload(vci: Vci, data: &[u8]) -> Self {
+        assert!(data.len() <= PAYLOAD_SIZE, "payload too large: {}", data.len());
+        let mut cell = Cell::new(vci);
+        cell.payload[..data.len()].copy_from_slice(data);
+        cell
+    }
+
+    /// The cell's virtual circuit identifier.
+    pub fn vci(&self) -> Vci {
+        self.vci
+    }
+
+    /// Rewrites the VCI (what a switch does at each hop).
+    pub fn set_vci(&mut self, vci: Vci) {
+        self.vci = vci;
+    }
+
+    /// The virtual path identifier.
+    pub fn vpi(&self) -> u8 {
+        self.vpi
+    }
+
+    /// Sets the virtual path identifier.
+    pub fn set_vpi(&mut self, vpi: u8) {
+        self.vpi = vpi;
+    }
+
+    /// The raw 3-bit payload-type indicator.
+    pub fn pti(&self) -> u8 {
+        self.pti
+    }
+
+    /// The cell-loss-priority bit.
+    pub fn clp(&self) -> bool {
+        self.clp
+    }
+
+    /// Marks the cell as discard-eligible.
+    pub fn set_clp(&mut self, clp: bool) {
+        self.clp = clp;
+    }
+
+    /// True when the AAL-user bit (PTI bit 0) marks this as the last cell
+    /// of an AAL5 frame.
+    pub fn is_last(&self) -> bool {
+        self.pti & 0b001 != 0
+    }
+
+    /// Sets or clears the AAL5 end-of-frame marker.
+    pub fn set_last(&mut self, last: bool) {
+        if last {
+            self.pti |= 0b001;
+        } else {
+            self.pti &= !0b001;
+        }
+    }
+
+    /// Computes the HEC octet over the first four header bytes.
+    ///
+    /// The HEC is CRC-8 with polynomial `x^8 + x^2 + x + 1` (0x07), with
+    /// the ITU-mandated 0x55 coset added.
+    pub fn hec(header: &[u8; 4]) -> u8 {
+        let mut crc: u8 = 0;
+        for &b in header {
+            crc ^= b;
+            for _ in 0..8 {
+                if crc & 0x80 != 0 {
+                    crc = (crc << 1) ^ 0x07;
+                } else {
+                    crc <<= 1;
+                }
+            }
+        }
+        crc ^ 0x55
+    }
+
+    /// Serializes the cell to its 53-byte wire format.
+    pub fn to_bytes(&self) -> [u8; CELL_SIZE] {
+        let mut out = [0u8; CELL_SIZE];
+        // UNI header layout:
+        //  byte0: GFC[3:0] VPI[7:4]
+        //  byte1: VPI[3:0] VCI[15:12]
+        //  byte2: VCI[11:4]
+        //  byte3: VCI[3:0] PTI[2:0] CLP
+        //  byte4: HEC
+        out[0] = (self.gfc << 4) | (self.vpi >> 4);
+        out[1] = (self.vpi << 4) | ((self.vci >> 12) as u8 & 0x0F);
+        out[2] = (self.vci >> 4) as u8;
+        out[3] = ((self.vci as u8 & 0x0F) << 4) | (self.pti << 1) | self.clp as u8;
+        let hdr4 = [out[0], out[1], out[2], out[3]];
+        out[4] = Self::hec(&hdr4);
+        out[HEADER_SIZE..].copy_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a cell from its wire format, verifying the HEC.
+    ///
+    /// Returns `None` when the buffer is not exactly [`CELL_SIZE`] bytes
+    /// or the header checksum fails.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != CELL_SIZE {
+            return None;
+        }
+        let hdr4 = [bytes[0], bytes[1], bytes[2], bytes[3]];
+        if Self::hec(&hdr4) != bytes[4] {
+            return None;
+        }
+        let gfc = bytes[0] >> 4;
+        let vpi = (bytes[0] << 4) | (bytes[1] >> 4);
+        let vci = (((bytes[1] & 0x0F) as u16) << 12)
+            | ((bytes[2] as u16) << 4)
+            | ((bytes[3] >> 4) as u16);
+        let pti = (bytes[3] >> 1) & 0b111;
+        let clp = bytes[3] & 1 != 0;
+        let mut payload = [0u8; PAYLOAD_SIZE];
+        payload.copy_from_slice(&bytes[HEADER_SIZE..]);
+        Some(Cell {
+            gfc,
+            vpi,
+            vci,
+            pti,
+            clp,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_plain() {
+        let mut c = Cell::with_payload(0x1234, b"hello");
+        c.set_vpi(0xAB);
+        c.set_clp(true);
+        c.set_last(true);
+        let bytes = c.to_bytes();
+        let back = Cell::from_bytes(&bytes).expect("valid cell");
+        assert_eq!(back, c);
+        assert_eq!(back.vci(), 0x1234);
+        assert_eq!(back.vpi(), 0xAB);
+        assert!(back.clp());
+        assert!(back.is_last());
+        assert_eq!(&back.payload[..5], b"hello");
+    }
+
+    #[test]
+    fn hec_detects_header_corruption() {
+        let c = Cell::new(99);
+        let mut bytes = c.to_bytes();
+        bytes[2] ^= 0x40;
+        assert!(Cell::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(Cell::from_bytes(&[0u8; 52]).is_none());
+        assert!(Cell::from_bytes(&[0u8; 54]).is_none());
+    }
+
+    #[test]
+    fn last_bit_toggles() {
+        let mut c = Cell::new(1);
+        assert!(!c.is_last());
+        c.set_last(true);
+        assert!(c.is_last());
+        c.set_last(false);
+        assert!(!c.is_last());
+    }
+
+    #[test]
+    fn vci_full_range_roundtrips() {
+        for vci in [0u16, 1, 0x00FF, 0x0FFF, 0x8000, 0xFFFF] {
+            let c = Cell::new(vci);
+            let back = Cell::from_bytes(&c.to_bytes()).unwrap();
+            assert_eq!(back.vci(), vci);
+        }
+    }
+
+    #[test]
+    fn payload_too_large_panics() {
+        let data = [0u8; PAYLOAD_SIZE + 1];
+        assert!(std::panic::catch_unwind(|| Cell::with_payload(1, &data)).is_err());
+    }
+
+    #[test]
+    fn hec_known_coset() {
+        // All-zero header: CRC-8 of zeros is 0, plus coset 0x55.
+        assert_eq!(Cell::hec(&[0, 0, 0, 0]), 0x55);
+    }
+}

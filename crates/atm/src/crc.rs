@@ -1,0 +1,103 @@
+//! CRC-32 as used by the AAL5 CPCS trailer.
+//!
+//! AAL5 protects every frame with the same CRC-32 as IEEE 802.3:
+//! polynomial 0x04C11DB7 (reflected 0xEDB88320), initial value all-ones,
+//! final complement. The paper relies on this ("Using AAL5 ... offers
+//! protection against rendering or decompressing faulty tiles"), so the
+//! reproduction computes it for real.
+
+/// Reflected CRC-32 polynomial (IEEE 802.3 / AAL5).
+const POLY: u32 = 0xEDB8_8320;
+
+/// Builds the 256-entry lookup table at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The classic check value.
+/// assert_eq!(pegasus_atm::crc::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Incrementally folds `data` into a running (non-finalized) CRC state.
+///
+/// Start from `0xFFFF_FFFF`, call [`update`] for each chunk, and XOR with
+/// `0xFFFF_FFFF` to finalize — exactly what [`crc32`] does in one step.
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let oneshot = crc32(&data);
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            state = update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0u8; 64];
+        let base = crc32(&data);
+        for i in 0..64 {
+            for bit in 0..8 {
+                data[i] ^= 1 << bit;
+                assert_ne!(crc32(&data), base, "flip at byte {i} bit {bit} undetected");
+                data[i] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn burst_errors_detected() {
+        let data = vec![0xA5u8; 128];
+        let base = crc32(&data);
+        let mut corrupted = data.clone();
+        for b in corrupted.iter_mut().take(4) {
+            *b = !*b;
+        }
+        assert_ne!(crc32(&corrupted), base);
+    }
+}

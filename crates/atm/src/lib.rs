@@ -1,0 +1,34 @@
+//! ATM network substrate for the Pegasus reproduction.
+//!
+//! Section 2 of the paper builds the whole Pegasus architecture on an ATM
+//! network: Fairisle/Rattlesnake switches interconnect workstations,
+//! multimedia devices, and servers; AAL5 frames carry video tiles and audio
+//! cells; signalling establishes per-connection virtual circuits with QoS.
+//!
+//! This crate models all of that:
+//!
+//! * [`cell`] — the 53-byte ATM cell with a real header layout.
+//! * [`crc`] — CRC-32 as used by the AAL5 trailer.
+//! * [`aal5`] — AAL5 CPCS framing, segmentation and reassembly.
+//! * [`link`] — point-to-point links with serialization and propagation
+//!   delay, driven by the discrete-event engine.
+//! * [`switch`] — output-queued cell switches with VCI translation.
+//! * [`signalling`] — QoS descriptors, connection setup and admission
+//!   control (the "latency guarantees for interactive multimedia data").
+//! * [`network`] — a topology builder that wires endpoints and switches
+//!   and routes virtual circuits end to end.
+
+pub mod aal5;
+pub mod cell;
+pub mod crc;
+pub mod link;
+pub mod network;
+pub mod signalling;
+pub mod switch;
+
+pub use aal5::{Aal5Error, Reassembler, Segmenter};
+pub use cell::{Cell, Vci, CELL_SIZE, PAYLOAD_SIZE};
+pub use link::{CellSink, Link, SinkRef};
+pub use network::{EndpointId, Network, VcHandle};
+pub use signalling::{AdmissionError, QosSpec, ServiceClass};
+pub use switch::Switch;

@@ -1,0 +1,217 @@
+//! Point-to-point cell transmission.
+//!
+//! A [`Link`] models the serialization and propagation of cells between
+//! two ATM components: a cell of 53 bytes occupies the line for
+//! `53·8 / rate` seconds and arrives `prop_delay` later. Back-to-back
+//! sends queue behind the line (FIFO), which is where queueing delay and
+//! jitter come from in the experiments.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pegasus_sim::time::{tx_time, Ns};
+use pegasus_sim::Simulator;
+
+use crate::cell::{Cell, CELL_SIZE};
+
+/// Anything that can receive cells: switch ports, displays, audio sinks,
+/// host network interfaces.
+pub trait CellSink {
+    /// Delivers one cell at the current simulation time.
+    fn deliver(&mut self, sim: &mut Simulator, cell: Cell);
+}
+
+/// Shared handle to a [`CellSink`].
+pub type SinkRef = Rc<RefCell<dyn CellSink>>;
+
+/// A unidirectional link with a line rate and propagation delay.
+///
+/// The sender owns the link; the receiving end is any [`SinkRef`].
+///
+/// # Examples
+///
+/// ```
+/// use pegasus_atm::link::{Link, CellSink, SinkRef};
+/// use pegasus_atm::cell::Cell;
+/// use pegasus_sim::Simulator;
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// struct Sink(Vec<u64>);
+/// impl CellSink for Sink {
+///     fn deliver(&mut self, sim: &mut Simulator, _c: Cell) { self.0.push(sim.now()); }
+/// }
+///
+/// let sink = Rc::new(RefCell::new(Sink(Vec::new())));
+/// let mut link = Link::new(100_000_000, 1_000, sink.clone() as SinkRef);
+/// let mut sim = Simulator::new();
+/// link.send(&mut sim, Cell::new(1));
+/// sim.run();
+/// // 53 B at 100 Mbit/s = 4.24 µs serialization + 1 µs propagation.
+/// assert_eq!(sink.borrow().0, vec![5_240]);
+/// ```
+pub struct Link {
+    rate_bps: u64,
+    prop_delay: Ns,
+    sink: SinkRef,
+    next_free: Ns,
+    cells_sent: u64,
+}
+
+impl Link {
+    /// Creates a link at `rate_bps` bits/second with the given one-way
+    /// propagation delay, feeding `sink`.
+    pub fn new(rate_bps: u64, prop_delay: Ns, sink: SinkRef) -> Self {
+        assert!(rate_bps > 0, "link rate must be positive");
+        Link {
+            rate_bps,
+            prop_delay,
+            sink,
+            next_free: 0,
+            cells_sent: 0,
+        }
+    }
+
+    /// The configured line rate in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Serialization time of one cell on this link.
+    pub fn cell_time(&self) -> Ns {
+        tx_time(CELL_SIZE, self.rate_bps)
+    }
+
+    /// Total cells handed to this link so far.
+    pub fn cells_sent(&self) -> u64 {
+        self.cells_sent
+    }
+
+    /// Earliest time a newly offered cell would start serializing.
+    pub fn next_free(&self) -> Ns {
+        self.next_free
+    }
+
+    /// Current transmit backlog: how long a cell offered now would wait
+    /// before starting to serialize.
+    pub fn backlog(&self, now: Ns) -> Ns {
+        self.next_free.saturating_sub(now)
+    }
+
+    /// Queues `cell` for transmission; delivery to the sink is scheduled
+    /// after queueing + serialization + propagation.
+    ///
+    /// Returns the absolute arrival time at the sink.
+    pub fn send(&mut self, sim: &mut Simulator, cell: Cell) -> Ns {
+        let start = self.next_free.max(sim.now());
+        let done = start + self.cell_time();
+        self.next_free = done;
+        self.cells_sent += 1;
+        let arrival = done + self.prop_delay;
+        let sink = self.sink.clone();
+        sim.schedule_at(arrival, move |sim| {
+            sink.borrow_mut().deliver(sim, cell);
+        });
+        arrival
+    }
+}
+
+/// A sink that records arrivals — the workhorse test/measurement probe.
+#[derive(Default)]
+pub struct CaptureSink {
+    /// `(arrival time, cell)` pairs in delivery order.
+    pub arrivals: Vec<(Ns, Cell)>,
+}
+
+impl CaptureSink {
+    /// Creates an empty capture sink wrapped for sharing.
+    pub fn shared() -> Rc<RefCell<CaptureSink>> {
+        Rc::new(RefCell::new(CaptureSink::default()))
+    }
+}
+
+impl CellSink for CaptureSink {
+    fn deliver(&mut self, sim: &mut Simulator, cell: Cell) {
+        self.arrivals.push((sim.now(), cell));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBPS_100: u64 = 100_000_000;
+
+    #[test]
+    fn single_cell_timing() {
+        let sink = CaptureSink::shared();
+        let mut link = Link::new(MBPS_100, 500, sink.clone());
+        let mut sim = Simulator::new();
+        let arrival = link.send(&mut sim, Cell::new(7));
+        assert_eq!(arrival, 4_240 + 500);
+        sim.run();
+        let got = sink.borrow();
+        assert_eq!(got.arrivals.len(), 1);
+        assert_eq!(got.arrivals[0].0, 4_740);
+        assert_eq!(got.arrivals[0].1.vci(), 7);
+    }
+
+    #[test]
+    fn back_to_back_cells_queue() {
+        let sink = CaptureSink::shared();
+        let mut link = Link::new(MBPS_100, 0, sink.clone());
+        let mut sim = Simulator::new();
+        for _ in 0..3 {
+            link.send(&mut sim, Cell::new(1));
+        }
+        sim.run();
+        let times: Vec<Ns> = sink.borrow().arrivals.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![4_240, 8_480, 12_720]);
+    }
+
+    #[test]
+    fn idle_link_restarts_at_now() {
+        let sink = CaptureSink::shared();
+        let mut link = Link::new(MBPS_100, 0, sink.clone());
+        let mut sim = Simulator::new();
+        link.send(&mut sim, Cell::new(1));
+        sim.run();
+        // Much later, the link is idle again: no stale backlog.
+        sim.run_until(1_000_000);
+        assert_eq!(link.backlog(sim.now()), 0);
+        link.send(&mut sim, Cell::new(2));
+        sim.run();
+        assert_eq!(sink.borrow().arrivals[1].0, 1_000_000 + 4_240);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let sink = CaptureSink::shared();
+        let mut link = Link::new(MBPS_100, 123, sink.clone());
+        let mut sim = Simulator::new();
+        for vci in 0..20u16 {
+            link.send(&mut sim, Cell::new(vci));
+        }
+        sim.run();
+        let vcis: Vec<u16> = sink.borrow().arrivals.iter().map(|(_, c)| c.vci()).collect();
+        assert_eq!(vcis, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backlog_reflects_queue() {
+        let sink = CaptureSink::shared();
+        let mut link = Link::new(MBPS_100, 0, sink);
+        let mut sim = Simulator::new();
+        for _ in 0..10 {
+            link.send(&mut sim, Cell::new(1));
+        }
+        assert_eq!(link.backlog(0), 10 * 4_240);
+        assert_eq!(link.cells_sent(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "link rate must be positive")]
+    fn zero_rate_rejected() {
+        let sink = CaptureSink::shared();
+        let _ = Link::new(0, 0, sink);
+    }
+}

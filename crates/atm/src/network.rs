@@ -1,0 +1,481 @@
+//! Topology construction and end-to-end virtual circuits.
+//!
+//! A [`Network`] owns a set of switches, the links between them, and the
+//! endpoints (cameras, displays, audio nodes, host interfaces, file
+//! servers) attached to switch ports. [`Network::open_vc`] performs what
+//! ATM signalling did in Pegasus: route the connection, admission-control
+//! every hop for guaranteed traffic, allocate VCIs, and install the
+//! translation-table entries.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use pegasus_sim::time::Ns;
+
+use crate::cell::Vci;
+use crate::link::{Link, SinkRef};
+use crate::signalling::{AdmissionController, AdmissionError, QosSpec, ServiceClass};
+use crate::switch::{input_port, Switch};
+
+/// Identifier of a switch within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchId(pub usize);
+
+/// Identifier of an endpoint within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EndpointId(pub usize);
+
+/// Physical parameters of a link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Line rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: Ns,
+}
+
+impl LinkConfig {
+    /// The 100 Mbit/s links the Pegasus testbed ran ("our ATM network
+    /// runs only at a mere 100 megabits per second", §5).
+    pub fn pegasus_default() -> Self {
+        LinkConfig {
+            rate_bps: 100_000_000,
+            prop_delay: 1_000, // 1 µs: a building-scale fibre run
+        }
+    }
+}
+
+/// A live virtual circuit, as returned by [`Network::open_vc`].
+#[derive(Debug, Clone)]
+pub struct VcHandle {
+    /// Connection identifier (unique per network).
+    pub id: u64,
+    /// The VCI the source endpoint must stamp on outgoing cells.
+    pub src_vci: Vci,
+    /// The VCI cells carry when they reach the destination endpoint.
+    pub dst_vci: Vci,
+    /// The QoS granted.
+    pub qos: QosSpec,
+    /// Route entries (switch index, in port, in VCI) for teardown.
+    route: Vec<(usize, usize, Vci)>,
+    /// Reservations (admission-controller key, bits/second) for teardown.
+    reservations: Vec<(ReservationKey, u64)>,
+    /// Source endpoint.
+    pub src: EndpointId,
+    /// Destination endpoint.
+    pub dst: EndpointId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ReservationKey {
+    /// Endpoint transmit direction (device → switch).
+    EndpointTx(usize),
+    /// A switch output port (switch → neighbour or switch → endpoint).
+    SwitchOut(usize, usize),
+}
+
+struct EndpointInfo {
+    switch: usize,
+    port: usize,
+    tx: Rc<RefCell<Link>>,
+}
+
+/// The network: switches, inter-switch links, endpoints, signalling.
+pub struct Network {
+    switches: Vec<Rc<RefCell<Switch>>>,
+    /// adjacency\[s\] = list of (out port on s, peer switch index).
+    adj: Vec<Vec<(usize, usize)>>,
+    endpoints: Vec<EndpointInfo>,
+    acs: HashMap<ReservationKey, AdmissionController>,
+    next_vci: Vci,
+    next_conn: u64,
+    /// Fraction of each link's rate available to guaranteed reservations.
+    pub reservable_fraction: f64,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network {
+            switches: Vec::new(),
+            adj: Vec::new(),
+            endpoints: Vec::new(),
+            acs: HashMap::new(),
+            next_vci: 32,
+            next_conn: 1,
+            reservable_fraction: 0.95,
+        }
+    }
+
+    /// Adds a switch with `ports` ports and `fabric_latency` per-cell
+    /// fabric delay.
+    pub fn add_switch(&mut self, name: &str, ports: usize, fabric_latency: Ns) -> SwitchId {
+        self.switches.push(Switch::shared(name, ports, fabric_latency));
+        self.adj.push(Vec::new());
+        SwitchId(self.switches.len() - 1)
+    }
+
+    /// Access to a switch (for stats or manual route inspection).
+    pub fn switch(&self, id: SwitchId) -> &Rc<RefCell<Switch>> {
+        &self.switches[id.0]
+    }
+
+    /// Connects two switches bidirectionally with identical link
+    /// parameters in each direction.
+    pub fn connect_switches(&mut self, a: SwitchId, pa: usize, b: SwitchId, pb: usize, cfg: LinkConfig) {
+        let link_ab = Link::new(cfg.rate_bps, cfg.prop_delay, input_port(&self.switches[b.0], pb));
+        let link_ba = Link::new(cfg.rate_bps, cfg.prop_delay, input_port(&self.switches[a.0], pa));
+        self.switches[a.0].borrow_mut().attach_output(pa, link_ab);
+        self.switches[b.0].borrow_mut().attach_output(pb, link_ba);
+        self.adj[a.0].push((pa, b.0));
+        self.adj[b.0].push((pb, a.0));
+        self.acs.insert(
+            ReservationKey::SwitchOut(a.0, pa),
+            AdmissionController::new(cfg.rate_bps, self.reservable_fraction),
+        );
+        self.acs.insert(
+            ReservationKey::SwitchOut(b.0, pb),
+            AdmissionController::new(cfg.rate_bps, self.reservable_fraction),
+        );
+    }
+
+    /// Attaches an endpoint to `port` of `sw`. `rx_sink` receives the
+    /// cells the network delivers to this endpoint; the returned id's
+    /// transmit link is obtained with [`Network::endpoint_tx`].
+    pub fn add_endpoint(&mut self, sw: SwitchId, port: usize, cfg: LinkConfig, rx_sink: SinkRef) -> EndpointId {
+        let tx = Rc::new(RefCell::new(Link::new(
+            cfg.rate_bps,
+            cfg.prop_delay,
+            input_port(&self.switches[sw.0], port),
+        )));
+        self.switches[sw.0]
+            .borrow_mut()
+            .attach_output(port, Link::new(cfg.rate_bps, cfg.prop_delay, rx_sink));
+        let id = EndpointId(self.endpoints.len());
+        self.endpoints.push(EndpointInfo {
+            switch: sw.0,
+            port,
+            tx,
+        });
+        self.acs.insert(
+            ReservationKey::EndpointTx(id.0),
+            AdmissionController::new(cfg.rate_bps, self.reservable_fraction),
+        );
+        self.acs.insert(
+            ReservationKey::SwitchOut(sw.0, port),
+            AdmissionController::new(cfg.rate_bps, self.reservable_fraction),
+        );
+        id
+    }
+
+    /// The transmit link an endpoint uses to inject cells.
+    pub fn endpoint_tx(&self, ep: EndpointId) -> Rc<RefCell<Link>> {
+        self.endpoints[ep.0].tx.clone()
+    }
+
+    /// Number of endpoints attached.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn alloc_vci(&mut self) -> Vci {
+        let v = self.next_vci;
+        self.next_vci = self.next_vci.checked_add(1).expect("VCI space exhausted");
+        v
+    }
+
+    /// Breadth-first path of (switch, out-port) hops from `src` switch to
+    /// `dst` switch; empty when `src == dst`.
+    fn bfs_path(&self, src: usize, dst: usize) -> Option<Vec<(usize, usize)>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let mut prev: HashMap<usize, (usize, usize)> = HashMap::new(); // node -> (from, via port)
+        let mut queue = VecDeque::from([src]);
+        while let Some(node) = queue.pop_front() {
+            for &(port, peer) in &self.adj[node] {
+                if peer != src && !prev.contains_key(&peer) {
+                    prev.insert(peer, (node, port));
+                    if peer == dst {
+                        // Reconstruct.
+                        let mut hops = Vec::new();
+                        let mut cur = dst;
+                        while cur != src {
+                            let (from, port) = prev[&cur];
+                            hops.push((from, port));
+                            cur = from;
+                        }
+                        hops.reverse();
+                        return Some(hops);
+                    }
+                    queue.push_back(peer);
+                }
+            }
+        }
+        None
+    }
+
+    /// Opens a virtual circuit from `src` to `dst` with the requested QoS.
+    ///
+    /// For [`ServiceClass::Guaranteed`] connections, peak bandwidth is
+    /// reserved on the endpoint's transmit link, every inter-switch hop,
+    /// and the final delivery link; the call fails without side effects if
+    /// any hop lacks capacity.
+    pub fn open_vc(&mut self, src: EndpointId, dst: EndpointId, qos: QosSpec) -> Result<VcHandle, AdmissionError> {
+        if src.0 >= self.endpoints.len() || dst.0 >= self.endpoints.len() {
+            return Err(AdmissionError::UnknownEndpoint);
+        }
+        let (src_sw, src_port) = (self.endpoints[src.0].switch, self.endpoints[src.0].port);
+        let (dst_sw, dst_port) = (self.endpoints[dst.0].switch, self.endpoints[dst.0].port);
+        let hops = self.bfs_path(src_sw, dst_sw).ok_or(AdmissionError::NoRoute)?;
+
+        // Admission control with rollback on failure.
+        let mut reservations: Vec<(ReservationKey, u64)> = Vec::new();
+        if qos.class == ServiceClass::Guaranteed {
+            let mut keys = vec![ReservationKey::EndpointTx(src.0)];
+            keys.extend(hops.iter().map(|&(sw, port)| ReservationKey::SwitchOut(sw, port)));
+            keys.push(ReservationKey::SwitchOut(dst_sw, dst_port));
+            for key in keys {
+                let name = match key {
+                    ReservationKey::EndpointTx(e) => format!("ep{e}:tx"),
+                    ReservationKey::SwitchOut(s, p) => {
+                        format!("{}:{p}", self.switches[s].borrow().name())
+                    }
+                };
+                let ac = self.acs.get_mut(&key).expect("admission controller exists");
+                match ac.reserve(qos.peak_bps, &name) {
+                    Ok(()) => reservations.push((key, qos.peak_bps)),
+                    Err(e) => {
+                        for (k, bps) in reservations {
+                            self.acs.get_mut(&k).expect("reserved").release(bps);
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        // Allocate one VCI per link segment: endpoint→sw_src, each
+        // inter-switch hop, and the delivery segment.
+        let nsegs = hops.len() + 2;
+        let vcis: Vec<Vci> = (0..nsegs).map(|_| self.alloc_vci()).collect();
+
+        // Install routes. The switch path is src_sw, then the peer of each
+        // hop. The in-port at src_sw is the endpoint port; at subsequent
+        // switches it is the port of the reverse link, which by our
+        // bidirectional wiring is the same-numbered port on the peer.
+        let mut route = Vec::new();
+        let mut in_port = src_port;
+        let mut cur_sw = src_sw;
+        for (i, &(sw, out_port)) in hops.iter().enumerate() {
+            debug_assert_eq!(sw, cur_sw);
+            self.switches[sw]
+                .borrow_mut()
+                .add_route(in_port, vcis[i], out_port, vcis[i + 1]);
+            route.push((sw, in_port, vcis[i]));
+            // Find the peer and the port the reverse link occupies there.
+            let peer = self.adj[sw]
+                .iter()
+                .find(|&&(p, _)| p == out_port)
+                .map(|&(_, peer)| peer)
+                .expect("adjacency consistent");
+            let peer_port = self.adj[peer]
+                .iter()
+                .find(|&&(_, q)| q == sw)
+                .map(|&(p, _)| p)
+                .expect("reverse adjacency consistent");
+            cur_sw = peer;
+            in_port = peer_port;
+        }
+        // Final switch: route to the destination endpoint's port.
+        self.switches[cur_sw]
+            .borrow_mut()
+            .add_route(in_port, vcis[nsegs - 2], dst_port, vcis[nsegs - 1]);
+        route.push((cur_sw, in_port, vcis[nsegs - 2]));
+
+        let id = self.next_conn;
+        self.next_conn += 1;
+        Ok(VcHandle {
+            id,
+            src_vci: vcis[0],
+            dst_vci: vcis[nsegs - 1],
+            qos,
+            route,
+            reservations,
+            src,
+            dst,
+        })
+    }
+
+    /// Tears down a virtual circuit, removing routes and releasing
+    /// reservations.
+    pub fn close_vc(&mut self, vc: VcHandle) {
+        for (sw, in_port, in_vci) in vc.route {
+            self.switches[sw].borrow_mut().remove_route(in_port, in_vci);
+        }
+        for (key, bps) in vc.reservations {
+            if let Some(ac) = self.acs.get_mut(&key) {
+                ac.release(bps);
+            }
+        }
+    }
+
+    /// Remaining guaranteed bandwidth on an endpoint's transmit link.
+    pub fn endpoint_tx_available(&self, ep: EndpointId) -> u64 {
+        self.acs
+            .get(&ReservationKey::EndpointTx(ep.0))
+            .map(|ac| ac.available_bps())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use crate::link::CaptureSink;
+    use pegasus_sim::Simulator;
+
+    /// Two workstations, each an edge switch with camera/display
+    /// endpoints, joined by a backbone link — the Figure 4 shape.
+    fn two_site_net() -> (Network, EndpointId, EndpointId, Rc<RefCell<CaptureSink>>) {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let sw_a = net.add_switch("fairisle-a", 8, 500);
+        let sw_b = net.add_switch("fairisle-b", 8, 500);
+        net.connect_switches(sw_a, 0, sw_b, 0, cfg);
+        let cam_sink = CaptureSink::shared(); // camera receives nothing
+        let cam = net.add_endpoint(sw_a, 1, cfg, cam_sink);
+        let disp_sink = CaptureSink::shared();
+        let disp = net.add_endpoint(sw_b, 1, cfg, disp_sink.clone());
+        (net, cam, disp, disp_sink)
+    }
+
+    #[test]
+    fn vc_carries_cells_end_to_end() {
+        let (mut net, cam, disp, disp_sink) = two_site_net();
+        let vc = net.open_vc(cam, disp, QosSpec::guaranteed(10_000_000)).unwrap();
+        let mut sim = Simulator::new();
+        let tx = net.endpoint_tx(cam);
+        for _ in 0..5 {
+            tx.borrow_mut().send(&mut sim, Cell::new(vc.src_vci));
+        }
+        sim.run();
+        let arr = &disp_sink.borrow().arrivals;
+        assert_eq!(arr.len(), 5);
+        for (_, c) in arr {
+            assert_eq!(c.vci(), vc.dst_vci);
+        }
+        // 3 link traversals + 2 fabric latencies; first cell:
+        // 3×(4240 + 1000) + 2×500 = 16720.
+        assert_eq!(arr[0].0, 16_720);
+    }
+
+    #[test]
+    fn same_switch_vc() {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let sw = net.add_switch("local", 4, 0);
+        let a_sink = CaptureSink::shared();
+        let a = net.add_endpoint(sw, 0, cfg, a_sink);
+        let b_sink = CaptureSink::shared();
+        let b = net.add_endpoint(sw, 1, cfg, b_sink.clone());
+        let vc = net.open_vc(a, b, QosSpec::best_effort(0)).unwrap();
+        let mut sim = Simulator::new();
+        net.endpoint_tx(a).borrow_mut().send(&mut sim, Cell::new(vc.src_vci));
+        sim.run();
+        assert_eq!(b_sink.borrow().arrivals.len(), 1);
+    }
+
+    #[test]
+    fn admission_control_refuses_oversubscription() {
+        let (mut net, cam, disp, _) = two_site_net();
+        // 95 Mbit/s reservable on the 100 Mbit/s backbone.
+        let _vc1 = net.open_vc(cam, disp, QosSpec::guaranteed(60_000_000)).unwrap();
+        let err = net.open_vc(cam, disp, QosSpec::guaranteed(60_000_000)).unwrap_err();
+        assert!(matches!(err, AdmissionError::InsufficientBandwidth { .. }));
+        // Best effort still admitted.
+        net.open_vc(cam, disp, QosSpec::best_effort(60_000_000)).unwrap();
+    }
+
+    #[test]
+    fn failed_admission_rolls_back() {
+        let (mut net, cam, disp, _) = two_site_net();
+        let before = net.endpoint_tx_available(cam);
+        let _ = net.open_vc(cam, disp, QosSpec::guaranteed(99_000_000)).unwrap_err();
+        assert_eq!(net.endpoint_tx_available(cam), before);
+    }
+
+    #[test]
+    fn close_vc_releases_and_stops_traffic() {
+        let (mut net, cam, disp, disp_sink) = two_site_net();
+        let vc = net.open_vc(cam, disp, QosSpec::guaranteed(90_000_000)).unwrap();
+        let src_vci = vc.src_vci;
+        net.close_vc(vc);
+        // Bandwidth is back.
+        net.open_vc(cam, disp, QosSpec::guaranteed(90_000_000)).unwrap();
+        // Cells on the old VCI are now unroutable.
+        let mut sim = Simulator::new();
+        net.endpoint_tx(cam).borrow_mut().send(&mut sim, Cell::new(src_vci));
+        sim.run();
+        assert_eq!(disp_sink.borrow().arrivals.len(), 0);
+    }
+
+    #[test]
+    fn no_route_between_disconnected_islands() {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let sw_a = net.add_switch("a", 2, 0);
+        let sw_b = net.add_switch("b", 2, 0);
+        let a = net.add_endpoint(sw_a, 0, cfg, CaptureSink::shared());
+        let b = net.add_endpoint(sw_b, 0, cfg, CaptureSink::shared());
+        assert_eq!(net.open_vc(a, b, QosSpec::best_effort(0)).unwrap_err(), AdmissionError::NoRoute);
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let sw = net.add_switch("a", 2, 0);
+        let a = net.add_endpoint(sw, 0, cfg, CaptureSink::shared());
+        let bogus = EndpointId(42);
+        assert_eq!(net.open_vc(a, bogus, QosSpec::best_effort(0)).unwrap_err(), AdmissionError::UnknownEndpoint);
+    }
+
+    #[test]
+    fn multi_hop_routing_three_switches() {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let s0 = net.add_switch("s0", 4, 0);
+        let s1 = net.add_switch("s1", 4, 0);
+        let s2 = net.add_switch("s2", 4, 0);
+        net.connect_switches(s0, 0, s1, 0, cfg);
+        net.connect_switches(s1, 1, s2, 0, cfg);
+        let a = net.add_endpoint(s0, 2, cfg, CaptureSink::shared());
+        let sink = CaptureSink::shared();
+        let b = net.add_endpoint(s2, 2, cfg, sink.clone());
+        let vc = net.open_vc(a, b, QosSpec::guaranteed(1_000_000)).unwrap();
+        let mut sim = Simulator::new();
+        net.endpoint_tx(a).borrow_mut().send(&mut sim, Cell::new(vc.src_vci));
+        sim.run();
+        assert_eq!(sink.borrow().arrivals.len(), 1);
+        assert_eq!(sink.borrow().arrivals[0].1.vci(), vc.dst_vci);
+    }
+
+    #[test]
+    fn distinct_vcs_get_distinct_vcis() {
+        let (mut net, cam, disp, _) = two_site_net();
+        let v1 = net.open_vc(cam, disp, QosSpec::best_effort(0)).unwrap();
+        let v2 = net.open_vc(cam, disp, QosSpec::best_effort(0)).unwrap();
+        assert_ne!(v1.src_vci, v2.src_vci);
+        assert_ne!(v1.dst_vci, v2.dst_vci);
+        assert_ne!(v1.id, v2.id);
+    }
+}

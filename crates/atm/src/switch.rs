@@ -1,0 +1,283 @@
+//! An output-queued ATM cell switch in the style of Fairisle.
+//!
+//! The paper's workstations hang cameras, displays and audio nodes off a
+//! local ATM switch that "is under control of the workstation" (§2).
+//! A [`Switch`] here forwards cells by looking up the (input port, VCI)
+//! pair in a translation table, rewriting the VCI, and queueing the cell
+//! on the output port's link after a fixed fabric latency. Output queues
+//! have finite capacity; overflowing cells are dropped (counted), with
+//! CLP-marked cells dropped first in spirit by being subject to a lower
+//! threshold.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pegasus_sim::time::Ns;
+use pegasus_sim::Simulator;
+
+use crate::cell::{Cell, Vci};
+use crate::link::{CellSink, Link, SinkRef};
+
+/// A routing-table entry: where a cell goes and what VCI it gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Output port index.
+    pub out_port: usize,
+    /// VCI stamped on the cell for the next hop.
+    pub out_vci: Vci,
+}
+
+/// Forwarding statistics kept by each switch.
+#[derive(Debug, Default, Clone)]
+pub struct SwitchStats {
+    /// Cells successfully forwarded.
+    pub switched: u64,
+    /// Cells dropped because no route matched.
+    pub unroutable: u64,
+    /// Cells dropped because the output queue was full.
+    pub overflowed: u64,
+}
+
+/// An output-queued cell switch.
+pub struct Switch {
+    name: String,
+    fabric_latency: Ns,
+    outputs: Vec<Option<Link>>,
+    routes: HashMap<(usize, Vci), Route>,
+    /// Maximum backlog per output, in cells, before tail drop.
+    pub queue_capacity: u64,
+    /// Forwarding statistics.
+    pub stats: SwitchStats,
+    next_vci: Vci,
+}
+
+impl Switch {
+    /// Creates a switch with `ports` ports and the given per-cell fabric
+    /// latency, wrapped for sharing.
+    pub fn shared(name: &str, ports: usize, fabric_latency: Ns) -> Rc<RefCell<Switch>> {
+        Rc::new(RefCell::new(Switch {
+            name: name.to_string(),
+            fabric_latency,
+            outputs: (0..ports).map(|_| None).collect(),
+            routes: HashMap::new(),
+            queue_capacity: 1024,
+            stats: SwitchStats::default(),
+            next_vci: 32, // low VCIs reserved for signalling, as on real ATM
+        }))
+    }
+
+    /// The switch's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Attaches the transmit link of output `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn attach_output(&mut self, port: usize, link: Link) {
+        self.outputs[port] = Some(link);
+    }
+
+    /// Allocates a fresh VCI, unique within this switch.
+    pub fn alloc_vci(&mut self) -> Vci {
+        let v = self.next_vci;
+        self.next_vci = self.next_vci.checked_add(1).expect("VCI space exhausted");
+        v
+    }
+
+    /// Installs a translation-table entry.
+    pub fn add_route(&mut self, in_port: usize, in_vci: Vci, out_port: usize, out_vci: Vci) {
+        self.routes.insert((in_port, in_vci), Route { out_port, out_vci });
+    }
+
+    /// Removes a translation-table entry; returns `true` if it existed.
+    pub fn remove_route(&mut self, in_port: usize, in_vci: Vci) -> bool {
+        self.routes.remove(&(in_port, in_vci)).is_some()
+    }
+
+    /// Looks up the route for a cell arriving on `in_port` with `in_vci`.
+    pub fn route_for(&self, in_port: usize, in_vci: Vci) -> Option<Route> {
+        self.routes.get(&(in_port, in_vci)).copied()
+    }
+
+    /// Forwards a cell that has crossed the fabric from `in_port`.
+    fn forward(&mut self, sim: &mut Simulator, in_port: usize, mut cell: Cell) {
+        let Some(route) = self.route_for(in_port, cell.vci()) else {
+            self.stats.unroutable += 1;
+            return;
+        };
+        let Some(link) = self.outputs.get_mut(route.out_port).and_then(|l| l.as_mut()) else {
+            self.stats.unroutable += 1;
+            return;
+        };
+        let backlog_cells = link.backlog(sim.now()) / link.cell_time().max(1);
+        if backlog_cells >= self.queue_capacity {
+            self.stats.overflowed += 1;
+            return;
+        }
+        cell.set_vci(route.out_vci);
+        link.send(sim, cell);
+        self.stats.switched += 1;
+    }
+}
+
+/// An input-port adapter: the [`CellSink`] a neighbour's link feeds.
+struct InPort {
+    switch: Rc<RefCell<Switch>>,
+    port: usize,
+}
+
+impl CellSink for InPort {
+    fn deliver(&mut self, sim: &mut Simulator, cell: Cell) {
+        let latency = self.switch.borrow().fabric_latency;
+        let switch = self.switch.clone();
+        let port = self.port;
+        if latency == 0 {
+            switch.borrow_mut().forward(sim, port, cell);
+        } else {
+            sim.schedule_in(latency, move |sim| {
+                switch.borrow_mut().forward(sim, port, cell);
+            });
+        }
+    }
+}
+
+/// Creates the [`SinkRef`] for input `port` of `switch`, to be used as the
+/// sink of whatever link feeds that port.
+pub fn input_port(switch: &Rc<RefCell<Switch>>, port: usize) -> SinkRef {
+    assert!(port < switch.borrow().ports(), "input port out of range");
+    Rc::new(RefCell::new(InPort {
+        switch: switch.clone(),
+        port,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::CaptureSink;
+
+    const RATE: u64 = 100_000_000;
+
+    fn one_switch_setup(
+        fabric_latency: Ns,
+    ) -> (Rc<RefCell<Switch>>, SinkRef, Rc<RefCell<CaptureSink>>) {
+        let sw = Switch::shared("t", 4, fabric_latency);
+        let out = CaptureSink::shared();
+        sw.borrow_mut()
+            .attach_output(1, Link::new(RATE, 0, out.clone()));
+        let input = input_port(&sw, 0);
+        (sw, input, out)
+    }
+
+    #[test]
+    fn routes_and_rewrites_vci() {
+        let (sw, input, out) = one_switch_setup(1_000);
+        sw.borrow_mut().add_route(0, 40, 1, 77);
+        let mut sim = Simulator::new();
+        input.borrow_mut().deliver(&mut sim, Cell::new(40));
+        sim.run();
+        let arr = &out.borrow().arrivals;
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].1.vci(), 77);
+        // Fabric latency 1 µs + serialization 4.24 µs.
+        assert_eq!(arr[0].0, 1_000 + 4_240);
+        assert_eq!(sw.borrow().stats.switched, 1);
+    }
+
+    #[test]
+    fn unroutable_cells_counted_and_dropped() {
+        let (sw, input, out) = one_switch_setup(0);
+        let mut sim = Simulator::new();
+        input.borrow_mut().deliver(&mut sim, Cell::new(999));
+        sim.run();
+        assert!(out.borrow().arrivals.is_empty());
+        assert_eq!(sw.borrow().stats.unroutable, 1);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let (sw, input, out) = one_switch_setup(0);
+        sw.borrow_mut().add_route(0, 5, 1, 5);
+        sw.borrow_mut().queue_capacity = 4;
+        let mut sim = Simulator::new();
+        // Burst 10 cells at t=0: capacity 4 means backlog caps out.
+        for _ in 0..10 {
+            input.borrow_mut().deliver(&mut sim, Cell::new(5));
+        }
+        sim.run();
+        let delivered = out.borrow().arrivals.len() as u64;
+        let st = sw.borrow().stats.clone();
+        assert_eq!(delivered + st.overflowed, 10);
+        assert!(st.overflowed > 0, "expected drops");
+    }
+
+    #[test]
+    fn two_flows_interleave_fifo() {
+        let (sw, input, out) = one_switch_setup(0);
+        sw.borrow_mut().add_route(0, 1, 1, 101);
+        sw.borrow_mut().add_route(0, 2, 1, 102);
+        let mut sim = Simulator::new();
+        for i in 0..6u16 {
+            input.borrow_mut().deliver(&mut sim, Cell::new(1 + (i % 2)));
+        }
+        sim.run();
+        let vcis: Vec<Vci> = out.borrow().arrivals.iter().map(|(_, c)| c.vci()).collect();
+        assert_eq!(vcis, vec![101, 102, 101, 102, 101, 102]);
+    }
+
+    #[test]
+    fn remove_route_stops_forwarding() {
+        let (sw, input, out) = one_switch_setup(0);
+        sw.borrow_mut().add_route(0, 7, 1, 7);
+        let mut sim = Simulator::new();
+        input.borrow_mut().deliver(&mut sim, Cell::new(7));
+        sim.run();
+        assert!(sw.borrow_mut().remove_route(0, 7));
+        assert!(!sw.borrow_mut().remove_route(0, 7));
+        input.borrow_mut().deliver(&mut sim, Cell::new(7));
+        sim.run();
+        assert_eq!(out.borrow().arrivals.len(), 1);
+        assert_eq!(sw.borrow().stats.unroutable, 1);
+    }
+
+    #[test]
+    fn alloc_vci_is_unique_and_above_signalling_range() {
+        let sw = Switch::shared("t", 2, 0);
+        let a = sw.borrow_mut().alloc_vci();
+        let b = sw.borrow_mut().alloc_vci();
+        assert!(a >= 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn two_hop_path() {
+        let sw1 = Switch::shared("sw1", 2, 500);
+        let sw2 = Switch::shared("sw2", 2, 500);
+        let out = CaptureSink::shared();
+        // sw1 port1 --link--> sw2 port0; sw2 port1 --link--> capture.
+        sw1.borrow_mut()
+            .attach_output(1, Link::new(RATE, 100, input_port(&sw2, 0)));
+        sw2.borrow_mut()
+            .attach_output(1, Link::new(RATE, 100, out.clone()));
+        sw1.borrow_mut().add_route(0, 50, 1, 60);
+        sw2.borrow_mut().add_route(0, 60, 1, 70);
+        let input = input_port(&sw1, 0);
+        let mut sim = Simulator::new();
+        input.borrow_mut().deliver(&mut sim, Cell::new(50));
+        sim.run();
+        let arr = &out.borrow().arrivals;
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].1.vci(), 70);
+        // 2 × (fabric 500 + tx 4240 + prop 100) = 9680.
+        assert_eq!(arr[0].0, 9_680);
+    }
+}

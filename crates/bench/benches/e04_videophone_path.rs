@@ -1,0 +1,36 @@
+//! E4 — "No processors need to process any video data."
+//!
+//! Paper, §2/Fig. 1: with devices on the switch, a video-phone call
+//! moves every media byte device-to-device; the bus-attached baseline
+//! pushes it all through the host CPUs.
+
+use pegasus::videophone::{VideoPath, VideoPhone, VideoPhoneConfig};
+use pegasus_bench::{banner, row};
+use pegasus_sim::time::{fmt_ns, MS};
+
+fn main() {
+    banner(
+        "E4",
+        "videophone: media bytes touched by workstation CPUs",
+        "§2 'no processors need to process any video data'",
+    );
+    for (label, path) in [
+        ("DAN (devices on switch)", VideoPath::Dan),
+        ("bus-attached baseline", VideoPath::BusAttached),
+    ] {
+        let r = VideoPhone::run(VideoPhoneConfig {
+            path,
+            duration: 1_000 * MS,
+            ..VideoPhoneConfig::default()
+        });
+        row(&[
+            ("path", label.to_string()),
+            ("cpu media bytes (A,B)", format!("{:?}", r.cpu_bytes)),
+            ("cpu time burnt", fmt_ns(r.cpu_time.0 + r.cpu_time.1)),
+            ("video p50", fmt_ns(r.video_latency_p50.0)),
+            ("tiles", format!("{:?}", r.tiles_blitted)),
+            ("audio underruns", format!("{:?}", r.audio_underruns)),
+        ]);
+    }
+    println!("expect: DAN row shows cpu bytes (0, 0); baseline pushes the whole compressed stream (hundreds of KB/s) through each CPU and adds latency");
+}

@@ -1,0 +1,53 @@
+//! E6 — The QoS manager adapting shares on the long timescale.
+//!
+//! Paper, §3.3: weights are updated "not only in response to
+//! applications entering or leaving the system, but also adaptively as
+//! applications modify their behaviour ... on a longer time scale ...
+//! to smooth out short-term variations in load."
+
+use pegasus_bench::{banner, row};
+use pegasus_nemesis::qosmgr::QosManager;
+
+fn main() {
+    banner(
+        "E6",
+        "QoS-manager share adaptation over epochs",
+        "§3.3 'Quality-of-Service-manager domain ... updates the scheduler weights'",
+    );
+    let mut mgr = QosManager::new(0.9, 0.3);
+    let video = mgr.add_app("video", 2.0);
+    let batch = mgr.add_app("batch", 1.0);
+    println!("  epoch  video_demand  video_grant  batch_grant  event");
+    let mut audio = None;
+    for epoch in 0..30 {
+        // Video demand steps up at epoch 10; an audio app joins at 20.
+        let vd = if epoch < 10 { 0.3 } else { 0.7 };
+        mgr.observe(video, vd);
+        mgr.observe(batch, 1.0);
+        let mut event = "";
+        if epoch == 20 {
+            audio = Some(mgr.add_app("audio", 3.0));
+            event = "audio app joins (weight 3)";
+        }
+        if let Some(a) = audio {
+            mgr.observe(a, 0.2);
+        }
+        mgr.rebalance();
+        let a_grant = audio.map(|a| mgr.granted(a)).unwrap_or(0.0);
+        println!(
+            "  {epoch:>5}  {vd:>12.2}  {:>11.3}  {:>11.3}  {}{}",
+            mgr.granted(video),
+            mgr.granted(batch),
+            if a_grant > 0.0 {
+                format!("audio={a_grant:.3}  ")
+            } else {
+                String::new()
+            },
+            event
+        );
+    }
+    row(&[(
+        "expect",
+        "video grant ramps smoothly after the step (EWMA), batch yields; audio's arrival squeezes batch again".into(),
+    )]);
+}

@@ -1,0 +1,90 @@
+//! E8 — Synchronous vs asynchronous event signalling.
+//!
+//! Paper, §3.4: "lowest latency for a client/server interaction will be
+//! achieved by the client and server implementing the synchronous form
+//! of notification. However, a domain performing demultiplexing of
+//! incoming packets may be most efficient using the asynchronous means."
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pegasus_bench::{banner, row};
+use pegasus_nemesis::events::{EventConfig, EventSystem, IdcChannel, SignalMode};
+use pegasus_sim::time::fmt_ns;
+use pegasus_sim::Simulator;
+
+fn delivery_latency(mode: SignalMode) -> u64 {
+    let sys = EventSystem::shared(EventConfig::default());
+    let mut sim = Simulator::new();
+    let rx = sys.borrow_mut().add_domain("rx");
+    let chan = sys.borrow_mut().open_channel(rx);
+    let t = Rc::new(RefCell::new(0u64));
+    let t2 = t.clone();
+    sys.borrow_mut()
+        .set_handler(rx, Box::new(move |sim, _s, _c, _n| *t2.borrow_mut() = sim.now()));
+    EventSystem::send(&sys, &mut sim, chan, mode);
+    sim.run();
+    let v = *t.borrow();
+    v
+}
+
+fn demux_activations(mode: SignalMode, events: u64) -> u64 {
+    let sys = EventSystem::shared(EventConfig::default());
+    let mut sim = Simulator::new();
+    let rx = sys.borrow_mut().add_domain("demux");
+    let chan = sys.borrow_mut().open_channel(rx);
+    sys.borrow_mut().set_handler(rx, Box::new(|_, _, _, _| {}));
+    for i in 0..events {
+        let sys = sys.clone();
+        sim.schedule_at(i * 10_000, move |sim| {
+            EventSystem::send(&sys, sim, chan, mode);
+        });
+    }
+    sim.run();
+    let n = sys.borrow().activations(rx);
+    n
+}
+
+fn main() {
+    banner(
+        "E8",
+        "event signalling: latency (sync wins) and batching (async wins)",
+        "§3.4 'two types of event signalling: synchronous and asynchronous'",
+    );
+    for (label, mode) in [
+        ("synchronous", SignalMode::Synchronous),
+        ("asynchronous", SignalMode::Asynchronous),
+    ] {
+        let lat = delivery_latency(mode);
+        let acts = demux_activations(mode, 1_000);
+        row(&[
+            ("mode", label.to_string()),
+            ("single-event latency", fmt_ns(lat)),
+            ("activations for 1000 packets", acts.to_string()),
+        ]);
+    }
+
+    // IDC round trip with sync events (the paper's low-latency case).
+    let sys = EventSystem::shared(EventConfig::default());
+    let mut sim = Simulator::new();
+    let client = sys.borrow_mut().add_domain("client");
+    let server = sys.borrow_mut().add_domain("server");
+    let t = Rc::new(RefCell::new(0u64));
+    let t2 = t.clone();
+    let idc = IdcChannel::new(
+        &sys,
+        client,
+        server,
+        SignalMode::Synchronous,
+        |req| req.to_vec(),
+        move |sim, _| *t2.borrow_mut() = sim.now(),
+    );
+    idc.call(&sys, &mut sim, vec![1, 2, 3], SignalMode::Synchronous);
+    sim.run();
+    row(&[("idc round trip (sync both ways)", fmt_ns(*t.borrow()))]
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect::<Vec<_>>()
+        .as_slice());
+    println!("expect: sync latency = switch+upcall (~7 µs), async = next quantum (~1 ms); async needs ~1 activation per batch, sync one per event");
+}

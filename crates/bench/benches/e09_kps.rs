@@ -1,0 +1,52 @@
+//! E9 — Kernel-Privileged Sections vs whole-module kernel mode.
+//!
+//! Paper, §3.5: "The code that requires this access is often a tiny
+//! proportion of the total module; however, most operating systems would
+//! require that the whole module run in kernel mode."
+
+use pegasus_bench::{banner, row};
+use pegasus_nemesis::kps::{cpu, whole_module_kernel, with_kps, KpsCosts};
+use pegasus_sim::time::fmt_ns;
+
+fn main() {
+    banner(
+        "E9",
+        "privileged time and interrupt-masked windows: KPS vs whole-module",
+        "§3.5 Kernel-Privileged Sections (Fig. 5)",
+    );
+    // A driver doing 1 ms of work per invocation, of which `priv_frac`
+    // genuinely needs privilege, invoked 100 times.
+    let work: u64 = 1_000_000;
+    for (costs, cname) in [(KpsCosts::mips_trap(), "mips-trap"), (KpsCosts::alpha_pal(), "alpha-pal")] {
+        for priv_frac in [0.01f64, 0.05, 0.25] {
+            let priv_work = (work as f64 * priv_frac) as u64;
+            let kps = cpu(costs);
+            for _ in 0..100 {
+                kps.borrow_mut().execute((work - priv_work) / 2);
+                with_kps(&kps, |c| c.borrow_mut().execute(priv_work));
+                kps.borrow_mut().execute((work - priv_work) / 2);
+            }
+            let whole = cpu(costs);
+            for _ in 0..100 {
+                whole_module_kernel(&whole, work);
+            }
+            let (kp, km) = {
+                let c = kps.borrow();
+                (c.privileged_time, c.max_masked_window)
+            };
+            let (wp, wm) = {
+                let c = whole.borrow();
+                (c.privileged_time, c.max_masked_window)
+            };
+            row(&[
+                ("trap", cname.to_string()),
+                ("priv fraction", format!("{:.0}%", priv_frac * 100.0)),
+                ("kps priv time", fmt_ns(kp)),
+                ("whole priv time", fmt_ns(wp)),
+                ("kps max masked", fmt_ns(km)),
+                ("whole max masked", fmt_ns(wm)),
+            ]);
+        }
+    }
+    println!("expect: KPS privileged time tracks the privileged fraction; whole-module masks interrupts for the entire invocation");
+}

@@ -1,0 +1,56 @@
+//! E10 — The single address space: context-switch cost and the
+//! relocation cache.
+//!
+//! Paper, §3.1: the benefits are "simplified sharing ... and the removal
+//! of virtual address aliases which can result in significant context
+//! switch costs with caches accessed by virtual address"; the cost is
+//! load-time relocation, amortized by reloading at the same address via
+//! a 32-bit hash of the code.
+
+use pegasus_bench::{banner, row};
+use pegasus_nemesis::mem::{ImageLoader, SwitchCostModel};
+use pegasus_sim::time::fmt_ns;
+
+fn main() {
+    banner(
+        "E10",
+        "context-switch cost and relocation-cache hit rate",
+        "§3.1 memory model",
+    );
+    let m = SwitchCostModel::decstation();
+    for dirty in [0.1f64, 0.5, 1.0] {
+        row(&[
+            ("dirty cache fraction", format!("{dirty:.1}")),
+            ("aliased (per-process AS)", fmt_ns(m.aliased_switch(dirty))),
+            ("single AS", fmt_ns(m.single_as_switch())),
+            (
+                "saving",
+                format!(
+                    "{:.1}x",
+                    m.aliased_switch(dirty) as f64 / m.single_as_switch() as f64
+                ),
+            ),
+        ]);
+    }
+
+    // Relocation cache: a day of running the same 30 applications.
+    let mut loader = ImageLoader::new();
+    let apps: Vec<String> = (0..30).map(|i| format!("app-{i}")).collect();
+    let mut total_cost = 0u64;
+    let launches = 500;
+    for i in 0..launches {
+        let app = &apps[(i * 7) % apps.len()];
+        total_cost += loader.load(app, 4 << 20).cost;
+    }
+    row(&[
+        ("image launches", launches.to_string()),
+        ("relocation-cache hits", loader.hits.to_string()),
+        ("full relocations", loader.misses.to_string()),
+        (
+            "hit rate",
+            format!("{:.1}%", 100.0 * loader.hits as f64 / launches as f64),
+        ),
+        ("mean load cost", fmt_ns(total_cost / launches as u64)),
+    ]);
+    println!("expect: aliased switches cost tens of µs vs a flat 3 µs; relocation hit rate ≈ 94% makes the single-AS penalty negligible");
+}

@@ -1,0 +1,65 @@
+//! E13 — Cleaning cost vs file-system size.
+//!
+//! Paper, §5: "If any part of the cleaning process scales with, say, the
+//! square of the system size, cleaning a terabyte file system will take
+//! a very long time. We are currently implementing a cleaning algorithm
+//! whose complexity only depends on the number of segments to be cleaned
+//! and the amount of 'garbage'."
+
+use pegasus_bench::{banner, row};
+use pegasus_pfs::cleaner::{clean_garbage_file, clean_sprite};
+use pegasus_pfs::disk::DiskConfig;
+use pegasus_pfs::log::{FileClass, LogFs, SEGMENT_BYTES};
+use pegasus_sim::time::fmt_ns;
+
+/// Builds a file system with `cold` segments of long-lived data plus 4
+/// hot segments (70% dead / 30% live each).
+fn build(cold: usize) -> LogFs {
+    let mut cfg = DiskConfig::hp_1994();
+    cfg.sectors = (8u64 << 30) / 512; // 8 GiB per disk: room to scale
+    let mut fs = LogFs::new(cfg);
+    fs.raid_mut().set_store(false);
+    for _ in 0..cold {
+        let id = fs.create(FileClass::Normal);
+        fs.append(id, &vec![0u8; SEGMENT_BYTES]).unwrap();
+    }
+    let mut dead = Vec::new();
+    for _ in 0..4 {
+        let d = fs.create(FileClass::Normal);
+        fs.append(d, &vec![0u8; 700 * 1024]).unwrap();
+        let l = fs.create(FileClass::Normal);
+        fs.append(l, &vec![0u8; SEGMENT_BYTES - 700 * 1024]).unwrap();
+        dead.push(d);
+    }
+    fs.sync().unwrap();
+    for d in dead {
+        fs.delete(d).unwrap();
+    }
+    fs
+}
+
+fn main() {
+    banner(
+        "E13",
+        "cleaning cost vs FS size at fixed garbage (4 segments, 70% dead)",
+        "§5 'complexity only depends on ... the amount of garbage'",
+    );
+    println!("  fs_segments  garbage-file cleaner  sprite-style scan cleaner");
+    for cold in [16usize, 64, 256, 1024, 4096] {
+        let mut a = build(cold);
+        let ra = clean_garbage_file(&mut a).unwrap();
+        let mut b = build(cold);
+        let rb = clean_sprite(&mut b, 4).unwrap();
+        println!(
+            "  {:>11}  {:>20}  {:>25}",
+            cold + 8,
+            fmt_ns(ra.io_time),
+            fmt_ns(rb.io_time)
+        );
+        assert_eq!(ra.segments_cleaned, 4);
+    }
+    row(&[(
+        "expect",
+        "garbage-file column flat; sprite column linear in FS size (its summary scan)".into(),
+    )]);
+}

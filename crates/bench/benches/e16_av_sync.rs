@@ -1,0 +1,71 @@
+//! E16 — Audio/video synchronization via the control stream.
+//!
+//! Paper, §2.2: the playback control process is "responsible for the
+//! synchronization of the play-out of the various streams ... based on
+//! the source synchronization information from the remote manager(s)
+//! and data arrival events."
+
+use std::rc::Rc;
+
+use pegasus_bench::{banner, row};
+use pegasus_sim::time::{fmt_ns, MS};
+use pegasus_sim::Simulator;
+use pegasus_streams::playback::{PlaybackControl, PlaybackPolicy};
+
+fn run(policy: PlaybackPolicy, video_delay: u64, audio_delay: u64) -> (u64, u64, f64) {
+    let ctl = PlaybackControl::shared(policy);
+    let (video, audio) = {
+        let mut c = ctl.borrow_mut();
+        (c.add_stream("video"), c.add_stream("audio"))
+    };
+    let mut sim = Simulator::new();
+    for i in 0..500u64 {
+        let capture = i * 40 * MS;
+        // Deterministic jitter on top of the base transport delay.
+        let vj = (i % 7) * MS;
+        let aj = (i % 3) * MS / 2;
+        let cv = Rc::clone(&ctl);
+        sim.schedule_at(capture + video_delay + vj, move |sim| {
+            PlaybackControl::on_arrival(&cv, sim, video, capture);
+        });
+        let ca = Rc::clone(&ctl);
+        sim.schedule_at(capture + audio_delay + aj, move |sim| {
+            PlaybackControl::on_arrival(&ca, sim, audio, capture);
+        });
+    }
+    sim.run();
+    let mut c = ctl.borrow_mut();
+    let p50 = c.skew.percentile(50.0).unwrap_or(0);
+    let max = c.skew.max().unwrap_or(0);
+    let late = c.late_fraction();
+    (p50, max, late)
+}
+
+fn main() {
+    banner(
+        "E16",
+        "A/V skew: free-running vs control-stream playback control",
+        "§2.2 playback control process",
+    );
+    println!("  transport: video 30 ms (+0-6 ms jitter), audio 2 ms (+0-1 ms jitter), 500 frames");
+    let (p50, max, _) = run(PlaybackPolicy::FreeRunning, 30 * MS, 2 * MS);
+    row(&[
+        ("policy", "free-running".into()),
+        ("skew p50", fmt_ns(p50)),
+        ("skew max", fmt_ns(max)),
+    ]);
+    for target in [20 * MS, 40 * MS, 60 * MS] {
+        let (p50, max, late) = run(
+            PlaybackPolicy::Synchronized { target_latency: target },
+            30 * MS,
+            2 * MS,
+        );
+        row(&[
+            ("policy", format!("synchronized @{}", fmt_ns(target))),
+            ("skew p50", fmt_ns(p50)),
+            ("skew max", fmt_ns(max)),
+            ("late", format!("{:.1}%", late * 100.0)),
+        ]);
+    }
+    println!("expect: free-running skew ≈ the 28 ms delay difference; a target above the worst video delay (36 ms) drives skew to 0 with no late frames");
+}

@@ -1,0 +1,89 @@
+//! Micro-benchmarks (Criterion): the hot primitives under everything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pegasus_atm::aal5::{Reassembler, Segmenter};
+use pegasus_atm::cell::Cell;
+use pegasus_atm::crc::crc32;
+use pegasus_devices::codec::{decode_tile, encode_tile};
+use pegasus_naming::namespace::NameWorld;
+use pegasus_nemesis::sched::{CpuSim, Policy, TaskSpec};
+use pegasus_sim::time::MS;
+
+fn bench_crc32(c: &mut Criterion) {
+    let data = vec![0xA5u8; 4096];
+    c.bench_function("crc32_4k", |b| b.iter(|| crc32(black_box(&data))));
+}
+
+fn bench_cell_roundtrip(c: &mut Criterion) {
+    let cell = Cell::with_payload(1234, &[7u8; 48]);
+    c.bench_function("cell_encode_decode", |b| {
+        b.iter(|| Cell::from_bytes(&black_box(&cell).to_bytes()).unwrap())
+    });
+}
+
+fn bench_aal5(c: &mut Criterion) {
+    let frame = vec![3u8; 1024];
+    let seg = Segmenter::new(1);
+    c.bench_function("aal5_segment_1k", |b| b.iter(|| seg.segment(black_box(&frame)).unwrap()));
+    let cells = seg.segment(&frame).unwrap();
+    c.bench_function("aal5_reassemble_1k", |b| {
+        b.iter(|| {
+            let mut r = Reassembler::new();
+            let mut out = None;
+            for cell in &cells {
+                if let Some(res) = r.push(cell) {
+                    out = Some(res.unwrap());
+                }
+            }
+            out.unwrap()
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut tile = [0u8; 64];
+    for (i, p) in tile.iter_mut().enumerate() {
+        *p = (i * 3) as u8;
+    }
+    c.bench_function("mjpeg_encode_tile_q50", |b| {
+        b.iter(|| encode_tile(black_box(&tile), 50))
+    });
+    let coded = encode_tile(&tile, 50);
+    c.bench_function("mjpeg_decode_tile_q50", |b| {
+        b.iter(|| decode_tile(black_box(&coded), 50).unwrap())
+    });
+}
+
+fn bench_name_resolution(c: &mut Criterion) {
+    let mut w = NameWorld::new();
+    let s = w.create_space();
+    w.bind(s, "/dev/atm/camera0", pegasus_naming::maillon::ObjectRef(1)).unwrap();
+    c.bench_function("resolve_three_components", |b| {
+        b.iter(|| w.resolve(black_box(s), "/dev/atm/camera0").unwrap())
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("nemesis_edf_one_second", |b| {
+        b.iter(|| {
+            let mut sim = CpuSim::new(Policy::NemesisEdf);
+            sim.add_task(TaskSpec::guaranteed("a", 10 * MS, 3 * MS));
+            sim.add_task(TaskSpec::guaranteed("v", 40 * MS, 16 * MS));
+            sim.add_task(TaskSpec::best_effort("be", 10 * MS, 20 * MS));
+            black_box(sim.run(1_000 * MS))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_crc32,
+    bench_cell_roundtrip,
+    bench_aal5,
+    bench_codec,
+    bench_name_resolution,
+    bench_scheduler
+);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! The digital TV director — the Pegasus project's flagship application.
+//!
+//! The project brief: "the design and implementation of an application
+//! for the system — a digital TV director". Several studio cameras feed
+//! live streams to a control-room display; the director cuts between
+//! them. In the Pegasus architecture a cut is *pure control*: every
+//! camera already streams to the program monitor's window stack, and
+//! cutting is one window-descriptor manipulation (a raise) — no media
+//! data is touched, copied or re-routed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pegasus_atm::signalling::QosSpec;
+use pegasus_devices::camera::{Camera, CameraConfig, VideoMode};
+use pegasus_devices::display::{Rect, WindowManager};
+use pegasus_devices::video::Scene;
+use pegasus_sim::time::Ns;
+use pegasus_sim::Simulator;
+
+use crate::system::{System, Workstation};
+
+/// One studio source.
+struct Source {
+    camera: Rc<RefCell<Camera>>,
+    /// VCI of this source's stream at the control-room display.
+    display_vci: u16,
+}
+
+/// The control room: cameras, program window stack, and the cut log.
+pub struct TvDirector {
+    /// The underlying system.
+    pub sys: System,
+    /// The simulator driving it.
+    pub sim: Simulator,
+    control_room: Workstation,
+    wm: WindowManager,
+    sources: Vec<Source>,
+    program: usize,
+    /// `(time, source)` log of cuts performed.
+    pub cuts: Vec<(Ns, usize)>,
+    /// Screen rectangle of the program monitor.
+    pub program_rect: Rect,
+}
+
+impl TvDirector {
+    /// Builds a studio with `n_cameras` cameras on their own
+    /// workstations, all streaming into the program window stack of a
+    /// control-room display. Camera `0` starts as program.
+    pub fn new(n_cameras: usize, scenes: &[Scene]) -> TvDirector {
+        assert!(n_cameras >= 1 && n_cameras == scenes.len());
+        let mut sys = System::new();
+        let control_room = sys.add_workstation("control-room", 40);
+        let mut wm = WindowManager::new(control_room.display.clone(), 1);
+        let program_rect = Rect::new(200, 100, 176, 144);
+        let mut sim = Simulator::new();
+        let mut sources = Vec::new();
+        for (i, &scene) in scenes.iter().enumerate() {
+            let studio = sys.add_workstation(&format!("studio-{i}"), 40);
+            let vc = sys
+                .net
+                .open_vc(
+                    studio.camera_ep,
+                    control_room.display_ep,
+                    QosSpec::guaranteed(15_000_000),
+                )
+                .expect("program stream admission");
+            wm.create(vc.dst_vci, program_rect);
+            let camera = sys.build_camera(
+                &studio,
+                scene,
+                CameraConfig {
+                    mode: VideoMode::Raw,
+                    ..CameraConfig::default()
+                },
+                vc.src_vci,
+            );
+            Camera::start(&camera, &mut sim);
+            sources.push(Source {
+                camera,
+                display_vci: vc.dst_vci,
+            });
+        }
+        // Camera 0 on program.
+        wm.raise(sources[0].display_vci);
+        TvDirector {
+            sys,
+            sim,
+            control_room,
+            wm,
+            sources,
+            program: 0,
+            cuts: Vec::new(),
+            program_rect,
+        }
+    }
+
+    /// The current program source.
+    pub fn program(&self) -> usize {
+        self.program
+    }
+
+    /// Number of sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Cuts the program to `source`: one descriptor raise, nothing else.
+    pub fn cut(&mut self, source: usize) {
+        assert!(source < self.sources.len());
+        self.wm.raise(self.sources[source].display_vci);
+        self.program = source;
+        self.cuts.push((self.sim.now(), source));
+    }
+
+    /// Runs the studio until `t` (absolute virtual time).
+    pub fn run_until(&mut self, t: Ns) {
+        self.sim.run_until(t);
+    }
+
+    /// Stops all cameras and drains the network.
+    pub fn shutdown(&mut self) {
+        for s in &self.sources {
+            s.camera.borrow_mut().stop();
+        }
+        self.sim.run();
+    }
+
+    /// Reads a program-monitor pixel (for verification).
+    pub fn program_pixel(&self, dx: i32, dy: i32) -> u8 {
+        self.control_room
+            .display
+            .borrow()
+            .pixel(self.program_rect.x + dx, self.program_rect.y + dy)
+    }
+
+    /// Tiles painted on the control-room display so far.
+    pub fn tiles_blitted(&self) -> u64 {
+        self.control_room.display.borrow().stats.tiles_blitted
+    }
+
+    /// Media bytes any host CPU has touched (must stay zero).
+    pub fn cpu_media_bytes(&self) -> u64 {
+        self.control_room.host_nic.borrow().bytes_touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegasus_sim::time::MS;
+
+    /// Test card luminance at (0,0) is band 0 = 16; a gradient scene's
+    /// pixel wanders. Cutting between them must switch what the program
+    /// monitor shows.
+    #[test]
+    fn cuts_switch_the_program_monitor() {
+        let mut d = TvDirector::new(2, &[Scene::TestCard, Scene::MovingGradient]);
+        d.run_until(200 * MS);
+        assert_eq!(d.program(), 0);
+        let test_card_pixel = d.program_pixel(0, 0);
+        assert_eq!(test_card_pixel, 16, "test card band 0");
+        d.cut(1);
+        d.run_until(400 * MS);
+        assert_eq!(d.program(), 1);
+        // The gradient has painted over the card by now.
+        let after = d.program_pixel(0, 0);
+        assert_ne!(after, 16, "program switched to the gradient camera");
+        // Cut back.
+        d.cut(0);
+        d.run_until(600 * MS);
+        assert_eq!(d.program_pixel(0, 0), 16, "back to the test card");
+        d.shutdown();
+        assert_eq!(d.cuts.len(), 2);
+    }
+
+    #[test]
+    fn cutting_never_touches_media_with_a_cpu() {
+        let mut d = TvDirector::new(3, &[Scene::TestCard, Scene::MovingGradient, Scene::Noise]);
+        for i in 0..6 {
+            d.cut(i % 3);
+            let t = (i as u64 + 1) * 100 * MS;
+            d.run_until(t);
+        }
+        d.shutdown();
+        assert!(d.tiles_blitted() > 1000);
+        assert_eq!(d.cpu_media_bytes(), 0, "cuts are descriptor writes only");
+        assert_eq!(d.cuts.len(), 6);
+    }
+
+    #[test]
+    fn all_sources_stream_concurrently() {
+        let mut d = TvDirector::new(2, &[Scene::TestCard, Scene::TestCard]);
+        d.run_until(300 * MS);
+        d.shutdown();
+        for (i, s) in d.sources.iter().enumerate() {
+            let f = s.camera.borrow().stats.frames_captured;
+            assert!(f >= 5, "camera {i} captured only {f} frames");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cut_to_unknown_source_panics() {
+        let mut d = TvDirector::new(1, &[Scene::TestCard]);
+        d.cut(5);
+    }
+}

@@ -1,0 +1,29 @@
+//! Pegasus: the integrated distributed-multimedia system.
+//!
+//! This crate assembles the substrates — ATM network ([`pegasus_atm`]),
+//! Nemesis kernel ([`pegasus_nemesis`]), multimedia devices
+//! ([`pegasus_devices`]), stream control ([`pegasus_streams`]), naming
+//! ([`pegasus_naming`]) and the file server ([`pegasus_pfs`]) — into the
+//! architecture of Figure 4: multimedia workstations whose devices hang
+//! off local ATM switches, joined by a backbone, with storage and Unix
+//! nodes alongside.
+//!
+//! * [`system`] — topology building: workstations with camera, display
+//!   and audio endpoints; the CPU-bytes-touched accounting behind the
+//!   "no processors need to process any video data" claim.
+//! * [`videophone`] — the paper's motivating application, in both the
+//!   DAN configuration and a bus-attached baseline where the host CPU
+//!   forwards every media byte.
+//! * [`recorder`] — recording camera output into the Pegasus File
+//!   Server with a control-stream-derived index; playback with seek.
+//! * [`director`] — the "digital TV director": a monitor wall of live
+//!   camera windows and program cuts done purely by window-descriptor
+//!   manipulation.
+
+pub mod director;
+pub mod recorder;
+pub mod system;
+pub mod videophone;
+
+pub use system::{System, Workstation};
+pub use videophone::{VideoPhone, VideoPhoneConfig, VideoPhoneReport, VideoPath};

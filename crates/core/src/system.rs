@@ -1,0 +1,281 @@
+//! System topology: workstations, servers, and the backbone.
+//!
+//! Figure 1's end-system architecture: "a conventional workstation and
+//! its network interface connected to an ATM switch. However, also
+//! connected to the switch we see a camera device, a display device, an
+//! audio device, and then the rest of the ATM network. ... the switch is
+//! under control of the workstation." The host CPU owns a network
+//! interface endpoint of its own; whether media data flows through it
+//! (bus-attached baseline) or switch-to-switch (the DAN way) is the
+//! difference experiment E4 measures via [`HostNic`]'s byte counter.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pegasus_atm::cell::Cell;
+use pegasus_atm::link::{CellSink, Link, SinkRef};
+use pegasus_atm::network::{EndpointId, LinkConfig, Network, SwitchId};
+use pegasus_devices::audio::{AudioConfig, AudioSink, AudioSource};
+use pegasus_devices::camera::{Camera, CameraConfig};
+use pegasus_devices::display::Display;
+use pegasus_devices::video::{Scene, SyntheticVideo};
+use pegasus_sim::Simulator;
+
+/// The host CPU's network interface: any media cell delivered here was
+/// touched by a processor, which is precisely what the DAN architecture
+/// avoids. It can also re-transmit (the bus-attached forwarding path).
+pub struct HostNic {
+    /// Media payload bytes the CPU has had to handle.
+    pub bytes_touched: u64,
+    /// Cells handled.
+    pub cells: u64,
+    /// Optional forwarding: (re-stamped VCI, transmit link).
+    pub forward: Option<(u16, Rc<RefCell<Link>>)>,
+    /// Per-cell CPU cost of touching the data (copy in + copy out).
+    pub per_cell_cpu: u64,
+    /// Accumulated CPU time burned on forwarding.
+    pub cpu_time: u64,
+}
+
+impl HostNic {
+    /// Creates an idle NIC.
+    pub fn shared() -> Rc<RefCell<HostNic>> {
+        Rc::new(RefCell::new(HostNic {
+            bytes_touched: 0,
+            cells: 0,
+            forward: None,
+            per_cell_cpu: 2_000, // ~2 µs to receive, inspect and resend a cell
+            cpu_time: 0,
+        }))
+    }
+}
+
+impl CellSink for HostNic {
+    fn deliver(&mut self, sim: &mut Simulator, mut cell: Cell) {
+        self.bytes_touched += cell.payload.len() as u64;
+        self.cells += 1;
+        self.cpu_time += self.per_cell_cpu;
+        if let Some((vci, link)) = &self.forward {
+            cell.set_vci(*vci);
+            link.borrow_mut().send(sim, cell);
+        }
+    }
+}
+
+/// One multimedia workstation: a local switch with camera, display,
+/// audio-in/out and host-NIC endpoints.
+pub struct Workstation {
+    /// Name for reports.
+    pub name: String,
+    /// The workstation's local switch.
+    pub switch: SwitchId,
+    /// Camera endpoint (device → network).
+    pub camera_ep: EndpointId,
+    /// Display endpoint (network → device).
+    pub display_ep: EndpointId,
+    /// Audio-source endpoint.
+    pub audio_src_ep: EndpointId,
+    /// Audio-sink endpoint.
+    pub audio_sink_ep: EndpointId,
+    /// Host CPU endpoint.
+    pub host_ep: EndpointId,
+    /// The display device.
+    pub display: Rc<RefCell<Display>>,
+    /// The audio play-out device.
+    pub audio_sink: Rc<RefCell<AudioSink>>,
+    /// The host network interface.
+    pub host_nic: Rc<RefCell<HostNic>>,
+}
+
+/// The whole Pegasus installation (Figure 4).
+pub struct System {
+    /// The ATM network.
+    pub net: Network,
+    /// The backbone switch joining sites.
+    pub backbone: SwitchId,
+    next_backbone_port: usize,
+    /// Link parameters used throughout.
+    pub link: LinkConfig,
+}
+
+impl Default for System {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl System {
+    /// Creates a system with an empty backbone switch.
+    pub fn new() -> Self {
+        let mut net = Network::new();
+        let backbone = net.add_switch("backbone", 16, 500);
+        System {
+            net,
+            backbone,
+            next_backbone_port: 0,
+            link: LinkConfig::pegasus_default(),
+        }
+    }
+
+    /// Adds a multimedia workstation: local switch uplinked to the
+    /// backbone, with the full device complement attached.
+    pub fn add_workstation(&mut self, name: &str, audio_jitter_buffer: usize) -> Workstation {
+        let sw = self.net.add_switch(&format!("{name}-fairisle"), 8, 500);
+        let port = self.next_backbone_port;
+        self.next_backbone_port += 1;
+        self.net.connect_switches(self.backbone, port, sw, 0, self.link);
+
+        // Camera transmits only; its receive side is a host-side stub.
+        let camera_ep = self.net.add_endpoint(sw, 1, self.link, HostNic::shared());
+        let display = Display::shared(640, 480);
+        let display_ep = self.net.add_endpoint(sw, 2, self.link, display.clone());
+        let audio_src_ep = self.net.add_endpoint(sw, 3, self.link, HostNic::shared());
+        let audio_sink = AudioSink::shared(AudioConfig::telephony(), audio_jitter_buffer);
+        let audio_sink_ep = self.net.add_endpoint(sw, 4, self.link, audio_sink.clone());
+        let host_nic = HostNic::shared();
+        let host_ep = self.net.add_endpoint(sw, 5, self.link, host_nic.clone());
+
+        Workstation {
+            name: name.to_string(),
+            switch: sw,
+            camera_ep,
+            display_ep,
+            audio_src_ep,
+            audio_sink_ep,
+            host_ep,
+            display,
+            audio_sink,
+            host_nic,
+        }
+    }
+
+    /// Adds a plain endpoint on the backbone (storage servers, compute
+    /// servers, Unix nodes).
+    pub fn add_backbone_endpoint(&mut self, sink: SinkRef) -> EndpointId {
+        let port = self.next_backbone_port;
+        self.next_backbone_port += 1;
+        // A private edge switch would be equivalent; servers sit directly
+        // on a backbone port here.
+        let sw = self.net.add_switch("srv-edge", 2, 0);
+        self.net.connect_switches(self.backbone, port, sw, 0, self.link);
+        self.net.add_endpoint(sw, 1, self.link, sink)
+    }
+
+    /// Builds a camera on `ws`, producing `scene` with `cfg`, stamped
+    /// with the VCI of an already-opened connection.
+    pub fn build_camera(
+        &self,
+        ws: &Workstation,
+        scene: Scene,
+        cfg: CameraConfig,
+        vci: u16,
+    ) -> Rc<RefCell<Camera>> {
+        let video = SyntheticVideo::qcif(scene);
+        Camera::new(video, cfg, vci, self.net.endpoint_tx(ws.camera_ep))
+    }
+
+    /// Builds an audio source on `ws` for an already-opened connection.
+    pub fn build_audio_source(&self, ws: &Workstation, vci: u16) -> Rc<RefCell<AudioSource>> {
+        AudioSource::new(
+            AudioConfig::telephony(),
+            vci,
+            self.net.endpoint_tx(ws.audio_src_ep),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegasus_atm::signalling::QosSpec;
+    use pegasus_devices::display::Rect;
+    use pegasus_devices::display::WindowManager;
+    use pegasus_sim::time::MS;
+
+    #[test]
+    fn workstations_join_the_backbone() {
+        let mut sys = System::new();
+        let a = sys.add_workstation("a", 40);
+        let b = sys.add_workstation("b", 40);
+        // Camera on A can reach display on B.
+        let vc = sys
+            .net
+            .open_vc(a.camera_ep, b.display_ep, QosSpec::guaranteed(10_000_000))
+            .unwrap();
+        assert_ne!(vc.src_vci, 0);
+        assert_eq!(sys.net.endpoint_count(), 10);
+    }
+
+    #[test]
+    fn camera_to_remote_display_paints_pixels_with_zero_cpu_bytes() {
+        let mut sys = System::new();
+        let a = sys.add_workstation("a", 40);
+        let b = sys.add_workstation("b", 40);
+        let vc = sys
+            .net
+            .open_vc(a.camera_ep, b.display_ep, QosSpec::guaranteed(20_000_000))
+            .unwrap();
+        let mut wm = WindowManager::new(b.display.clone(), 1);
+        wm.create(vc.dst_vci, Rect::new(0, 0, 176, 144));
+        let cam = sys.build_camera(&a, Scene::MovingGradient, CameraConfig::default(), vc.src_vci);
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(100 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        let d = b.display.borrow();
+        assert!(d.stats.tiles_blitted > 100, "blitted {}", d.stats.tiles_blitted);
+        // The DAN property: no host CPU saw a single media byte.
+        assert_eq!(a.host_nic.borrow().bytes_touched, 0);
+        assert_eq!(b.host_nic.borrow().bytes_touched, 0);
+    }
+
+    #[test]
+    fn host_nic_counts_and_forwards() {
+        let mut sys = System::new();
+        let a = sys.add_workstation("a", 40);
+        let b = sys.add_workstation("b", 40);
+        // Bus-attached path: camera → host A, host A forwards → display B.
+        let vc_cam_host = sys
+            .net
+            .open_vc(a.camera_ep, a.host_ep, QosSpec::guaranteed(20_000_000))
+            .unwrap();
+        let vc_host_disp = sys
+            .net
+            .open_vc(a.host_ep, b.display_ep, QosSpec::guaranteed(20_000_000))
+            .unwrap();
+        a.host_nic.borrow_mut().forward =
+            Some((vc_host_disp.src_vci, sys.net.endpoint_tx(a.host_ep)));
+        let mut wm = WindowManager::new(b.display.clone(), 1);
+        wm.create(vc_host_disp.dst_vci, Rect::new(0, 0, 176, 144));
+        let cam = sys.build_camera(&a, Scene::TestCard, CameraConfig::default(), vc_cam_host.src_vci);
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(50 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        assert!(b.display.borrow().stats.tiles_blitted > 0);
+        assert!(a.host_nic.borrow().bytes_touched > 0, "the CPU paid for every byte");
+        assert!(a.host_nic.borrow().cpu_time > 0);
+    }
+
+    #[test]
+    fn backbone_endpoint_receives() {
+        use pegasus_atm::link::CaptureSink;
+        let mut sys = System::new();
+        let a = sys.add_workstation("a", 40);
+        let sink = CaptureSink::shared();
+        let server = sys.add_backbone_endpoint(sink.clone());
+        let vc = sys
+            .net
+            .open_vc(a.camera_ep, server, QosSpec::best_effort(0))
+            .unwrap();
+        let mut sim = Simulator::new();
+        sys.net
+            .endpoint_tx(a.camera_ep)
+            .borrow_mut()
+            .send(&mut sim, Cell::new(vc.src_vci));
+        sim.run();
+        assert_eq!(sink.borrow().arrivals.len(), 1);
+    }
+}

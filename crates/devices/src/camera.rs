@@ -1,0 +1,463 @@
+//! The ATM camera (§2.1, Figure 2).
+//!
+//! "The ATM camera directly produces digital video as a stream of ATM
+//! cells": scan lines are digitized at line rate; when eight lines have
+//! been buffered they are encoded as 8×8 tiles; tiles are packed into
+//! AAL5 frames with an (x, y, timestamp) trailer and segmented into
+//! cells on the data virtual circuit. The camera optionally compresses
+//! tiles with the Motion-JPEG codec; "the device to be used is
+//! identified when the virtual circuit is established".
+//!
+//! The crucial latency property — "the use of tiles for video reduces
+//! latency in several places from a 'frame time' (33 or 40 ms) to a
+//! 'tile time' (30 to 40 µs)" — is captured by the two
+//! [`Granularity`] settings: [`Granularity::TileRow`] ships each row of
+//! tiles the moment its eight scan lines exist, while
+//! [`Granularity::Frame`] models a conventional frame-grabber that
+//! buffers the whole frame first. Experiment E1 compares them.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pegasus_atm::aal5::Segmenter;
+use pegasus_atm::cell::Vci;
+use pegasus_atm::link::Link;
+use pegasus_sim::time::{Ns, SEC};
+use pegasus_sim::Simulator;
+
+use crate::codec;
+use crate::tile::{Tile, TileCoding, TileFrame};
+use crate::video::SyntheticVideo;
+
+/// Raw or compressed output, fixed at VC-establishment time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VideoMode {
+    /// 64 bytes per tile on the wire.
+    Raw,
+    /// Motion-JPEG at the given quality (1–100).
+    Mjpeg(u8),
+}
+
+/// When digitized pixels leave the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// Ship every 8-line tile row as soon as it is scanned (the DAN way).
+    TileRow,
+    /// Buffer the whole frame, then ship (the frame-grabber baseline).
+    Frame,
+}
+
+/// Camera configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CameraConfig {
+    /// Frames per second (25 for PAL-ish, 30 for NTSC-ish).
+    pub fps: u32,
+    /// Output coding.
+    pub mode: VideoMode,
+    /// Emission granularity.
+    pub granularity: Granularity,
+    /// Max tiles packed into one AAL5 frame.
+    pub tiles_per_frame: usize,
+    /// Hardware pipeline latency from scan completion to first cell
+    /// offered to the link (digitizer + tiler + compressor).
+    pub pipeline_latency: Ns,
+}
+
+impl Default for CameraConfig {
+    fn default() -> Self {
+        CameraConfig {
+            fps: 25,
+            mode: VideoMode::Mjpeg(50),
+            granularity: Granularity::TileRow,
+            tiles_per_frame: 8,
+            pipeline_latency: 10_000, // 10 µs through the device pipeline
+        }
+    }
+}
+
+/// Counters the camera maintains.
+#[derive(Debug, Default, Clone)]
+pub struct CameraStats {
+    /// Video frames fully scanned.
+    pub frames_captured: u64,
+    /// Tiles emitted.
+    pub tiles_sent: u64,
+    /// AAL5 tile-frames emitted.
+    pub aal5_frames: u64,
+    /// Payload bytes before AAL5 overhead.
+    pub payload_bytes: u64,
+    /// Raw pixel bytes digitized.
+    pub raw_bytes: u64,
+}
+
+impl CameraStats {
+    /// Achieved compression ratio (raw ÷ payload).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            0.0
+        } else {
+            self.raw_bytes as f64 / self.payload_bytes as f64
+        }
+    }
+}
+
+/// The ATM camera device.
+pub struct Camera {
+    video: SyntheticVideo,
+    cfg: CameraConfig,
+    vci: Vci,
+    tx: Rc<RefCell<Link>>,
+    running: bool,
+    frame_no: u32,
+    /// Per-run statistics.
+    pub stats: CameraStats,
+}
+
+impl Camera {
+    /// Creates a camera producing `video` on virtual circuit `vci`,
+    /// transmitting through `tx` (the endpoint link into the switch).
+    pub fn new(video: SyntheticVideo, cfg: CameraConfig, vci: Vci, tx: Rc<RefCell<Link>>) -> Rc<RefCell<Camera>> {
+        Rc::new(RefCell::new(Camera {
+            video,
+            cfg,
+            vci,
+            tx,
+            running: false,
+            frame_no: 0,
+            stats: CameraStats::default(),
+        }))
+    }
+
+    /// Frame period from the configured rate.
+    pub fn frame_period(&self) -> Ns {
+        SEC / self.cfg.fps as u64
+    }
+
+    /// Scan time of one line.
+    pub fn line_period(&self) -> Ns {
+        self.frame_period() / self.video.height as u64
+    }
+
+    /// Changes the coding quality (the control-VC `SetQuality` command).
+    pub fn set_mode(&mut self, mode: VideoMode) {
+        self.cfg.mode = mode;
+    }
+
+    /// Whether the camera is currently capturing.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Starts capture; frames are scanned and emitted until
+    /// [`Camera::stop`] is called.
+    pub fn start(cam: &Rc<RefCell<Camera>>, sim: &mut Simulator) {
+        {
+            let mut c = cam.borrow_mut();
+            if c.running {
+                return;
+            }
+            c.running = true;
+        }
+        Self::schedule_frame(cam.clone(), sim);
+    }
+
+    /// Stops capture after the current frame.
+    pub fn stop(&mut self) {
+        self.running = false;
+    }
+
+    fn schedule_frame(cam: Rc<RefCell<Camera>>, sim: &mut Simulator) {
+        let (running, frame_period) = {
+            let c = cam.borrow();
+            (c.running, c.frame_period())
+        };
+        if !running {
+            return;
+        }
+        let frame_start = sim.now();
+        let (height, rows, line_period, granularity) = {
+            let c = cam.borrow();
+            (
+                c.video.height,
+                c.video.tiles_y(),
+                c.line_period(),
+                c.cfg.granularity,
+            )
+        };
+        // Render the frame the CCD will scan.
+        let image = {
+            let mut c = cam.borrow_mut();
+            let n = c.frame_no;
+            c.frame_no += 1;
+            c.stats.frames_captured += 1;
+            c.video.frame(n)
+        };
+        let image = Rc::new(image);
+        let frame_seq = cam.borrow().frame_no - 1;
+        let frame_scan_done = frame_start + height as u64 * line_period;
+        for row in 0..rows {
+            // The row's eight lines finish digitizing here...
+            let scanned_at = frame_start + ((row + 1) * 8) as u64 * line_period;
+            // ...and leave the device here.
+            let emit_at = match granularity {
+                Granularity::TileRow => scanned_at,
+                Granularity::Frame => frame_scan_done,
+            } + cam.borrow().cfg.pipeline_latency;
+            let cam2 = cam.clone();
+            let image2 = image.clone();
+            sim.schedule_at(emit_at, move |sim| {
+                cam2.borrow_mut()
+                    .emit_row(sim, &image2, row, frame_seq, scanned_at);
+            });
+        }
+        // Next frame.
+        let cam3 = cam.clone();
+        sim.schedule_at(frame_start + frame_period, move |sim| {
+            Self::schedule_frame(cam3, sim);
+        });
+    }
+
+    /// Encodes and transmits one row of tiles; `scanned_at` is the
+    /// timestamp carried in the tile-frame trailer.
+    fn emit_row(&mut self, sim: &mut Simulator, image: &[u8], row: usize, frame_seq: u32, scanned_at: Ns) {
+        let tiles_x = self.video.tiles_x();
+        let (coding, quality) = match self.cfg.mode {
+            VideoMode::Raw => (TileCoding::Raw, 0),
+            VideoMode::Mjpeg(q) => (TileCoding::Compressed, q),
+        };
+        let mut pending: Vec<(u16, u16, Vec<u8>)> = Vec::with_capacity(self.cfg.tiles_per_frame);
+        for tx_idx in 0..tiles_x {
+            let tile = Tile::from_image(image, self.video.width, tx_idx, row);
+            let payload = match self.cfg.mode {
+                VideoMode::Raw => tile.pixels.to_vec(),
+                VideoMode::Mjpeg(q) => codec::encode_tile(&tile.pixels, q),
+            };
+            self.stats.raw_bytes += 64;
+            self.stats.tiles_sent += 1;
+            pending.push((tile.x, tile.y, payload));
+            if pending.len() == self.cfg.tiles_per_frame || tx_idx == tiles_x - 1 {
+                let frame = TileFrame {
+                    coding,
+                    quality,
+                    frame_seq,
+                    timestamp: scanned_at,
+                    tiles: std::mem::take(&mut pending),
+                };
+                self.send_frame(sim, &frame);
+            }
+        }
+    }
+
+    fn send_frame(&mut self, sim: &mut Simulator, frame: &TileFrame) {
+        let bytes = frame.encode();
+        self.stats.aal5_frames += 1;
+        self.stats.payload_bytes += bytes.len() as u64;
+        let cells = Segmenter::new(self.vci)
+            .segment(&bytes)
+            .expect("tile frames are far below the AAL5 maximum");
+        let mut tx = self.tx.borrow_mut();
+        for cell in cells {
+            tx.send(sim, cell);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::Scene;
+    use pegasus_atm::aal5::Reassembler;
+    use pegasus_atm::link::{CaptureSink, CellSink};
+    use pegasus_sim::time::MS;
+
+    fn capture_setup(cfg: CameraConfig) -> (Rc<RefCell<Camera>>, Rc<RefCell<CaptureSink>>) {
+        let sink = CaptureSink::shared();
+        let tx = Rc::new(RefCell::new(Link::new(100_000_000, 1_000, sink.clone())));
+        let video = SyntheticVideo::new(64, 48, Scene::MovingGradient, 7);
+        let cam = Camera::new(video, cfg, 42, tx);
+        (cam, sink)
+    }
+
+    fn reassemble_frames(sink: &Rc<RefCell<CaptureSink>>) -> Vec<(u64, TileFrame)> {
+        let mut r = Reassembler::new();
+        let mut out = Vec::new();
+        for (t, cell) in &sink.borrow().arrivals {
+            if let Some(res) = r.push(cell) {
+                let frame = TileFrame::decode(&res.expect("CRC clean")).expect("well formed");
+                out.push((*t, frame));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn one_frame_produces_all_tiles() {
+        let (cam, sink) = capture_setup(CameraConfig {
+            mode: VideoMode::Raw,
+            ..CameraConfig::default()
+        });
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(39 * MS); // less than one frame period
+        cam.borrow_mut().stop();
+        sim.run_until(200 * MS);
+        // 64×48 = 8×6 tiles.
+        assert_eq!(cam.borrow().stats.tiles_sent, 48);
+        let frames = reassemble_frames(&sink);
+        let tiles: usize = frames.iter().map(|(_, f)| f.tiles.len()).sum();
+        assert_eq!(tiles, 48);
+        // All raw tiles are 64 bytes.
+        for (_, f) in &frames {
+            assert_eq!(f.coding, TileCoding::Raw);
+            for (_, _, d) in &f.tiles {
+                assert_eq!(d.len(), 64);
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_carry_correct_coordinates() {
+        let (cam, sink) = capture_setup(CameraConfig {
+            mode: VideoMode::Raw,
+            ..CameraConfig::default()
+        });
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(39 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        let frames = reassemble_frames(&sink);
+        let mut seen = std::collections::HashSet::new();
+        for (_, f) in &frames {
+            for &(x, y, _) in &f.tiles {
+                assert!(x < 64 && y < 48);
+                assert_eq!(x % 8, 0);
+                assert_eq!(y % 8, 0);
+                assert!(seen.insert((x, y)), "duplicate tile ({x},{y})");
+            }
+        }
+        assert_eq!(seen.len(), 48);
+    }
+
+    #[test]
+    fn tile_row_granularity_ships_before_frame_completes() {
+        let (cam, sink) = capture_setup(CameraConfig {
+            mode: VideoMode::Raw,
+            granularity: Granularity::TileRow,
+            ..CameraConfig::default()
+        });
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(100 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        let frames = reassemble_frames(&sink);
+        let frame_period = cam.borrow().frame_period();
+        // First tile frame of video frame 0 arrives well before the
+        // frame finishes scanning.
+        let first = frames.iter().find(|(_, f)| f.frame_seq == 0).unwrap();
+        assert!(
+            first.0 < frame_period / 2,
+            "first tiles at {} should beat the 40 ms frame scan",
+            first.0
+        );
+    }
+
+    #[test]
+    fn frame_granularity_waits_for_whole_scan() {
+        let (cam, sink) = capture_setup(CameraConfig {
+            mode: VideoMode::Raw,
+            granularity: Granularity::Frame,
+            ..CameraConfig::default()
+        });
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(100 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        let frames = reassemble_frames(&sink);
+        let frame_period = cam.borrow().frame_period();
+        let first = frames.iter().find(|(_, f)| f.frame_seq == 0).unwrap();
+        assert!(
+            first.0 >= frame_period,
+            "frame grabber cannot ship before the scan ends (got {})",
+            first.0
+        );
+    }
+
+    #[test]
+    fn mjpeg_mode_compresses() {
+        let (cam, _sink) = capture_setup(CameraConfig {
+            mode: VideoMode::Mjpeg(50),
+            ..CameraConfig::default()
+        });
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(200 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        let ratio = cam.borrow().stats.compression_ratio();
+        assert!(ratio > 2.0, "gradient scene should compress ≥2×, got {ratio:.2}");
+    }
+
+    #[test]
+    fn compressed_tiles_decode_to_plausible_pixels() {
+        let (cam, sink) = capture_setup(CameraConfig {
+            mode: VideoMode::Mjpeg(75),
+            ..CameraConfig::default()
+        });
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(39 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        let frames = reassemble_frames(&sink);
+        let original = cam.borrow().video.frame(0);
+        let width = cam.borrow().video.width;
+        let mut total_psnr = 0.0;
+        let mut n = 0;
+        for (_, f) in &frames {
+            assert_eq!(f.coding, TileCoding::Compressed);
+            for &(x, y, ref d) in &f.tiles {
+                let pixels = codec::decode_tile(d, f.quality).expect("valid bitstream");
+                let orig = Tile::from_image(&original, width, x as usize / 8, y as usize / 8);
+                if let Some(p) = codec::psnr(&orig.pixels, &pixels) {
+                    total_psnr += p;
+                    n += 1;
+                }
+            }
+        }
+        if n > 0 {
+            let avg = total_psnr / n as f64;
+            assert!(avg > 28.0, "average tile PSNR {avg:.1} dB too low");
+        }
+    }
+
+    #[test]
+    fn stop_halts_capture() {
+        let (cam, _) = capture_setup(CameraConfig::default());
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(50 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        let frames_at_stop = cam.borrow().stats.frames_captured;
+        assert!(frames_at_stop >= 1);
+        assert!(!cam.borrow().is_running());
+    }
+
+    #[test]
+    fn sustained_rate_25fps() {
+        let (cam, _) = capture_setup(CameraConfig {
+            mode: VideoMode::Raw,
+            ..CameraConfig::default()
+        });
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(1_000 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        let f = cam.borrow().stats.frames_captured;
+        assert!((25..=26).contains(&f), "captured {f} frames in 1 s");
+    }
+}

@@ -1,0 +1,346 @@
+//! A Motion-JPEG-style intra-frame tile codec.
+//!
+//! "Cameras can be equipped with one or more compression devices. ...
+//! Currently, both raw video and motion JPEG are supported." (§2.1)
+//!
+//! The codec is the real JPEG pipeline at tile granularity: level shift,
+//! 8×8 forward DCT, quantization with the standard luminance matrix
+//! scaled by a 1–100 quality factor, zigzag scan, and run-length coding
+//! of the coefficients. It is intra-frame only (every tile stands alone),
+//! exactly the property the paper relies on when it credits AAL5 with
+//! "protection against rendering or decompressing faulty tiles": a lost
+//! tile damages 64 pixels, not a stream.
+
+use crate::tile::{TILE_DIM, TILE_PIXELS};
+
+/// The standard JPEG luminance quantization matrix (Annex K).
+#[rustfmt::skip]
+const QUANT_BASE: [u16; TILE_PIXELS] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Zigzag scan order for an 8×8 block.
+#[rustfmt::skip]
+const ZIGZAG: [usize; TILE_PIXELS] = [
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Errors from [`decode_tile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The bitstream ended mid-token.
+    Truncated,
+    /// More than 64 coefficients were coded.
+    TooManyCoefficients,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "compressed tile truncated"),
+            CodecError::TooManyCoefficients => write!(f, "compressed tile overlong"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Builds the quantization matrix for a JPEG-convention quality factor
+/// in 1..=100 (higher is better).
+pub fn quant_matrix(quality: u8) -> [u16; TILE_PIXELS] {
+    let q = quality.clamp(1, 100) as u32;
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut m = [0u16; TILE_PIXELS];
+    for (i, &base) in QUANT_BASE.iter().enumerate() {
+        m[i] = (((base as u32 * scale) + 50) / 100).clamp(1, 255) as u16;
+    }
+    m
+}
+
+/// Separable 8×8 forward DCT-II with orthonormal scaling.
+fn fdct(block: &[f32; TILE_PIXELS]) -> [f32; TILE_PIXELS] {
+    let mut tmp = [0f32; TILE_PIXELS];
+    let mut out = [0f32; TILE_PIXELS];
+    let n = TILE_DIM as f32;
+    // Rows.
+    for r in 0..TILE_DIM {
+        for k in 0..TILE_DIM {
+            let mut sum = 0f32;
+            for x in 0..TILE_DIM {
+                sum += block[r * TILE_DIM + x]
+                    * ((std::f32::consts::PI / n) * (x as f32 + 0.5) * k as f32).cos();
+            }
+            let c = if k == 0 { (1.0 / n).sqrt() } else { (2.0 / n).sqrt() };
+            tmp[r * TILE_DIM + k] = c * sum;
+        }
+    }
+    // Columns.
+    for c in 0..TILE_DIM {
+        for k in 0..TILE_DIM {
+            let mut sum = 0f32;
+            for y in 0..TILE_DIM {
+                sum += tmp[y * TILE_DIM + c]
+                    * ((std::f32::consts::PI / n) * (y as f32 + 0.5) * k as f32).cos();
+            }
+            let cc = if k == 0 { (1.0 / n).sqrt() } else { (2.0 / n).sqrt() };
+            out[k * TILE_DIM + c] = cc * sum;
+        }
+    }
+    out
+}
+
+/// Separable 8×8 inverse DCT (DCT-III), the inverse of [`fdct`].
+fn idct(block: &[f32; TILE_PIXELS]) -> [f32; TILE_PIXELS] {
+    let mut tmp = [0f32; TILE_PIXELS];
+    let mut out = [0f32; TILE_PIXELS];
+    let n = TILE_DIM as f32;
+    // Columns.
+    for c in 0..TILE_DIM {
+        for y in 0..TILE_DIM {
+            let mut sum = 0f32;
+            for k in 0..TILE_DIM {
+                let cc = if k == 0 { (1.0 / n).sqrt() } else { (2.0 / n).sqrt() };
+                sum += cc
+                    * block[k * TILE_DIM + c]
+                    * ((std::f32::consts::PI / n) * (y as f32 + 0.5) * k as f32).cos();
+            }
+            tmp[y * TILE_DIM + c] = sum;
+        }
+    }
+    // Rows.
+    for r in 0..TILE_DIM {
+        for x in 0..TILE_DIM {
+            let mut sum = 0f32;
+            for k in 0..TILE_DIM {
+                let c = if k == 0 { (1.0 / n).sqrt() } else { (2.0 / n).sqrt() };
+                sum += c
+                    * tmp[r * TILE_DIM + k]
+                    * ((std::f32::consts::PI / n) * (x as f32 + 0.5) * k as f32).cos();
+            }
+            out[r * TILE_DIM + x] = sum;
+        }
+    }
+    out
+}
+
+/// Compresses one tile of pixels at the given quality.
+///
+/// The bitstream is a sequence of `(run, level)` tokens: one byte of
+/// zero-run length followed by a big-endian `i16` level, terminated by
+/// the end-of-block byte `0xFF`.
+pub fn encode_tile(pixels: &[u8; TILE_PIXELS], quality: u8) -> Vec<u8> {
+    let quant = quant_matrix(quality);
+    let mut block = [0f32; TILE_PIXELS];
+    for (b, &p) in block.iter_mut().zip(pixels.iter()) {
+        *b = p as f32 - 128.0;
+    }
+    let coeffs = fdct(&block);
+    let mut out = Vec::with_capacity(24);
+    let mut run: u8 = 0;
+    for &zz in ZIGZAG.iter() {
+        let q = (coeffs[zz] / quant[zz] as f32).round() as i16;
+        if q == 0 {
+            run = run.saturating_add(1);
+        } else {
+            out.push(run);
+            out.extend_from_slice(&q.to_be_bytes());
+            run = 0;
+        }
+    }
+    out.push(0xFF); // end of block
+    out
+}
+
+/// Decompresses a tile produced by [`encode_tile`] at the same quality.
+pub fn decode_tile(data: &[u8], quality: u8) -> Result<[u8; TILE_PIXELS], CodecError> {
+    let quant = quant_matrix(quality);
+    let mut coeffs = [0f32; TILE_PIXELS];
+    let mut pos = 0usize; // position in zigzag order
+    let mut i = 0usize;
+    loop {
+        let Some(&run) = data.get(i) else {
+            return Err(CodecError::Truncated);
+        };
+        if run == 0xFF {
+            break;
+        }
+        if i + 3 > data.len() {
+            return Err(CodecError::Truncated);
+        }
+        let level = i16::from_be_bytes([data[i + 1], data[i + 2]]);
+        i += 3;
+        pos += run as usize;
+        if pos >= TILE_PIXELS {
+            return Err(CodecError::TooManyCoefficients);
+        }
+        let zz = ZIGZAG[pos];
+        coeffs[zz] = level as f32 * quant[zz] as f32;
+        pos += 1;
+    }
+    let spatial = idct(&coeffs);
+    let mut pixels = [0u8; TILE_PIXELS];
+    for (p, &s) in pixels.iter_mut().zip(spatial.iter()) {
+        *p = (s + 128.0).round().clamp(0.0, 255.0) as u8;
+    }
+    Ok(pixels)
+}
+
+/// Peak signal-to-noise ratio between two images, in dB; `None` when the
+/// images are identical.
+pub fn psnr(a: &[u8], b: &[u8]) -> Option<f64> {
+    assert_eq!(a.len(), b.len());
+    let mse: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64;
+    if mse == 0.0 {
+        None
+    } else {
+        Some(10.0 * (255.0f64 * 255.0 / mse).log10())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_tile() -> [u8; TILE_PIXELS] {
+        let mut t = [0u8; TILE_PIXELS];
+        for y in 0..TILE_DIM {
+            for x in 0..TILE_DIM {
+                t[y * TILE_DIM + x] = (x * 8 + y * 16) as u8;
+            }
+        }
+        t
+    }
+
+    fn noisy_tile(seed: u8) -> [u8; TILE_PIXELS] {
+        let mut t = [0u8; TILE_PIXELS];
+        let mut s = seed as u32 | 1;
+        for p in t.iter_mut() {
+            s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            *p = (s >> 24) as u8;
+        }
+        t
+    }
+
+    #[test]
+    fn dct_roundtrips_without_quantization() {
+        let tile = noisy_tile(3);
+        let mut block = [0f32; TILE_PIXELS];
+        for (b, &p) in block.iter_mut().zip(tile.iter()) {
+            *b = p as f32 - 128.0;
+        }
+        let back = idct(&fdct(&block));
+        for (orig, rec) in block.iter().zip(back.iter()) {
+            assert!((orig - rec).abs() < 0.01, "{orig} vs {rec}");
+        }
+    }
+
+    #[test]
+    fn flat_tile_compresses_to_a_few_bytes() {
+        let tile = [128u8; TILE_PIXELS];
+        let data = encode_tile(&tile, 75);
+        // DC-only (or empty): at most one token + EOB.
+        assert!(data.len() <= 4, "flat tile coded in {} bytes", data.len());
+        let back = decode_tile(&data, 75).unwrap();
+        assert_eq!(back, tile);
+    }
+
+    #[test]
+    fn smooth_tile_high_quality_high_fidelity() {
+        let tile = gradient_tile();
+        let data = encode_tile(&tile, 90);
+        let back = decode_tile(&data, 90).unwrap();
+        let snr = psnr(&tile, &back).unwrap_or(f64::INFINITY);
+        assert!(snr > 35.0, "PSNR {snr:.1} dB too low");
+        assert!(data.len() < 64, "no compression achieved: {}", data.len());
+    }
+
+    #[test]
+    fn quality_trades_size_for_fidelity() {
+        let tile = noisy_tile(7);
+        let hi = encode_tile(&tile, 95);
+        let lo = encode_tile(&tile, 10);
+        assert!(lo.len() < hi.len(), "lo {} !< hi {}", lo.len(), hi.len());
+        let hi_psnr = psnr(&tile, &decode_tile(&hi, 95).unwrap()).unwrap_or(f64::INFINITY);
+        let lo_psnr = psnr(&tile, &decode_tile(&lo, 10).unwrap()).unwrap_or(f64::INFINITY);
+        assert!(hi_psnr > lo_psnr, "hi {hi_psnr:.1} !> lo {lo_psnr:.1}");
+    }
+
+    #[test]
+    fn decode_truncated_fails_cleanly() {
+        let tile = gradient_tile();
+        let data = encode_tile(&tile, 50);
+        for cut in 0..data.len() - 1 {
+            let r = decode_tile(&data[..cut], 50);
+            // Either a clean error or — if the cut lands after a whole
+            // token — a short but valid parse; never a panic.
+            if cut == 0 {
+                assert_eq!(r, Err(CodecError::Truncated));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_overlong_rejected() {
+        // 65 tokens of run 0 must overflow the block.
+        let mut data = Vec::new();
+        for _ in 0..65 {
+            data.push(0u8);
+            data.extend_from_slice(&1i16.to_be_bytes());
+        }
+        data.push(0xFF);
+        assert_eq!(decode_tile(&data, 50), Err(CodecError::TooManyCoefficients));
+    }
+
+    #[test]
+    fn quant_matrix_extremes() {
+        let q1 = quant_matrix(1);
+        let q100 = quant_matrix(100);
+        assert!(q1.iter().all(|&v| v == 255), "quality 1 saturates");
+        assert!(q100.iter().all(|&v| v == 1), "quality 100 is lossless-ish");
+        let q50 = quant_matrix(50);
+        assert_eq!(q50[0], QUANT_BASE[0]);
+    }
+
+    #[test]
+    fn psnr_identical_is_none() {
+        let a = [7u8; 64];
+        assert_eq!(psnr(&a, &a), None);
+        let mut b = a;
+        b[0] = 8;
+        assert!(psnr(&a, &b).unwrap() > 40.0);
+    }
+
+    #[test]
+    fn all_extreme_tiles_roundtrip() {
+        for v in [0u8, 255] {
+            let tile = [v; TILE_PIXELS];
+            for q in [1u8, 25, 50, 75, 100] {
+                let back = decode_tile(&encode_tile(&tile, q), q).unwrap();
+                let snr = psnr(&tile, &back).map(|p| p as i64).unwrap_or(i64::MAX);
+                assert!(snr > 30, "v={v} q={q} psnr={snr}");
+            }
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! The ATM display (§2.1, Figure 3).
+//!
+//! "The ATM display implements a single primitive, that of displaying
+//! arriving pixel tiles on incoming virtual circuits to windows on the
+//! screen. The virtual-circuit identifier (VCI) is used as an index into
+//! a table of window descriptors; each window descriptor has an x and y
+//! offset from the top-left-hand corner of the display, and clipping
+//! information. By manipulation of these contexts, a window manager can
+//! control which virtual channel, and thus which process, can access the
+//! different pixels of the screen."
+//!
+//! The window manager here exercises every operation the paper lists:
+//! create, move, resize, iconize, raise and lower, plus the
+//! whole-screen descriptor it uses "for decorating windows with title
+//! bars and resize buttons". Since tiles are fixed-size bit-blits,
+//! graphics drawn by the window manager and video from a camera travel
+//! through the identical path — the unification the paper highlights.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pegasus_atm::aal5::Reassembler;
+use pegasus_atm::cell::{Cell, Vci};
+use pegasus_atm::link::CellSink;
+use pegasus_sim::stats::Histogram;
+use pegasus_sim::Simulator;
+
+use crate::codec;
+use crate::tile::{TileCoding, TileFrame};
+
+/// A screen-space rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: i32,
+    /// Top edge.
+    pub y: i32,
+    /// Width in pixels.
+    pub w: i32,
+    /// Height in pixels.
+    pub h: i32,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub fn new(x: i32, y: i32, w: i32, h: i32) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    /// Whether the point lies inside.
+    pub fn contains(&self, px: i32, py: i32) -> bool {
+        px >= self.x && px < self.x + self.w && py >= self.y && py < self.y + self.h
+    }
+}
+
+/// One entry of the display's window-descriptor table.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowDescriptor {
+    /// X offset of the stream's origin on screen.
+    pub dst_x: i32,
+    /// Y offset of the stream's origin on screen.
+    pub dst_y: i32,
+    /// Screen-space clip rectangle (also the window's footprint for
+    /// occlusion).
+    pub clip: Rect,
+    /// Stacking order; higher is closer to the viewer.
+    pub z: u32,
+    /// Invisible windows (iconized) accept and discard their tiles.
+    pub visible: bool,
+    /// Overlay descriptors (the window manager's whole-screen channel)
+    /// paint over everything but do not occlude ordinary windows — the
+    /// manager repaints decorations when windows underneath change.
+    pub overlay: bool,
+}
+
+/// Display-side counters.
+#[derive(Debug, Default, Clone)]
+pub struct DisplayStats {
+    /// Tiles blitted (at least one pixel written).
+    pub tiles_blitted: u64,
+    /// Tiles fully clipped away or addressed to unknown/iconized windows.
+    pub tiles_discarded: u64,
+    /// Pixels written to the framebuffer.
+    pub pixels_written: u64,
+    /// AAL5 frames that failed reassembly or parsing.
+    pub frames_bad: u64,
+    /// Scan-to-blit latency of each tile frame.
+    pub latency: Histogram,
+}
+
+/// The ATM display device: a framebuffer plus the descriptor table.
+pub struct Display {
+    width: i32,
+    height: i32,
+    framebuffer: Vec<u8>,
+    windows: HashMap<Vci, WindowDescriptor>,
+    reasm: HashMap<Vci, Reassembler>,
+    /// Device counters.
+    pub stats: DisplayStats,
+}
+
+impl Display {
+    /// Creates a display of the given pixel dimensions, shared so it can
+    /// serve as a link's [`CellSink`].
+    pub fn shared(width: i32, height: i32) -> Rc<RefCell<Display>> {
+        Rc::new(RefCell::new(Display {
+            width,
+            height,
+            framebuffer: vec![0; (width * height) as usize],
+            windows: HashMap::new(),
+            reasm: HashMap::new(),
+            stats: DisplayStats::default(),
+        }))
+    }
+
+    /// Screen width.
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Screen height.
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// Reads a pixel (for tests and screenshots).
+    pub fn pixel(&self, x: i32, y: i32) -> u8 {
+        assert!(x >= 0 && x < self.width && y >= 0 && y < self.height);
+        self.framebuffer[(y * self.width + x) as usize]
+    }
+
+    /// Installs or replaces the descriptor for `vci`.
+    pub fn set_descriptor(&mut self, vci: Vci, desc: WindowDescriptor) {
+        self.windows.insert(vci, desc);
+    }
+
+    /// Removes the descriptor for `vci`; its tiles are discarded from
+    /// then on.
+    pub fn remove_descriptor(&mut self, vci: Vci) {
+        self.windows.remove(&vci);
+    }
+
+    /// Current descriptor for `vci`.
+    pub fn descriptor(&self, vci: Vci) -> Option<WindowDescriptor> {
+        self.windows.get(&vci).copied()
+    }
+
+    /// Whether a pixel owned by `(z)` is occluded by a higher window.
+    fn occluded(&self, px: i32, py: i32, z: u32) -> bool {
+        self.windows
+            .values()
+            .any(|w| w.visible && !w.overlay && w.z > z && w.clip.contains(px, py))
+    }
+
+    fn blit_frame(&mut self, now: u64, frame: &TileFrame, vci: Vci) {
+        let Some(desc) = self.windows.get(&vci).copied() else {
+            self.stats.tiles_discarded += frame.tiles.len() as u64;
+            return;
+        };
+        if !desc.visible {
+            self.stats.tiles_discarded += frame.tiles.len() as u64;
+            return;
+        }
+        self.stats.latency.record(now.saturating_sub(frame.timestamp));
+        for (tx, ty, data) in &frame.tiles {
+            let pixels: Vec<u8> = match frame.coding {
+                TileCoding::Raw => {
+                    if data.len() != 64 {
+                        self.stats.frames_bad += 1;
+                        continue;
+                    }
+                    data.clone()
+                }
+                TileCoding::Compressed => match codec::decode_tile(data, frame.quality) {
+                    Ok(p) => p.to_vec(),
+                    Err(_) => {
+                        self.stats.frames_bad += 1;
+                        continue;
+                    }
+                },
+            };
+            let mut wrote = false;
+            for row in 0..8i32 {
+                for col in 0..8i32 {
+                    let px = desc.dst_x + *tx as i32 + col;
+                    let py = desc.dst_y + *ty as i32 + row;
+                    if px < 0 || px >= self.width || py < 0 || py >= self.height {
+                        continue;
+                    }
+                    if !desc.clip.contains(px, py) || self.occluded(px, py, desc.z) {
+                        continue;
+                    }
+                    self.framebuffer[(py * self.width + px) as usize] =
+                        pixels[(row * 8 + col) as usize];
+                    self.stats.pixels_written += 1;
+                    wrote = true;
+                }
+            }
+            if wrote {
+                self.stats.tiles_blitted += 1;
+            } else {
+                self.stats.tiles_discarded += 1;
+            }
+        }
+    }
+}
+
+impl CellSink for Display {
+    fn deliver(&mut self, sim: &mut Simulator, cell: Cell) {
+        let vci = cell.vci();
+        let result = self.reasm.entry(vci).or_default().push(&cell);
+        match result {
+            None => {}
+            Some(Ok(bytes)) => match TileFrame::decode(&bytes) {
+                Ok(frame) => self.blit_frame(sim.now(), &frame, vci),
+                Err(_) => self.stats.frames_bad += 1,
+            },
+            Some(Err(_)) => self.stats.frames_bad += 1,
+        }
+    }
+}
+
+/// The window manager: the process that owns the descriptor table.
+///
+/// It never touches pixel data except through its own whole-screen
+/// descriptor — exactly how the paper removes the multiplexing code of
+/// conventional window systems.
+pub struct WindowManager {
+    display: Rc<RefCell<Display>>,
+    next_z: u32,
+    saved_geometry: HashMap<Vci, Rect>,
+    /// The VCI the manager itself draws decorations on.
+    pub wm_vci: Vci,
+}
+
+impl WindowManager {
+    /// Creates a window manager over `display`, reserving `wm_vci` for
+    /// its own whole-screen drawing channel.
+    pub fn new(display: Rc<RefCell<Display>>, wm_vci: Vci) -> Self {
+        let (w, h) = {
+            let d = display.borrow();
+            (d.width(), d.height())
+        };
+        let wm = WindowManager {
+            display,
+            next_z: 1,
+            saved_geometry: HashMap::new(),
+            wm_vci,
+        };
+        // The manager's own descriptor: whole screen, permanently on top.
+        wm.display.borrow_mut().set_descriptor(
+            wm_vci,
+            WindowDescriptor {
+                dst_x: 0,
+                dst_y: 0,
+                clip: Rect::new(0, 0, w, h),
+                z: u32::MAX,
+                visible: true,
+                overlay: true,
+            },
+        );
+        wm
+    }
+
+    /// Creates a window for `vci` at the given screen rectangle and puts
+    /// it on top.
+    pub fn create(&mut self, vci: Vci, rect: Rect) {
+        let z = self.bump_z();
+        self.display.borrow_mut().set_descriptor(
+            vci,
+            WindowDescriptor {
+                dst_x: rect.x,
+                dst_y: rect.y,
+                clip: rect,
+                z,
+                visible: true,
+                overlay: false,
+            },
+        );
+    }
+
+    /// Destroys a window.
+    pub fn destroy(&mut self, vci: Vci) {
+        self.display.borrow_mut().remove_descriptor(vci);
+        self.saved_geometry.remove(&vci);
+    }
+
+    /// Moves a window so its origin lands at `(x, y)`.
+    pub fn move_to(&mut self, vci: Vci, x: i32, y: i32) {
+        self.update(vci, |d| {
+            d.clip.x = x;
+            d.clip.y = y;
+            d.dst_x = x;
+            d.dst_y = y;
+        });
+    }
+
+    /// Resizes a window (clip only; the stream keeps its own geometry).
+    pub fn resize(&mut self, vci: Vci, w: i32, h: i32) {
+        self.update(vci, |d| {
+            d.clip.w = w;
+            d.clip.h = h;
+        });
+    }
+
+    /// Raises a window above all others (except the manager).
+    pub fn raise(&mut self, vci: Vci) {
+        let z = self.bump_z();
+        self.update(vci, |d| d.z = z);
+    }
+
+    /// Lowers a window beneath all others.
+    pub fn lower(&mut self, vci: Vci) {
+        self.update(vci, |d| d.z = 0);
+    }
+
+    /// Iconizes a window: it stops painting but keeps its descriptor.
+    pub fn iconize(&mut self, vci: Vci) {
+        let geom = self.display.borrow().descriptor(vci).map(|d| d.clip);
+        if let Some(g) = geom {
+            self.saved_geometry.insert(vci, g);
+        }
+        self.update(vci, |d| d.visible = false);
+    }
+
+    /// Restores an iconized window.
+    pub fn deiconize(&mut self, vci: Vci) {
+        let geom = self.saved_geometry.remove(&vci);
+        self.update(vci, |d| {
+            d.visible = true;
+            if let Some(g) = geom {
+                d.clip = g;
+            }
+        });
+    }
+
+    fn bump_z(&mut self) -> u32 {
+        let z = self.next_z;
+        self.next_z += 1;
+        z
+    }
+
+    fn update(&mut self, vci: Vci, f: impl FnOnce(&mut WindowDescriptor)) {
+        let mut d = self.display.borrow_mut();
+        if let Some(mut desc) = d.descriptor(vci) {
+            f(&mut desc);
+            d.set_descriptor(vci, desc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::TileFrame;
+    use pegasus_atm::aal5::Segmenter;
+
+    /// Sends a tile frame straight into the display as cells.
+    fn send_frame(display: &Rc<RefCell<Display>>, sim: &mut Simulator, vci: Vci, frame: &TileFrame) {
+        let cells = Segmenter::new(vci).segment(&frame.encode()).unwrap();
+        for cell in cells {
+            display.borrow_mut().deliver(sim, cell);
+        }
+    }
+
+    fn solid_frame(value: u8, ts: u64) -> TileFrame {
+        TileFrame {
+            coding: TileCoding::Raw,
+            quality: 0,
+            frame_seq: 0,
+            timestamp: ts,
+            tiles: vec![(0, 0, vec![value; 64])],
+        }
+    }
+
+    #[test]
+    fn tile_lands_at_window_offset() {
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(5, Rect::new(16, 24, 32, 32));
+        let mut sim = Simulator::new();
+        send_frame(&display, &mut sim, 5, &solid_frame(200, 0));
+        let d = display.borrow();
+        assert_eq!(d.pixel(16, 24), 200);
+        assert_eq!(d.pixel(23, 31), 200);
+        assert_eq!(d.pixel(15, 24), 0, "outside the window untouched");
+        assert_eq!(d.stats.tiles_blitted, 1);
+        assert_eq!(d.stats.pixels_written, 64);
+    }
+
+    #[test]
+    fn unknown_vci_discarded() {
+        let display = Display::shared(32, 32);
+        let mut sim = Simulator::new();
+        send_frame(&display, &mut sim, 99, &solid_frame(1, 0));
+        assert_eq!(display.borrow().stats.tiles_discarded, 1);
+        assert_eq!(display.borrow().stats.tiles_blitted, 0);
+    }
+
+    #[test]
+    fn clipping_cuts_tiles() {
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        // Window only 4 pixels wide: half of each 8-wide tile clipped.
+        wm.create(5, Rect::new(0, 0, 4, 64));
+        let mut sim = Simulator::new();
+        send_frame(&display, &mut sim, 5, &solid_frame(9, 0));
+        let d = display.borrow();
+        assert_eq!(d.stats.pixels_written, 32);
+        assert_eq!(d.pixel(3, 0), 9);
+        assert_eq!(d.pixel(4, 0), 0);
+    }
+
+    #[test]
+    fn higher_window_occludes_lower() {
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(5, Rect::new(0, 0, 8, 8)); // bottom
+        wm.create(6, Rect::new(4, 0, 8, 8)); // top, overlaps right half
+        let mut sim = Simulator::new();
+        send_frame(&display, &mut sim, 6, &solid_frame(50, 0));
+        send_frame(&display, &mut sim, 5, &solid_frame(200, 0));
+        let d = display.borrow();
+        assert_eq!(d.pixel(0, 0), 200, "unoccluded part painted");
+        assert_eq!(d.pixel(4, 0), 50, "occluded part keeps the top window's pixels");
+    }
+
+    #[test]
+    fn raise_changes_occlusion() {
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(5, Rect::new(0, 0, 8, 8));
+        wm.create(6, Rect::new(0, 0, 8, 8)); // fully covers 5
+        wm.raise(5);
+        let mut sim = Simulator::new();
+        send_frame(&display, &mut sim, 5, &solid_frame(123, 0));
+        assert_eq!(display.borrow().pixel(0, 0), 123);
+        // And 6 is now occluded.
+        send_frame(&display, &mut sim, 6, &solid_frame(77, 0));
+        assert_eq!(display.borrow().pixel(0, 0), 123);
+        assert_eq!(display.borrow().stats.tiles_discarded, 1);
+    }
+
+    #[test]
+    fn lower_pushes_window_beneath() {
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(5, Rect::new(0, 0, 8, 8));
+        wm.create(6, Rect::new(0, 0, 8, 8));
+        wm.lower(6);
+        let mut sim = Simulator::new();
+        send_frame(&display, &mut sim, 6, &solid_frame(77, 0));
+        assert_eq!(display.borrow().pixel(0, 0), 0, "lowered window fully hidden");
+    }
+
+    #[test]
+    fn iconize_discards_then_deiconize_restores() {
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(5, Rect::new(0, 0, 16, 16));
+        wm.iconize(5);
+        let mut sim = Simulator::new();
+        send_frame(&display, &mut sim, 5, &solid_frame(11, 0));
+        assert_eq!(display.borrow().stats.tiles_blitted, 0);
+        wm.deiconize(5);
+        send_frame(&display, &mut sim, 5, &solid_frame(11, 0));
+        assert_eq!(display.borrow().stats.tiles_blitted, 1);
+        assert_eq!(display.borrow().pixel(0, 0), 11);
+    }
+
+    #[test]
+    fn move_relocates_subsequent_tiles() {
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(5, Rect::new(0, 0, 8, 8));
+        let mut sim = Simulator::new();
+        send_frame(&display, &mut sim, 5, &solid_frame(40, 0));
+        wm.move_to(5, 32, 32);
+        send_frame(&display, &mut sim, 5, &solid_frame(41, 0));
+        let d = display.borrow();
+        assert_eq!(d.pixel(0, 0), 40, "old pixels remain until repainted");
+        assert_eq!(d.pixel(32, 32), 41);
+    }
+
+    #[test]
+    fn wm_draws_decorations_through_whole_screen_descriptor() {
+        // Graphics and video unified: the WM paints a title bar with the
+        // same tile frames a camera would send, on its own VCI, over all
+        // windows.
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(5, Rect::new(0, 0, 32, 32));
+        let mut sim = Simulator::new();
+        send_frame(&display, &mut sim, 5, &solid_frame(100, 0));
+        // Title bar tile at (0,0) painted by the WM wins over window 5.
+        send_frame(&display, &mut sim, wm.wm_vci, &solid_frame(255, 0));
+        assert_eq!(display.borrow().pixel(0, 0), 255);
+        // The overlay does not occlude: the window may repaint, and the
+        // manager re-draws its decoration afterwards (expose handling).
+        send_frame(&display, &mut sim, 5, &solid_frame(100, 0));
+        assert_eq!(display.borrow().pixel(0, 0), 100);
+        send_frame(&display, &mut sim, wm.wm_vci, &solid_frame(255, 0));
+        assert_eq!(display.borrow().pixel(0, 0), 255);
+    }
+
+    #[test]
+    fn compressed_tiles_blit() {
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(5, Rect::new(0, 0, 64, 64));
+        let pixels = [180u8; 64];
+        let frame = TileFrame {
+            coding: TileCoding::Compressed,
+            quality: 80,
+            frame_seq: 0,
+            timestamp: 0,
+            tiles: vec![(8, 8, codec::encode_tile(&pixels, 80))],
+        };
+        let mut sim = Simulator::new();
+        send_frame(&display, &mut sim, 5, &frame);
+        let v = display.borrow().pixel(12, 12) as i32;
+        assert!((v - 180).abs() <= 3, "decoded pixel {v}");
+    }
+
+    #[test]
+    fn corrupt_cell_poisons_only_its_frame() {
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(5, Rect::new(0, 0, 64, 64));
+        let mut sim = Simulator::new();
+        let mut cells = Segmenter::new(5).segment(&solid_frame(7, 0).encode()).unwrap();
+        cells[0].payload[3] ^= 0xFF;
+        for cell in cells {
+            display.borrow_mut().deliver(&mut sim, cell);
+        }
+        assert_eq!(display.borrow().stats.frames_bad, 1);
+        assert_eq!(display.borrow().stats.tiles_blitted, 0);
+        // Next frame is unaffected.
+        send_frame(&display, &mut sim, 5, &solid_frame(8, 0));
+        assert_eq!(display.borrow().stats.tiles_blitted, 1);
+    }
+
+    #[test]
+    fn latency_recorded_from_trailer_timestamp() {
+        let display = Display::shared(64, 64);
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(5, Rect::new(0, 0, 64, 64));
+        let mut sim = Simulator::new();
+        let display2 = display.clone();
+        sim.schedule_at(10_000, move |sim| {
+            send_frame(&display2, sim, 5, &solid_frame(1, 4_000));
+        });
+        sim.run();
+        let mut d = display.borrow_mut();
+        assert_eq!(d.stats.latency.percentile(50.0), Some(6_000));
+    }
+}

@@ -1,0 +1,288 @@
+//! Tiles and the on-the-wire tile-frame format.
+//!
+//! "Scan-lines of video are digitized and when eight lines have been
+//! buffered, they are encoded as tiles, rectangles of 8×8 pixels. A
+//! number of tiles are packed into the payload of an AAL5 frame together
+//! with a trailer that provides the x and y coordinates of the tiles with
+//! respect to the video frame, and a time stamp that identifies the frame
+//! that the tile belongs to." (§2.1)
+//!
+//! Because "tiles essentially represent bit-blit operations of fixed
+//! size, from the viewpoint of a display, there is a unification of video
+//! and graphics" — the window manager writes its decorations as exactly
+//! the same tile frames a camera produces.
+
+/// Tile edge length in pixels.
+pub const TILE_DIM: usize = 8;
+/// Pixels per tile.
+pub const TILE_PIXELS: usize = TILE_DIM * TILE_DIM;
+
+/// An 8×8 tile of 8-bit luminance pixels, tagged with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tile {
+    /// X coordinate (pixels) of the tile's left edge in the video frame.
+    pub x: u16,
+    /// Y coordinate (pixels) of the tile's top edge.
+    pub y: u16,
+    /// Pixel data in row-major order.
+    pub pixels: [u8; TILE_PIXELS],
+}
+
+impl Tile {
+    /// Creates a tile at (x, y) filled with a constant value.
+    pub fn solid(x: u16, y: u16, value: u8) -> Self {
+        Tile {
+            x,
+            y,
+            pixels: [value; TILE_PIXELS],
+        }
+    }
+
+    /// Extracts the tile at tile-grid position (tx, ty) from a
+    /// `width × height` luminance image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile lies outside the image or the buffer is too
+    /// small.
+    pub fn from_image(image: &[u8], width: usize, tx: usize, ty: usize) -> Self {
+        let x0 = tx * TILE_DIM;
+        let y0 = ty * TILE_DIM;
+        let mut pixels = [0u8; TILE_PIXELS];
+        for row in 0..TILE_DIM {
+            let src = (y0 + row) * width + x0;
+            pixels[row * TILE_DIM..(row + 1) * TILE_DIM]
+                .copy_from_slice(&image[src..src + TILE_DIM]);
+        }
+        Tile {
+            x: x0 as u16,
+            y: y0 as u16,
+            pixels,
+        }
+    }
+}
+
+/// How tile payloads are coded inside a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileCoding {
+    /// 64 raw bytes per tile.
+    Raw,
+    /// Variable-length Motion-JPEG-coded tiles (see [`crate::codec`]).
+    Compressed,
+}
+
+/// A group of tiles travelling in one AAL5 frame, with the trailer data
+/// the paper describes: per-tile coordinates and a frame timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileFrame {
+    /// Coding of the tile payloads.
+    pub coding: TileCoding,
+    /// Codec quality for [`TileCoding::Compressed`] payloads (0 for raw).
+    pub quality: u8,
+    /// Sequence number of the video frame these tiles belong to.
+    pub frame_seq: u32,
+    /// Capture timestamp of the video frame (virtual nanoseconds).
+    pub timestamp: u64,
+    /// `(x, y, payload)` for each tile; payload is 64 raw bytes or a
+    /// compressed bitstream.
+    pub tiles: Vec<(u16, u16, Vec<u8>)>,
+}
+
+/// Errors decoding a tile frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileFrameError {
+    /// Frame shorter than its fixed header.
+    Truncated,
+    /// Unknown coding discriminant.
+    BadCoding(u8),
+    /// A tile's declared length overruns the frame.
+    BadTileLength,
+}
+
+impl std::fmt::Display for TileFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileFrameError::Truncated => write!(f, "tile frame truncated"),
+            TileFrameError::BadCoding(c) => write!(f, "unknown tile coding {c}"),
+            TileFrameError::BadTileLength => write!(f, "tile length overruns frame"),
+        }
+    }
+}
+
+impl std::error::Error for TileFrameError {}
+
+impl TileFrame {
+    /// Serializes the frame to the AAL5 payload layout:
+    /// `coding(1) quality(1) ntiles(1) frame_seq(4) timestamp(8)` then
+    /// per tile `x(2) y(2) len(2) data(len)`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.tiles.len() * 70);
+        out.push(match self.coding {
+            TileCoding::Raw => 0,
+            TileCoding::Compressed => 1,
+        });
+        out.push(self.quality);
+        out.push(self.tiles.len() as u8);
+        out.extend_from_slice(&self.frame_seq.to_be_bytes());
+        out.extend_from_slice(&self.timestamp.to_be_bytes());
+        for (x, y, data) in &self.tiles {
+            out.extend_from_slice(&x.to_be_bytes());
+            out.extend_from_slice(&y.to_be_bytes());
+            out.extend_from_slice(&(data.len() as u16).to_be_bytes());
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Parses a frame produced by [`TileFrame::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<TileFrame, TileFrameError> {
+        if bytes.len() < 15 {
+            return Err(TileFrameError::Truncated);
+        }
+        let coding = match bytes[0] {
+            0 => TileCoding::Raw,
+            1 => TileCoding::Compressed,
+            c => return Err(TileFrameError::BadCoding(c)),
+        };
+        let quality = bytes[1];
+        let ntiles = bytes[2] as usize;
+        let frame_seq = u32::from_be_bytes(bytes[3..7].try_into().expect("4 bytes"));
+        let timestamp = u64::from_be_bytes(bytes[7..15].try_into().expect("8 bytes"));
+        let mut tiles = Vec::with_capacity(ntiles);
+        let mut off = 15;
+        for _ in 0..ntiles {
+            if off + 6 > bytes.len() {
+                return Err(TileFrameError::Truncated);
+            }
+            let x = u16::from_be_bytes([bytes[off], bytes[off + 1]]);
+            let y = u16::from_be_bytes([bytes[off + 2], bytes[off + 3]]);
+            let len = u16::from_be_bytes([bytes[off + 4], bytes[off + 5]]) as usize;
+            off += 6;
+            if off + len > bytes.len() {
+                return Err(TileFrameError::BadTileLength);
+            }
+            tiles.push((x, y, bytes[off..off + len].to_vec()));
+            off += len;
+        }
+        Ok(TileFrame {
+            coding,
+            quality,
+            frame_seq,
+            timestamp,
+            tiles,
+        })
+    }
+
+    /// Total payload bytes across the tiles.
+    pub fn payload_bytes(&self) -> usize {
+        self.tiles.iter().map(|(_, _, d)| d.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tile_from_image_extracts_rows() {
+        let width = 16;
+        let image: Vec<u8> = (0..width * 16).map(|i| (i % 251) as u8).collect();
+        let t = Tile::from_image(&image, width, 1, 1);
+        assert_eq!(t.x, 8);
+        assert_eq!(t.y, 8);
+        // First pixel of the tile = image[8*16 + 8].
+        assert_eq!(t.pixels[0], image[8 * 16 + 8]);
+        // Last pixel = image[15*16 + 15].
+        assert_eq!(t.pixels[63], image[15 * 16 + 15]);
+    }
+
+    #[test]
+    fn frame_roundtrip_raw() {
+        let frame = TileFrame {
+            coding: TileCoding::Raw,
+            quality: 0,
+            frame_seq: 7,
+            timestamp: 123_456_789,
+            tiles: vec![
+                (0, 0, vec![1u8; 64]),
+                (8, 0, vec![2u8; 64]),
+                (16, 8, vec![3u8; 64]),
+            ],
+        };
+        let bytes = frame.encode();
+        let back = TileFrame::decode(&bytes).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.payload_bytes(), 192);
+    }
+
+    #[test]
+    fn frame_roundtrip_compressed_variable_lengths() {
+        let frame = TileFrame {
+            coding: TileCoding::Compressed,
+            quality: 50,
+            frame_seq: 1,
+            timestamp: 42,
+            tiles: vec![(0, 0, vec![9u8; 17]), (8, 8, vec![])],
+        };
+        let back = TileFrame::decode(&frame.encode()).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(TileFrame::decode(&[0u8; 5]), Err(TileFrameError::Truncated));
+        let frame = TileFrame {
+            coding: TileCoding::Raw,
+            quality: 0,
+            frame_seq: 0,
+            timestamp: 0,
+            tiles: vec![(0, 0, vec![0u8; 64])],
+        };
+        let mut bytes = frame.encode();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(TileFrame::decode(&bytes), Err(TileFrameError::BadTileLength));
+    }
+
+    #[test]
+    fn bad_coding_rejected() {
+        let mut bytes = TileFrame {
+            coding: TileCoding::Raw,
+            quality: 0,
+            frame_seq: 0,
+            timestamp: 0,
+            tiles: vec![],
+        }
+        .encode();
+        bytes[0] = 9;
+        assert_eq!(TileFrame::decode(&bytes), Err(TileFrameError::BadCoding(9)));
+    }
+
+    #[test]
+    fn solid_tile() {
+        let t = Tile::solid(8, 16, 200);
+        assert!(t.pixels.iter().all(|&p| p == 200));
+        assert_eq!((t.x, t.y), (8, 16));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frame_roundtrip(
+            seq in any::<u32>(),
+            ts in any::<u64>(),
+            tiles in proptest::collection::vec(
+                (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..100)),
+                0..20,
+            ),
+        ) {
+            let frame = TileFrame {
+                coding: TileCoding::Compressed,
+                quality: 42,
+                frame_seq: seq,
+                timestamp: ts,
+                tiles,
+            };
+            prop_assert_eq!(TileFrame::decode(&frame.encode()).unwrap(), frame);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic synthetic video sources.
+//!
+//! The hardware ATM camera's CCD array is replaced by procedural frame
+//! generators. Two patterns cover the experimental needs: a smooth moving
+//! scene (compresses well, like real video) and a noise scene (worst case
+//! for the codec). Both are pure functions of `(seed, frame_number)`, so
+//! every experiment is reproducible.
+
+/// A procedural luminance video source.
+#[derive(Debug, Clone)]
+pub struct SyntheticVideo {
+    /// Frame width in pixels (multiple of 8).
+    pub width: usize,
+    /// Frame height in pixels (multiple of 8).
+    pub height: usize,
+    /// Scene selector.
+    pub scene: Scene,
+    /// Seed mixed into the pattern.
+    pub seed: u64,
+}
+
+/// The available synthetic scenes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scene {
+    /// A smooth diagonal gradient drifting over time with a moving
+    /// bright square — typical "talking head plus motion" compressibility.
+    MovingGradient,
+    /// Uniform pseudo-random noise — incompressible worst case.
+    Noise,
+    /// A static test card (only the first frame's content, repeated) —
+    /// the best case for any coder and for latency tests that want
+    /// constant-size output.
+    TestCard,
+}
+
+impl SyntheticVideo {
+    /// Creates a source; dimensions must be multiples of the tile size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is not a multiple of 8.
+    pub fn new(width: usize, height: usize, scene: Scene, seed: u64) -> Self {
+        assert!(width % 8 == 0 && height % 8 == 0, "dimensions must be tile-aligned");
+        SyntheticVideo {
+            width,
+            height,
+            scene,
+            seed,
+        }
+    }
+
+    /// A quarter-CIF-ish default (176×144 is QCIF; we use a tile-aligned
+    /// 176×144).
+    pub fn qcif(scene: Scene) -> Self {
+        SyntheticVideo::new(176, 144, scene, 1994)
+    }
+
+    /// Bytes per raw frame.
+    pub fn frame_bytes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Renders frame `n` into a new buffer.
+    pub fn frame(&self, n: u32) -> Vec<u8> {
+        let mut buf = vec![0u8; self.frame_bytes()];
+        self.render(n, &mut buf);
+        buf
+    }
+
+    /// Renders frame `n` into `buf` (must be `frame_bytes()` long).
+    pub fn render(&self, n: u32, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.frame_bytes());
+        match self.scene {
+            Scene::MovingGradient => {
+                let phase = (n as usize * 3) % 256;
+                // Moving square position.
+                let sq = 16usize;
+                let sx = (n as usize * 5) % (self.width.saturating_sub(sq).max(1));
+                let sy = (n as usize * 2) % (self.height.saturating_sub(sq).max(1));
+                for y in 0..self.height {
+                    for x in 0..self.width {
+                        let g = ((x + 2 * y + phase + self.seed as usize) / 3) % 256;
+                        let mut v = g as u8;
+                        if x >= sx && x < sx + sq && y >= sy && y < sy + sq {
+                            v = 240;
+                        }
+                        buf[y * self.width + x] = v;
+                    }
+                }
+            }
+            Scene::Noise => {
+                // A zero state would freeze the xorshift; the odd
+                // constant keeps every (seed, frame) pair live.
+                let mut s = self
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(n as u64)
+                    .wrapping_add(0xA076_1D64_78BD_642F);
+                for p in buf.iter_mut() {
+                    // xorshift64*
+                    s ^= s >> 12;
+                    s ^= s << 25;
+                    s ^= s >> 27;
+                    *p = (s.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8;
+                }
+            }
+            Scene::TestCard => {
+                for y in 0..self.height {
+                    for x in 0..self.width {
+                        // Colour bars in luminance: 8 vertical bands.
+                        let band = x * 8 / self.width;
+                        buf[y * self.width + x] = (band * 32 + 16) as u8;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of tile columns.
+    pub fn tiles_x(&self) -> usize {
+        self.width / 8
+    }
+
+    /// Number of tile rows.
+    pub fn tiles_y(&self) -> usize {
+        self.height / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_frame() {
+        let v = SyntheticVideo::qcif(Scene::MovingGradient);
+        assert_eq!(v.frame(5), v.frame(5));
+        assert_ne!(v.frame(5), v.frame(6), "scene should move");
+    }
+
+    #[test]
+    fn noise_differs_per_seed() {
+        let a = SyntheticVideo::new(64, 64, Scene::Noise, 1).frame(0);
+        let b = SyntheticVideo::new(64, 64, Scene::Noise, 2).frame(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn test_card_is_static() {
+        let v = SyntheticVideo::qcif(Scene::TestCard);
+        assert_eq!(v.frame(0), v.frame(100));
+    }
+
+    #[test]
+    fn dimensions() {
+        let v = SyntheticVideo::qcif(Scene::TestCard);
+        assert_eq!(v.frame_bytes(), 176 * 144);
+        assert_eq!(v.tiles_x(), 22);
+        assert_eq!(v.tiles_y(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile-aligned")]
+    fn misaligned_rejected() {
+        let _ = SyntheticVideo::new(100, 64, Scene::Noise, 0);
+    }
+
+    #[test]
+    fn gradient_is_smooth_noise_is_not() {
+        // Mean absolute horizontal delta: small for gradient, large for noise.
+        let delta = |buf: &[u8], w: usize| -> f64 {
+            let mut sum = 0f64;
+            let mut n = 0f64;
+            for row in buf.chunks(w) {
+                for pair in row.windows(2) {
+                    sum += (pair[0] as f64 - pair[1] as f64).abs();
+                    n += 1.0;
+                }
+            }
+            sum / n
+        };
+        let g = SyntheticVideo::new(64, 64, Scene::MovingGradient, 0).frame(0);
+        let z = SyntheticVideo::new(64, 64, Scene::Noise, 0).frame(0);
+        assert!(delta(&g, 64) < 10.0);
+        assert!(delta(&z, 64) > 40.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! ANSA-flavoured remote procedure call.
+//!
+//! "The Pegasus remote-procedure-call mechanism is based on ANSA's RPC
+//! and layered on MSNA ... a protocol hierarchy for ATM networks that
+//! also caters for continuous-media transport." (§4)
+//!
+//! The layer provides *at-most-once* execution: clients retry lost
+//! calls, servers suppress duplicate executions by call-id and replay
+//! the cached reply. The wire format is a compact binary encoding that
+//! travels as one AAL5 frame (see the integration test).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::invoke::Service;
+
+/// A marshalled call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallMsg {
+    /// The server-side binding (connection/interface id).
+    pub conn: u32,
+    /// Monotone per-connection call identifier.
+    pub call_id: u64,
+    /// Method selector.
+    pub method: u32,
+    /// Marshalled arguments.
+    pub args: Vec<u8>,
+}
+
+/// A marshalled reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyMsg {
+    /// Echoed connection id.
+    pub conn: u32,
+    /// Echoed call id.
+    pub call_id: u64,
+    /// Marshalled result.
+    pub result: Vec<u8>,
+}
+
+/// Wire-format errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer too short.
+    Truncated,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "message truncated")
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl CallMsg {
+    /// Serializes: `conn(4) call_id(8) method(4) args…`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16 + self.args.len());
+        v.extend_from_slice(&self.conn.to_be_bytes());
+        v.extend_from_slice(&self.call_id.to_be_bytes());
+        v.extend_from_slice(&self.method.to_be_bytes());
+        v.extend_from_slice(&self.args);
+        v
+    }
+
+    /// Parses a call message.
+    pub fn decode(b: &[u8]) -> Result<CallMsg, WireError> {
+        if b.len() < 16 {
+            return Err(WireError::Truncated);
+        }
+        Ok(CallMsg {
+            conn: u32::from_be_bytes(b[0..4].try_into().expect("4")),
+            call_id: u64::from_be_bytes(b[4..12].try_into().expect("8")),
+            method: u32::from_be_bytes(b[12..16].try_into().expect("4")),
+            args: b[16..].to_vec(),
+        })
+    }
+}
+
+impl ReplyMsg {
+    /// Serializes: `conn(4) call_id(8) result…`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(12 + self.result.len());
+        v.extend_from_slice(&self.conn.to_be_bytes());
+        v.extend_from_slice(&self.call_id.to_be_bytes());
+        v.extend_from_slice(&self.result);
+        v
+    }
+
+    /// Parses a reply message.
+    pub fn decode(b: &[u8]) -> Result<ReplyMsg, WireError> {
+        if b.len() < 12 {
+            return Err(WireError::Truncated);
+        }
+        Ok(ReplyMsg {
+            conn: u32::from_be_bytes(b[0..4].try_into().expect("4")),
+            call_id: u64::from_be_bytes(b[4..12].try_into().expect("8")),
+            result: b[12..].to_vec(),
+        })
+    }
+}
+
+/// The server side: interface table plus duplicate suppression.
+pub struct RpcServer {
+    services: HashMap<u32, Rc<RefCell<dyn Service>>>,
+    /// Last executed call and its cached reply, per connection.
+    history: HashMap<u32, (u64, Vec<u8>)>,
+    /// Method executions actually performed.
+    pub executions: u64,
+    /// Duplicate calls answered from the reply cache.
+    pub duplicates_suppressed: u64,
+}
+
+impl Default for RpcServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RpcServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        RpcServer {
+            services: HashMap::new(),
+            history: HashMap::new(),
+            executions: 0,
+            duplicates_suppressed: 0,
+        }
+    }
+
+    /// Exports `service` on connection `conn`.
+    pub fn export(&mut self, conn: u32, service: Rc<RefCell<dyn Service>>) {
+        self.services.insert(conn, service);
+    }
+
+    /// Handles one incoming call with at-most-once semantics.
+    pub fn handle(&mut self, msg: &CallMsg) -> Option<ReplyMsg> {
+        let service = self.services.get(&msg.conn)?.clone();
+        if let Some((last_id, last_reply)) = self.history.get(&msg.conn) {
+            if msg.call_id == *last_id {
+                // A retransmission: replay without re-executing.
+                self.duplicates_suppressed += 1;
+                return Some(ReplyMsg {
+                    conn: msg.conn,
+                    call_id: msg.call_id,
+                    result: last_reply.clone(),
+                });
+            }
+            if msg.call_id < *last_id {
+                return None; // ancient duplicate: drop
+            }
+        }
+        let result = service.borrow_mut().invoke(msg.method, &msg.args);
+        self.executions += 1;
+        self.history.insert(msg.conn, (msg.call_id, result.clone()));
+        Some(ReplyMsg {
+            conn: msg.conn,
+            call_id: msg.call_id,
+            result,
+        })
+    }
+}
+
+/// RPC failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// Retries exhausted with no reply.
+    Timeout,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rpc timeout")
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// The client side: call-id generation and retry.
+pub struct RpcClient {
+    conn: u32,
+    next_call: u64,
+    /// Retransmissions allowed per call.
+    pub max_retries: u32,
+    /// Retransmissions performed.
+    pub retries: u64,
+}
+
+impl RpcClient {
+    /// Creates a client bound to server connection `conn`.
+    pub fn new(conn: u32) -> Self {
+        RpcClient {
+            conn,
+            next_call: 1,
+            max_retries: 4,
+            retries: 0,
+        }
+    }
+
+    /// Performs a call through `transport`, a function delivering an
+    /// encoded call and returning the encoded reply (or `None` for a
+    /// lost message). Retries on loss; at-most-once is the *server's*
+    /// guarantee.
+    pub fn call(
+        &mut self,
+        transport: &mut dyn FnMut(&[u8]) -> Option<Vec<u8>>,
+        method: u32,
+        args: &[u8],
+    ) -> Result<Vec<u8>, RpcError> {
+        let msg = CallMsg {
+            conn: self.conn,
+            call_id: self.next_call,
+            method,
+            args: args.to_vec(),
+        };
+        self.next_call += 1;
+        let wire = msg.encode();
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            if let Some(reply) = transport(&wire) {
+                if let Ok(r) = ReplyMsg::decode(&reply) {
+                    if r.call_id == msg.call_id {
+                        return Ok(r.result);
+                    }
+                }
+            }
+        }
+        Err(RpcError::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        value: i64,
+    }
+
+    impl Service for Counter {
+        fn invoke(&mut self, method: u32, args: &[u8]) -> Vec<u8> {
+            match method {
+                0 => {
+                    self.value += i64::from_be_bytes(args.try_into().expect("8"));
+                    self.value.to_be_bytes().to_vec()
+                }
+                _ => self.value.to_be_bytes().to_vec(),
+            }
+        }
+    }
+
+    fn server_with_counter() -> (RpcServer, Rc<RefCell<Counter>>) {
+        let mut server = RpcServer::new();
+        let svc = Rc::new(RefCell::new(Counter { value: 0 }));
+        server.export(7, svc.clone());
+        (server, svc)
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let c = CallMsg {
+            conn: 1,
+            call_id: 99,
+            method: 3,
+            args: b"abc".to_vec(),
+        };
+        assert_eq!(CallMsg::decode(&c.encode()).unwrap(), c);
+        let r = ReplyMsg {
+            conn: 1,
+            call_id: 99,
+            result: b"xyz".to_vec(),
+        };
+        assert_eq!(ReplyMsg::decode(&r.encode()).unwrap(), r);
+        assert_eq!(CallMsg::decode(&[0; 3]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn basic_call_over_perfect_transport() {
+        let (mut server, _svc) = server_with_counter();
+        let mut client = RpcClient::new(7);
+        let mut transport = |wire: &[u8]| {
+            let call = CallMsg::decode(wire).ok()?;
+            server.handle(&call).map(|r| r.encode())
+        };
+        let r = client.call(&mut transport, 0, &5i64.to_be_bytes()).unwrap();
+        assert_eq!(i64::from_be_bytes(r.try_into().unwrap()), 5);
+        let r = client.call(&mut transport, 0, &6i64.to_be_bytes()).unwrap();
+        assert_eq!(i64::from_be_bytes(r.try_into().unwrap()), 11);
+    }
+
+    #[test]
+    fn lost_requests_retried_and_executed_once() {
+        let (server, svc) = server_with_counter();
+        let server = Rc::new(RefCell::new(server));
+        let mut client = RpcClient::new(7);
+        // Drop every first attempt.
+        let mut seen = 0u32;
+        let server2 = server.clone();
+        let mut transport = move |wire: &[u8]| {
+            seen += 1;
+            if seen % 2 == 1 {
+                return None; // lost
+            }
+            let call = CallMsg::decode(wire).ok()?;
+            server2.borrow_mut().handle(&call).map(|r| r.encode())
+        };
+        let r = client.call(&mut transport, 0, &9i64.to_be_bytes()).unwrap();
+        assert_eq!(i64::from_be_bytes(r.try_into().unwrap()), 9);
+        assert_eq!(client.retries, 1);
+        assert_eq!(server.borrow().executions, 1);
+        assert_eq!(svc.borrow().value, 9);
+    }
+
+    #[test]
+    fn lost_reply_does_not_reexecute() {
+        // The request arrives, the reply is lost, the client retries:
+        // the server must answer from its cache, not add twice.
+        let (server, svc) = server_with_counter();
+        let server = Rc::new(RefCell::new(server));
+        let mut client = RpcClient::new(7);
+        let mut attempt = 0u32;
+        let server2 = server.clone();
+        let mut transport = move |wire: &[u8]| {
+            attempt += 1;
+            let call = CallMsg::decode(wire).ok()?;
+            let reply = server2.borrow_mut().handle(&call).map(|r| r.encode());
+            if attempt == 1 {
+                None // reply lost after execution
+            } else {
+                reply
+            }
+        };
+        let r = client.call(&mut transport, 0, &4i64.to_be_bytes()).unwrap();
+        assert_eq!(i64::from_be_bytes(r.try_into().unwrap()), 4);
+        assert_eq!(server.borrow().executions, 1, "at-most-once held");
+        assert_eq!(server.borrow().duplicates_suppressed, 1);
+        assert_eq!(svc.borrow().value, 4, "no double add");
+    }
+
+    #[test]
+    fn total_loss_times_out() {
+        let mut client = RpcClient::new(7);
+        let mut transport = |_wire: &[u8]| None;
+        assert_eq!(
+            client.call(&mut transport, 0, &[0u8; 8]).unwrap_err(),
+            RpcError::Timeout
+        );
+        assert_eq!(client.retries as u32, client.max_retries);
+    }
+
+    #[test]
+    fn unknown_connection_ignored() {
+        let (mut server, _svc) = server_with_counter();
+        let msg = CallMsg {
+            conn: 999,
+            call_id: 1,
+            method: 0,
+            args: vec![0; 8],
+        };
+        assert!(server.handle(&msg).is_none());
+    }
+
+    #[test]
+    fn call_travels_as_aal5_frame() {
+        // Layered on MSNA: one call = one AAL5 frame = a few cells.
+        use pegasus_atm::aal5::{Reassembler, Segmenter};
+        let (mut server, _svc) = server_with_counter();
+        let mut client = RpcClient::new(7);
+        let mut transport = |wire: &[u8]| {
+            // Client → network: segment into cells.
+            let cells = Segmenter::new(60).segment(wire).unwrap();
+            // Network → server: reassemble.
+            let mut reasm = Reassembler::new();
+            let mut frame = None;
+            for c in &cells {
+                if let Some(Ok(f)) = reasm.push(c) {
+                    frame = Some(f);
+                }
+            }
+            let call = CallMsg::decode(&frame?).ok()?;
+            let reply = server.handle(&call)?.encode();
+            // Server → client: same path back.
+            let cells = Segmenter::new(61).segment(&reply).unwrap();
+            let mut reasm = Reassembler::new();
+            let mut back = None;
+            for c in &cells {
+                if let Some(Ok(f)) = reasm.push(c) {
+                    back = Some(f);
+                }
+            }
+            back
+        };
+        let r = client.call(&mut transport, 0, &21i64.to_be_bytes()).unwrap();
+        assert_eq!(i64::from_be_bytes(r.try_into().unwrap()), 21);
+    }
+}

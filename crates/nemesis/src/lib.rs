@@ -1,0 +1,36 @@
+//! The Nemesis microkernel, as modelled for the Pegasus reproduction.
+//!
+//! Section 3 of the paper describes a kernel with five unusual features,
+//! each of which gets a module here:
+//!
+//! * [`mem`] — a **single 64-bit address space** shared by all domains,
+//!   with privacy and protection from per-domain access rights, and a
+//!   relocation cache that reloads images at their previous addresses
+//!   (§3.1).
+//! * [`vp`] — the **virtual-processor model**: domains are *activated*
+//!   at an entry point with scheduling information, instead of being
+//!   transparently resumed (§3.2).
+//! * [`threads`] — user-level thread schedulers built on activations,
+//!   the "scheduler activations"-like layer (§3.2).
+//! * [`sched`] — **domain scheduling**: weighted (slice, period) shares
+//!   with earliest-deadline-first selection among domains holding
+//!   allocation, plus the baseline policies the experiments compare
+//!   against (§3.3).
+//! * [`qosmgr`] — the **Quality-of-Service manager** domain that adjusts
+//!   scheduler weights on a longer time scale (§3.3).
+//! * [`events`] — the single inter-domain communication mechanism:
+//!   counted events with attached closures, synchronous and asynchronous
+//!   signalling, and event-pair + shared-queue IDC channels (§3.4).
+//! * [`kps`] — **kernel-privileged sections**: dynamically scoped access
+//!   to kernel mode with try/finally semantics (§3.5).
+
+pub mod events;
+pub mod kps;
+pub mod mem;
+pub mod qosmgr;
+pub mod sched;
+pub mod threads;
+pub mod vp;
+
+pub use sched::{CpuSim, Policy, Share, TaskSpec, TaskStats};
+pub use vp::{ActivationReason, DomainId};

@@ -1,0 +1,313 @@
+//! User-level thread scheduling over activations (§3.2).
+//!
+//! "Because thread scheduling is performed by the application, the
+//! user-level scheduler has direct control over the behaviour of its
+//! threads"; and activations provide "a means of informing applications
+//! when they have the processor; a user-level scheduler can use this
+//! information, together with the current time, to make more informed
+//! decisions about the fate of the threads which it controls."
+//!
+//! [`UlsSim`] measures exactly that benefit. A domain receives CPU quanta
+//! (from [`crate::vp::periodic_quanta`] or a recorded scheduler run) and
+//! multiplexes periodic micro-threads over them under one of two models:
+//!
+//! * [`UlsPolicy::InformedEdf`] — the activation model: on every entry
+//!   the scheduler learns `now` and `time_left`, picks the
+//!   earliest-deadline runnable thread, and re-decides at every release
+//!   boundary it can compute from the published time.
+//! * [`UlsPolicy::TransparentResume`] — the classic kernel-threads
+//!   model: the domain is resumed wherever it was; the previously
+//!   running thread simply continues (run-to-completion within the
+//!   quantum) and the scheduler picks threads in naive FIFO order,
+//!   because it never learns when or for how long it has the CPU.
+
+use pegasus_sim::stats::Histogram;
+use pegasus_sim::time::Ns;
+
+/// A periodic micro-thread inside one domain.
+#[derive(Debug, Clone)]
+pub struct UlThread {
+    /// Name for reports.
+    pub name: String,
+    /// Release period (deadline is the next release).
+    pub period: Ns,
+    /// CPU demand per job.
+    pub work: Ns,
+}
+
+/// The two user-level scheduling models compared in experiment E7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UlsPolicy {
+    /// Activation-informed earliest-deadline-first.
+    InformedEdf,
+    /// Transparent resumption: continue the interrupted thread; FIFO
+    /// pick order; no intra-quantum preemption.
+    TransparentResume,
+}
+
+/// Per-thread outcome of a [`UlsSim`] run.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadStats {
+    /// Jobs released.
+    pub releases: u64,
+    /// Jobs finished by their deadline.
+    pub completions: u64,
+    /// Jobs that missed (dropped at the next release).
+    pub misses: u64,
+    /// Response times of completed jobs.
+    pub response: Histogram,
+}
+
+impl ThreadStats {
+    /// Miss rate over released jobs.
+    pub fn miss_rate(&self) -> f64 {
+        if self.releases == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.releases as f64
+        }
+    }
+}
+
+struct ThreadState {
+    spec: UlThread,
+    next_release: Ns,
+    work_left: Ns,
+    released_at: Ns,
+    stats: ThreadStats,
+}
+
+/// Simulates one domain's user-level scheduler over a quantum schedule.
+pub struct UlsSim {
+    threads: Vec<UlThread>,
+    policy: UlsPolicy,
+}
+
+impl UlsSim {
+    /// Creates a simulator for `policy`.
+    pub fn new(policy: UlsPolicy) -> Self {
+        UlsSim {
+            threads: Vec::new(),
+            policy,
+        }
+    }
+
+    /// Adds a periodic thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread's period is zero.
+    pub fn add_thread(&mut self, t: UlThread) -> usize {
+        assert!(t.period > 0);
+        self.threads.push(t);
+        self.threads.len() - 1
+    }
+
+    /// Runs the domain over the given `(start, len)` quanta, returning
+    /// per-thread statistics. Quanta must be sorted and non-overlapping.
+    pub fn run(&self, quanta: &[(Ns, Ns)], horizon: Ns) -> Vec<ThreadStats> {
+        let mut ts: Vec<ThreadState> = self
+            .threads
+            .iter()
+            .map(|spec| ThreadState {
+                next_release: 0,
+                work_left: 0,
+                released_at: 0,
+                spec: spec.clone(),
+                stats: ThreadStats::default(),
+            })
+            .collect();
+        let mut current: Option<usize> = None;
+
+        let release = |ts: &mut Vec<ThreadState>, now: Ns| {
+            for t in ts.iter_mut() {
+                while t.next_release <= now {
+                    if t.work_left > 0 {
+                        t.stats.misses += 1;
+                        t.work_left = 0;
+                    }
+                    t.stats.releases += 1;
+                    t.work_left = t.spec.work;
+                    t.released_at = t.next_release;
+                    t.next_release += t.spec.period;
+                }
+            }
+        };
+
+        for &(start, len) in quanta {
+            let end = (start + len).min(horizon);
+            let mut now = start.min(horizon);
+            while now < end {
+                release(&mut ts, now);
+                // Pick a thread.
+                let pick = match self.policy {
+                    UlsPolicy::InformedEdf => ts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.work_left > 0)
+                        .min_by_key(|(i, t)| (t.released_at + t.spec.period, *i))
+                        .map(|(i, _)| i),
+                    UlsPolicy::TransparentResume => match current {
+                        Some(c) if ts[c].work_left > 0 => Some(c),
+                        _ => ts.iter().position(|t| t.work_left > 0),
+                    },
+                };
+                let Some(idx) = pick else {
+                    // Nothing runnable: idle to the next release inside
+                    // the quantum (yield back would be equivalent).
+                    let next_rel = ts.iter().map(|t| t.next_release).min().unwrap_or(end);
+                    now = next_rel.min(end);
+                    continue;
+                };
+                current = Some(idx);
+                // Informed schedulers re-decide at release boundaries
+                // they compute from the published time; transparent ones
+                // cannot be interrupted within the quantum.
+                let slice_end = match self.policy {
+                    UlsPolicy::InformedEdf => {
+                        let next_rel = ts.iter().map(|t| t.next_release).min().unwrap_or(end);
+                        next_rel.min(end)
+                    }
+                    UlsPolicy::TransparentResume => end,
+                };
+                let t = &mut ts[idx];
+                let run = t.work_left.min(slice_end - now);
+                now += run;
+                t.work_left -= run;
+                if t.work_left == 0 {
+                    t.stats.completions += 1;
+                    t.stats.response.record(now - t.released_at);
+                    current = None;
+                }
+            }
+        }
+        // Account jobs still pending at the horizon whose deadlines passed.
+        for t in ts.iter_mut() {
+            if t.work_left > 0 && t.released_at + t.spec.period <= horizon {
+                t.stats.misses += 1;
+            }
+        }
+        ts.into_iter().map(|t| t.stats).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vp::periodic_quanta;
+    use pegasus_sim::time::MS;
+
+    fn av_threads() -> Vec<UlThread> {
+        vec![
+            UlThread {
+                name: "audio".into(),
+                period: 10 * MS,
+                work: 1 * MS,
+            },
+            UlThread {
+                name: "video".into(),
+                period: 40 * MS,
+                work: 12 * MS,
+            },
+        ]
+    }
+
+    fn run(policy: UlsPolicy, slice: Ns, period: Ns, horizon: Ns) -> Vec<ThreadStats> {
+        let mut sim = UlsSim::new(policy);
+        for t in av_threads() {
+            sim.add_thread(t);
+        }
+        sim.run(&periodic_quanta(slice, period, horizon), horizon)
+    }
+
+    #[test]
+    fn informed_edf_protects_audio() {
+        // Domain holds 5 ms per 10 ms: enough for audio (1/10) + video
+        // (12/40 = 3/10) with headroom — if scheduled well.
+        let stats = run(UlsPolicy::InformedEdf, 5 * MS, 10 * MS, 4_000 * MS);
+        assert_eq!(stats[0].misses, 0, "audio misses under informed EDF");
+        assert_eq!(stats[1].misses, 0, "video misses under informed EDF");
+    }
+
+    #[test]
+    fn transparent_resume_starves_audio() {
+        // Same supply, but the video thread, once running, occupies every
+        // quantum until its 12 ms job finishes; audio jobs die waiting.
+        let stats = run(UlsPolicy::TransparentResume, 5 * MS, 10 * MS, 4_000 * MS);
+        assert!(
+            stats[0].misses > 0,
+            "transparent resume should starve audio (misses={})",
+            stats[0].misses
+        );
+    }
+
+    #[test]
+    fn single_thread_equivalent_under_both() {
+        for policy in [UlsPolicy::InformedEdf, UlsPolicy::TransparentResume] {
+            let mut sim = UlsSim::new(policy);
+            sim.add_thread(UlThread {
+                name: "only".into(),
+                period: 10 * MS,
+                work: 2 * MS,
+            });
+            let stats = sim.run(&periodic_quanta(5 * MS, 10 * MS, 1_000 * MS), 1_000 * MS);
+            assert_eq!(stats[0].misses, 0, "{policy:?}");
+            assert_eq!(stats[0].completions, 100);
+        }
+    }
+
+    #[test]
+    fn no_quanta_means_every_deadline_missed() {
+        let mut sim = UlsSim::new(UlsPolicy::InformedEdf);
+        sim.add_thread(UlThread {
+            name: "t".into(),
+            period: 10 * MS,
+            work: 1 * MS,
+        });
+        let stats = sim.run(&[], 100 * MS);
+        assert_eq!(stats[0].completions, 0);
+    }
+
+    #[test]
+    fn overload_inside_domain_misses_under_both() {
+        for policy in [UlsPolicy::InformedEdf, UlsPolicy::TransparentResume] {
+            let mut sim = UlsSim::new(policy);
+            sim.add_thread(UlThread {
+                name: "fat".into(),
+                period: 10 * MS,
+                work: 8 * MS,
+            });
+            let stats = sim.run(&periodic_quanta(4 * MS, 10 * MS, 1_000 * MS), 1_000 * MS);
+            assert!(stats[0].misses > 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn response_times_tighter_with_informed_edf() {
+        let mut informed = run(UlsPolicy::InformedEdf, 5 * MS, 10 * MS, 4_000 * MS);
+        let mut transparent = run(UlsPolicy::TransparentResume, 5 * MS, 10 * MS, 4_000 * MS);
+        let ip99 = informed[0].response.percentile(99.0).unwrap();
+        let tp99 = transparent[0]
+            .response
+            .percentile(99.0)
+            .unwrap_or(u64::MAX);
+        assert!(
+            ip99 < tp99,
+            "informed p99 {ip99} should beat transparent p99 {tp99}"
+        );
+    }
+
+    #[test]
+    fn quantum_clipped_by_horizon() {
+        let mut sim = UlsSim::new(UlsPolicy::InformedEdf);
+        sim.add_thread(UlThread {
+            name: "t".into(),
+            period: 10 * MS,
+            work: 10 * MS,
+        });
+        // A quantum that extends past the horizon is clipped.
+        let stats = sim.run(&[(0, 100 * MS)], 5 * MS);
+        assert_eq!(stats[0].completions, 0);
+        assert_eq!(stats[0].releases, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! The virtual-processor model (§3.2).
+//!
+//! A Nemesis domain differs from a Unix process in how the processor is
+//! presented to it. A process is *resumed* "to exactly the state in which
+//! it was when it was suspended", hiding processor availability. A domain
+//! is *activated*: the kernel stores the outgoing context in the Domain
+//! Information Block (DIB) shared between kernel and domain, and enters
+//! the domain at the address in the DIB's activation vector, passing the
+//! reason and the current time. A user-level scheduler at that entry
+//! point can then make informed decisions — the mechanism of scheduler
+//! activations.
+//!
+//! This module models the DIB and the activation protocol; the
+//! measurable consequences for user-level scheduling live in
+//! [`crate::threads`].
+
+use pegasus_sim::time::Ns;
+
+/// Identifier of a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub usize);
+
+/// Why a domain was given the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationReason {
+    /// A fresh CPU allocation (start of a quantum).
+    Allocation,
+    /// Events arrived while the domain was not running.
+    EventsPending,
+    /// The domain was preempted earlier and is being re-entered.
+    Resume,
+}
+
+/// A saved processor context. The fields stand in for the register file
+/// a real kernel would save; the `pc` is what the tests assert on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuContext {
+    /// Program counter.
+    pub pc: u64,
+    /// Stack pointer.
+    pub sp: u64,
+}
+
+/// The Domain Information Block: the data structure shared between the
+/// kernel and a domain.
+#[derive(Debug, Clone)]
+pub struct Dib {
+    /// Entry point the kernel jumps to on activation.
+    pub activation_vector: u64,
+    /// Context saved at the last deactivation, for the domain's own
+    /// scheduler to resume from if it chooses.
+    pub saved_context: Option<CpuContext>,
+    /// Kernel-provided current time, written at activation.
+    pub now: Ns,
+    /// Time remaining in the current allocation, written at activation.
+    pub time_left: Ns,
+    /// Number of events pending at activation.
+    pub events_pending: u64,
+    /// Set while the domain is running activations-disabled (it is
+    /// executing its user-level scheduler); a kernel preemption during
+    /// this window saves into `saved_context` and re-enters at the
+    /// vector with [`ActivationReason::Resume`].
+    pub activations_disabled: bool,
+}
+
+impl Dib {
+    /// Creates a DIB with the given activation entry point.
+    pub fn new(activation_vector: u64) -> Self {
+        Dib {
+            activation_vector,
+            saved_context: None,
+            now: 0,
+            time_left: 0,
+            events_pending: 0,
+            activations_disabled: false,
+        }
+    }
+}
+
+/// What the kernel does on a scheduler decision: the activation upcall
+/// record handed to the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Activation {
+    /// Entry address jumped to.
+    pub entry: u64,
+    /// Why the domain runs.
+    pub reason: ActivationReason,
+    /// Wall-clock (virtual) time of entry.
+    pub now: Ns,
+    /// Allocation remaining.
+    pub time_left: Ns,
+}
+
+/// Kernel-side per-domain record: deactivation and activation as the
+/// paper defines them.
+#[derive(Debug, Clone)]
+pub struct DomainControl {
+    /// The shared DIB.
+    pub dib: Dib,
+    /// Count of activations delivered.
+    pub activations: u64,
+    /// Count of transparent resumes delivered (only happens when the
+    /// domain was preempted inside its user-level scheduler).
+    pub resumes: u64,
+}
+
+impl DomainControl {
+    /// Creates the control block for a domain entered at `vector`.
+    pub fn new(vector: u64) -> Self {
+        DomainControl {
+            dib: Dib::new(vector),
+            activations: 0,
+            resumes: 0,
+        }
+    }
+
+    /// Deactivation: store the outgoing context into the DIB.
+    pub fn deactivate(&mut self, ctx: CpuContext) {
+        self.dib.saved_context = Some(ctx);
+    }
+
+    /// Activation: produce the upcall record and update the DIB with the
+    /// scheduling information the kernel publishes.
+    ///
+    /// If the domain was preempted with activations disabled (it was in
+    /// its user-level scheduler), the kernel resumes the saved context
+    /// transparently instead — the one case where resume semantics
+    /// survive.
+    pub fn activate(&mut self, reason: ActivationReason, now: Ns, time_left: Ns, events: u64) -> Activation {
+        self.dib.now = now;
+        self.dib.time_left = time_left;
+        self.dib.events_pending = events;
+        if self.dib.activations_disabled {
+            self.resumes += 1;
+            let ctx = self.dib.saved_context.unwrap_or_default();
+            Activation {
+                entry: ctx.pc,
+                reason: ActivationReason::Resume,
+                now,
+                time_left,
+            }
+        } else {
+            self.activations += 1;
+            Activation {
+                entry: self.dib.activation_vector,
+                reason,
+                now,
+                time_left,
+            }
+        }
+    }
+}
+
+/// Generates the CPU quanta a domain with share (`slice`, `period`)
+/// receives up to `horizon` — the input the user-level scheduling
+/// experiments feed to [`crate::threads::UlsSim`].
+pub fn periodic_quanta(slice: Ns, period: Ns, horizon: Ns) -> Vec<(Ns, Ns)> {
+    assert!(period > 0 && slice <= period);
+    let mut out = Vec::new();
+    let mut t = 0;
+    while t < horizon {
+        out.push((t, slice.min(horizon - t)));
+        t += period;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_enters_at_vector_with_info() {
+        let mut dc = DomainControl::new(0x1000);
+        let act = dc.activate(ActivationReason::Allocation, 500, 4_000, 2);
+        assert_eq!(act.entry, 0x1000);
+        assert_eq!(act.reason, ActivationReason::Allocation);
+        assert_eq!(act.now, 500);
+        assert_eq!(act.time_left, 4_000);
+        assert_eq!(dc.dib.events_pending, 2);
+        assert_eq!(dc.activations, 1);
+        assert_eq!(dc.resumes, 0);
+    }
+
+    #[test]
+    fn deactivation_saves_context() {
+        let mut dc = DomainControl::new(0x1000);
+        dc.deactivate(CpuContext { pc: 0x2222, sp: 0x8000 });
+        assert_eq!(dc.dib.saved_context.unwrap().pc, 0x2222);
+    }
+
+    #[test]
+    fn preemption_in_uls_resumes_transparently() {
+        let mut dc = DomainControl::new(0x1000);
+        dc.dib.activations_disabled = true;
+        dc.deactivate(CpuContext { pc: 0x3333, sp: 0 });
+        let act = dc.activate(ActivationReason::Allocation, 10, 100, 0);
+        assert_eq!(act.reason, ActivationReason::Resume);
+        assert_eq!(act.entry, 0x3333, "re-enters the saved context, not the vector");
+        assert_eq!(dc.resumes, 1);
+        assert_eq!(dc.activations, 0);
+    }
+
+    #[test]
+    fn dib_time_updated_each_activation() {
+        let mut dc = DomainControl::new(0);
+        dc.activate(ActivationReason::Allocation, 100, 50, 0);
+        assert_eq!(dc.dib.now, 100);
+        dc.activate(ActivationReason::EventsPending, 900, 10, 5);
+        assert_eq!(dc.dib.now, 900);
+        assert_eq!(dc.dib.time_left, 10);
+        assert_eq!(dc.dib.events_pending, 5);
+    }
+
+    #[test]
+    fn quanta_cover_share() {
+        let q = periodic_quanta(4, 10, 35);
+        assert_eq!(q, vec![(0, 4), (10, 4), (20, 4), (30, 4)]);
+    }
+
+    #[test]
+    fn quanta_clip_at_horizon() {
+        let q = periodic_quanta(8, 10, 25);
+        assert_eq!(q, vec![(0, 8), (10, 8), (20, 5)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quanta_reject_slice_beyond_period() {
+        let _ = periodic_quanta(11, 10, 100);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests: conservation laws and isolation guarantees of the
+//! Nemesis scheduler over randomized task sets.
+
+use proptest::prelude::*;
+
+use pegasus_nemesis::sched::{CpuSim, Policy, TaskSpec};
+use pegasus_sim::time::{Ns, MS};
+
+/// Strategy: a feasible guaranteed task (work == slice ≤ period).
+fn feasible_task() -> impl Strategy<Value = (Ns, Ns)> {
+    (1u64..20, 1u64..10).prop_map(|(period_ms, frac)| {
+        let period = period_ms * MS;
+        let work = period * frac / 20; // ≤ 50% of its period
+        (period, work.max(1))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cpu_time_is_conserved(tasks in proptest::collection::vec(feasible_task(), 1..6)) {
+        let mut sim = CpuSim::new(Policy::NemesisEdf);
+        let mut util = 0.0;
+        for (i, &(period, work)) in tasks.iter().enumerate() {
+            util += work as f64 / period as f64;
+            if util > 0.95 {
+                break;
+            }
+            sim.add_task(TaskSpec::guaranteed(&format!("t{i}"), period, work));
+        }
+        let horizon = 2_000 * MS;
+        let r = sim.run(horizon);
+        let used: Ns = r.tasks.iter().map(|t| t.cpu_received).sum();
+        // Conservation: busy + idle + switch overhead == horizon.
+        prop_assert_eq!(used + r.idle + r.switch_overhead, horizon);
+    }
+
+    #[test]
+    fn feasible_guaranteed_sets_never_miss(tasks in proptest::collection::vec(feasible_task(), 1..6)) {
+        let mut sim = CpuSim::new(Policy::NemesisEdf);
+        let mut util = 0.0;
+        let mut added = 0;
+        for (i, &(period, work)) in tasks.iter().enumerate() {
+            let u = work as f64 / period as f64;
+            if util + u > 0.99 {
+                continue;
+            }
+            util += u;
+            sim.add_task(TaskSpec::guaranteed(&format!("t{i}"), period, work));
+            added += 1;
+        }
+        prop_assume!(added > 0);
+        let r = sim.run(4_000 * MS);
+        for (i, t) in r.tasks.iter().enumerate() {
+            prop_assert_eq!(t.misses, 0, "task {} missed with U={:.2}", i, util);
+        }
+    }
+
+    #[test]
+    fn hogs_never_hurt_guaranteed_tasks(
+        hogs in 1usize..5,
+        hog_work_ms in 10u64..200,
+        (period, work) in feasible_task(),
+    ) {
+        let mut sim = CpuSim::new(Policy::NemesisEdf);
+        sim.add_task(TaskSpec::guaranteed("media", period, work));
+        for i in 0..hogs {
+            sim.add_task(TaskSpec::best_effort(
+                &format!("hog{i}"),
+                10 * MS,
+                hog_work_ms * MS,
+            ));
+        }
+        let r = sim.run(2_000 * MS);
+        prop_assert_eq!(r.tasks[0].misses, 0, "guaranteed task harmed by hogs");
+    }
+
+    #[test]
+    fn cpu_received_never_exceeds_share_without_slack(
+        (period, work) in feasible_task(),
+        demand_multiplier in 2u64..5,
+    ) {
+        // A task demanding more than its share, with slack forbidden,
+        // receives exactly slice per period — no more.
+        let mut sim = CpuSim::new(Policy::NemesisEdf);
+        sim.add_task(
+            TaskSpec::guaranteed("greedy", period, work * demand_multiplier)
+                .with_share(work, period),
+        );
+        let horizon = 1_000 * MS;
+        let r = sim.run(horizon);
+        let periods = horizon / period;
+        prop_assert!(r.tasks[0].cpu_received <= (periods + 1) * work);
+    }
+}

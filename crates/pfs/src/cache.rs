@@ -1,0 +1,297 @@
+//! Caching for ordinary data — and why it fails for continuous media.
+//!
+//! "Locality of reference can be exploited by caching data in client
+//! and/or server memory. ... This applies to naming data too, albeit
+//! that directories can be cached more effectively when the semantics of
+//! directory operations are exploited. ... In contrast, caching video
+//! and audio is usually not a good idea: most video sequences ... are
+//! larger than the cache, so, by the time a user has seen ... a video to
+//! the end, the beginning has already been evicted from the (LRU)
+//! cache." (§5)
+//!
+//! [`LruCache`] is the generic block cache; [`DirCache`] exploits
+//! directory-operation semantics (inserts and removals update the cache
+//! in place instead of invalidating it). The sequential-eviction
+//! pathology is demonstrated in the tests and measured in experiment
+//! E15.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A least-recently-used cache with exact LRU ordering.
+///
+/// # Examples
+///
+/// ```
+/// use pegasus_pfs::cache::LruCache;
+///
+/// let mut c = LruCache::new(2);
+/// c.put("a", 1);
+/// c.put("b", 2);
+/// c.get(&"a");
+/// c.put("c", 3); // evicts "b", the least recently used
+/// assert!(c.get(&"b").is_none());
+/// assert_eq!(c.get(&"a"), Some(&1));
+/// ```
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    map: HashMap<K, (V, u64)>,
+    clock: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.map.get_mut(key) {
+            Some((v, stamp)) => {
+                *stamp = clock;
+                self.hits += 1;
+                Some(&*v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks for `key` without recording a hit/miss or refreshing it.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// Inserts `key → value`, evicting the least recently used entry if
+    /// the cache is full.
+    pub fn put(&mut self, key: K, value: V) {
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // Evict the minimum stamp.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, (value, self.clock));
+    }
+
+    /// Removes `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|(v, _)| v)
+    }
+
+    /// Hit rate over all lookups so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A directory cache exploiting directory-operation semantics: names are
+/// added and removed *in place* on create/unlink, so the cache never
+/// needs wholesale invalidation and its hit rate survives mutation.
+#[derive(Debug, Default)]
+pub struct DirCache {
+    entries: HashMap<(u64, String), u64>,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+}
+
+impl DirCache {
+    /// Creates an empty directory cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `name` in directory `dir`.
+    pub fn lookup(&mut self, dir: u64, name: &str) -> Option<u64> {
+        match self.entries.get(&(dir, name.to_string())) {
+            Some(&id) => {
+                self.hits += 1;
+                Some(id)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records that `name` now maps to `file` (create/rename semantics).
+    pub fn insert(&mut self, dir: u64, name: &str, file: u64) {
+        self.entries.insert((dir, name.to_string()), file);
+    }
+
+    /// Records that `name` was removed (unlink semantics).
+    pub fn remove(&mut self, dir: u64, name: &str) {
+        self.entries.remove(&(dir, name.to_string()));
+    }
+
+    /// Number of cached names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_and_miss() {
+        let mut c = LruCache::new(4);
+        c.put(1u32, "one");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_is_lru() {
+        let mut c = LruCache::new(3);
+        c.put(1, ());
+        c.put(2, ());
+        c.put(3, ());
+        c.get(&1); // 2 is now LRU
+        c.put(4, ());
+        assert!(c.peek(&2).is_none());
+        assert!(c.peek(&1).is_some());
+        assert!(c.peek(&3).is_some());
+        assert!(c.peek(&4).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(1, 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_hits() {
+        // Ordinary file traffic: a hot working set re-referenced often.
+        let mut c = LruCache::new(64);
+        for round in 0..10 {
+            for block in 0..32u32 {
+                if c.get(&block).is_none() {
+                    c.put(block, ());
+                }
+                let _ = round;
+            }
+        }
+        assert!(c.hit_rate() > 0.85, "hit rate {:.2}", c.hit_rate());
+    }
+
+    #[test]
+    fn sequential_scan_larger_than_cache_never_hits() {
+        // The paper's pathology: stream a "video" of 2× the cache size,
+        // twice. LRU evicts each block before its re-reference.
+        let mut c = LruCache::new(100);
+        let video_blocks = 200u32;
+        for _pass in 0..2 {
+            for b in 0..video_blocks {
+                if c.get(&b).is_none() {
+                    c.put(b, ());
+                }
+            }
+        }
+        assert_eq!(c.hits, 0, "cyclic sequential access defeats LRU entirely");
+        assert_eq!(c.misses, 400);
+    }
+
+    #[test]
+    fn sequential_scan_smaller_than_cache_hits_second_pass() {
+        let mut c = LruCache::new(300);
+        for _pass in 0..2 {
+            for b in 0..200u32 {
+                if c.get(&b).is_none() {
+                    c.put(b, ());
+                }
+            }
+        }
+        assert_eq!(c.hits, 200);
+        assert_eq!(c.misses, 200);
+    }
+
+    #[test]
+    fn dir_cache_semantic_updates() {
+        let mut d = DirCache::new();
+        d.insert(1, "paper.tex", 100);
+        d.insert(1, "fig1.eps", 101);
+        assert_eq!(d.lookup(1, "paper.tex"), Some(100));
+        // Unlink updates in place — no invalidation of other names.
+        d.remove(1, "paper.tex");
+        assert_eq!(d.lookup(1, "paper.tex"), None);
+        assert_eq!(d.lookup(1, "fig1.eps"), Some(101));
+        assert_eq!(d.hits, 2);
+        assert_eq!(d.misses, 1);
+    }
+
+    #[test]
+    fn dir_cache_distinguishes_directories() {
+        let mut d = DirCache::new();
+        d.insert(1, "x", 100);
+        d.insert(2, "x", 200);
+        assert_eq!(d.lookup(1, "x"), Some(100));
+        assert_eq!(d.lookup(2, "x"), Some(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "cache capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::<u32, ()>::new(0);
+    }
+}

@@ -1,0 +1,361 @@
+//! The v-node interface.
+//!
+//! "A Unix v-node interface is installed which allows the storage system
+//! to be used as a Unix file system." (§5) This module provides that
+//! thin layer: hierarchical directories with name lookup over the
+//! log-structured core, exercising the [`crate::cache::DirCache`] for
+//! the naming-data caching the paper mentions.
+
+use std::collections::BTreeMap;
+
+use crate::cache::DirCache;
+use crate::log::{FileClass, FileId, FsError, LogFs};
+
+/// A directory identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirId(pub u64);
+
+/// A directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirEntry {
+    /// A regular file.
+    File(FileId),
+    /// A subdirectory.
+    Dir(DirId),
+}
+
+/// Errors from the v-node layer (superset of core errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VnodeError {
+    /// A path component was not found.
+    NotFound(String),
+    /// The name already exists.
+    Exists(String),
+    /// A file was used as a directory or vice versa.
+    NotADirectory(String),
+    /// Directory not empty on rmdir.
+    NotEmpty(String),
+    /// Underlying core error.
+    Fs(FsError),
+}
+
+impl std::fmt::Display for VnodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VnodeError::NotFound(n) => write!(f, "{n}: not found"),
+            VnodeError::Exists(n) => write!(f, "{n}: already exists"),
+            VnodeError::NotADirectory(n) => write!(f, "{n}: not a directory"),
+            VnodeError::NotEmpty(n) => write!(f, "{n}: directory not empty"),
+            VnodeError::Fs(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VnodeError {}
+
+impl From<FsError> for VnodeError {
+    fn from(e: FsError) -> Self {
+        VnodeError::Fs(e)
+    }
+}
+
+/// File attributes (`getattr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attr {
+    /// Size in bytes.
+    pub size: u64,
+    /// Data class.
+    pub class: FileClass,
+}
+
+struct Directory {
+    entries: BTreeMap<String, DirEntry>,
+}
+
+/// The v-node file system: paths and directories over [`LogFs`].
+pub struct VnodeFs {
+    /// The core layer underneath.
+    pub fs: LogFs,
+    dirs: Vec<Directory>,
+    /// Directory lookup cache (semantic, per §5).
+    pub dcache: DirCache,
+}
+
+impl VnodeFs {
+    /// Creates an empty tree over `fs`; directory 0 is the root.
+    pub fn new(fs: LogFs) -> Self {
+        VnodeFs {
+            fs,
+            dirs: vec![Directory {
+                entries: BTreeMap::new(),
+            }],
+            dcache: DirCache::new(),
+        }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> DirId {
+        DirId(0)
+    }
+
+    fn dir(&self, d: DirId) -> &Directory {
+        &self.dirs[d.0 as usize]
+    }
+
+    /// Splits a path into components.
+    fn components(path: &str) -> Vec<&str> {
+        path.split('/').filter(|c| !c.is_empty()).collect()
+    }
+
+    /// Resolves the directory containing the last component of `path`,
+    /// returning (dir, last component).
+    fn resolve_parent<'p>(&mut self, path: &'p str) -> Result<(DirId, &'p str), VnodeError> {
+        let comps = Self::components(path);
+        let Some((&last, parents)) = comps.split_last() else {
+            return Err(VnodeError::NotFound(path.to_string()));
+        };
+        let mut cur = self.root();
+        for &c in parents {
+            let entry = self.lookup_entry(cur, c)?;
+            match entry {
+                DirEntry::Dir(d) => cur = d,
+                DirEntry::File(_) => return Err(VnodeError::NotADirectory(c.to_string())),
+            }
+        }
+        Ok((cur, last))
+    }
+
+    fn lookup_entry(&mut self, dir: DirId, name: &str) -> Result<DirEntry, VnodeError> {
+        // Try the semantic cache first (only files are cached).
+        if let Some(id) = self.dcache.lookup(dir.0, name) {
+            return Ok(DirEntry::File(FileId(id)));
+        }
+        match self.dir(dir).entries.get(name) {
+            Some(&e) => {
+                if let DirEntry::File(f) = e {
+                    self.dcache.insert(dir.0, name, f.0);
+                }
+                Ok(e)
+            }
+            None => Err(VnodeError::NotFound(name.to_string())),
+        }
+    }
+
+    /// Creates a regular file at `path`.
+    pub fn create(&mut self, path: &str, class: FileClass) -> Result<FileId, VnodeError> {
+        let (dir, name) = self.resolve_parent(path)?;
+        if self.dir(dir).entries.contains_key(name) {
+            return Err(VnodeError::Exists(name.to_string()));
+        }
+        let id = self.fs.create(class);
+        self.dirs[dir.0 as usize]
+            .entries
+            .insert(name.to_string(), DirEntry::File(id));
+        self.dcache.insert(dir.0, name, id.0);
+        Ok(id)
+    }
+
+    /// Creates a directory at `path`.
+    pub fn mkdir(&mut self, path: &str) -> Result<DirId, VnodeError> {
+        let (dir, name) = self.resolve_parent(path)?;
+        if self.dir(dir).entries.contains_key(name) {
+            return Err(VnodeError::Exists(name.to_string()));
+        }
+        let id = DirId(self.dirs.len() as u64);
+        self.dirs.push(Directory {
+            entries: BTreeMap::new(),
+        });
+        self.dirs[dir.0 as usize]
+            .entries
+            .insert(name.to_string(), DirEntry::Dir(id));
+        Ok(id)
+    }
+
+    /// Looks a file up by path.
+    pub fn open(&mut self, path: &str) -> Result<FileId, VnodeError> {
+        let (dir, name) = self.resolve_parent(path)?;
+        match self.lookup_entry(dir, name)? {
+            DirEntry::File(f) => Ok(f),
+            DirEntry::Dir(_) => Err(VnodeError::NotADirectory(name.to_string())),
+        }
+    }
+
+    /// Appends to a file by path.
+    pub fn write(&mut self, path: &str, data: &[u8]) -> Result<(), VnodeError> {
+        let id = self.open(path)?;
+        self.fs.append(id, data)?;
+        Ok(())
+    }
+
+    /// Reads from a file by path.
+    pub fn read(&mut self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, VnodeError> {
+        let id = self.open(path)?;
+        Ok(self.fs.read(id, offset, len)?)
+    }
+
+    /// Attributes of a file.
+    pub fn getattr(&mut self, path: &str) -> Result<Attr, VnodeError> {
+        let id = self.open(path)?;
+        let p = self.fs.pnode(id).ok_or(FsError::NoSuchFile)?;
+        Ok(Attr {
+            size: p.size,
+            class: p.class,
+        })
+    }
+
+    /// Removes a file.
+    pub fn unlink(&mut self, path: &str) -> Result<(), VnodeError> {
+        let (dir, name) = self.resolve_parent(path)?;
+        match self.dir(dir).entries.get(name) {
+            Some(DirEntry::File(f)) => {
+                let f = *f;
+                self.fs.delete(f)?;
+                self.dirs[dir.0 as usize].entries.remove(name);
+                self.dcache.remove(dir.0, name);
+                Ok(())
+            }
+            Some(DirEntry::Dir(_)) => Err(VnodeError::NotADirectory(name.to_string())),
+            None => Err(VnodeError::NotFound(name.to_string())),
+        }
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), VnodeError> {
+        let (dir, name) = self.resolve_parent(path)?;
+        match self.dir(dir).entries.get(name) {
+            Some(DirEntry::Dir(d)) => {
+                if !self.dir(*d).entries.is_empty() {
+                    return Err(VnodeError::NotEmpty(name.to_string()));
+                }
+                self.dirs[dir.0 as usize].entries.remove(name);
+                Ok(())
+            }
+            Some(DirEntry::File(_)) => Err(VnodeError::NotADirectory(name.to_string())),
+            None => Err(VnodeError::NotFound(name.to_string())),
+        }
+    }
+
+    /// Lists a directory's names.
+    pub fn readdir(&mut self, path: &str) -> Result<Vec<String>, VnodeError> {
+        let dir = if Self::components(path).is_empty() {
+            self.root()
+        } else {
+            let (parent, name) = self.resolve_parent(path)?;
+            match self.lookup_entry(parent, name)? {
+                DirEntry::Dir(d) => d,
+                DirEntry::File(_) => return Err(VnodeError::NotADirectory(name.to_string())),
+            }
+        };
+        Ok(self.dir(dir).entries.keys().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskConfig;
+
+    fn vfs() -> VnodeFs {
+        VnodeFs::new(LogFs::new(DiskConfig::hp_1994()))
+    }
+
+    #[test]
+    fn create_write_read() {
+        let mut v = vfs();
+        v.mkdir("/etc").unwrap();
+        v.create("/etc/motd", FileClass::Normal).unwrap();
+        v.write("/etc/motd", b"welcome to pegasus").unwrap();
+        let back = v.read("/etc/motd", 0, 18).unwrap();
+        assert_eq!(back, b"welcome to pegasus");
+    }
+
+    #[test]
+    fn nested_directories() {
+        let mut v = vfs();
+        v.mkdir("/usr").unwrap();
+        v.mkdir("/usr/local").unwrap();
+        v.mkdir("/usr/local/lib").unwrap();
+        v.create("/usr/local/lib/tex.fmt", FileClass::Normal).unwrap();
+        v.write("/usr/local/lib/tex.fmt", &[9u8; 100]).unwrap();
+        assert_eq!(v.getattr("/usr/local/lib/tex.fmt").unwrap().size, 100);
+        assert_eq!(v.readdir("/usr/local").unwrap(), vec!["lib"]);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut v = vfs();
+        v.create("/x", FileClass::Normal).unwrap();
+        assert_eq!(
+            v.create("/x", FileClass::Normal).unwrap_err(),
+            VnodeError::Exists("x".into())
+        );
+    }
+
+    #[test]
+    fn missing_path_not_found() {
+        let mut v = vfs();
+        assert!(matches!(v.open("/no/such/file"), Err(VnodeError::NotFound(_))));
+        assert!(matches!(v.read("/ghost", 0, 1), Err(VnodeError::NotFound(_))));
+    }
+
+    #[test]
+    fn file_in_path_is_not_a_directory() {
+        let mut v = vfs();
+        v.create("/f", FileClass::Normal).unwrap();
+        assert!(matches!(
+            v.create("/f/child", FileClass::Normal),
+            Err(VnodeError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn unlink_removes_and_frees() {
+        let mut v = vfs();
+        v.create("/tmp1", FileClass::Normal).unwrap();
+        v.write("/tmp1", &[1u8; 4096]).unwrap();
+        v.fs.sync().unwrap();
+        v.unlink("/tmp1").unwrap();
+        assert!(matches!(v.open("/tmp1"), Err(VnodeError::NotFound(_))));
+        assert!(!v.fs.garbage.is_empty(), "unlink created log garbage");
+    }
+
+    #[test]
+    fn rmdir_only_when_empty() {
+        let mut v = vfs();
+        v.mkdir("/d").unwrap();
+        v.create("/d/f", FileClass::Normal).unwrap();
+        assert_eq!(v.rmdir("/d").unwrap_err(), VnodeError::NotEmpty("d".into()));
+        v.unlink("/d/f").unwrap();
+        v.rmdir("/d").unwrap();
+        assert!(matches!(v.readdir("/d"), Err(VnodeError::NotFound(_))));
+    }
+
+    #[test]
+    fn readdir_root() {
+        let mut v = vfs();
+        v.create("/a", FileClass::Normal).unwrap();
+        v.mkdir("/b").unwrap();
+        v.create("/c", FileClass::Continuous).unwrap();
+        assert_eq!(v.readdir("/").unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn dcache_hits_on_repeat_lookup() {
+        let mut v = vfs();
+        v.create("/hot", FileClass::Normal).unwrap();
+        for _ in 0..10 {
+            v.open("/hot").unwrap();
+        }
+        assert!(v.dcache.hits >= 10, "hits={}", v.dcache.hits);
+        // Unlink updates the cache semantically.
+        v.unlink("/hot").unwrap();
+        assert!(matches!(v.open("/hot"), Err(VnodeError::NotFound(_))));
+    }
+
+    #[test]
+    fn getattr_reports_class() {
+        let mut v = vfs();
+        v.create("/movie", FileClass::Continuous).unwrap();
+        assert_eq!(v.getattr("/movie").unwrap().class, FileClass::Continuous);
+    }
+}

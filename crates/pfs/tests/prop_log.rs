@@ -1,0 +1,127 @@
+//! Property tests: the log-structured core against a trivial in-memory
+//! model, under arbitrary operation sequences — including cleaning.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use pegasus_pfs::cleaner::clean_garbage_file;
+use pegasus_pfs::disk::DiskConfig;
+use pegasus_pfs::log::{FileClass, FileId, LogFs};
+
+/// An operation against both the real FS and the model.
+#[derive(Debug, Clone)]
+enum Op {
+    Create,
+    Append { file: usize, len: usize, tag: u8 },
+    Overwrite { file: usize, len: usize, tag: u8 },
+    Delete { file: usize },
+    Sync,
+    Clean,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Create),
+        4 => (any::<usize>(), 1usize..60_000, any::<u8>())
+            .prop_map(|(file, len, tag)| Op::Append { file, len, tag }),
+        2 => (any::<usize>(), 1usize..60_000, any::<u8>())
+            .prop_map(|(file, len, tag)| Op::Overwrite { file, len, tag }),
+        2 => any::<usize>().prop_map(|file| Op::Delete { file }),
+        1 => Just(Op::Sync),
+        1 => Just(Op::Clean),
+    ]
+}
+
+fn content(len: usize, tag: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(tag)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn log_matches_in_memory_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut fs = LogFs::new(DiskConfig::hp_1994());
+        let mut model: HashMap<FileId, Vec<u8>> = HashMap::new();
+        let mut handles: Vec<FileId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Create => {
+                    let id = fs.create(FileClass::Normal);
+                    handles.push(id);
+                    model.insert(id, Vec::new());
+                }
+                Op::Append { file, len, tag } if !handles.is_empty() => {
+                    let id = handles[file % handles.len()];
+                    if model.contains_key(&id) {
+                        let data = content(len, tag);
+                        fs.append(id, &data).unwrap();
+                        model.get_mut(&id).unwrap().extend_from_slice(&data);
+                    }
+                }
+                Op::Overwrite { file, len, tag } if !handles.is_empty() => {
+                    let id = handles[file % handles.len()];
+                    if model.contains_key(&id) {
+                        let data = content(len, tag);
+                        fs.overwrite(id, &data).unwrap();
+                        model.insert(id, data);
+                    }
+                }
+                Op::Delete { file } if !handles.is_empty() => {
+                    let id = handles[file % handles.len()];
+                    if model.remove(&id).is_some() {
+                        fs.delete(id).unwrap();
+                    }
+                }
+                Op::Sync => fs.sync().unwrap(),
+                Op::Clean => {
+                    clean_garbage_file(&mut fs).unwrap();
+                }
+                _ => {}
+            }
+        }
+
+        // Every surviving file reads back exactly; deleted files error.
+        for (&id, expected) in &model {
+            let got = fs.read(id, 0, expected.len()).unwrap();
+            prop_assert_eq!(&got, expected, "file {:?}", id);
+            prop_assert_eq!(fs.pnode(id).unwrap().size, expected.len() as u64);
+        }
+        for id in &handles {
+            if !model.contains_key(id) {
+                prop_assert!(fs.read(*id, 0, 1).is_err());
+            }
+        }
+        prop_assert_eq!(fs.file_count(), model.len());
+    }
+
+    #[test]
+    fn live_byte_accounting_is_conservative(
+        sizes in proptest::collection::vec(1usize..300_000, 1..12),
+        kill in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let mut fs = LogFs::new(DiskConfig::hp_1994());
+        let mut live_expected: u64 = 0;
+        let mut ids = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let id = fs.create(FileClass::Normal);
+            fs.append(id, &content(sz, i as u8)).unwrap();
+            ids.push((id, sz));
+        }
+        fs.sync().unwrap();
+        for (i, &(id, sz)) in ids.iter().enumerate() {
+            if kill.get(i).copied().unwrap_or(false) {
+                fs.delete(id).unwrap();
+            } else {
+                live_expected += sz as u64;
+            }
+        }
+        let live_tracked: u64 = fs
+            .segment_info()
+            .values()
+            .map(|s| s.live_bytes as u64)
+            .sum();
+        prop_assert_eq!(live_tracked, live_expected);
+    }
+}

@@ -1,0 +1,320 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulator`] owns a priority queue of timestamped events. Each event
+//! is a boxed `FnOnce(&mut Simulator)`; shared world state lives in
+//! `Rc<RefCell<_>>` cells captured by the closures. Events at equal times
+//! fire in scheduling order (FIFO), which makes runs fully deterministic.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use crate::time::Ns;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct ScheduledEvent {
+    time: Ns,
+    seq: u64,
+    cancelled: Rc<Cell<bool>>,
+    action: Box<dyn FnOnce(&mut Simulator)>,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over virtual nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use pegasus_sim::Simulator;
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// let mut sim = Simulator::new();
+/// let hits = Rc::new(RefCell::new(Vec::new()));
+/// for t in [30u64, 10, 20] {
+///     let hits = hits.clone();
+///     sim.schedule_at(t, move |sim| hits.borrow_mut().push(sim.now()));
+/// }
+/// sim.run();
+/// assert_eq!(*hits.borrow(), vec![10, 20, 30]);
+/// ```
+pub struct Simulator {
+    now: Ns,
+    next_seq: u64,
+    queue: BinaryHeap<ScheduledEvent>,
+    cancels: Vec<(EventId, Rc<Cell<bool>>)>,
+    executed: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator at virtual time zero.
+    pub fn new() -> Self {
+        Simulator {
+            now: 0,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            cancels: Vec::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled husks).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run at absolute virtual time `time`.
+    ///
+    /// Scheduling in the past is a logic error and panics; events for the
+    /// current instant are allowed and run after all earlier-scheduled
+    /// events of the same instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than [`Self::now`].
+    pub fn schedule_at<F>(&mut self, time: Ns, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: now={} target={}",
+            self.now,
+            time
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let cancelled = Rc::new(Cell::new(false));
+        let id = EventId(seq);
+        self.cancels.push((id, cancelled.clone()));
+        // Keep the cancel map from growing without bound.
+        if self.cancels.len() > 4096 {
+            self.cancels.retain(|(_, c)| !c.get());
+        }
+        self.queue.push(ScheduledEvent {
+            time,
+            seq,
+            cancelled,
+            action: Box::new(action),
+        });
+        id
+    }
+
+    /// Schedules `action` to run `delay` nanoseconds from now.
+    pub fn schedule_in<F>(&mut self, delay: Ns, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        self.schedule_at(self.now.saturating_add(delay), action)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event had not yet
+    /// fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if let Some((_, flag)) = self.cancels.iter().find(|(eid, _)| *eid == id) {
+            let was = flag.get();
+            flag.set(true);
+            !was
+        } else {
+            false
+        }
+    }
+
+    /// Runs a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if ev.cancelled.get() {
+                continue;
+            }
+            ev.cancelled.set(true); // mark consumed so cancel() returns false afterwards
+            debug_assert!(ev.time >= self.now);
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.action)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs events until the queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with timestamps `<= deadline`, then sets the clock to
+    /// `deadline` (if it is later than the last event).
+    pub fn run_until(&mut self, deadline: Ns) {
+        loop {
+            match self.queue.peek() {
+                Some(ev) if ev.time <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs at most `n` events.
+    pub fn run_steps(&mut self, n: u64) {
+        for _ in 0..n {
+            if !self.step() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (t, tag) in [(50u64, 'c'), (10, 'a'), (30, 'b')] {
+            let order = order.clone();
+            sim.schedule_at(t, move |_| order.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(sim.now(), 50);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn equal_time_events_fire_fifo() {
+        let mut sim = Simulator::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..16 {
+            let order = order.clone();
+            sim.schedule_at(100, move |_| order.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_more_events() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(Cell::new(0u32));
+        fn tick(sim: &mut Simulator, count: Rc<Cell<u32>>) {
+            count.set(count.get() + 1);
+            if count.get() < 5 {
+                sim.schedule_in(10, move |sim| tick(sim, count));
+            }
+        }
+        let c = count.clone();
+        sim.schedule_at(0, move |sim| tick(sim, c));
+        sim.run();
+        assert_eq!(count.get(), 5);
+        assert_eq!(sim.now(), 40);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        let id = sim.schedule_at(10, move |_| f.set(true));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double cancel reports false");
+        sim.run();
+        assert!(!fired.get());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut sim = Simulator::new();
+        let id = sim.schedule_at(10, |_| {});
+        sim.run();
+        assert!(!sim.cancel(id));
+    }
+
+    #[test]
+    fn run_until_advances_clock_past_last_event() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(10, |_| {});
+        sim.schedule_at(100, |_| {});
+        sim.run_until(50);
+        assert_eq!(sim.now(), 50);
+        assert_eq!(sim.events_executed(), 1);
+        sim.run_until(200);
+        assert_eq!(sim.now(), 200);
+        assert_eq!(sim.events_executed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(100, |sim| {
+            sim.schedule_at(50, |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn schedule_in_saturates() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(Ns::MAX, |_| {});
+        // Does not panic; event sits at Ns::MAX.
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn many_events_stay_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new();
+            let trace = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..1000u64 {
+                let trace = trace.clone();
+                sim.schedule_at((i * 7919) % 503, move |_| trace.borrow_mut().push(i));
+            }
+            sim.run();
+            let t = trace.borrow().clone();
+            t
+        };
+        assert_eq!(run(), run());
+    }
+}

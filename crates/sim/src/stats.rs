@@ -1,0 +1,281 @@
+//! Measurement primitives shared by every experiment.
+//!
+//! Three kinds of statistic cover the paper's claims:
+//! * [`Counter`] — monotone event/byte counts (e.g. "media bytes touched
+//!   by the CPU").
+//! * [`Histogram`] — sample distributions with percentiles (latency,
+//!   jitter, skew).
+//! * [`TimeWeighted`] — time-averaged gauges (queue depth, buffer
+//!   occupancy, share of CPU received).
+
+use crate::time::Ns;
+
+/// A monotone counter.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A sample histogram with exact storage of every sample.
+///
+/// Experiments collect at most a few million samples, so exact storage is
+/// affordable and keeps percentile computation simple and precise.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    pub fn stddev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .samples
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// The `p`-th percentile (0.0–100.0) using nearest-rank, or `None`
+    /// when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, self.samples.len()) - 1;
+        Some(self.samples[idx])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// Peak-to-peak jitter: `max - min`.
+    pub fn jitter(&self) -> Option<u64> {
+        Some(self.max()? - self.min()?)
+    }
+
+    /// One-line summary suitable for experiment tables.
+    pub fn summary(&mut self) -> String {
+        if self.samples.is_empty() {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} min={} p50={} p99={} max={} mean={:.1}",
+            self.count(),
+            self.min().unwrap(),
+            self.percentile(50.0).unwrap(),
+            self.percentile(99.0).unwrap(),
+            self.max().unwrap(),
+            self.mean().unwrap(),
+        )
+    }
+}
+
+/// A time-weighted gauge: integrates `value × dt` so that `average()`
+/// yields the time average over the observation window.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: Ns,
+    last_value: f64,
+    weighted_sum: f64,
+    start: Ns,
+}
+
+impl TimeWeighted {
+    /// Creates a gauge with initial `value` observed at `time`.
+    pub fn new(time: Ns, value: f64) -> Self {
+        TimeWeighted {
+            last_time: time,
+            last_value: value,
+            weighted_sum: 0.0,
+            start: time,
+        }
+    }
+
+    /// Records a new value at `time` (must not precede the previous update).
+    pub fn set(&mut self, time: Ns, value: f64) {
+        debug_assert!(time >= self.last_time);
+        self.weighted_sum += self.last_value * (time - self.last_time) as f64;
+        self.last_time = time;
+        self.last_value = value;
+    }
+
+    /// Time-weighted average from creation until `time`.
+    pub fn average(&self, time: Ns) -> f64 {
+        let total = self.weighted_sum + self.last_value * (time.saturating_sub(self.last_time)) as f64;
+        let span = time.saturating_sub(self.start) as f64;
+        if span == 0.0 {
+            self.last_value
+        } else {
+            total / span
+        }
+    }
+
+    /// Most recently set value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+    }
+
+    #[test]
+    fn histogram_empty_is_none() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.jitter(), None);
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(5));
+        assert_eq!(h.mean(), Some(3.0));
+        assert_eq!(h.median(), Some(3));
+        assert_eq!(h.jitter(), Some(4));
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0), Some(1));
+        assert_eq!(h.percentile(50.0), Some(50));
+        assert_eq!(h.percentile(99.0), Some(99));
+        assert_eq!(h.percentile(100.0), Some(100));
+    }
+
+    #[test]
+    fn histogram_stddev() {
+        let mut h = Histogram::new();
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            h.record(v);
+        }
+        let sd = h.stddev().unwrap();
+        assert!((sd - 2.0).abs() < 1e-9, "{sd}");
+    }
+
+    #[test]
+    fn histogram_percentile_after_more_records_resorts() {
+        let mut h = Histogram::new();
+        h.record(10);
+        assert_eq!(h.percentile(50.0), Some(10));
+        h.record(1);
+        assert_eq!(h.percentile(50.0), Some(1));
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut g = TimeWeighted::new(0, 0.0);
+        g.set(10, 10.0); // value 0 for 10 ns
+        g.set(20, 0.0); // value 10 for 10 ns
+        // Average over [0, 20): (0*10 + 10*10) / 20 = 5.
+        assert!((g.average(20) - 5.0).abs() < 1e-9);
+        // Extending the window at value 0 dilutes it: 100/40 = 2.5.
+        assert!((g.average(40) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let g = TimeWeighted::new(5, 7.0);
+        assert_eq!(g.average(5), 7.0);
+        assert_eq!(g.current(), 7.0);
+    }
+}

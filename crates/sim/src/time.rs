@@ -1,0 +1,89 @@
+//! Virtual-time units.
+//!
+//! All simulated time in the workspace is expressed in nanoseconds as a
+//! plain `u64`. Helper constants and formatting keep call sites readable.
+
+/// Virtual time in nanoseconds.
+pub type Ns = u64;
+
+/// One microsecond in [`Ns`].
+pub const US: Ns = 1_000;
+/// One millisecond in [`Ns`].
+pub const MS: Ns = 1_000_000;
+/// One second in [`Ns`].
+pub const SEC: Ns = 1_000_000_000;
+
+/// Formats a nanosecond quantity with an adaptive unit (ns/µs/ms/s).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pegasus_sim::time::fmt_ns(1_500), "1.500µs");
+/// assert_eq!(pegasus_sim::time::fmt_ns(42), "42ns");
+/// ```
+pub fn fmt_ns(t: Ns) -> String {
+    if t >= SEC {
+        format!("{:.3}s", t as f64 / SEC as f64)
+    } else if t >= MS {
+        format!("{:.3}ms", t as f64 / MS as f64)
+    } else if t >= US {
+        format!("{:.3}µs", t as f64 / US as f64)
+    } else {
+        format!("{t}ns")
+    }
+}
+
+/// Converts a byte count and a line rate in bits/second into the time it
+/// takes to serialize those bytes onto the line.
+///
+/// Rounds up so that back-to-back transmissions never overlap.
+///
+/// # Examples
+///
+/// ```
+/// use pegasus_sim::time::tx_time;
+/// // 53-byte ATM cell on a 100 Mbit/s link: 4.24 µs.
+/// assert_eq!(tx_time(53, 100_000_000), 4_240);
+/// ```
+pub fn tx_time(bytes: usize, bits_per_sec: u64) -> Ns {
+    let bits = bytes as u128 * 8;
+    let ns = bits * 1_000_000_000u128;
+    ns.div_ceil(bits_per_sec as u128) as Ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_relate() {
+        assert_eq!(US * 1000, MS);
+        assert_eq!(MS * 1000, SEC);
+    }
+
+    #[test]
+    fn fmt_picks_unit() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(12 * US), "12.000µs");
+        assert_eq!(fmt_ns(12 * MS), "12.000ms");
+        assert_eq!(fmt_ns(12 * SEC), "12.000s");
+    }
+
+    #[test]
+    fn tx_time_rounds_up() {
+        // 1 byte at 3 bit/s = 8/3 s, rounded up.
+        assert_eq!(tx_time(1, 3), 2_666_666_667);
+    }
+
+    #[test]
+    fn tx_time_zero_bytes() {
+        assert_eq!(tx_time(0, 100_000_000), 0);
+    }
+
+    #[test]
+    fn tx_time_cell_on_155mbps() {
+        // OC-3-ish rate: 53 bytes * 8 / 155.52 Mbit/s ≈ 2.726 µs.
+        let t = tx_time(53, 155_520_000);
+        assert!((2_720..2_730).contains(&t), "{t}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Control messages and the device manager.
+//!
+//! Control VCs carry small self-contained messages. "In the case of many
+//! of the ATM devices, this signalling is handled by a management process
+//! on the attached workstation, rather than by the device itself" — here
+//! [`connect_device`], which opens the data VC plus the bidirectional
+//! control pair and tears all three down together.
+
+use pegasus_atm::network::{EndpointId, Network, VcHandle};
+use pegasus_atm::signalling::{AdmissionError, QosSpec};
+use pegasus_sim::time::Ns;
+
+/// Bandwidth reserved for a control VC: low, as the paper says.
+pub const CONTROL_BPS: u64 = 64_000;
+
+/// A control-stream message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Begin producing/consuming.
+    Start {
+        /// Which substream of the device (camera video = 0, audio = 1…).
+        stream: u8,
+    },
+    /// Cease producing/consuming.
+    Stop {
+        /// Substream selector.
+        stream: u8,
+    },
+    /// Change the compression quality.
+    SetQuality {
+        /// New 1–100 quality.
+        quality: u8,
+    },
+    /// A synchronization mark: "source synchronization information".
+    SyncMark {
+        /// Substream selector.
+        stream: u8,
+        /// Sequence number of the mark.
+        seq: u32,
+        /// Capture timestamp the mark refers to.
+        ts: Ns,
+    },
+}
+
+/// Errors decoding a control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlError {
+    /// Buffer too short for the declared message.
+    Truncated,
+    /// Unknown opcode.
+    BadOpcode(u8),
+}
+
+impl std::fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtrlError::Truncated => write!(f, "control message truncated"),
+            CtrlError::BadOpcode(op) => write!(f, "unknown control opcode {op}"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlError {}
+
+impl CtrlMsg {
+    /// Serializes to the wire form (opcode byte + operands).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            CtrlMsg::Start { stream } => vec![0, *stream],
+            CtrlMsg::Stop { stream } => vec![1, *stream],
+            CtrlMsg::SetQuality { quality } => vec![2, *quality],
+            CtrlMsg::SyncMark { stream, seq, ts } => {
+                let mut v = vec![3, *stream];
+                v.extend_from_slice(&seq.to_be_bytes());
+                v.extend_from_slice(&ts.to_be_bytes());
+                v
+            }
+        }
+    }
+
+    /// Parses a message produced by [`CtrlMsg::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<CtrlMsg, CtrlError> {
+        let (&op, rest) = bytes.split_first().ok_or(CtrlError::Truncated)?;
+        match op {
+            0 => Ok(CtrlMsg::Start {
+                stream: *rest.first().ok_or(CtrlError::Truncated)?,
+            }),
+            1 => Ok(CtrlMsg::Stop {
+                stream: *rest.first().ok_or(CtrlError::Truncated)?,
+            }),
+            2 => Ok(CtrlMsg::SetQuality {
+                quality: *rest.first().ok_or(CtrlError::Truncated)?,
+            }),
+            3 => {
+                if rest.len() < 13 {
+                    return Err(CtrlError::Truncated);
+                }
+                Ok(CtrlMsg::SyncMark {
+                    stream: rest[0],
+                    seq: u32::from_be_bytes(rest[1..5].try_into().expect("4 bytes")),
+                    ts: Ns::from_be_bytes(rest[5..13].try_into().expect("8 bytes")),
+                })
+            }
+            op => Err(CtrlError::BadOpcode(op)),
+        }
+    }
+}
+
+/// The trio of circuits a connected device holds.
+#[derive(Debug, Clone)]
+pub struct DeviceConnection {
+    /// The high-bandwidth data stream (device → sink).
+    pub data: VcHandle,
+    /// Control stream, manager → device direction.
+    pub control_out: VcHandle,
+    /// Control stream, device → manager direction.
+    pub control_in: VcHandle,
+}
+
+/// Opens the data VC and the bidirectional control pair between `src`
+/// and `dst` — the device manager's signalling job. On any failure every
+/// circuit already opened is released.
+pub fn connect_device(
+    net: &mut Network,
+    src: EndpointId,
+    dst: EndpointId,
+    data_qos: QosSpec,
+) -> Result<DeviceConnection, AdmissionError> {
+    let data = net.open_vc(src, dst, data_qos)?;
+    let control_out = match net.open_vc(src, dst, QosSpec::guaranteed(CONTROL_BPS)) {
+        Ok(vc) => vc,
+        Err(e) => {
+            net.close_vc(data);
+            return Err(e);
+        }
+    };
+    let control_in = match net.open_vc(dst, src, QosSpec::guaranteed(CONTROL_BPS)) {
+        Ok(vc) => vc,
+        Err(e) => {
+            net.close_vc(data);
+            net.close_vc(control_out);
+            return Err(e);
+        }
+    };
+    Ok(DeviceConnection {
+        data,
+        control_out,
+        control_in,
+    })
+}
+
+/// Closes all three circuits of a device connection.
+pub fn disconnect_device(net: &mut Network, conn: DeviceConnection) {
+    net.close_vc(conn.data);
+    net.close_vc(conn.control_out);
+    net.close_vc(conn.control_in);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegasus_atm::link::CaptureSink;
+    use pegasus_atm::network::LinkConfig;
+    use proptest::prelude::*;
+
+    #[test]
+    fn messages_roundtrip() {
+        let msgs = [
+            CtrlMsg::Start { stream: 0 },
+            CtrlMsg::Stop { stream: 3 },
+            CtrlMsg::SetQuality { quality: 85 },
+            CtrlMsg::SyncMark {
+                stream: 1,
+                seq: 42,
+                ts: 987_654_321,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(CtrlMsg::decode(&[9, 0]), Err(CtrlError::BadOpcode(9)));
+        assert_eq!(CtrlMsg::decode(&[]), Err(CtrlError::Truncated));
+        assert_eq!(CtrlMsg::decode(&[3, 0, 1]), Err(CtrlError::Truncated));
+    }
+
+    fn two_endpoint_net() -> (Network, EndpointId, EndpointId) {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let sw = net.add_switch("sw", 4, 0);
+        let a = net.add_endpoint(sw, 0, cfg, CaptureSink::shared());
+        let b = net.add_endpoint(sw, 1, cfg, CaptureSink::shared());
+        (net, a, b)
+    }
+
+    #[test]
+    fn connect_device_opens_three_circuits() {
+        let (mut net, a, b) = two_endpoint_net();
+        let conn = connect_device(&mut net, a, b, QosSpec::guaranteed(10_000_000)).unwrap();
+        assert_ne!(conn.data.src_vci, conn.control_out.src_vci);
+        // Data + control_out reserve on a's tx; control_in on b's tx.
+        let used_a = 95_000_000 - net.endpoint_tx_available(a);
+        assert_eq!(used_a, 10_000_000 + CONTROL_BPS);
+        let used_b = 95_000_000 - net.endpoint_tx_available(b);
+        assert_eq!(used_b, CONTROL_BPS);
+        disconnect_device(&mut net, conn);
+        assert_eq!(net.endpoint_tx_available(a), 95_000_000);
+        assert_eq!(net.endpoint_tx_available(b), 95_000_000);
+    }
+
+    #[test]
+    fn failed_data_vc_leaves_nothing_reserved() {
+        let (mut net, a, b) = two_endpoint_net();
+        let before = net.endpoint_tx_available(a);
+        let err = connect_device(&mut net, a, b, QosSpec::guaranteed(200_000_000));
+        assert!(err.is_err());
+        assert_eq!(net.endpoint_tx_available(a), before);
+    }
+
+    #[test]
+    fn failed_control_vc_rolls_back_data_vc() {
+        let (mut net, a, b) = two_endpoint_net();
+        // Data VC fits exactly; control VC cannot.
+        let err = connect_device(&mut net, a, b, QosSpec::guaranteed(95_000_000));
+        assert!(err.is_err());
+        assert_eq!(net.endpoint_tx_available(a), 95_000_000);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sync_mark_roundtrip(stream in any::<u8>(), seq in any::<u32>(), ts in any::<u64>()) {
+            let m = CtrlMsg::SyncMark { stream, seq, ts };
+            prop_assert_eq!(CtrlMsg::decode(&m.encode()).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..20)) {
+            let _ = CtrlMsg::decode(&bytes);
+        }
+    }
+}

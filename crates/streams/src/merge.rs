@@ -1,0 +1,192 @@
+//! The control-stream merger.
+//!
+//! "A host that wishes to send synchronized audio and video will do so
+//! by having the audio node and camera send the audio and video data
+//! streams separately ... while a local process will merge the two
+//! control streams into a combined control stream for the playback
+//! control process at the rendering end." (§2.2)
+//!
+//! The merger takes the per-device control streams and emits one stream
+//! ordered by source timestamp, so the playback controller sees a single
+//! time-coherent description of the whole presentation.
+
+use std::collections::VecDeque;
+
+use crate::control::CtrlMsg;
+use pegasus_sim::time::Ns;
+
+/// Merges N device control streams into one timestamp-ordered stream.
+///
+/// Marks are released only once every input has progressed past their
+/// timestamp (the classic watermark rule), so the output order is total
+/// even when inputs arrive interleaved arbitrarily.
+#[derive(Debug)]
+pub struct ControlMerger {
+    inputs: Vec<VecDeque<CtrlMsg>>,
+    /// Highest timestamp seen per input (the watermark).
+    watermark: Vec<Option<Ns>>,
+    output: Vec<CtrlMsg>,
+}
+
+impl ControlMerger {
+    /// Creates a merger over `n` input streams.
+    pub fn new(n: usize) -> Self {
+        ControlMerger {
+            inputs: (0..n).map(|_| VecDeque::new()).collect(),
+            watermark: vec![None; n],
+            output: Vec::new(),
+        }
+    }
+
+    /// Number of input streams.
+    pub fn inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Feeds a message arriving on `input`. Non-sync messages pass
+    /// through immediately (they are commands, not timeline entries).
+    pub fn push(&mut self, input: usize, msg: CtrlMsg) {
+        match msg {
+            CtrlMsg::SyncMark { ts, .. } => {
+                self.inputs[input].push_back(msg);
+                self.watermark[input] = Some(self.watermark[input].unwrap_or(0).max(ts));
+                self.drain();
+            }
+            other => self.output.push(other),
+        }
+    }
+
+    /// Declares an input finished; its watermark no longer holds back
+    /// the merge.
+    pub fn close_input(&mut self, input: usize) {
+        self.watermark[input] = Some(Ns::MAX);
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        let Some(min_wm) = self
+            .watermark
+            .iter()
+            .map(|w| w.unwrap_or(0))
+            .min()
+        else {
+            return;
+        };
+        // Release, in timestamp order, every queued mark ≤ the minimum
+        // watermark.
+        loop {
+            let mut best: Option<(usize, Ns)> = None;
+            for (i, q) in self.inputs.iter().enumerate() {
+                if let Some(CtrlMsg::SyncMark { ts, .. }) = q.front() {
+                    if *ts <= min_wm && best.map_or(true, |(_, bts)| *ts < bts) {
+                        best = Some((i, *ts));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let msg = self.inputs[i].pop_front().expect("peeked");
+            self.output.push(msg);
+        }
+    }
+
+    /// Takes the merged output produced so far.
+    pub fn take_output(&mut self) -> Vec<CtrlMsg> {
+        std::mem::take(&mut self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mark(stream: u8, seq: u32, ts: Ns) -> CtrlMsg {
+        CtrlMsg::SyncMark { stream, seq, ts }
+    }
+
+    fn timestamps(msgs: &[CtrlMsg]) -> Vec<Ns> {
+        msgs.iter()
+            .filter_map(|m| match m {
+                CtrlMsg::SyncMark { ts, .. } => Some(*ts),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interleaved_inputs_come_out_ordered() {
+        let mut m = ControlMerger::new(2);
+        // Audio marks every 10, video every 40, fed out of order.
+        m.push(1, mark(1, 0, 40));
+        m.push(0, mark(0, 0, 10));
+        m.push(0, mark(0, 1, 20));
+        m.push(0, mark(0, 2, 30));
+        m.push(0, mark(0, 3, 40));
+        m.push(1, mark(1, 1, 80));
+        m.push(0, mark(0, 4, 50));
+        m.close_input(0);
+        m.close_input(1);
+        let ts = timestamps(&m.take_output());
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+        assert_eq!(ts, vec![10, 20, 30, 40, 40, 50, 80]);
+    }
+
+    #[test]
+    fn marks_held_until_all_inputs_progress() {
+        let mut m = ControlMerger::new(2);
+        m.push(0, mark(0, 0, 100));
+        // Input 1 has said nothing: nothing may be released yet.
+        assert!(timestamps(&m.take_output()).is_empty());
+        m.push(1, mark(1, 0, 150));
+        let ts = timestamps(&m.take_output());
+        assert_eq!(ts, vec![100]);
+    }
+
+    #[test]
+    fn close_input_releases_the_rest() {
+        let mut m = ControlMerger::new(2);
+        m.push(0, mark(0, 0, 10));
+        m.push(0, mark(0, 1, 20));
+        m.close_input(1); // stream 1 will never speak
+        let ts = timestamps(&m.take_output());
+        assert_eq!(ts, vec![10, 20]);
+    }
+
+    #[test]
+    fn commands_pass_through_immediately() {
+        let mut m = ControlMerger::new(2);
+        m.push(0, CtrlMsg::Start { stream: 0 });
+        m.push(1, CtrlMsg::SetQuality { quality: 30 });
+        let out = m.take_output();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], CtrlMsg::Start { stream: 0 });
+    }
+
+    #[test]
+    fn single_input_is_fifo() {
+        let mut m = ControlMerger::new(1);
+        for i in 0..5 {
+            m.push(0, mark(0, i, (i as u64 + 1) * 7));
+        }
+        assert_eq!(timestamps(&m.take_output()), vec![7, 14, 21, 28, 35]);
+    }
+
+    #[test]
+    fn three_way_merge() {
+        let mut m = ControlMerger::new(3);
+        m.push(0, mark(0, 0, 5));
+        m.push(1, mark(1, 0, 3));
+        m.push(2, mark(2, 0, 4));
+        m.push(0, mark(0, 1, 10));
+        m.push(1, mark(1, 1, 10));
+        m.push(2, mark(2, 1, 10));
+        // Once every input reaches watermark 10, everything to 10 flows.
+        let ts = timestamps(&m.take_output());
+        assert_eq!(ts, vec![3, 4, 5, 10, 10, 10]);
+        m.close_input(0);
+        m.close_input(1);
+        m.close_input(2);
+        assert!(timestamps(&m.take_output()).is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! The playback-control process.
+//!
+//! "The playback control process is then responsible for the
+//! synchronization of the play-out of the various streams arriving at
+//! it, based on the source synchronization information from the remote
+//! manager(s) and data arrival events." (§2.2)
+//!
+//! Mechanism: every media item carries its source capture timestamp.
+//! Under [`PlaybackPolicy::Synchronized`], the controller presents item
+//! `ts` at `ts + target_latency` on *every* stream, so simultaneous
+//! captures render simultaneously regardless of per-stream transport
+//! delays; items arriving after their play-out instant are late (counted
+//! and presented immediately). Under [`PlaybackPolicy::FreeRunning`] each
+//! item renders on arrival — the baseline whose audio/video skew E16
+//! measures.
+
+use pegasus_sim::stats::Histogram;
+use pegasus_sim::time::Ns;
+use pegasus_sim::Simulator;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Identifier of a stream registered with a [`PlaybackControl`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub usize);
+
+/// Presentation discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaybackPolicy {
+    /// Present on arrival (no synchronization).
+    FreeRunning,
+    /// Present at `capture + target_latency`, holding early arrivals.
+    Synchronized {
+        /// The common presentation delay, covering transport plus jitter.
+        target_latency: Ns,
+    },
+}
+
+/// Per-stream presentation statistics.
+#[derive(Debug, Default, Clone)]
+pub struct StreamStats {
+    /// Items presented.
+    pub presented: u64,
+    /// Items that arrived after their presentation instant.
+    pub late: u64,
+    /// Capture-to-presentation latency.
+    pub latency: Histogram,
+}
+
+/// The playback controller.
+pub struct PlaybackControl {
+    policy: PlaybackPolicy,
+    streams: Vec<(String, StreamStats)>,
+    /// capture-ts → (stream, presented-at) log for skew computation.
+    presented: HashMap<Ns, Vec<(StreamId, Ns)>>,
+    /// Observed inter-stream skew for same-timestamp items.
+    pub skew: Histogram,
+}
+
+impl PlaybackControl {
+    /// Creates a controller with the given policy, wrapped for use from
+    /// simulator events.
+    pub fn shared(policy: PlaybackPolicy) -> Rc<RefCell<PlaybackControl>> {
+        Rc::new(RefCell::new(PlaybackControl {
+            policy,
+            streams: Vec::new(),
+            presented: HashMap::new(),
+            skew: Histogram::new(),
+        }))
+    }
+
+    /// Registers a stream.
+    pub fn add_stream(&mut self, name: &str) -> StreamId {
+        self.streams.push((name.to_string(), StreamStats::default()));
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Statistics of a stream.
+    pub fn stats(&self, s: StreamId) -> &StreamStats {
+        &self.streams[s.0].1
+    }
+
+    /// Handles a data-arrival event for an item captured at `capture_ts`
+    /// on `stream`, scheduling (or performing) its presentation.
+    pub fn on_arrival(
+        ctl: &Rc<RefCell<PlaybackControl>>,
+        sim: &mut Simulator,
+        stream: StreamId,
+        capture_ts: Ns,
+    ) {
+        let policy = ctl.borrow().policy;
+        match policy {
+            PlaybackPolicy::FreeRunning => {
+                ctl.borrow_mut().present(sim.now(), stream, capture_ts, false);
+            }
+            PlaybackPolicy::Synchronized { target_latency } => {
+                let due = capture_ts + target_latency;
+                if sim.now() >= due {
+                    // Arrived too late to hold: present now, count it.
+                    ctl.borrow_mut().present(sim.now(), stream, capture_ts, true);
+                } else {
+                    let ctl2 = ctl.clone();
+                    sim.schedule_at(due, move |sim| {
+                        ctl2.borrow_mut().present(sim.now(), stream, capture_ts, false);
+                    });
+                }
+            }
+        }
+    }
+
+    fn present(&mut self, now: Ns, stream: StreamId, capture_ts: Ns, late: bool) {
+        let st = &mut self.streams[stream.0].1;
+        st.presented += 1;
+        if late {
+            st.late += 1;
+        }
+        st.latency.record(now.saturating_sub(capture_ts));
+        // Skew against every other stream's presentation of this capture
+        // instant.
+        let entry = self.presented.entry(capture_ts).or_default();
+        for &(other, t) in entry.iter() {
+            if other != stream {
+                self.skew.record(now.abs_diff(t));
+            }
+        }
+        entry.push((stream, now));
+    }
+
+    /// Fraction of presentations that were late, across all streams.
+    pub fn late_fraction(&self) -> f64 {
+        let (late, total) = self
+            .streams
+            .iter()
+            .fold((0u64, 0u64), |(l, t), (_, s)| (l + s.late, t + s.presented));
+        if total == 0 {
+            0.0
+        } else {
+            late as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegasus_sim::time::MS;
+
+    /// Feeds two streams capturing the same instants but with different
+    /// transport delays (video slow, audio fast).
+    fn drive(policy: PlaybackPolicy, video_delay: Ns, audio_delay: Ns) -> Rc<RefCell<PlaybackControl>> {
+        let ctl = PlaybackControl::shared(policy);
+        let (video, audio) = {
+            let mut c = ctl.borrow_mut();
+            (c.add_stream("video"), c.add_stream("audio"))
+        };
+        let mut sim = Simulator::new();
+        for i in 0..100u64 {
+            let capture = i * 40 * MS;
+            let ctl_v = ctl.clone();
+            sim.schedule_at(capture + video_delay, move |sim| {
+                PlaybackControl::on_arrival(&ctl_v, sim, video, capture);
+            });
+            let ctl_a = ctl.clone();
+            sim.schedule_at(capture + audio_delay, move |sim| {
+                PlaybackControl::on_arrival(&ctl_a, sim, audio, capture);
+            });
+        }
+        sim.run();
+        ctl
+    }
+
+    #[test]
+    fn free_running_skew_equals_delay_difference() {
+        let ctl = drive(PlaybackPolicy::FreeRunning, 30 * MS, 2 * MS);
+        let mut c = ctl.borrow_mut();
+        assert_eq!(c.skew.count(), 100);
+        assert_eq!(c.skew.percentile(50.0), Some(28 * MS));
+    }
+
+    #[test]
+    fn synchronized_removes_skew() {
+        let ctl = drive(
+            PlaybackPolicy::Synchronized {
+                target_latency: 50 * MS,
+            },
+            30 * MS,
+            2 * MS,
+        );
+        let c = ctl.borrow();
+        assert_eq!(c.skew.max(), Some(0), "synchronized streams present together");
+        assert_eq!(c.late_fraction(), 0.0);
+    }
+
+    #[test]
+    fn synchronized_latency_is_the_target() {
+        let ctl = drive(
+            PlaybackPolicy::Synchronized {
+                target_latency: 50 * MS,
+            },
+            30 * MS,
+            2 * MS,
+        );
+        let mut c = ctl.borrow_mut();
+        let video = StreamId(0);
+        let audio = StreamId(1);
+        assert_eq!(c.streams[video.0].1.presented, 100);
+        let v50 = c.streams[video.0].1.latency.percentile(50.0).unwrap();
+        let a50 = c.streams[audio.0].1.latency.percentile(50.0).unwrap();
+        assert_eq!(v50, 50 * MS);
+        assert_eq!(a50, 50 * MS);
+    }
+
+    #[test]
+    fn target_below_transport_delay_goes_late() {
+        let ctl = drive(
+            PlaybackPolicy::Synchronized {
+                target_latency: 10 * MS,
+            },
+            30 * MS, // video cannot make a 10 ms deadline
+            2 * MS,
+        );
+        let c = ctl.borrow();
+        assert!(c.late_fraction() > 0.4, "half the items are late");
+        // And late items reintroduce skew.
+        assert!(c.skew.max().unwrap() > 0);
+    }
+
+    #[test]
+    fn free_running_minimizes_latency() {
+        let free = drive(PlaybackPolicy::FreeRunning, 30 * MS, 2 * MS);
+        let synced = drive(
+            PlaybackPolicy::Synchronized {
+                target_latency: 50 * MS,
+            },
+            30 * MS,
+            2 * MS,
+        );
+        let mut f = free.borrow_mut();
+        let mut s = synced.borrow_mut();
+        let fa = f.streams[1].1.latency.percentile(50.0).unwrap();
+        let sa = s.streams[1].1.latency.percentile(50.0).unwrap();
+        assert!(fa < sa, "free-running audio latency {fa} < synchronized {sa}");
+    }
+
+    #[test]
+    fn stats_accessible_by_id() {
+        let ctl = PlaybackControl::shared(PlaybackPolicy::FreeRunning);
+        let s = ctl.borrow_mut().add_stream("x");
+        assert_eq!(ctl.borrow().stats(s).presented, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! The digital TV director: the Pegasus project's flagship application.
+//!
+//! Three studio cameras stream live to the control room; the director
+//! cuts between them every 400 ms. A cut is one window-descriptor write
+//! — no media is copied, re-routed or touched by a CPU.
+//!
+//! Run with: `cargo run --example tv_director`
+
+use pegasus_system::core::director::TvDirector;
+use pegasus_system::devices::video::Scene;
+use pegasus_system::sim::time::MS;
+
+fn main() {
+    let mut director = TvDirector::new(
+        3,
+        &[Scene::TestCard, Scene::MovingGradient, Scene::Noise],
+    );
+    println!("on air with {} cameras; cutting every 400 ms...", director.source_count());
+
+    let rundown = [0usize, 1, 2, 1, 0, 2];
+    for (i, &source) in rundown.iter().enumerate() {
+        director.cut(source);
+        director.run_until((i as u64 + 1) * 400 * MS);
+        println!(
+            "  t={:>4} ms  program = camera {}  (program-monitor pixel: {})",
+            (i + 1) * 400,
+            director.program(),
+            director.program_pixel(0, 0)
+        );
+    }
+    director.shutdown();
+
+    println!("\ncuts performed: {:?}", director.cuts.iter().map(|(_, s)| s).collect::<Vec<_>>());
+    println!("tiles painted on the control-room display: {}", director.tiles_blitted());
+    println!("media bytes any CPU touched: {}", director.cpu_media_bytes());
+    assert_eq!(director.cpu_media_bytes(), 0);
+    println!("every cut was pure control: a descriptor raise in the display.");
+}

@@ -1,0 +1,84 @@
+//! VCR: record a camera into the Pegasus File Server, then seek,
+//! play, fast-forward and reverse through the control-stream index
+//! (§2.2, §5).
+//!
+//! Run with: `cargo run --example vcr`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pegasus_system::atm::signalling::QosSpec;
+use pegasus_system::core::recorder::{MediaPlayer, RecorderSink};
+use pegasus_system::core::system::System;
+use pegasus_system::devices::camera::{Camera, CameraConfig};
+use pegasus_system::devices::video::Scene;
+use pegasus_system::pfs::disk::DiskConfig;
+use pegasus_system::pfs::log::LogFs;
+use pegasus_system::sim::time::{fmt_ns, MS};
+use pegasus_system::sim::Simulator;
+
+fn main() {
+    let mut sys = System::new();
+    let studio = sys.add_workstation("studio", 40);
+
+    // The storage server is just another device on the network.
+    let fs = Rc::new(RefCell::new(LogFs::new(DiskConfig::hp_1994())));
+    let recorder = RecorderSink::shared(fs.clone());
+    let storage_ep = sys.add_backbone_endpoint(recorder.clone());
+    let vc = sys
+        .net
+        .open_vc(studio.camera_ep, storage_ep, QosSpec::guaranteed(20_000_000))
+        .expect("admission");
+
+    // Record one second.
+    let cam = sys.build_camera(&studio, Scene::MovingGradient, CameraConfig::default(), vc.src_vci);
+    let mut sim = Simulator::new();
+    Camera::start(&cam, &mut sim);
+    sim.run_until(1_000 * MS);
+    cam.borrow_mut().stop();
+    sim.run();
+
+    let (file, index, stored) = {
+        let r = recorder.borrow();
+        (r.file, r.index.clone(), r.frames_stored)
+    };
+    let size = fs.borrow().pnode(file).unwrap().size;
+    println!(
+        "recorded: {stored} tile-frames, {size} bytes, {} index marks",
+        index.len()
+    );
+
+    // Play from the beginning.
+    let all = {
+        let mut f = fs.borrow_mut();
+        MediaPlayer::read_from_offset(&mut f, file, 0).unwrap()
+    };
+    println!("play:          {} tile-frames from t=0", all.len());
+
+    // Seek to t = 600 ms.
+    let late = {
+        let mut f = fs.borrow_mut();
+        MediaPlayer::play_from(&mut f, file, &index, 600 * MS).unwrap()
+    };
+    println!(
+        "seek 600ms:    {} tile-frames, first captured at {}",
+        late.len(),
+        fmt_ns(late[0].timestamp)
+    );
+
+    // Fast-forward: every 5th mark.
+    let ff = index.fast_forward(0, 5);
+    println!(
+        "fast-forward:  {} key points: {:?}...",
+        ff.len(),
+        ff.iter().take(4).map(|(t, _)| fmt_ns(*t)).collect::<Vec<_>>()
+    );
+
+    // Reverse play from 500 ms.
+    let rev = index.reverse(500 * MS);
+    println!(
+        "reverse:       {} marks walking back from {}",
+        rev.len(),
+        fmt_ns(500 * MS)
+    );
+}

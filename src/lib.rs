@@ -1,0 +1,14 @@
+//! Umbrella crate for the Pegasus reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that integration
+//! tests in `tests/` and the runnable examples in `examples/` can reach
+//! the whole system through a single dependency.
+
+pub use pegasus as core;
+pub use pegasus_atm as atm;
+pub use pegasus_devices as devices;
+pub use pegasus_naming as naming;
+pub use pegasus_nemesis as nemesis;
+pub use pegasus_pfs as pfs;
+pub use pegasus_sim as sim;
+pub use pegasus_streams as streams;
