@@ -1,8 +1,9 @@
 //! Shared helpers for the experiment benches.
 //!
 //! Every `e*` bench target is a `harness = false` binary that regenerates
-//! one figure/claim of the paper as a printed table (see DESIGN.md §4 and
-//! EXPERIMENTS.md). These helpers keep the output format uniform.
+//! one figure/claim of the paper as a printed table — the README in this
+//! crate lists all seventeen and the paper claim each one measures. These
+//! helpers keep the output format uniform.
 
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str, anchor: &str) {

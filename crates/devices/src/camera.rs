@@ -267,7 +267,7 @@ mod tests {
     use super::*;
     use crate::video::Scene;
     use pegasus_atm::aal5::Reassembler;
-    use pegasus_atm::link::{CaptureSink, CellSink};
+    use pegasus_atm::link::CaptureSink;
     use pegasus_sim::time::MS;
 
     fn capture_setup(cfg: CameraConfig) -> (Rc<RefCell<Camera>>, Rc<RefCell<CaptureSink>>) {

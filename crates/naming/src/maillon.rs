@@ -87,6 +87,7 @@ impl<T> Maillon<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
 
     struct FrameBuffer {
         writes: u32,
@@ -150,15 +151,16 @@ mod tests {
 
     #[test]
     fn resolver_sees_the_reference() {
-        let mut got: Option<ObjectRef> = None;
+        let got = Rc::new(Cell::new(None));
+        let got_in_resolver = Rc::clone(&got);
         let mut m: Maillon<u32> = Maillon::new(
             ObjectRef(1234),
             Box::new(move |oref| {
-                got = Some(oref);
-                assert_eq!(oref, ObjectRef(1234));
+                got_in_resolver.set(Some(oref));
                 (Rc::new(RefCell::new(0u32)), 0)
             }),
         );
         m.interface();
+        assert_eq!(got.get(), Some(ObjectRef(1234)));
     }
 }

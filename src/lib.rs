@@ -1,8 +1,10 @@
 //! Umbrella crate for the Pegasus reproduction.
 //!
-//! Re-exports every workspace crate under one roof so that integration
+//! Re-exports the eight system crates under one roof so that integration
 //! tests in `tests/` and the runnable examples in `examples/` can reach
-//! the whole system through a single dependency.
+//! the whole system through a single dependency. (The bench helpers in
+//! `crates/bench` and the offline stand-ins under `vendor/` are build
+//! tooling, not part of the system, and are not re-exported.)
 
 pub use pegasus as core;
 pub use pegasus_atm as atm;

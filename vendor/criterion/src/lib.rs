@@ -1,0 +1,100 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of the criterion API that `benches/micro.rs` uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is a plain two-phase measurement (calibrating warm-up, then a
+//! fixed measurement window) reporting the mean ns/iter — no statistics
+//! engine, no HTML reports. Good enough to spot order-of-magnitude
+//! regressions in the micro-benchmarks; the real experiment benches
+//! (`e01`–`e17`) are self-contained `harness = false` binaries that do not
+//! go through this crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name` and prints the mean time per
+    /// iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{name:<40} {per_iter:>12.1} ns/iter  ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Runs the closure under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up to pick an iteration batch size.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: count how many iterations fit in the warm-up window.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Measurement: run roughly a MEASURE window's worth, timed as one
+        // batch to keep clock-read overhead out of the figure.
+        let target = (warm_iters.max(1) * MEASURE.as_millis() as u64
+            / WARMUP.as_millis() as u64)
+            .max(1);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += target;
+    }
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

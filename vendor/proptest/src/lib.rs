@@ -1,0 +1,207 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of the proptest API its property tests use: the [`proptest!`] macro
+//! (with `#![proptest_config(...)]`), [`strategy::Strategy`] with
+//! `prop_map`, range and tuple strategies, [`prop_oneof!`], [`arbitrary::any`],
+//! [`collection::vec`], [`sample::Index`], and the `prop_assert*` /
+//! [`prop_assume!`] macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case number and the
+//!   assertion message; re-running is deterministic (the RNG seed is derived
+//!   from the test name), so the failure reproduces exactly.
+//! * **Fixed seeding.** There is no `PROPTEST_CASES`/persistence machinery;
+//!   every run explores the same deterministic sequence of cases, which is
+//!   what this repository's reproducible-experiment policy wants anyway.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Mirrors the `prop` re-export module from the real prelude.
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Runs `cases` instances of a property, regenerating inputs each time.
+///
+/// This is the engine behind the [`proptest!`] macro; `body` returns
+/// `Err(TestCaseError::Reject)` for `prop_assume!` failures (the case is
+/// retried with fresh inputs) and `Err(TestCaseError::Fail)` for assertion
+/// failures (the run panics).
+pub fn run_cases<F>(test_name: &str, config: &test_runner::ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut rng = test_runner::TestRng::deterministic(test_name);
+    let mut executed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(100);
+    while executed < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!(
+                "proptest stand-in: `{test_name}` rejected too many cases \
+                 ({attempts} attempts for {executed} accepted)"
+            );
+        }
+        match body(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => continue,
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("proptest stand-in: `{test_name}` failed at case {executed}: {msg}")
+            }
+        }
+    }
+}
+
+/// The macro behind proptest-style property tests.
+///
+/// Supports the two shapes this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn name(x in strategy, (a, b) in other) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Built once, outside the per-case closure: the tuple of
+            // strategies is itself a strategy (see strategy.rs).
+            let __proptest_strategies = ($($strat,)+);
+            $crate::run_cases(stringify!($name), &config, |__proptest_rng| {
+                let ($($pat,)+) = $crate::strategy::Strategy::new_value(
+                    &__proptest_strategies,
+                    __proptest_rng,
+                );
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_tuple_patterns((a, b) in (1u8..10, 10u8..20), v in prop::collection::vec(any::<u8>(), 0..5)) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose length is only known at use time.
+///
+/// Generated unconstrained; [`Index::index`] maps it uniformly into
+/// `0..len`.
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this sample into `0..len`. Panics if `len == 0`, matching
+    /// real proptest.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index called with empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

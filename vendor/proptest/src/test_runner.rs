@@ -1,0 +1,71 @@
+//! Test-runner plumbing: config, case errors, and the deterministic RNG.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (the `cases` knob only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the deterministic
+        // stand-in fast while still exercising the properties broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded and retried.
+    Reject(&'static str),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+/// The RNG handed to strategies: deterministic per test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Seeds from a test name so every run of a given test explores the
+    /// same case sequence.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { inner: SmallRng::seed_from_u64(h) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be positive).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        self.inner.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+}
