@@ -18,6 +18,29 @@ pub const HEADER_SIZE: usize = 5;
 /// A virtual circuit identifier (16 bits on the wire).
 pub type Vci = u16;
 
+/// CRC-8 polynomial of the header checksum: `x^8 + x^2 + x + 1`.
+const HEC_POLY: u8 = 0x07;
+
+/// Builds the 256-entry CRC-8 lookup table at compile time: entry `i` is
+/// the CRC-8 of the single byte `i`.
+const fn build_hec_table() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x80 != 0 { (crc << 1) ^ HEC_POLY } else { crc << 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static HEC_TABLE: [u8; 256] = build_hec_table();
+
 /// One ATM cell.
 ///
 /// Cells are `Clone` and small; the simulator copies them freely between
@@ -125,18 +148,13 @@ impl Cell {
     /// Computes the HEC octet over the first four header bytes.
     ///
     /// The HEC is CRC-8 with polynomial `x^8 + x^2 + x + 1` (0x07), with
-    /// the ITU-mandated 0x55 coset added.
+    /// the ITU-mandated 0x55 coset added. One lookup per header byte in
+    /// a compile-time-built 256-entry table, so header generation and
+    /// verification stay off the bit-loop.
     pub fn hec(header: &[u8; 4]) -> u8 {
         let mut crc: u8 = 0;
         for &b in header {
-            crc ^= b;
-            for _ in 0..8 {
-                if crc & 0x80 != 0 {
-                    crc = (crc << 1) ^ 0x07;
-                } else {
-                    crc <<= 1;
-                }
-            }
+            crc = HEC_TABLE[(crc ^ b) as usize];
         }
         crc ^ 0x55
     }
@@ -255,5 +273,40 @@ mod tests {
     fn hec_known_coset() {
         // All-zero header: CRC-8 of zeros is 0, plus coset 0x55.
         assert_eq!(Cell::hec(&[0, 0, 0, 0]), 0x55);
+    }
+
+    /// The pre-table implementation, kept as the reference oracle.
+    fn hec_bitwise(header: &[u8; 4]) -> u8 {
+        let mut crc: u8 = 0;
+        for &b in header {
+            crc ^= b;
+            for _ in 0..8 {
+                if crc & 0x80 != 0 {
+                    crc = (crc << 1) ^ 0x07;
+                } else {
+                    crc <<= 1;
+                }
+            }
+        }
+        crc ^ 0x55
+    }
+
+    #[test]
+    fn hec_table_matches_bitwise_reference() {
+        // Walk each byte position through all 256 values, plus a dense
+        // pseudo-random sweep.
+        for pos in 0..4 {
+            for v in 0..=255u8 {
+                let mut hdr = [0x12, 0x34, 0x56, 0x78];
+                hdr[pos] = v;
+                assert_eq!(Cell::hec(&hdr), hec_bitwise(&hdr), "pos={pos} v={v:#04x}");
+            }
+        }
+        let mut x: u32 = 0xDEAD_BEEF;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let hdr = x.to_le_bytes();
+            assert_eq!(Cell::hec(&hdr), hec_bitwise(&hdr));
+        }
     }
 }

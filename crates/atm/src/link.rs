@@ -5,12 +5,29 @@
 //! `53·8 / rate` seconds and arrives `prop_delay` later. Back-to-back
 //! sends queue behind the line (FIFO), which is where queueing delay and
 //! jitter come from in the experiments.
+//!
+//! # Cell trains
+//!
+//! Cells queued behind a busy line form a *train*: a contiguous run whose
+//! arrival times are fixed the moment each cell is accepted. The link
+//! exploits this to keep the event engine off the per-cell hot path:
+//!
+//! * **Per-cell lane** (default): every cell still gets its own delivery
+//!   event — exact per-cell delivery clock for timing-sensitive sinks —
+//!   but the event is a [`SharedHandler`] created once per link, so
+//!   scheduling a cell allocates nothing.
+//! * **Batched lane**: sinks that declare [`CellSink::batch_capable`]
+//!   (capture probes, storage recorders) receive whole trains in a single
+//!   [`CellSink::deliver_batch`] call carrying explicit per-cell arrival
+//!   times. One event may deliver thousands of cells; the recorded
+//!   arrival times are bit-for-bit those of the per-cell lane.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use pegasus_sim::time::{tx_time, Ns};
-use pegasus_sim::Simulator;
+use pegasus_sim::{SharedHandler, Simulator};
 
 use crate::cell::{Cell, CELL_SIZE};
 
@@ -19,10 +36,51 @@ use crate::cell::{Cell, CELL_SIZE};
 pub trait CellSink {
     /// Delivers one cell at the current simulation time.
     fn deliver(&mut self, sim: &mut Simulator, cell: Cell);
+
+    /// Delivers a train of back-to-back cells in one call.
+    ///
+    /// `cells` holds `(arrival time, cell)` pairs in arrival order; every
+    /// arrival is `<= sim.now()` when the call is made. The default
+    /// implementation drains them through [`CellSink::deliver`] one at a
+    /// time. Links only use this entry point on sinks that report
+    /// [`CellSink::batch_capable`]; such sinks must take their per-cell
+    /// timing from the explicit timestamps, not from [`Simulator::now`].
+    fn deliver_batch(&mut self, sim: &mut Simulator, cells: &mut Vec<(Ns, Cell)>) {
+        for (_, cell) in cells.drain(..) {
+            self.deliver(sim, cell);
+        }
+    }
+
+    /// Whether a link may collapse a whole cell train into one
+    /// [`CellSink::deliver_batch`] event instead of one event per cell.
+    ///
+    /// Return `true` only if the sink does not read [`Simulator::now`]
+    /// (or schedule follow-up work) per cell — capture probes and bulk
+    /// recorders qualify; switches, displays and DACs do not. The link
+    /// samples this at the start of each train, so a sink may change its
+    /// answer between trains (see `HostNic` forwarding) but not within
+    /// one.
+    fn batch_capable(&self) -> bool {
+        false
+    }
 }
 
 /// Shared handle to a [`CellSink`].
 pub type SinkRef = Rc<RefCell<dyn CellSink>>;
+
+/// The queue of accepted-but-undelivered cells on one link, shared
+/// between the link (producer) and its delivery handler (consumer).
+struct Train {
+    /// `(arrival time, cell)` in arrival order.
+    cells: VecDeque<(Ns, Cell)>,
+    /// Scratch buffer handed to [`CellSink::deliver_batch`]; reused so a
+    /// steady-state batched link performs no per-train allocations.
+    burst: Vec<(Ns, Cell)>,
+    /// Batched lane only: a delivery event is already scheduled.
+    scheduled: bool,
+    /// Lane chosen at train start (sink's `batch_capable` answer).
+    batch: bool,
+}
 
 /// A unidirectional link with a line rate and propagation delay.
 ///
@@ -55,6 +113,8 @@ pub struct Link {
     sink: SinkRef,
     next_free: Ns,
     cells_sent: u64,
+    train: Rc<RefCell<Train>>,
+    handler: SharedHandler,
 }
 
 impl Link {
@@ -62,12 +122,64 @@ impl Link {
     /// propagation delay, feeding `sink`.
     pub fn new(rate_bps: u64, prop_delay: Ns, sink: SinkRef) -> Self {
         assert!(rate_bps > 0, "link rate must be positive");
+        let train = Rc::new(RefCell::new(Train {
+            cells: VecDeque::new(),
+            burst: Vec::new(),
+            scheduled: false,
+            batch: false,
+        }));
+        let handler: SharedHandler = {
+            let train = train.clone();
+            let sink = sink.clone();
+            Rc::new(RefCell::new(move |sim: &mut Simulator| -> Option<Ns> {
+                let now = sim.now();
+                let batch = train.borrow().batch;
+                if batch {
+                    // Drain every cell that has arrived by now into the
+                    // reusable burst buffer, release the borrow, then hand
+                    // the whole train segment over in one call.
+                    let mut burst = {
+                        let mut t = train.borrow_mut();
+                        let mut burst = std::mem::take(&mut t.burst);
+                        while t.cells.front().is_some_and(|&(at, _)| at <= now) {
+                            burst.push(t.cells.pop_front().expect("front checked"));
+                        }
+                        burst
+                    };
+                    sink.borrow_mut().deliver_batch(sim, &mut burst);
+                    burst.clear();
+                    let mut t = train.borrow_mut();
+                    t.burst = burst;
+                    // Cells accepted since this event was scheduled arrive
+                    // later; chase them with one event at the train's tail.
+                    match t.cells.back() {
+                        Some(&(tail, _)) => Some(tail),
+                        None => {
+                            t.scheduled = false;
+                            None
+                        }
+                    }
+                } else {
+                    // Per-cell lane: this event is exactly one cell.
+                    let (at, cell) = train
+                        .borrow_mut()
+                        .cells
+                        .pop_front()
+                        .expect("one queued cell per delivery event");
+                    debug_assert_eq!(at, now, "per-cell delivery fires at its arrival time");
+                    sink.borrow_mut().deliver(sim, cell);
+                    None
+                }
+            }))
+        };
         Link {
             rate_bps,
             prop_delay,
             sink,
             next_free: 0,
             cells_sent: 0,
+            train,
+            handler,
         }
     }
 
@@ -100,22 +212,50 @@ impl Link {
     /// Queues `cell` for transmission; delivery to the sink is scheduled
     /// after queueing + serialization + propagation.
     ///
-    /// Returns the absolute arrival time at the sink.
+    /// Returns the absolute arrival time at the sink. The generic path
+    /// allocates nothing per cell: the delivery event is the link's
+    /// shared handler, and on the batched lane a whole train rides a
+    /// single event.
     pub fn send(&mut self, sim: &mut Simulator, cell: Cell) -> Ns {
         let start = self.next_free.max(sim.now());
         let done = start + self.cell_time();
         self.next_free = done;
         self.cells_sent += 1;
         let arrival = done + self.prop_delay;
-        let sink = self.sink.clone();
-        sim.schedule_at(arrival, move |sim| {
-            sink.borrow_mut().deliver(sim, cell);
-        });
+        let mut t = self.train.borrow_mut();
+        if t.cells.is_empty() && !t.scheduled {
+            // A new train starts: sample the sink's lane preference.
+            t.batch = self.sink.borrow().batch_capable();
+        }
+        t.cells.push_back((arrival, cell));
+        let need_event = if t.batch {
+            !std::mem::replace(&mut t.scheduled, true)
+        } else {
+            true
+        };
+        drop(t);
+        if need_event {
+            sim.schedule_shared_at(arrival, self.handler.clone());
+        }
         arrival
+    }
+
+    /// Sends a burst of back-to-back cells, returning the arrival time of
+    /// the last one. Equivalent to calling [`Link::send`] in a loop.
+    pub fn send_burst(&mut self, sim: &mut Simulator, cells: impl IntoIterator<Item = Cell>) -> Ns {
+        let mut last = sim.now();
+        for cell in cells {
+            last = self.send(sim, cell);
+        }
+        last
     }
 }
 
 /// A sink that records arrivals — the workhorse test/measurement probe.
+///
+/// Batch-capable: a busy link delivers whole cell trains to it in one
+/// event, recording the same `(arrival, cell)` pairs the per-cell lane
+/// would produce.
 #[derive(Default)]
 pub struct CaptureSink {
     /// `(arrival time, cell)` pairs in delivery order.
@@ -132,6 +272,14 @@ impl CaptureSink {
 impl CellSink for CaptureSink {
     fn deliver(&mut self, sim: &mut Simulator, cell: Cell) {
         self.arrivals.push((sim.now(), cell));
+    }
+
+    fn deliver_batch(&mut self, _sim: &mut Simulator, cells: &mut Vec<(Ns, Cell)>) {
+        self.arrivals.append(cells);
+    }
+
+    fn batch_capable(&self) -> bool {
+        true
     }
 }
 
@@ -213,5 +361,82 @@ mod tests {
     fn zero_rate_rejected() {
         let sink = CaptureSink::shared();
         let _ = Link::new(0, 0, sink);
+    }
+
+    /// A sink on the default (per-cell) lane recording delivery clocks.
+    #[derive(Default)]
+    struct ClockProbe(Vec<(Ns, u16)>);
+    impl CellSink for ClockProbe {
+        fn deliver(&mut self, sim: &mut Simulator, cell: Cell) {
+            self.0.push((sim.now(), cell.vci()));
+        }
+    }
+
+    #[test]
+    fn batched_and_per_cell_lanes_record_identical_arrivals() {
+        let drive = |probe: SinkRef| {
+            let mut link = Link::new(MBPS_100, 77, probe);
+            let mut sim = Simulator::new();
+            for burst in 0..5u16 {
+                for i in 0..=burst {
+                    link.send(&mut sim, Cell::new(burst * 10 + i));
+                }
+                sim.run_until(sim.now() + 3_000);
+            }
+            sim.run();
+            (sim.events_executed(), sim.now())
+        };
+        let probe = Rc::new(RefCell::new(ClockProbe::default()));
+        let (per_cell_events, per_cell_clock) = drive(probe.clone());
+        let capture = CaptureSink::shared();
+        let (batch_events, batch_clock) = drive(capture.clone());
+
+        let a: Vec<(Ns, u16)> = probe.borrow().0.clone();
+        let b: Vec<(Ns, u16)> = capture
+            .borrow()
+            .arrivals
+            .iter()
+            .map(|(t, c)| (*t, c.vci()))
+            .collect();
+        assert_eq!(a, b, "the two lanes must record identical arrival traces");
+        assert_eq!(per_cell_clock, batch_clock, "same final clock");
+        assert!(
+            batch_events < per_cell_events,
+            "batching must collapse events: {batch_events} vs {per_cell_events}"
+        );
+    }
+
+    #[test]
+    fn send_burst_matches_individual_sends() {
+        let sink_a = CaptureSink::shared();
+        let mut link_a = Link::new(MBPS_100, 10, sink_a.clone());
+        let sink_b = CaptureSink::shared();
+        let mut link_b = Link::new(MBPS_100, 10, sink_b.clone());
+        let mut sim_a = Simulator::new();
+        let mut sim_b = Simulator::new();
+        let last = link_a.send_burst(&mut sim_a, (0..8u16).map(Cell::new));
+        let mut last_b = 0;
+        for v in 0..8u16 {
+            last_b = link_b.send(&mut sim_b, Cell::new(v));
+        }
+        assert_eq!(last, last_b);
+        sim_a.run();
+        sim_b.run();
+        assert_eq!(sink_a.borrow().arrivals, sink_b.borrow().arrivals);
+    }
+
+    #[test]
+    fn batch_lane_delivers_nothing_early_under_run_until() {
+        let sink = CaptureSink::shared();
+        let mut link = Link::new(MBPS_100, 0, sink.clone());
+        let mut sim = Simulator::new();
+        for _ in 0..10 {
+            link.send(&mut sim, Cell::new(1)); // arrivals 4240, 8480, …
+        }
+        sim.run_until(9_000);
+        // Whatever has been delivered by t=9000 must have arrived by then.
+        assert!(sink.borrow().arrivals.iter().all(|&(t, _)| t <= 9_000));
+        sim.run();
+        assert_eq!(sink.borrow().arrivals.len(), 10);
     }
 }

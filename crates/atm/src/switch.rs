@@ -10,11 +10,11 @@
 //! threshold.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use pegasus_sim::time::Ns;
-use pegasus_sim::Simulator;
+use pegasus_sim::{SharedHandler, Simulator};
 
 use crate::cell::{Cell, Vci};
 use crate::link::{CellSink, Link, SinkRef};
@@ -130,22 +130,25 @@ impl Switch {
 }
 
 /// An input-port adapter: the [`CellSink`] a neighbour's link feeds.
+///
+/// Cells crossing the fabric wait in a FIFO shared with a single
+/// [`SharedHandler`], so the per-cell fabric hop costs one small heap
+/// entry and no allocations.
 struct InPort {
     switch: Rc<RefCell<Switch>>,
     port: usize,
+    crossing: Rc<RefCell<VecDeque<Cell>>>,
+    handler: SharedHandler,
 }
 
 impl CellSink for InPort {
     fn deliver(&mut self, sim: &mut Simulator, cell: Cell) {
         let latency = self.switch.borrow().fabric_latency;
-        let switch = self.switch.clone();
-        let port = self.port;
         if latency == 0 {
-            switch.borrow_mut().forward(sim, port, cell);
+            self.switch.borrow_mut().forward(sim, self.port, cell);
         } else {
-            sim.schedule_in(latency, move |sim| {
-                switch.borrow_mut().forward(sim, port, cell);
-            });
+            self.crossing.borrow_mut().push_back(cell);
+            sim.schedule_shared_in(latency, self.handler.clone());
         }
     }
 }
@@ -154,9 +157,24 @@ impl CellSink for InPort {
 /// sink of whatever link feeds that port.
 pub fn input_port(switch: &Rc<RefCell<Switch>>, port: usize) -> SinkRef {
     assert!(port < switch.borrow().ports(), "input port out of range");
+    let crossing: Rc<RefCell<VecDeque<Cell>>> = Rc::new(RefCell::new(VecDeque::new()));
+    let handler: SharedHandler = {
+        let switch = switch.clone();
+        let crossing = crossing.clone();
+        Rc::new(RefCell::new(move |sim: &mut Simulator| -> Option<Ns> {
+            let cell = crossing
+                .borrow_mut()
+                .pop_front()
+                .expect("one crossing cell per fabric event");
+            switch.borrow_mut().forward(sim, port, cell);
+            None
+        }))
+    };
     Rc::new(RefCell::new(InPort {
         switch: switch.clone(),
         port,
+        crossing,
+        handler,
     }))
 }
 

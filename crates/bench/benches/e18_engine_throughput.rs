@@ -1,0 +1,229 @@
+//! E18 — Event-engine throughput.
+//!
+//! Every experiment in this suite bottoms out in `Simulator::schedule_at`
+//! and the per-cell delivery path, so this bench measures the substrate
+//! itself: raw events/sec through the scheduler (steady-state timer
+//! chains and a wide fan of pending events), cancellation throughput, and
+//! cells/sec through a `Link` into a capture sink. Unlike e01–e17 these
+//! numbers are wall-clock (machine-dependent); what matters is the ratio
+//! against the baseline recorded in `BENCH_engine.json`.
+//!
+//! Usage:
+//!   cargo bench --bench e18_engine_throughput [-- [--scale N] [--json PATH]]
+//!
+//! `--scale N` divides every workload size by N (CI smoke uses 20);
+//! `--json PATH` writes the machine-readable result file.
+
+use std::cell::Cell as StdCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use pegasus_atm::cell::Cell;
+use pegasus_atm::link::{CaptureSink, Link};
+use pegasus_bench::{banner, row};
+use pegasus_sim::Simulator;
+
+/// Baseline measured on the pre-rearchitecture engine (commit 9822aa3:
+/// boxed-closure events, `Rc<Cell<bool>>` cancel flags, linear-scan
+/// `cancel`), same machine, default scale. `scripts/bench_engine.sh`
+/// copies these numbers into `BENCH_engine.json` next to the fresh run.
+pub const BASELINE_EVENTS_PER_SEC: f64 = 1_491_349.0;
+pub const BASELINE_CELLS_PER_SEC: f64 = 7_349_097.0;
+pub const BASELINE_CANCELS_PER_SEC: f64 = 35_245.0;
+
+struct Results {
+    events_per_sec: f64,
+    cells_per_sec: f64,
+    cancels_per_sec: f64,
+    events_total: u64,
+    cells_total: u64,
+}
+
+/// Steady-state timer chains: `chains` concurrent self-rescheduling
+/// timers, the dominant pattern of device models (audio ticks, camera
+/// frame loops, scheduler quanta).
+fn bench_chains(chains: u64, steps: u64) -> (u64, f64) {
+    let start = Instant::now();
+    let mut sim = Simulator::new();
+    let left = Rc::new(StdCell::new(chains * steps));
+    fn tick(sim: &mut Simulator, left: Rc<StdCell<u64>>, period: u64) {
+        let n = left.get();
+        if n == 0 {
+            return; // budget exhausted: this chain dies
+        }
+        left.set(n - 1);
+        sim.schedule_in(period, move |sim| tick(sim, left, period));
+    }
+    for c in 0..chains {
+        let left = left.clone();
+        // Co-prime periods keep the heap busy with interleaved deadlines.
+        let period = 1_000 + (c * 131) % 977;
+        sim.schedule_in(period, move |sim| tick(sim, left, period));
+    }
+    sim.run();
+    let executed = sim.events_executed();
+    (executed, start.elapsed().as_secs_f64())
+}
+
+/// Wide-fan workload: `pending` events outstanding at once, refilled in
+/// waves — the shape of a large topology with thousands of cells and
+/// timers in flight.
+fn bench_fan(pending: u64, waves: u64) -> (u64, f64) {
+    let start = Instant::now();
+    let mut sim = Simulator::new();
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+    for w in 0..waves {
+        let base = sim.now();
+        for _ in 0..pending {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dt = 1 + (rng >> 33) % 50_000;
+            sim.schedule_at(base + dt, |_| {});
+        }
+        // Drain most of the horizon; the tail (~20%) stays queued so the
+        // heap is never empty between waves.
+        let _ = w;
+        sim.run_until(base + 40_000);
+    }
+    sim.run();
+    let executed = sim.events_executed();
+    (executed, start.elapsed().as_secs_f64())
+}
+
+/// Cancellation throughput: schedule a window of timeouts, cancel most of
+/// them before they fire (the retransmit-timer pattern).
+fn bench_cancel(count: u64) -> (u64, f64) {
+    let start = Instant::now();
+    let mut sim = Simulator::new();
+    let mut ids = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        ids.push(sim.schedule_at(1_000 + i, |_| {}));
+    }
+    let mut cancelled = 0u64;
+    for (i, id) in ids.into_iter().enumerate() {
+        if i % 4 != 0 {
+            assert!(sim.cancel(id), "fresh ids must cancel");
+            cancelled += 1;
+        }
+    }
+    sim.run();
+    (cancelled, start.elapsed().as_secs_f64())
+}
+
+/// Cell delivery: bursts of back-to-back cells through one 622 Mbit/s
+/// link into a capture sink — the per-cell hot path of every experiment.
+fn bench_cells(bursts: u64, cells_per_burst: u64) -> (u64, f64) {
+    let start = Instant::now();
+    let sink = CaptureSink::shared();
+    let mut link = Link::new(622_000_000, 1_000, sink.clone());
+    let mut sim = Simulator::new();
+    let mut total = 0u64;
+    for b in 0..bursts {
+        for i in 0..cells_per_burst {
+            link.send(&mut sim, Cell::new((i % 1024) as u16));
+            total += 1;
+        }
+        // Let the link drain fully between bursts (plus an idle gap).
+        sim.run();
+        let gap = sim.now() + 10_000 * (b % 3 + 1);
+        sim.run_until(gap);
+    }
+    sim.run();
+    assert_eq!(sink.borrow().arrivals.len() as u64, total);
+    (total, start.elapsed().as_secs_f64())
+}
+
+fn write_json(path: &str, r: &Results) {
+    let json = format!(
+        "{{\n  \"bench\": \"e18_engine_throughput\",\n  \"baseline\": {{\n    \"commit\": \"9822aa3 (seed engine: boxed closures, linear-scan cancel)\",\n    \"events_per_sec\": {:.0},\n    \"cells_per_sec\": {:.0},\n    \"cancels_per_sec\": {:.0}\n  }},\n  \"current\": {{\n    \"events_per_sec\": {:.0},\n    \"cells_per_sec\": {:.0},\n    \"cancels_per_sec\": {:.0},\n    \"events_total\": {},\n    \"cells_total\": {}\n  }},\n  \"speedup\": {{\n    \"events\": {:.2},\n    \"cells\": {:.2},\n    \"cancels\": {:.2}\n  }}\n}}\n",
+        BASELINE_EVENTS_PER_SEC,
+        BASELINE_CELLS_PER_SEC,
+        BASELINE_CANCELS_PER_SEC,
+        r.events_per_sec,
+        r.cells_per_sec,
+        r.cancels_per_sec,
+        r.events_total,
+        r.cells_total,
+        if BASELINE_EVENTS_PER_SEC > 0.0 { r.events_per_sec / BASELINE_EVENTS_PER_SEC } else { 0.0 },
+        if BASELINE_CELLS_PER_SEC > 0.0 { r.cells_per_sec / BASELINE_CELLS_PER_SEC } else { 0.0 },
+        if BASELINE_CANCELS_PER_SEC > 0.0 { r.cancels_per_sec / BASELINE_CANCELS_PER_SEC } else { 0.0 },
+    );
+    std::fs::write(path, json).expect("write bench json");
+    println!("  wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = 1u64;
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args.get(i + 1).expect("--scale needs a value").parse().expect("--scale N");
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(args.get(i + 1).expect("--json needs a path").clone());
+                i += 2;
+            }
+            _ => i += 1, // ignore cargo-bench plumbing like --bench
+        }
+    }
+    let scale = scale.max(1);
+
+    banner(
+        "E18",
+        "event-engine throughput: events/sec, cancels/sec, cells/sec",
+        "ROADMAP 'as fast as the hardware allows' — the substrate under e01-e17",
+    );
+
+    let (chain_n, chain_t) = bench_chains(256, 4_000 / scale);
+    let (fan_n, fan_t) = bench_fan(8_192 / scale.min(8), 32 / scale.min(8));
+    let events_total = chain_n + fan_n;
+    let events_per_sec = events_total as f64 / (chain_t + fan_t);
+    row(&[
+        ("timer chains", format!("{chain_n} events")),
+        ("rate", format!("{:.0}/s", chain_n as f64 / chain_t)),
+    ]);
+    row(&[
+        ("wide fan (8k pending)", format!("{fan_n} events")),
+        ("rate", format!("{:.0}/s", fan_n as f64 / fan_t)),
+    ]);
+
+    let (cancelled, cancel_t) = bench_cancel(40_000 / scale);
+    let cancels_per_sec = cancelled as f64 / cancel_t;
+    row(&[
+        ("cancel window", format!("{cancelled} cancels")),
+        ("rate", format!("{cancels_per_sec:.0}/s")),
+    ]);
+
+    let (cells_total, cells_t) = bench_cells((200 / scale).max(2), 1_000);
+    let cells_per_sec = cells_total as f64 / cells_t;
+    row(&[
+        ("link cells", format!("{cells_total} cells")),
+        ("rate", format!("{cells_per_sec:.0}/s")),
+    ]);
+
+    let r = Results {
+        events_per_sec,
+        cells_per_sec,
+        cancels_per_sec,
+        events_total,
+        cells_total,
+    };
+    row(&[
+        ("events/sec (combined)", format!("{events_per_sec:.0}")),
+        ("cells/sec", format!("{cells_per_sec:.0}")),
+    ]);
+    if BASELINE_EVENTS_PER_SEC > 0.0 {
+        row(&[
+            ("vs baseline events", format!("{:.2}x", events_per_sec / BASELINE_EVENTS_PER_SEC)),
+            ("vs baseline cells", format!("{:.2}x", cells_per_sec / BASELINE_CELLS_PER_SEC)),
+            ("vs baseline cancels", format!("{:.2}x", cancels_per_sec / BASELINE_CANCELS_PER_SEC)),
+        ]);
+    }
+    if let Some(path) = json_path {
+        write_json(&path, &r);
+    }
+    println!("expect: slab queue + O(1) cancel ≥2x events/sec over the seed engine; batched cell trains deliver with zero allocations per cell");
+}

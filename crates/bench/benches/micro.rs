@@ -1,7 +1,9 @@
 //! Micro-benchmarks (Criterion): the hot primitives under everything.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::{Cell as StdCell, RefCell};
 use std::hint::black_box;
+use std::rc::Rc;
 
 use pegasus_atm::aal5::{Reassembler, Segmenter};
 use pegasus_atm::cell::Cell;
@@ -10,6 +12,7 @@ use pegasus_devices::codec::{decode_tile, encode_tile};
 use pegasus_naming::namespace::NameWorld;
 use pegasus_nemesis::sched::{CpuSim, Policy, TaskSpec};
 use pegasus_sim::time::MS;
+use pegasus_sim::{SharedHandler, Simulator};
 
 fn bench_crc32(c: &mut Criterion) {
     let data = vec![0xA5u8; 4096];
@@ -77,6 +80,51 @@ fn bench_scheduler(c: &mut Criterion) {
     });
 }
 
+fn bench_engine(c: &mut Criterion) {
+    // Generic lane: schedule + fire 1k boxed one-shot events.
+    c.bench_function("engine_schedule_run_1k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            for i in 0..1_000u64 {
+                sim.schedule_at((i * 7919) % 503, |_| {});
+            }
+            sim.run();
+            black_box(sim.events_executed())
+        })
+    });
+    // O(1) cancellation: schedule 1k, cancel them all, drain the husks.
+    c.bench_function("engine_cancel_1k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let ids: Vec<_> = (0..1_000u64).map(|i| sim.schedule_at(i, |_| {})).collect();
+            for id in ids {
+                sim.cancel(id);
+            }
+            sim.run();
+            black_box(sim.events_executed())
+        })
+    });
+    // Allocation-free lane: one shared handler carrying a 1k-tick chain.
+    c.bench_function("engine_shared_chain_1k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let n = Rc::new(StdCell::new(0u32));
+            let n2 = n.clone();
+            let handler: SharedHandler = Rc::new(RefCell::new(move |sim: &mut Simulator| {
+                n2.set(n2.get() + 1);
+                if n2.get() < 1_000 {
+                    Some(sim.now() + 1)
+                } else {
+                    None
+                }
+            }));
+            sim.schedule_shared_at(0, handler);
+            sim.run();
+            black_box(n.get())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_crc32,
@@ -84,6 +132,7 @@ criterion_group!(
     bench_aal5,
     bench_codec,
     bench_name_resolution,
-    bench_scheduler
+    bench_scheduler,
+    bench_engine
 );
 criterion_main!(benches);

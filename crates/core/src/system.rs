@@ -60,6 +60,29 @@ impl CellSink for HostNic {
             link.borrow_mut().send(sim, cell);
         }
     }
+
+    /// A NIC that only counts (no forwarding) is pure accounting and may
+    /// take whole cell trains in one event. Once `forward` is set, each
+    /// cell must be re-transmitted at its own arrival instant, so the
+    /// link reverts to per-cell delivery at the next train.
+    fn batch_capable(&self) -> bool {
+        self.forward.is_none()
+    }
+
+    fn deliver_batch(&mut self, sim: &mut Simulator, cells: &mut Vec<(u64, Cell)>) {
+        // Batching was negotiated while `forward` was unset; flipping it
+        // with a train in flight would retransmit the backlog late and
+        // compressed into one burst. Fail loudly instead of skewing the
+        // experiment: configure forwarding before traffic flows.
+        assert!(
+            self.forward.is_none(),
+            "HostNic::forward set while a batched cell train was in flight; \
+             configure forwarding before traffic reaches this NIC"
+        );
+        for (_, cell) in cells.drain(..) {
+            self.deliver(sim, cell);
+        }
+    }
 }
 
 /// One multimedia workstation: a local switch with camera, display,

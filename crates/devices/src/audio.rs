@@ -115,6 +115,9 @@ impl AudioSource {
     }
 
     /// Starts capture.
+    ///
+    /// The sample clock is one chained handler, rescheduled by the engine
+    /// for as long as the source runs — no allocations per cell period.
     pub fn start(src: &Rc<RefCell<AudioSource>>, sim: &mut Simulator) {
         {
             let mut s = src.borrow_mut();
@@ -123,7 +126,8 @@ impl AudioSource {
             }
             s.running = true;
         }
-        Self::tick(src.clone(), sim);
+        let src2 = src.clone();
+        sim.schedule_chain(move |sim| Self::tick(&src2, sim));
     }
 
     /// Stops capture after the in-flight cell.
@@ -131,27 +135,24 @@ impl AudioSource {
         self.running = false;
     }
 
-    fn tick(src: Rc<RefCell<AudioSource>>, sim: &mut Simulator) {
-        let cell_period = {
-            let mut s = src.borrow_mut();
-            if !s.running {
-                return;
-            }
-            let ts = sim.now();
-            let mut samples = [0i16; SAMPLES_PER_CELL];
-            let base = s.sample_no;
-            for (i, slot) in samples.iter_mut().enumerate() {
-                *slot = s.sample(base + i as u64);
-            }
-            s.sample_no += SAMPLES_PER_CELL as u64;
-            let cell = pack_cell(s.vci, ts, &samples);
-            s.cells_sent += 1;
-            let tx = s.tx.clone();
-            tx.borrow_mut().send(sim, cell);
-            s.cfg.cell_period()
-        };
-        let src2 = src.clone();
-        sim.schedule_in(cell_period, move |sim| Self::tick(src2, sim));
+    /// Captures one cell; returns the next tick time while running.
+    fn tick(src: &Rc<RefCell<AudioSource>>, sim: &mut Simulator) -> Option<Ns> {
+        let mut s = src.borrow_mut();
+        if !s.running {
+            return None;
+        }
+        let ts = sim.now();
+        let mut samples = [0i16; SAMPLES_PER_CELL];
+        let base = s.sample_no;
+        for (i, slot) in samples.iter_mut().enumerate() {
+            *slot = s.sample(base + i as u64);
+        }
+        s.sample_no += SAMPLES_PER_CELL as u64;
+        let cell = pack_cell(s.vci, ts, &samples);
+        s.cells_sent += 1;
+        let tx = s.tx.clone();
+        tx.borrow_mut().send(sim, cell);
+        Some(sim.now().saturating_add(s.cfg.cell_period()))
     }
 }
 
@@ -201,14 +202,16 @@ impl AudioSink {
         }))
     }
 
-    /// Begins the play-out clock; it runs forever, consuming one cell's
-    /// worth of samples per cell period once the buffer has filled to
-    /// the target depth.
+    /// Begins the play-out clock; it runs until `until`, consuming one
+    /// cell's worth of samples per cell period once the buffer has filled
+    /// to the target depth. One chained handler carries every tick.
     pub fn start_playout(sink: &Rc<RefCell<AudioSink>>, sim: &mut Simulator, until: Ns) {
-        Self::playout_tick(sink.clone(), sim, until);
+        let sink2 = sink.clone();
+        sim.schedule_chain(move |sim| Self::playout_tick(&sink2, sim, until));
     }
 
-    fn playout_tick(sink: Rc<RefCell<AudioSink>>, sim: &mut Simulator, until: Ns) {
+    /// Plays one cell period; returns the next tick time before `until`.
+    fn playout_tick(sink: &Rc<RefCell<AudioSink>>, sim: &mut Simulator, until: Ns) -> Option<Ns> {
         let period = {
             let mut s = sink.borrow_mut();
             let now = sim.now();
@@ -232,8 +235,9 @@ impl AudioSink {
             s.cfg.cell_period()
         };
         if sim.now() + period <= until {
-            let sink2 = sink.clone();
-            sim.schedule_in(period, move |sim| Self::playout_tick(sink2, sim, until));
+            Some(sim.now() + period)
+        } else {
+            None
         }
     }
 }

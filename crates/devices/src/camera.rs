@@ -150,6 +150,10 @@ impl Camera {
 
     /// Starts capture; frames are scanned and emitted until
     /// [`Camera::stop`] is called.
+    ///
+    /// The frame loop is one chained handler rescheduled by the engine
+    /// every frame period — no allocations per frame for the loop itself
+    /// (row emissions still carry their own captures).
     pub fn start(cam: &Rc<RefCell<Camera>>, sim: &mut Simulator) {
         {
             let mut c = cam.borrow_mut();
@@ -158,7 +162,8 @@ impl Camera {
             }
             c.running = true;
         }
-        Self::schedule_frame(cam.clone(), sim);
+        let cam2 = cam.clone();
+        sim.schedule_chain(move |sim| Self::frame_tick(&cam2, sim));
     }
 
     /// Stops capture after the current frame.
@@ -166,13 +171,15 @@ impl Camera {
         self.running = false;
     }
 
-    fn schedule_frame(cam: Rc<RefCell<Camera>>, sim: &mut Simulator) {
+    /// Scans one frame and schedules its row emissions; returns the next
+    /// frame's start time while running.
+    fn frame_tick(cam: &Rc<RefCell<Camera>>, sim: &mut Simulator) -> Option<Ns> {
         let (running, frame_period) = {
             let c = cam.borrow();
             (c.running, c.frame_period())
         };
         if !running {
-            return;
+            return None;
         }
         let frame_start = sim.now();
         let (height, rows, line_period, granularity) = {
@@ -211,10 +218,7 @@ impl Camera {
             });
         }
         // Next frame.
-        let cam3 = cam.clone();
-        sim.schedule_at(frame_start + frame_period, move |sim| {
-            Self::schedule_frame(cam3, sim);
-        });
+        Some(frame_start + frame_period)
     }
 
     /// Encodes and transmits one row of tiles; `scanned_at` is the

@@ -21,10 +21,10 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
 use pegasus_sim::time::Ns;
-use pegasus_sim::Simulator;
+use pegasus_sim::{SharedHandler, Simulator};
 
 pub use crate::vp::DomainId;
 
@@ -78,6 +78,9 @@ struct DomainSlot {
     pending: BTreeMap<ChannelId, u64>,
     activation_scheduled: bool,
     handler: Option<Rc<RefCell<Handler>>>,
+    /// The shared engine event that runs this domain's activation;
+    /// created on first signal, reused (allocation-free) ever after.
+    activation_event: Option<SharedHandler>,
     /// Number of activations this domain has received.
     activations: u64,
     /// Number of (coalesced) event deliveries.
@@ -115,6 +118,7 @@ impl EventSystem {
             pending: BTreeMap::new(),
             activation_scheduled: false,
             handler: None,
+            activation_event: None,
             activations: 0,
             deliveries: 0,
         });
@@ -191,13 +195,31 @@ impl EventSystem {
             }
         };
         if let Some(delay) = delay {
-            let rx = sys.borrow().channels[chan.0].rx;
-            let sys2 = sys.clone();
-            let activation = sys.borrow().cfg.activation;
-            sim.schedule_in(delay + activation, move |sim| {
-                Self::activate(&sys2, sim, rx);
-            });
+            let (rx, activation) = {
+                let s = sys.borrow();
+                (s.channels[chan.0].rx, s.cfg.activation)
+            };
+            let event = Self::activation_event(sys, rx);
+            sim.schedule_shared_in(delay + activation, event);
         }
+    }
+
+    /// The domain's reusable activation event, created on first use. It
+    /// holds only a weak reference to the system, so the dispatcher and
+    /// its handlers don't keep each other alive.
+    fn activation_event(sys: &Rc<RefCell<EventSystem>>, d: DomainId) -> SharedHandler {
+        if let Some(e) = sys.borrow().domains[d.0].activation_event.clone() {
+            return e;
+        }
+        let weak: Weak<RefCell<EventSystem>> = Rc::downgrade(sys);
+        let e: SharedHandler = Rc::new(RefCell::new(move |sim: &mut Simulator| {
+            if let Some(sys) = weak.upgrade() {
+                Self::activate(&sys, sim, d);
+            }
+            None
+        }));
+        sys.borrow_mut().domains[d.0].activation_event = Some(e.clone());
+        e
     }
 
     /// Runs a domain's activation: drains pending events and invokes the

@@ -1,11 +1,40 @@
 //! The discrete-event engine.
 //!
-//! A [`Simulator`] owns a priority queue of timestamped events. Each event
-//! is a boxed `FnOnce(&mut Simulator)`; shared world state lives in
-//! `Rc<RefCell<_>>` cells captured by the closures. Events at equal times
-//! fire in scheduling order (FIFO), which makes runs fully deterministic.
+//! A [`Simulator`] owns a priority queue of timestamped events. Shared
+//! world state lives in `Rc<RefCell<_>>` cells captured by the event
+//! actions. Events at equal times fire in scheduling order (FIFO), which
+//! makes runs fully deterministic.
+//!
+//! # Internals
+//!
+//! The queue is split into two structures tuned for the hot path:
+//!
+//! * a [`BinaryHeap`] of small `(time, seq, slot)` entries — 24 bytes
+//!   each, so sift operations move triples, not boxed closures;
+//! * a *slab* of event slots holding the actions. Freed slots go on a
+//!   free list and are recycled, so a steady-state simulation stops
+//!   allocating slab storage entirely.
+//!
+//! Cancellation is by *sequence-number generation*: an [`EventId`] is the
+//! `(seq, slot)` pair assigned at schedule time. [`Simulator::cancel`]
+//! compares the id's seq against the slot's current seq — a mismatch
+//! means the event already fired (or the slot was recycled) — and simply
+//! disarms the slot: O(1), no queue surgery. The heap entry becomes a
+//! husk that is skipped ("lazy deletion") when it reaches the top.
+//!
+//! Two scheduling lanes share this machinery:
+//!
+//! * [`Simulator::schedule_at`] — the generic lane: one boxed `FnOnce`
+//!   per event (exactly one heap allocation);
+//! * [`Simulator::schedule_shared_at`] — the allocation-free lane: a
+//!   [`SharedHandler`] (`Rc<RefCell<dyn FnMut …>>`) created once and
+//!   scheduled any number of times. Returning `Some(t)` from the handler
+//!   reschedules the same handler at `t` without touching the allocator,
+//!   which is how device models (audio ticks, camera frame loops) and
+//!   link cell-trains run millions of events with zero per-event
+//!   allocations.
 
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
@@ -13,28 +42,60 @@ use std::rc::Rc;
 use crate::time::Ns;
 
 /// Identifier of a scheduled event, usable for cancellation.
+///
+/// Carries the event's sequence number and its slab slot; both are needed
+/// so that [`Simulator::cancel`] is O(1) and ids of fired events can
+/// never alias a later event that recycled the same slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(u64);
-
-struct ScheduledEvent {
-    time: Ns,
+pub struct EventId {
     seq: u64,
-    cancelled: Rc<Cell<bool>>,
-    action: Box<dyn FnOnce(&mut Simulator)>,
+    slot: u32,
 }
 
-impl PartialEq for ScheduledEvent {
+/// A reusable event action for the allocation-free scheduling lane.
+///
+/// Cloning the `Rc` is all it costs to schedule one, so a handler built
+/// once can carry an unbounded stream of events. When the event fires the
+/// handler runs with the simulator clock at the event's time; returning
+/// `Some(t)` immediately reschedules the same handler at `t` (a fresh
+/// sequence number, no allocation), `None` lets it rest.
+pub type SharedHandler = Rc<RefCell<dyn FnMut(&mut Simulator) -> Option<Ns>>>;
+
+enum Action {
+    /// Generic lane: a one-shot boxed closure.
+    Once(Box<dyn FnOnce(&mut Simulator)>),
+    /// Allocation-free lane: a shared, rescheduleable handler.
+    Shared(SharedHandler),
+}
+
+/// One slab slot. `seq` identifies the event currently occupying the
+/// slot; `action` is `None` while the slot is free (or disarmed by
+/// cancellation but not yet recycled).
+struct Slot {
+    seq: u64,
+    action: Option<Action>,
+}
+
+/// What the heap actually sifts: 24 bytes, no payload.
+#[derive(Clone, Copy)]
+struct Entry {
+    time: Ns,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for ScheduledEvent {}
-impl PartialOrd for ScheduledEvent {
+impl Eq for Entry {}
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for ScheduledEvent {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
         (other.time, other.seq).cmp(&(self.time, self.seq))
@@ -61,8 +122,9 @@ impl Ord for ScheduledEvent {
 pub struct Simulator {
     now: Ns,
     next_seq: u64,
-    queue: BinaryHeap<ScheduledEvent>,
-    cancels: Vec<(EventId, Rc<Cell<bool>>)>,
+    queue: BinaryHeap<Entry>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
     executed: u64,
 }
 
@@ -79,7 +141,8 @@ impl Simulator {
             now: 0,
             next_seq: 0,
             queue: BinaryHeap::new(),
-            cancels: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             executed: 0,
         }
     }
@@ -99,19 +162,7 @@ impl Simulator {
         self.queue.len()
     }
 
-    /// Schedules `action` to run at absolute virtual time `time`.
-    ///
-    /// Scheduling in the past is a logic error and panics; events for the
-    /// current instant are allowed and run after all earlier-scheduled
-    /// events of the same instant.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `time` is earlier than [`Self::now`].
-    pub fn schedule_at<F>(&mut self, time: Ns, action: F) -> EventId
-    where
-        F: FnOnce(&mut Simulator) + 'static,
-    {
+    fn arm(&mut self, time: Ns, action: Action) -> EventId {
         assert!(
             time >= self.now,
             "cannot schedule into the past: now={} target={}",
@@ -120,20 +171,44 @@ impl Simulator {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let cancelled = Rc::new(Cell::new(false));
-        let id = EventId(seq);
-        self.cancels.push((id, cancelled.clone()));
-        // Keep the cancel map from growing without bound.
-        if self.cancels.len() > 4096 {
-            self.cancels.retain(|(_, c)| !c.get());
-        }
-        self.queue.push(ScheduledEvent {
-            time,
-            seq,
-            cancelled,
-            action: Box::new(action),
-        });
-        id
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let sl = &mut self.slots[s as usize];
+                sl.seq = seq;
+                sl.action = Some(action);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("event slot space exhausted");
+                self.slots.push(Slot {
+                    seq,
+                    action: Some(action),
+                });
+                s
+            }
+        };
+        self.queue.push(Entry { time, seq, slot });
+        EventId { seq, slot }
+    }
+
+    /// Schedules `action` to run at absolute virtual time `time`.
+    ///
+    /// Scheduling in the past is a logic error and panics; events for the
+    /// current instant are allowed and run after all earlier-scheduled
+    /// events of the same instant.
+    ///
+    /// This is the generic lane: the closure is boxed (one allocation).
+    /// Hot paths that fire repeatedly should build a [`SharedHandler`]
+    /// once and use [`Self::schedule_shared_at`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than [`Self::now`].
+    pub fn schedule_at<F>(&mut self, time: Ns, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        self.arm(time, Action::Once(Box::new(action)))
     }
 
     /// Schedules `action` to run `delay` nanoseconds from now.
@@ -144,29 +219,79 @@ impl Simulator {
         self.schedule_at(self.now.saturating_add(delay), action)
     }
 
+    /// Schedules a [`SharedHandler`] to run at absolute time `time`.
+    ///
+    /// The allocation-free lane: only the `Rc` is cloned. The same
+    /// handler may be scheduled many times (each call is a distinct
+    /// event); when it fires it can reschedule itself by returning
+    /// `Some(next_time)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than [`Self::now`].
+    pub fn schedule_shared_at(&mut self, time: Ns, handler: SharedHandler) -> EventId {
+        self.arm(time, Action::Shared(handler))
+    }
+
+    /// Schedules a [`SharedHandler`] to run `delay` nanoseconds from now.
+    pub fn schedule_shared_in(&mut self, delay: Ns, handler: SharedHandler) -> EventId {
+        self.schedule_shared_at(self.now.saturating_add(delay), handler)
+    }
+
+    /// Runs `tick` once immediately; for as long as it returns
+    /// `Some(next_time)`, the engine re-invokes it at that time on the
+    /// allocation-free lane (one handler allocation for the whole chain).
+    ///
+    /// This is the canonical shape of a device clock — audio sample
+    /// ticks, camera frame loops — where the model advances itself until
+    /// it decides to stop.
+    pub fn schedule_chain<F>(&mut self, mut tick: F)
+    where
+        F: FnMut(&mut Simulator) -> Option<Ns> + 'static,
+    {
+        if let Some(t) = tick(self) {
+            let handler: SharedHandler = Rc::new(RefCell::new(tick));
+            self.schedule_shared_at(t, handler);
+        }
+    }
+
     /// Cancels a pending event. Returns `true` if the event had not yet
     /// fired or been cancelled.
+    ///
+    /// O(1): the slot is disarmed and recycled immediately; the heap
+    /// entry is left behind as a husk and skipped when it surfaces.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if let Some((_, flag)) = self.cancels.iter().find(|(eid, _)| *eid == id) {
-            let was = flag.get();
-            flag.set(true);
-            !was
-        } else {
-            false
+        match self.slots.get_mut(id.slot as usize) {
+            Some(slot) if slot.seq == id.seq && slot.action.is_some() => {
+                slot.action = None;
+                self.free.push(id.slot);
+                true
+            }
+            _ => false,
         }
     }
 
     /// Runs a single event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        while let Some(ev) = self.queue.pop() {
-            if ev.cancelled.get() {
-                continue;
+        while let Some(entry) = self.queue.pop() {
+            let slot = &mut self.slots[entry.slot as usize];
+            if slot.seq != entry.seq || slot.action.is_none() {
+                continue; // cancelled husk, or the slot moved on
             }
-            ev.cancelled.set(true); // mark consumed so cancel() returns false afterwards
-            debug_assert!(ev.time >= self.now);
-            self.now = ev.time;
+            let action = slot.action.take().expect("checked above");
+            self.free.push(entry.slot);
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
             self.executed += 1;
-            (ev.action)(self);
+            match action {
+                Action::Once(f) => f(self),
+                Action::Shared(h) => {
+                    let next = (h.borrow_mut())(self);
+                    if let Some(t) = next {
+                        self.schedule_shared_at(t, h);
+                    }
+                }
+            }
             return true;
         }
         false
@@ -177,16 +302,28 @@ impl Simulator {
         while self.step() {}
     }
 
+    /// Discards cancelled husks off the top of the heap; returns the fire
+    /// time of the next live event.
+    fn next_live_time(&mut self) -> Option<Ns> {
+        while let Some(entry) = self.queue.peek() {
+            let slot = &self.slots[entry.slot as usize];
+            if slot.seq == entry.seq && slot.action.is_some() {
+                return Some(entry.time);
+            }
+            self.queue.pop();
+        }
+        None
+    }
+
     /// Runs events with timestamps `<= deadline`, then sets the clock to
     /// `deadline` (if it is later than the last event).
+    ///
+    /// (The pre-slab engine could overshoot the deadline when the queue
+    /// top was a cancelled husk timed within it; husks are now discarded
+    /// before the deadline check.)
     pub fn run_until(&mut self, deadline: Ns) {
-        loop {
-            match self.queue.peek() {
-                Some(ev) if ev.time <= deadline => {
-                    self.step();
-                }
-                _ => break,
-            }
+        while self.next_live_time().is_some_and(|t| t <= deadline) {
+            self.step();
         }
         if self.now < deadline {
             self.now = deadline;
@@ -206,6 +343,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
     use std::cell::RefCell;
 
     #[test]
@@ -272,6 +410,49 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_slot_recycled_is_false() {
+        let mut sim = Simulator::new();
+        let id = sim.schedule_at(10, |_| {});
+        assert!(sim.cancel(id));
+        // The new event recycles the cancelled event's slot; the stale id
+        // must not be able to cancel it.
+        let id2 = sim.schedule_at(20, |_| {});
+        assert!(!sim.cancel(id), "stale id must not hit the recycled slot");
+        assert!(sim.cancel(id2));
+        sim.run();
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn cancel_inside_handler_stops_same_instant_event() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        let victim = sim.schedule_at(10, move |_| f.set(true));
+        // Scheduled later at the same instant would normally fire second;
+        // but the first handler cancels it from inside the engine loop.
+        // (This event was scheduled first, so it fires first.)
+        let mut sim2 = Simulator::new();
+        let fired2 = Rc::new(Cell::new(false));
+        let f2 = fired2.clone();
+        let assassin_target = Rc::new(Cell::new(None));
+        let t2 = assassin_target.clone();
+        sim2.schedule_at(10, move |sim| {
+            let id: EventId = t2.get().expect("target registered");
+            assert!(sim.cancel(id), "victim still pending at cancel time");
+        });
+        let victim2 = sim2.schedule_at(10, move |_| f2.set(true));
+        assassin_target.set(Some(victim2));
+        sim2.run();
+        assert!(!fired2.get(), "cancelled-from-handler event must not fire");
+        assert_eq!(sim2.events_executed(), 1);
+        // The original sim still fires its victim untouched.
+        let _ = victim;
+        sim.run();
+        assert!(fired.get());
+    }
+
+    #[test]
     fn run_until_advances_clock_past_last_event() {
         let mut sim = Simulator::new();
         sim.schedule_at(10, |_| {});
@@ -316,5 +497,126 @@ mod tests {
             t
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shared_handler_reschedules_itself_without_new_handles() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        let handler: SharedHandler = Rc::new(RefCell::new(move |sim: &mut Simulator| {
+            h.borrow_mut().push(sim.now());
+            if sim.now() < 50 {
+                Some(sim.now() + 10)
+            } else {
+                None
+            }
+        }));
+        sim.schedule_shared_at(10, handler);
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![10, 20, 30, 40, 50]);
+        assert_eq!(sim.events_executed(), 5);
+    }
+
+    #[test]
+    fn shared_handler_can_be_scheduled_many_times_and_interleaves_fifo() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        let handler: SharedHandler = Rc::new(RefCell::new(move |sim: &mut Simulator| {
+            h.borrow_mut().push(('s', sim.now()));
+            None
+        }));
+        let h2 = hits.clone();
+        sim.schedule_shared_at(100, handler.clone());
+        sim.schedule_at(100, move |sim| h2.borrow_mut().push(('o', sim.now())));
+        sim.schedule_shared_at(100, handler.clone());
+        sim.schedule_shared_at(40, handler);
+        sim.run();
+        assert_eq!(
+            *hits.borrow(),
+            vec![('s', 40), ('s', 100), ('o', 100), ('s', 100)],
+            "shared and boxed events interleave strictly by (time, seq)"
+        );
+    }
+
+    #[test]
+    fn shared_handler_events_cancel_like_any_other() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let handler: SharedHandler = Rc::new(RefCell::new(move |_: &mut Simulator| {
+            c.set(c.get() + 1);
+            None
+        }));
+        let keep = sim.schedule_shared_at(10, handler.clone());
+        let kill = sim.schedule_shared_at(20, handler);
+        assert!(sim.cancel(kill));
+        sim.run();
+        assert_eq!(count.get(), 1);
+        assert!(!sim.cancel(keep), "fired event cannot be cancelled");
+        assert_eq!(sim.now(), 10, "cancelled husk must not advance the clock");
+    }
+
+    #[test]
+    fn slots_are_recycled_under_steady_state() {
+        let mut sim = Simulator::new();
+        // A self-rescheduling handler ticking 10_000 times keeps exactly
+        // one slot live, however long it runs.
+        let n = Rc::new(Cell::new(0u32));
+        let n2 = n.clone();
+        let handler: SharedHandler = Rc::new(RefCell::new(move |sim: &mut Simulator| {
+            n2.set(n2.get() + 1);
+            if n2.get() < 10_000 {
+                Some(sim.now() + 1)
+            } else {
+                None
+            }
+        }));
+        sim.schedule_shared_at(0, handler);
+        sim.run();
+        assert_eq!(n.get(), 10_000);
+        assert!(
+            sim.slots.len() <= 2,
+            "steady-state chain must recycle slots, used {}",
+            sim.slots.len()
+        );
+    }
+
+    #[test]
+    fn run_until_does_not_overshoot_through_cancelled_husk() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        let early = sim.schedule_at(10, |_| {});
+        sim.schedule_at(1_000, move |_| f.set(true));
+        sim.cancel(early);
+        // The husk at t=10 is within the deadline; the live event at
+        // t=1000 is not and must stay queued.
+        sim.run_until(50);
+        assert!(!fired.get(), "event beyond the deadline fired");
+        assert_eq!(sim.now(), 50);
+        sim.run();
+        assert!(fired.get());
+        assert_eq!(sim.now(), 1_000);
+    }
+
+    #[test]
+    fn cancel_storm_leaves_no_live_state() {
+        let mut sim = Simulator::new();
+        let mut ids = Vec::new();
+        for i in 0..10_000u64 {
+            ids.push(sim.schedule_at(1_000 + i, |_| {}));
+        }
+        for id in &ids {
+            assert!(sim.cancel(*id));
+        }
+        for id in &ids {
+            assert!(!sim.cancel(*id), "second cancel must report false");
+        }
+        sim.run();
+        assert_eq!(sim.events_executed(), 0);
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.now(), 0, "only husks were queued; the clock must hold");
     }
 }

@@ -26,6 +26,6 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{EventId, Simulator};
+pub use engine::{EventId, SharedHandler, Simulator};
 pub use stats::{Counter, Histogram, TimeWeighted};
 pub use time::Ns;

@@ -16,10 +16,11 @@
 
 use pegasus_sim::stats::Histogram;
 use pegasus_sim::time::Ns;
-use pegasus_sim::Simulator;
+use pegasus_sim::{SharedHandler, Simulator};
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::{Rc, Weak};
 
 /// Identifier of a stream registered with a [`PlaybackControl`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,6 +57,12 @@ pub struct PlaybackControl {
     presented: HashMap<Ns, Vec<(StreamId, Ns)>>,
     /// Observed inter-stream skew for same-timestamp items.
     pub skew: Histogram,
+    /// Held items awaiting their play-out instant, ordered by
+    /// `(due, insertion)` — the exact order the engine fires their
+    /// events in, so one shared handler serves every hold.
+    holds: BinaryHeap<Reverse<(Ns, u64, usize, Ns)>>,
+    hold_order: u64,
+    hold_handler: Option<SharedHandler>,
 }
 
 impl PlaybackControl {
@@ -67,7 +74,34 @@ impl PlaybackControl {
             streams: Vec::new(),
             presented: HashMap::new(),
             skew: Histogram::new(),
+            holds: BinaryHeap::new(),
+            hold_order: 0,
+            hold_handler: None,
         }))
+    }
+
+    /// The one shared event handler presenting held items. Created on
+    /// first use; holds only a weak reference so controller and handler
+    /// don't keep each other alive.
+    fn hold_handler(ctl: &Rc<RefCell<PlaybackControl>>) -> SharedHandler {
+        if let Some(h) = ctl.borrow().hold_handler.clone() {
+            return h;
+        }
+        let weak: Weak<RefCell<PlaybackControl>> = Rc::downgrade(ctl);
+        let h: SharedHandler = Rc::new(RefCell::new(move |sim: &mut Simulator| {
+            if let Some(ctl) = weak.upgrade() {
+                let Reverse((due, _, stream, capture_ts)) = ctl
+                    .borrow_mut()
+                    .holds
+                    .pop()
+                    .expect("one held item per hold event");
+                debug_assert_eq!(due, sim.now(), "holds fire at their due time");
+                ctl.borrow_mut().present(sim.now(), StreamId(stream), capture_ts, false);
+            }
+            None
+        }));
+        ctl.borrow_mut().hold_handler = Some(h.clone());
+        h
     }
 
     /// Registers a stream.
@@ -100,10 +134,15 @@ impl PlaybackControl {
                     // Arrived too late to hold: present now, count it.
                     ctl.borrow_mut().present(sim.now(), stream, capture_ts, true);
                 } else {
-                    let ctl2 = ctl.clone();
-                    sim.schedule_at(due, move |sim| {
-                        ctl2.borrow_mut().present(sim.now(), stream, capture_ts, false);
-                    });
+                    // Hold until `due` on the allocation-free lane.
+                    let handler = Self::hold_handler(ctl);
+                    {
+                        let mut c = ctl.borrow_mut();
+                        let order = c.hold_order;
+                        c.hold_order += 1;
+                        c.holds.push(Reverse((due, order, stream.0, capture_ts)));
+                    }
+                    sim.schedule_shared_at(due, handler);
                 }
             }
         }

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Runs the e18 engine-throughput macro-bench and writes BENCH_engine.json
+# (events/sec, cells/sec, cancels/sec, plus the pre-rearchitecture
+# baseline and the speedup ratios).
+#
+# Usage:
+#   scripts/bench_engine.sh           # full run, updates BENCH_engine.json
+#   scripts/bench_engine.sh --smoke   # short CI run (scale 20), writes
+#                                     # BENCH_engine.smoke.json instead so
+#                                     # the committed numbers stay full-scale
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE=1
+OUT=BENCH_engine.json
+if [ "${1:-}" = "--smoke" ]; then
+    SCALE=20
+    OUT=BENCH_engine.smoke.json
+fi
+
+# cargo runs bench binaries with the package directory as cwd; hand the
+# bench an absolute path so the json lands at the repo root.
+cargo bench --bench e18_engine_throughput -- --scale "$SCALE" --json "$PWD/$OUT"
+echo "--- $OUT"
+cat "$OUT"
