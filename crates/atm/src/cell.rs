@@ -30,7 +30,11 @@ const fn build_hec_table() -> [u8; 256] {
         let mut crc = i as u8;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 0x80 != 0 { (crc << 1) ^ HEC_POLY } else { crc << 1 };
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ HEC_POLY
+            } else {
+                crc << 1
+            };
             bit += 1;
         }
         table[i] = crc;
@@ -89,7 +93,11 @@ impl Cell {
     /// Panics if `data` is longer than [`PAYLOAD_SIZE`]; shorter data is
     /// zero-padded, matching what AAL5 segmentation produces.
     pub fn with_payload(vci: Vci, data: &[u8]) -> Self {
-        assert!(data.len() <= PAYLOAD_SIZE, "payload too large: {}", data.len());
+        assert!(
+            data.len() <= PAYLOAD_SIZE,
+            "payload too large: {}",
+            data.len()
+        );
         let mut cell = Cell::new(vci);
         cell.payload[..data.len()].copy_from_slice(data);
         cell

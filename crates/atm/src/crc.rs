@@ -26,7 +26,11 @@ const fn build_tables() -> [[u32; 256]; 8] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         tables[0][i] = crc;
@@ -135,7 +139,10 @@ mod tests {
                 );
             }
         }
-        assert_eq!(update(0x1234_5678, &data), update_bytewise(0x1234_5678, &data));
+        assert_eq!(
+            update(0x1234_5678, &data),
+            update_bytewise(0x1234_5678, &data)
+        );
     }
 
     #[test]

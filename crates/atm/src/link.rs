@@ -340,7 +340,12 @@ mod tests {
             link.send(&mut sim, Cell::new(vci));
         }
         sim.run();
-        let vcis: Vec<u16> = sink.borrow().arrivals.iter().map(|(_, c)| c.vci()).collect();
+        let vcis: Vec<u16> = sink
+            .borrow()
+            .arrivals
+            .iter()
+            .map(|(_, c)| c.vci())
+            .collect();
         assert_eq!(vcis, (0..20).collect::<Vec<_>>());
     }
 

@@ -46,6 +46,24 @@ impl LinkConfig {
     }
 }
 
+/// The wiring pattern of a programmatically built switch fabric.
+///
+/// [`Network::build_topology`] turns a shape plus a switch count into a
+/// wired fabric; scenario specs pick the shape declaratively instead of
+/// hand-connecting switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyShape {
+    /// Switch 0 is the hub; every other switch uplinks to it. One
+    /// switch degenerates to a single backbone.
+    Star,
+    /// Each switch links to its successor, the last back to the first.
+    /// (Two switches get a single link, not a doubled one.)
+    Ring,
+    /// Every pair of switches is directly linked — maximum path
+    /// diversity, `n·(n−1)/2` links.
+    FullMesh,
+}
+
 /// A live virtual circuit, as returned by [`Network::open_vc`].
 #[derive(Debug, Clone)]
 pub struct VcHandle {
@@ -86,6 +104,10 @@ pub struct Network {
     switches: Vec<Rc<RefCell<Switch>>>,
     /// adjacency\[s\] = list of (out port on s, peer switch index).
     adj: Vec<Vec<(usize, usize)>>,
+    /// used_ports\[s\] = lowest port index never explicitly or
+    /// automatically wired on switch `s` (ports below it may include
+    /// gaps left by explicit wiring; auto-allocation never reuses them).
+    used_ports: Vec<usize>,
     endpoints: Vec<EndpointInfo>,
     acs: HashMap<ReservationKey, AdmissionController>,
     next_vci: Vci,
@@ -106,6 +128,7 @@ impl Network {
         Network {
             switches: Vec::new(),
             adj: Vec::new(),
+            used_ports: Vec::new(),
             endpoints: Vec::new(),
             acs: HashMap::new(),
             next_vci: 32,
@@ -117,8 +140,10 @@ impl Network {
     /// Adds a switch with `ports` ports and `fabric_latency` per-cell
     /// fabric delay.
     pub fn add_switch(&mut self, name: &str, ports: usize, fabric_latency: Ns) -> SwitchId {
-        self.switches.push(Switch::shared(name, ports, fabric_latency));
+        self.switches
+            .push(Switch::shared(name, ports, fabric_latency));
         self.adj.push(Vec::new());
+        self.used_ports.push(0);
         SwitchId(self.switches.len() - 1)
     }
 
@@ -127,15 +152,89 @@ impl Network {
         &self.switches[id.0]
     }
 
+    /// Number of switches in the network.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Reserves the next never-used port on `sw`, growing the switch if
+    /// its fixed port count is exhausted.
+    pub fn alloc_port(&mut self, sw: SwitchId) -> usize {
+        let port = self.used_ports[sw.0];
+        self.used_ports[sw.0] = port + 1;
+        self.switches[sw.0].borrow_mut().grow_ports(port + 1);
+        port
+    }
+
+    /// Wires a fabric of `n` fresh switches in the given shape and
+    /// returns their ids. Switches are named `{prefix}{index}` with
+    /// `ports` initial ports each (they grow on demand as endpoints
+    /// attach).
+    pub fn build_topology(
+        &mut self,
+        shape: TopologyShape,
+        n: usize,
+        prefix: &str,
+        ports: usize,
+        fabric_latency: Ns,
+        cfg: LinkConfig,
+    ) -> Vec<SwitchId> {
+        assert!(n >= 1, "a topology needs at least one switch");
+        let ids: Vec<SwitchId> = (0..n)
+            .map(|i| self.add_switch(&format!("{prefix}{i}"), ports, fabric_latency))
+            .collect();
+        match shape {
+            TopologyShape::Star => {
+                for &spoke in &ids[1..] {
+                    self.connect_switches_auto(ids[0], spoke, cfg);
+                }
+            }
+            TopologyShape::Ring => {
+                if n == 2 {
+                    self.connect_switches_auto(ids[0], ids[1], cfg);
+                } else if n > 2 {
+                    for i in 0..n {
+                        self.connect_switches_auto(ids[i], ids[(i + 1) % n], cfg);
+                    }
+                }
+            }
+            TopologyShape::FullMesh => {
+                for i in 0..n {
+                    for j in i + 1..n {
+                        self.connect_switches_auto(ids[i], ids[j], cfg);
+                    }
+                }
+            }
+        }
+        ids
+    }
+
     /// Connects two switches bidirectionally with identical link
     /// parameters in each direction.
-    pub fn connect_switches(&mut self, a: SwitchId, pa: usize, b: SwitchId, pb: usize, cfg: LinkConfig) {
-        let link_ab = Link::new(cfg.rate_bps, cfg.prop_delay, input_port(&self.switches[b.0], pb));
-        let link_ba = Link::new(cfg.rate_bps, cfg.prop_delay, input_port(&self.switches[a.0], pa));
+    pub fn connect_switches(
+        &mut self,
+        a: SwitchId,
+        pa: usize,
+        b: SwitchId,
+        pb: usize,
+        cfg: LinkConfig,
+    ) {
+        let link_ab = Link::new(
+            cfg.rate_bps,
+            cfg.prop_delay,
+            input_port(&self.switches[b.0], pb),
+        );
+        let link_ba = Link::new(
+            cfg.rate_bps,
+            cfg.prop_delay,
+            input_port(&self.switches[a.0], pa),
+        );
         self.switches[a.0].borrow_mut().attach_output(pa, link_ab);
         self.switches[b.0].borrow_mut().attach_output(pb, link_ba);
         self.adj[a.0].push((pa, b.0));
         self.adj[b.0].push((pb, a.0));
+        self.used_ports[a.0] = self.used_ports[a.0].max(pa + 1);
+        self.used_ports[b.0] = self.used_ports[b.0].max(pb + 1);
         self.acs.insert(
             ReservationKey::SwitchOut(a.0, pa),
             AdmissionController::new(cfg.rate_bps, self.reservable_fraction),
@@ -146,10 +245,30 @@ impl Network {
         );
     }
 
+    /// Connects two switches bidirectionally on automatically allocated
+    /// ports, growing either switch as needed. Returns the ports used.
+    pub fn connect_switches_auto(
+        &mut self,
+        a: SwitchId,
+        b: SwitchId,
+        cfg: LinkConfig,
+    ) -> (usize, usize) {
+        let pa = self.alloc_port(a);
+        let pb = self.alloc_port(b);
+        self.connect_switches(a, pa, b, pb, cfg);
+        (pa, pb)
+    }
+
     /// Attaches an endpoint to `port` of `sw`. `rx_sink` receives the
     /// cells the network delivers to this endpoint; the returned id's
     /// transmit link is obtained with [`Network::endpoint_tx`].
-    pub fn add_endpoint(&mut self, sw: SwitchId, port: usize, cfg: LinkConfig, rx_sink: SinkRef) -> EndpointId {
+    pub fn add_endpoint(
+        &mut self,
+        sw: SwitchId,
+        port: usize,
+        cfg: LinkConfig,
+        rx_sink: SinkRef,
+    ) -> EndpointId {
         let tx = Rc::new(RefCell::new(Link::new(
             cfg.rate_bps,
             cfg.prop_delay,
@@ -159,6 +278,7 @@ impl Network {
             .borrow_mut()
             .attach_output(port, Link::new(cfg.rate_bps, cfg.prop_delay, rx_sink));
         let id = EndpointId(self.endpoints.len());
+        self.used_ports[sw.0] = self.used_ports[sw.0].max(port + 1);
         self.endpoints.push(EndpointInfo {
             switch: sw.0,
             port,
@@ -173,6 +293,19 @@ impl Network {
             AdmissionController::new(cfg.rate_bps, self.reservable_fraction),
         );
         id
+    }
+
+    /// Attaches an endpoint on an automatically allocated port of `sw`,
+    /// growing the switch as needed — the bulk path scenario builders
+    /// use to hang hundreds of devices off one fabric switch.
+    pub fn add_endpoint_auto(
+        &mut self,
+        sw: SwitchId,
+        cfg: LinkConfig,
+        rx_sink: SinkRef,
+    ) -> EndpointId {
+        let port = self.alloc_port(sw);
+        self.add_endpoint(sw, port, cfg, rx_sink)
     }
 
     /// The transmit link an endpoint uses to inject cells.
@@ -228,19 +361,29 @@ impl Network {
     /// reserved on the endpoint's transmit link, every inter-switch hop,
     /// and the final delivery link; the call fails without side effects if
     /// any hop lacks capacity.
-    pub fn open_vc(&mut self, src: EndpointId, dst: EndpointId, qos: QosSpec) -> Result<VcHandle, AdmissionError> {
+    pub fn open_vc(
+        &mut self,
+        src: EndpointId,
+        dst: EndpointId,
+        qos: QosSpec,
+    ) -> Result<VcHandle, AdmissionError> {
         if src.0 >= self.endpoints.len() || dst.0 >= self.endpoints.len() {
             return Err(AdmissionError::UnknownEndpoint);
         }
         let (src_sw, src_port) = (self.endpoints[src.0].switch, self.endpoints[src.0].port);
         let (dst_sw, dst_port) = (self.endpoints[dst.0].switch, self.endpoints[dst.0].port);
-        let hops = self.bfs_path(src_sw, dst_sw).ok_or(AdmissionError::NoRoute)?;
+        let hops = self
+            .bfs_path(src_sw, dst_sw)
+            .ok_or(AdmissionError::NoRoute)?;
 
         // Admission control with rollback on failure.
         let mut reservations: Vec<(ReservationKey, u64)> = Vec::new();
         if qos.class == ServiceClass::Guaranteed {
             let mut keys = vec![ReservationKey::EndpointTx(src.0)];
-            keys.extend(hops.iter().map(|&(sw, port)| ReservationKey::SwitchOut(sw, port)));
+            keys.extend(
+                hops.iter()
+                    .map(|&(sw, port)| ReservationKey::SwitchOut(sw, port)),
+            );
             keys.push(ReservationKey::SwitchOut(dst_sw, dst_port));
             for key in keys {
                 let name = match key {
@@ -295,9 +438,12 @@ impl Network {
             in_port = peer_port;
         }
         // Final switch: route to the destination endpoint's port.
-        self.switches[cur_sw]
-            .borrow_mut()
-            .add_route(in_port, vcis[nsegs - 2], dst_port, vcis[nsegs - 1]);
+        self.switches[cur_sw].borrow_mut().add_route(
+            in_port,
+            vcis[nsegs - 2],
+            dst_port,
+            vcis[nsegs - 1],
+        );
         route.push((cur_sw, in_port, vcis[nsegs - 2]));
 
         let id = self.next_conn;
@@ -334,6 +480,39 @@ impl Network {
             .map(|ac| ac.available_bps())
             .unwrap_or(0)
     }
+
+    /// The most heavily reserved link in the network, as a fraction of
+    /// its raw line rate. Admission control caps this at
+    /// [`Network::reservable_fraction`]; topology property tests assert
+    /// the invariant from the outside.
+    pub fn max_reservation_utilization(&self) -> f64 {
+        self.acs
+            .values()
+            .map(|ac| ac.reserved_bps() as f64 / ac.capacity_bps() as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether a route exists between every pair of switches.
+    pub fn is_connected(&self) -> bool {
+        let n = self.switches.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut queue = VecDeque::from([0usize]);
+        let mut count = 1;
+        while let Some(node) = queue.pop_front() {
+            for &(_, peer) in &self.adj[node] {
+                if !seen[peer] {
+                    seen[peer] = true;
+                    count += 1;
+                    queue.push_back(peer);
+                }
+            }
+        }
+        count == n
+    }
 }
 
 #[cfg(test)]
@@ -361,7 +540,9 @@ mod tests {
     #[test]
     fn vc_carries_cells_end_to_end() {
         let (mut net, cam, disp, disp_sink) = two_site_net();
-        let vc = net.open_vc(cam, disp, QosSpec::guaranteed(10_000_000)).unwrap();
+        let vc = net
+            .open_vc(cam, disp, QosSpec::guaranteed(10_000_000))
+            .unwrap();
         let mut sim = Simulator::new();
         let tx = net.endpoint_tx(cam);
         for _ in 0..5 {
@@ -389,7 +570,9 @@ mod tests {
         let b = net.add_endpoint(sw, 1, cfg, b_sink.clone());
         let vc = net.open_vc(a, b, QosSpec::best_effort(0)).unwrap();
         let mut sim = Simulator::new();
-        net.endpoint_tx(a).borrow_mut().send(&mut sim, Cell::new(vc.src_vci));
+        net.endpoint_tx(a)
+            .borrow_mut()
+            .send(&mut sim, Cell::new(vc.src_vci));
         sim.run();
         assert_eq!(b_sink.borrow().arrivals.len(), 1);
     }
@@ -398,32 +581,44 @@ mod tests {
     fn admission_control_refuses_oversubscription() {
         let (mut net, cam, disp, _) = two_site_net();
         // 95 Mbit/s reservable on the 100 Mbit/s backbone.
-        let _vc1 = net.open_vc(cam, disp, QosSpec::guaranteed(60_000_000)).unwrap();
-        let err = net.open_vc(cam, disp, QosSpec::guaranteed(60_000_000)).unwrap_err();
+        let _vc1 = net
+            .open_vc(cam, disp, QosSpec::guaranteed(60_000_000))
+            .unwrap();
+        let err = net
+            .open_vc(cam, disp, QosSpec::guaranteed(60_000_000))
+            .unwrap_err();
         assert!(matches!(err, AdmissionError::InsufficientBandwidth { .. }));
         // Best effort still admitted.
-        net.open_vc(cam, disp, QosSpec::best_effort(60_000_000)).unwrap();
+        net.open_vc(cam, disp, QosSpec::best_effort(60_000_000))
+            .unwrap();
     }
 
     #[test]
     fn failed_admission_rolls_back() {
         let (mut net, cam, disp, _) = two_site_net();
         let before = net.endpoint_tx_available(cam);
-        let _ = net.open_vc(cam, disp, QosSpec::guaranteed(99_000_000)).unwrap_err();
+        let _ = net
+            .open_vc(cam, disp, QosSpec::guaranteed(99_000_000))
+            .unwrap_err();
         assert_eq!(net.endpoint_tx_available(cam), before);
     }
 
     #[test]
     fn close_vc_releases_and_stops_traffic() {
         let (mut net, cam, disp, disp_sink) = two_site_net();
-        let vc = net.open_vc(cam, disp, QosSpec::guaranteed(90_000_000)).unwrap();
+        let vc = net
+            .open_vc(cam, disp, QosSpec::guaranteed(90_000_000))
+            .unwrap();
         let src_vci = vc.src_vci;
         net.close_vc(vc);
         // Bandwidth is back.
-        net.open_vc(cam, disp, QosSpec::guaranteed(90_000_000)).unwrap();
+        net.open_vc(cam, disp, QosSpec::guaranteed(90_000_000))
+            .unwrap();
         // Cells on the old VCI are now unroutable.
         let mut sim = Simulator::new();
-        net.endpoint_tx(cam).borrow_mut().send(&mut sim, Cell::new(src_vci));
+        net.endpoint_tx(cam)
+            .borrow_mut()
+            .send(&mut sim, Cell::new(src_vci));
         sim.run();
         assert_eq!(disp_sink.borrow().arrivals.len(), 0);
     }
@@ -436,7 +631,10 @@ mod tests {
         let sw_b = net.add_switch("b", 2, 0);
         let a = net.add_endpoint(sw_a, 0, cfg, CaptureSink::shared());
         let b = net.add_endpoint(sw_b, 0, cfg, CaptureSink::shared());
-        assert_eq!(net.open_vc(a, b, QosSpec::best_effort(0)).unwrap_err(), AdmissionError::NoRoute);
+        assert_eq!(
+            net.open_vc(a, b, QosSpec::best_effort(0)).unwrap_err(),
+            AdmissionError::NoRoute
+        );
     }
 
     #[test]
@@ -446,7 +644,10 @@ mod tests {
         let sw = net.add_switch("a", 2, 0);
         let a = net.add_endpoint(sw, 0, cfg, CaptureSink::shared());
         let bogus = EndpointId(42);
-        assert_eq!(net.open_vc(a, bogus, QosSpec::best_effort(0)).unwrap_err(), AdmissionError::UnknownEndpoint);
+        assert_eq!(
+            net.open_vc(a, bogus, QosSpec::best_effort(0)).unwrap_err(),
+            AdmissionError::UnknownEndpoint
+        );
     }
 
     #[test]
@@ -463,10 +664,89 @@ mod tests {
         let b = net.add_endpoint(s2, 2, cfg, sink.clone());
         let vc = net.open_vc(a, b, QosSpec::guaranteed(1_000_000)).unwrap();
         let mut sim = Simulator::new();
-        net.endpoint_tx(a).borrow_mut().send(&mut sim, Cell::new(vc.src_vci));
+        net.endpoint_tx(a)
+            .borrow_mut()
+            .send(&mut sim, Cell::new(vc.src_vci));
         sim.run();
         assert_eq!(sink.borrow().arrivals.len(), 1);
         assert_eq!(sink.borrow().arrivals[0].1.vci(), vc.dst_vci);
+    }
+
+    #[test]
+    fn topology_shapes_are_connected_and_route() {
+        for shape in [
+            TopologyShape::Star,
+            TopologyShape::Ring,
+            TopologyShape::FullMesh,
+        ] {
+            for n in [1usize, 2, 3, 5, 8] {
+                let mut net = Network::new();
+                let cfg = LinkConfig::pegasus_default();
+                let ids = net.build_topology(shape, n, "fab", 4, 100, cfg);
+                assert_eq!(ids.len(), n);
+                assert!(net.is_connected(), "{shape:?} n={n} must be connected");
+                // An endpoint on every switch can reach one on the last.
+                let sink = CaptureSink::shared();
+                let dst = net.add_endpoint_auto(ids[n - 1], cfg, sink.clone());
+                let mut sim = Simulator::new();
+                let mut expected = 0;
+                for &sw in &ids[..n - 1] {
+                    let src = net.add_endpoint_auto(sw, cfg, CaptureSink::shared());
+                    let vc = net.open_vc(src, dst, QosSpec::best_effort(0)).unwrap();
+                    net.endpoint_tx(src)
+                        .borrow_mut()
+                        .send(&mut sim, Cell::new(vc.src_vci));
+                    expected += 1;
+                }
+                sim.run();
+                assert_eq!(sink.borrow().arrivals.len(), expected, "{shape:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_ports_grow_past_declared_size() {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let sw = net.add_switch("tiny", 2, 0);
+        let sink = CaptureSink::shared();
+        let eps: Vec<EndpointId> = (0..6)
+            .map(|_| net.add_endpoint_auto(sw, cfg, sink.clone()))
+            .collect();
+        assert_eq!(net.switch(sw).borrow().ports(), 6);
+        let vc = net
+            .open_vc(eps[0], eps[5], QosSpec::best_effort(0))
+            .unwrap();
+        let mut sim = Simulator::new();
+        net.endpoint_tx(eps[0])
+            .borrow_mut()
+            .send(&mut sim, Cell::new(vc.src_vci));
+        sim.run();
+        assert_eq!(sink.borrow().arrivals.len(), 1);
+    }
+
+    #[test]
+    fn auto_ports_skip_explicitly_wired_ones() {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let a = net.add_switch("a", 8, 0);
+        let b = net.add_switch("b", 8, 0);
+        net.connect_switches(a, 3, b, 0, cfg);
+        // The allocator must not hand out a port at or below 3 on `a`.
+        let ep = net.add_endpoint_auto(a, cfg, CaptureSink::shared());
+        assert_eq!(net.endpoints[ep.0].port, 4);
+    }
+
+    #[test]
+    fn reservation_utilization_tracks_admissions() {
+        let (mut net, cam, disp, _) = two_site_net();
+        assert_eq!(net.max_reservation_utilization(), 0.0);
+        let _vc = net
+            .open_vc(cam, disp, QosSpec::guaranteed(50_000_000))
+            .unwrap();
+        let u = net.max_reservation_utilization();
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+        assert!(u <= net.reservable_fraction);
     }
 
     #[test]

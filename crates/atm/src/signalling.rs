@@ -196,6 +196,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("sw0:1") && s.contains("10") && s.contains('5'));
-        assert_eq!(AdmissionError::NoRoute.to_string(), "no route between endpoints");
+        assert_eq!(
+            AdmissionError::NoRoute.to_string(),
+            "no route between endpoints"
+        );
     }
 }

@@ -37,6 +37,9 @@ pub struct SwitchStats {
     pub unroutable: u64,
     /// Cells dropped because the output queue was full.
     pub overflowed: u64,
+    /// Deepest output backlog observed (in cells, including the cell
+    /// being accepted) — the high-water mark scenario reports publish.
+    pub peak_queue_cells: u64,
 }
 
 /// An output-queued cell switch.
@@ -86,6 +89,15 @@ impl Switch {
         self.outputs[port] = Some(link);
     }
 
+    /// Grows the switch to at least `ports` ports (new ports start
+    /// unwired). Programmatic topology builders size switches to the
+    /// scenario rather than a fixed port count.
+    pub fn grow_ports(&mut self, ports: usize) {
+        while self.outputs.len() < ports {
+            self.outputs.push(None);
+        }
+    }
+
     /// Allocates a fresh VCI, unique within this switch.
     pub fn alloc_vci(&mut self) -> Vci {
         let v = self.next_vci;
@@ -95,7 +107,8 @@ impl Switch {
 
     /// Installs a translation-table entry.
     pub fn add_route(&mut self, in_port: usize, in_vci: Vci, out_port: usize, out_vci: Vci) {
-        self.routes.insert((in_port, in_vci), Route { out_port, out_vci });
+        self.routes
+            .insert((in_port, in_vci), Route { out_port, out_vci });
     }
 
     /// Removes a translation-table entry; returns `true` if it existed.
@@ -114,7 +127,11 @@ impl Switch {
             self.stats.unroutable += 1;
             return;
         };
-        let Some(link) = self.outputs.get_mut(route.out_port).and_then(|l| l.as_mut()) else {
+        let Some(link) = self
+            .outputs
+            .get_mut(route.out_port)
+            .and_then(|l| l.as_mut())
+        else {
             self.stats.unroutable += 1;
             return;
         };
@@ -126,6 +143,7 @@ impl Switch {
         cell.set_vci(route.out_vci);
         link.send(sim, cell);
         self.stats.switched += 1;
+        self.stats.peak_queue_cells = self.stats.peak_queue_cells.max(backlog_cells + 1);
     }
 }
 
@@ -236,6 +254,36 @@ mod tests {
         let st = sw.borrow().stats.clone();
         assert_eq!(delivered + st.overflowed, 10);
         assert!(st.overflowed > 0, "expected drops");
+        assert_eq!(st.peak_queue_cells, 4, "high-water mark is the capacity");
+    }
+
+    #[test]
+    fn peak_queue_depth_tracks_bursts() {
+        let (sw, input, _out) = one_switch_setup(0);
+        sw.borrow_mut().add_route(0, 5, 1, 5);
+        let mut sim = Simulator::new();
+        for _ in 0..6 {
+            input.borrow_mut().deliver(&mut sim, Cell::new(5));
+        }
+        sim.run();
+        assert_eq!(sw.borrow().stats.peak_queue_cells, 6);
+        // A later, smaller burst does not lower the mark.
+        for _ in 0..2 {
+            input.borrow_mut().deliver(&mut sim, Cell::new(5));
+        }
+        sim.run();
+        assert_eq!(sw.borrow().stats.peak_queue_cells, 6);
+    }
+
+    #[test]
+    fn grow_ports_extends_unwired() {
+        let sw = Switch::shared("g", 2, 0);
+        sw.borrow_mut().grow_ports(5);
+        assert_eq!(sw.borrow().ports(), 5);
+        sw.borrow_mut().grow_ports(3); // never shrinks
+        assert_eq!(sw.borrow().ports(), 5);
+        let out = CaptureSink::shared();
+        sw.borrow_mut().attach_output(4, Link::new(RATE, 0, out));
     }
 
     #[test]

@@ -22,7 +22,10 @@ fn main() {
     let display = Display::shared(1024, 768);
     let mut wm = WindowManager::new(display.clone(), 1);
     for w in 0..16u16 {
-        wm.create(100 + w, Rect::new((w as i32 % 4) * 200, (w as i32 / 4) * 150, 200, 150));
+        wm.create(
+            100 + w,
+            Rect::new((w as i32 % 4) * 200, (w as i32 / 4) * 150, 200, 150),
+        );
     }
     let mut sim = Simulator::new();
 
@@ -36,7 +39,9 @@ fn main() {
             quality: 0,
             frame_seq: i,
             timestamp: 0,
-            tiles: (0..8).map(|t| (t * 8, ((i * 8) % 144) as u16, vec![7u8; 64])).collect(),
+            tiles: (0..8)
+                .map(|t| (t * 8, ((i * 8) % 144) as u16, vec![7u8; 64]))
+                .collect(),
         };
         for cell in Segmenter::new(vci).segment(&frame.encode()).unwrap() {
             use pegasus_atm::link::CellSink;
@@ -47,7 +52,10 @@ fn main() {
     let blitted = display.borrow().stats.tiles_blitted;
     row(&[
         ("raw tiles blitted", blitted.to_string()),
-        ("host blit rate", format!("{:.0} tiles/s", blitted as f64 / wall)),
+        (
+            "host blit rate",
+            format!("{:.0} tiles/s", blitted as f64 / wall),
+        ),
         (
             "pixels written",
             display.borrow().stats.pixels_written.to_string(),
@@ -66,7 +74,9 @@ fn main() {
             quality: 50,
             frame_seq: i,
             timestamp: 0,
-            tiles: (0..8).map(|t| (t * 8, ((i * 8) % 760) as u16, payload.clone())).collect(),
+            tiles: (0..8)
+                .map(|t| (t * 8, ((i * 8) % 760) as u16, payload.clone()))
+                .collect(),
         };
         for cell in Segmenter::new(50).segment(&frame.encode()).unwrap() {
             use pegasus_atm::link::CellSink;
@@ -77,14 +87,17 @@ fn main() {
     let blitted2 = display2.borrow().stats.tiles_blitted;
     row(&[
         ("mjpeg tiles blitted", blitted2.to_string()),
-        ("host blit rate", format!("{:.0} tiles/s", blitted2 as f64 / wall2)),
+        (
+            "host blit rate",
+            format!("{:.0} tiles/s", blitted2 as f64 / wall2),
+        ),
     ]);
 
     // Window-manager operations are descriptor writes: count, not copy.
     let ops = 10_000;
     let start = Instant::now();
     for i in 0..ops {
-        wm.move_to(100 + (i % 16) as u16, (i % 800) as i32, (i % 600) as i32);
+        wm.move_to(100 + (i % 16) as u16, i % 800, i % 600);
         wm.raise(100 + (i % 16) as u16);
     }
     let wall3 = start.elapsed().as_secs_f64();
@@ -92,5 +105,7 @@ fn main() {
         ("wm ops (move+raise)", (2 * ops).to_string()),
         ("rate", format!("{:.0} ops/s", 2.0 * ops as f64 / wall3)),
     ]);
-    println!("expect: blit scales with pixels; WM ops are orders of magnitude cheaper than repainting");
+    println!(
+        "expect: blit scales with pixels; WM ops are orders of magnitude cheaper than repainting"
+    );
 }

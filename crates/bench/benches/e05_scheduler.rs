@@ -13,9 +13,7 @@ fn run(policy: Policy, hogs: usize) -> Vec<(String, f64, u64)> {
     sim.add_task(TaskSpec::guaranteed("audio", 10 * MS, 3 * MS).with_priority(5));
     sim.add_task(TaskSpec::guaranteed("video", 40 * MS, 16 * MS).with_priority(4));
     for i in 0..hogs {
-        sim.add_task(
-            TaskSpec::best_effort(&format!("hog{i}"), 10 * MS, 100 * MS).with_priority(6),
-        );
+        sim.add_task(TaskSpec::best_effort(&format!("hog{i}"), 10 * MS, 100 * MS).with_priority(6));
     }
     let r = sim.run(10_000 * MS);
     r.tasks

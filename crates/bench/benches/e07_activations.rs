@@ -34,7 +34,11 @@ fn main() {
         });
         let horizon = 10_000 * MS;
         let mut stats = sim.run(&periodic_quanta(5 * MS, 10 * MS, horizon), horizon);
-        let a99 = stats[0].response.percentile(99.0).map(fmt_ns).unwrap_or_else(|| "-".into());
+        let a99 = stats[0]
+            .response
+            .percentile(99.0)
+            .map(fmt_ns)
+            .unwrap_or_else(|| "-".into());
         row(&[
             ("model", label.to_string()),
             (

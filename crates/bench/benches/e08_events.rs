@@ -20,8 +20,10 @@ fn delivery_latency(mode: SignalMode) -> u64 {
     let chan = sys.borrow_mut().open_channel(rx);
     let t = Rc::new(RefCell::new(0u64));
     let t2 = t.clone();
-    sys.borrow_mut()
-        .set_handler(rx, Box::new(move |sim, _s, _c, _n| *t2.borrow_mut() = sim.now()));
+    sys.borrow_mut().set_handler(
+        rx,
+        Box::new(move |sim, _s, _c, _n| *t2.borrow_mut() = sim.now()),
+    );
     EventSystem::send(&sys, &mut sim, chan, mode);
     sim.run();
     let v = *t.borrow();
@@ -81,7 +83,7 @@ fn main() {
     );
     idc.call(&sys, &mut sim, vec![1, 2, 3], SignalMode::Synchronous);
     sim.run();
-    row(&[("idc round trip (sync both ways)", fmt_ns(*t.borrow()))]
+    row([("idc round trip (sync both ways)", fmt_ns(*t.borrow()))]
         .iter()
         .map(|(k, v)| (*k, v.clone()))
         .collect::<Vec<_>>()

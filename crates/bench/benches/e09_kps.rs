@@ -17,7 +17,10 @@ fn main() {
     // A driver doing 1 ms of work per invocation, of which `priv_frac`
     // genuinely needs privilege, invoked 100 times.
     let work: u64 = 1_000_000;
-    for (costs, cname) in [(KpsCosts::mips_trap(), "mips-trap"), (KpsCosts::alpha_pal(), "alpha-pal")] {
+    for (costs, cname) in [
+        (KpsCosts::mips_trap(), "mips-trap"),
+        (KpsCosts::alpha_pal(), "alpha-pal"),
+    ] {
         for priv_frac in [0.01f64, 0.05, 0.25] {
             let priv_work = (work as f64 * priv_frac) as u64;
             let kps = cpu(costs);

@@ -29,7 +29,10 @@ fn main() {
         }
         row(&[
             ("unit", format!("{} KiB", unit / 1024)),
-            ("seek overhead", format!("{:.1}%", d.stats.seek_overhead() * 100.0)),
+            (
+                "seek overhead",
+                format!("{:.1}%", d.stats.seek_overhead() * 100.0),
+            ),
             ("effective rate", mbps(d.stats.throughput())),
         ]);
     }
@@ -43,9 +46,7 @@ fn main() {
         total += raid.write_stripe(s, &seg).unwrap();
     }
     let rate = 128.0 * SEGMENT_BYTES as f64 / (total as f64 / 1e9);
-    row(&[
-        ("striped sequential log (128 MB)", mbps(rate)),
-    ]);
+    row(&[("striped sequential log (128 MB)", mbps(rate))]);
 
     // Through the whole LFS core.
     let mut fs = LogFs::new(DiskConfig::hp_1994());

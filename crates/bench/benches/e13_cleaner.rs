@@ -28,7 +28,8 @@ fn build(cold: usize) -> LogFs {
         let d = fs.create(FileClass::Normal);
         fs.append(d, &vec![0u8; 700 * 1024]).unwrap();
         let l = fs.create(FileClass::Normal);
-        fs.append(l, &vec![0u8; SEGMENT_BYTES - 700 * 1024]).unwrap();
+        fs.append(l, &vec![0u8; SEGMENT_BYTES - 700 * 1024])
+            .unwrap();
         dead.push(d);
     }
     fs.sync().unwrap();

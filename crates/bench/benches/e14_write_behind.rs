@@ -56,9 +56,18 @@ fn main() {
     );
     for (label, policy) in [
         ("write-through", WritePolicy::WriteThrough),
-        ("write-behind 5 s", WritePolicy::WriteBehind { delay: 5 * SEC }),
-        ("write-behind 30 s", WritePolicy::WriteBehind { delay: 30 * SEC }),
-        ("write-behind 120 s", WritePolicy::WriteBehind { delay: 120 * SEC }),
+        (
+            "write-behind 5 s",
+            WritePolicy::WriteBehind { delay: 5 * SEC },
+        ),
+        (
+            "write-behind 30 s",
+            WritePolicy::WriteBehind { delay: 30 * SEC },
+        ),
+        (
+            "write-behind 120 s",
+            WritePolicy::WriteBehind { delay: 120 * SEC },
+        ),
     ] {
         let (app, disk, absorbed, garbage_kib) = run(policy);
         row(&[

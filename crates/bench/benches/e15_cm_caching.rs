@@ -67,7 +67,10 @@ fn main() {
         ("guaranteed streams", "4 × 2 MB/s, uncached".into()),
         ("periods", report.periods.to_string()),
         ("deadline misses", report.missed.to_string()),
-        ("delivered MB", format!("{:.0}", report.bytes_delivered as f64 / 1e6)),
+        (
+            "delivered MB",
+            format!("{:.0}", report.bytes_delivered as f64 / 1e6),
+        ),
     ]);
     println!("expect: hot-set hit rate >90%; any video larger than the cache scores ~0%; the rate-guaranteed path delivers its fixed rate with zero misses, no cache needed");
 }

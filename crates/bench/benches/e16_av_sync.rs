@@ -56,7 +56,9 @@ fn main() {
     ]);
     for target in [20 * MS, 40 * MS, 60 * MS] {
         let (p50, max, late) = run(
-            PlaybackPolicy::Synchronized { target_latency: target },
+            PlaybackPolicy::Synchronized {
+                target_latency: target,
+            },
             30 * MS,
             2 * MS,
         );

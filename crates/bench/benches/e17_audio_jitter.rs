@@ -25,7 +25,9 @@ fn run(jitter_peak_ms: u64, buffer_samples: usize) -> (u64, u64) {
         };
         let s2 = sink.clone();
         let cell = pack_cell(5, ideal, &[0i16; SAMPLES_PER_CELL]);
-        sim.schedule_at(ideal + jitter, move |sim| s2.borrow_mut().deliver(sim, cell));
+        sim.schedule_at(ideal + jitter, move |sim| {
+            s2.borrow_mut().deliver(sim, cell)
+        });
     }
     // Stop the play-out clock with the stream, so post-stream silence
     // is not miscounted as drop-outs.
@@ -59,7 +61,10 @@ fn main() {
     let (_, lat_deep) = run(0, 160);
     row(&[
         ("latency cost of buffering", String::new()),
-        ("20-sample buffer p50", pegasus_sim::time::fmt_ns(lat_shallow)),
+        (
+            "20-sample buffer p50",
+            pegasus_sim::time::fmt_ns(lat_shallow),
+        ),
         ("160-sample buffer p50", pegasus_sim::time::fmt_ns(lat_deep)),
     ]);
     println!("expect: drops vanish once the buffer exceeds the jitter peak; the price is exactly that much added latency");

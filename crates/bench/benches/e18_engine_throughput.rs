@@ -75,7 +75,9 @@ fn bench_fan(pending: u64, waves: u64) -> (u64, f64) {
     for w in 0..waves {
         let base = sim.now();
         for _ in 0..pending {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dt = 1 + (rng >> 33) % 50_000;
             sim.schedule_at(base + dt, |_| {});
         }
@@ -159,7 +161,11 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                scale = args.get(i + 1).expect("--scale needs a value").parse().expect("--scale N");
+                scale = args
+                    .get(i + 1)
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("--scale N");
                 i += 2;
             }
             "--json" => {
@@ -217,9 +223,18 @@ fn main() {
     ]);
     if BASELINE_EVENTS_PER_SEC > 0.0 {
         row(&[
-            ("vs baseline events", format!("{:.2}x", events_per_sec / BASELINE_EVENTS_PER_SEC)),
-            ("vs baseline cells", format!("{:.2}x", cells_per_sec / BASELINE_CELLS_PER_SEC)),
-            ("vs baseline cancels", format!("{:.2}x", cancels_per_sec / BASELINE_CANCELS_PER_SEC)),
+            (
+                "vs baseline events",
+                format!("{:.2}x", events_per_sec / BASELINE_EVENTS_PER_SEC),
+            ),
+            (
+                "vs baseline cells",
+                format!("{:.2}x", cells_per_sec / BASELINE_CELLS_PER_SEC),
+            ),
+            (
+                "vs baseline cancels",
+                format!("{:.2}x", cancels_per_sec / BASELINE_CANCELS_PER_SEC),
+            ),
         ]);
     }
     if let Some(path) = json_path {

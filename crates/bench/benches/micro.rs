@@ -29,7 +29,9 @@ fn bench_cell_roundtrip(c: &mut Criterion) {
 fn bench_aal5(c: &mut Criterion) {
     let frame = vec![3u8; 1024];
     let seg = Segmenter::new(1);
-    c.bench_function("aal5_segment_1k", |b| b.iter(|| seg.segment(black_box(&frame)).unwrap()));
+    c.bench_function("aal5_segment_1k", |b| {
+        b.iter(|| seg.segment(black_box(&frame)).unwrap())
+    });
     let cells = seg.segment(&frame).unwrap();
     c.bench_function("aal5_reassemble_1k", |b| {
         b.iter(|| {
@@ -62,7 +64,8 @@ fn bench_codec(c: &mut Criterion) {
 fn bench_name_resolution(c: &mut Criterion) {
     let mut w = NameWorld::new();
     let s = w.create_space();
-    w.bind(s, "/dev/atm/camera0", pegasus_naming::maillon::ObjectRef(1)).unwrap();
+    w.bind(s, "/dev/atm/camera0", pegasus_naming::maillon::ObjectRef(1))
+        .unwrap();
     c.bench_function("resolve_three_components", |b| {
         b.iter(|| w.resolve(black_box(s), "/dev/atm/camera0").unwrap())
     });

@@ -26,4 +26,4 @@ pub mod system;
 pub mod videophone;
 
 pub use system::{System, Workstation};
-pub use videophone::{VideoPhone, VideoPhoneConfig, VideoPhoneReport, VideoPath};
+pub use videophone::{VideoPath, VideoPhone, VideoPhoneConfig, VideoPhoneReport};

@@ -81,11 +81,7 @@ impl CellSink for RecorderSink {
     fn deliver(&mut self, _sim: &mut Simulator, cell: Cell) {
         match self.reasm.push(&cell) {
             None => {}
-            Some(Ok(bytes)) => {
-                if self.store(&bytes).is_err() {
-                    self.frames_bad += 1;
-                }
-            }
+            Some(Ok(bytes)) => self.frames_bad += u64::from(self.store(&bytes).is_err()),
             Some(Err(_)) => self.frames_bad += 1,
         }
     }
@@ -158,7 +154,12 @@ mod tests {
             .net
             .open_vc(ws.camera_ep, storage_ep, QosSpec::guaranteed(20_000_000))
             .unwrap();
-        let cam = sys.build_camera(&ws, Scene::MovingGradient, CameraConfig::default(), vc.src_vci);
+        let cam = sys.build_camera(
+            &ws,
+            Scene::MovingGradient,
+            CameraConfig::default(),
+            vc.src_vci,
+        );
         let mut sim = Simulator::new();
         Camera::start(&cam, &mut sim);
         sim.run_until(duration);

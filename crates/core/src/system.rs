@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use pegasus_atm::cell::Cell;
 use pegasus_atm::link::{CellSink, Link, SinkRef};
-use pegasus_atm::network::{EndpointId, LinkConfig, Network, SwitchId};
+use pegasus_atm::network::{EndpointId, LinkConfig, Network, SwitchId, TopologyShape};
 use pegasus_devices::audio::{AudioConfig, AudioSink, AudioSource};
 use pegasus_devices::camera::{Camera, CameraConfig};
 use pegasus_devices::display::Display;
@@ -111,14 +111,24 @@ pub struct Workstation {
 }
 
 /// The whole Pegasus installation (Figure 4).
+///
+/// The default [`System::new`] is the classic single-backbone shape; a
+/// scenario assembles larger installations piecewise with
+/// [`System::with_topology`], [`System::add_workstation_at`] and
+/// [`System::attach_device`], so city-scale fabrics and hand-wired
+/// two-site experiments share one construction path.
 pub struct System {
     /// The ATM network.
     pub net: Network,
-    /// The backbone switch joining sites.
+    /// The fabric switches joining sites; `fabric[0]` is the backbone of
+    /// the single-switch default.
+    pub fabric: Vec<SwitchId>,
+    /// The first fabric switch (kept for the single-backbone callers).
     pub backbone: SwitchId,
-    next_backbone_port: usize,
     /// Link parameters used throughout.
     pub link: LinkConfig,
+    /// Round-robin cursor for site placement.
+    next_site: usize,
 }
 
 impl Default for System {
@@ -130,23 +140,42 @@ impl Default for System {
 impl System {
     /// Creates a system with an empty backbone switch.
     pub fn new() -> Self {
+        Self::with_topology(TopologyShape::Star, 1, LinkConfig::pegasus_default())
+    }
+
+    /// Creates a system whose backbone is a multi-switch fabric in the
+    /// given shape, all inter-switch links at `link` parameters.
+    pub fn with_topology(shape: TopologyShape, switches: usize, link: LinkConfig) -> Self {
         let mut net = Network::new();
-        let backbone = net.add_switch("backbone", 16, 500);
+        let fabric = net.build_topology(shape, switches, "backbone", 16, 500, link);
         System {
             net,
-            backbone,
-            next_backbone_port: 0,
-            link: LinkConfig::pegasus_default(),
+            backbone: fabric[0],
+            fabric,
+            link,
+            next_site: 0,
         }
     }
 
     /// Adds a multimedia workstation: local switch uplinked to the
-    /// backbone, with the full device complement attached.
+    /// fabric (round-robin across fabric switches), with the full device
+    /// complement attached.
     pub fn add_workstation(&mut self, name: &str, audio_jitter_buffer: usize) -> Workstation {
+        let at = self.next_site % self.fabric.len();
+        self.next_site += 1;
+        self.add_workstation_at(at, name, audio_jitter_buffer)
+    }
+
+    /// Adds a workstation uplinked to fabric switch `fabric_idx`.
+    pub fn add_workstation_at(
+        &mut self,
+        fabric_idx: usize,
+        name: &str,
+        audio_jitter_buffer: usize,
+    ) -> Workstation {
+        let up = self.fabric[fabric_idx];
         let sw = self.net.add_switch(&format!("{name}-fairisle"), 8, 500);
-        let port = self.next_backbone_port;
-        self.next_backbone_port += 1;
-        self.net.connect_switches(self.backbone, port, sw, 0, self.link);
+        self.net.connect_switches_auto(up, sw, self.link);
 
         // Camera transmits only; its receive side is a host-side stub.
         let camera_ep = self.net.add_endpoint(sw, 1, self.link, HostNic::shared());
@@ -175,13 +204,27 @@ impl System {
     /// Adds a plain endpoint on the backbone (storage servers, compute
     /// servers, Unix nodes).
     pub fn add_backbone_endpoint(&mut self, sink: SinkRef) -> EndpointId {
-        let port = self.next_backbone_port;
-        self.next_backbone_port += 1;
+        self.add_server_at(0, sink)
+    }
+
+    /// Adds a server endpoint behind its own edge switch on fabric
+    /// switch `fabric_idx`.
+    pub fn add_server_at(&mut self, fabric_idx: usize, sink: SinkRef) -> EndpointId {
         // A private edge switch would be equivalent; servers sit directly
         // on a backbone port here.
         let sw = self.net.add_switch("srv-edge", 2, 0);
-        self.net.connect_switches(self.backbone, port, sw, 0, self.link);
+        self.net
+            .connect_switches_auto(self.fabric[fabric_idx], sw, self.link);
         self.net.add_endpoint(sw, 1, self.link, sink)
+    }
+
+    /// Attaches a bare device endpoint directly to fabric switch
+    /// `fabric_idx` — the bulk path scenarios use to hang hundreds of
+    /// cameras, displays and audio nodes off a city fabric without an
+    /// edge switch per device.
+    pub fn attach_device(&mut self, fabric_idx: usize, sink: SinkRef) -> EndpointId {
+        self.net
+            .add_endpoint_auto(self.fabric[fabric_idx], self.link, sink)
     }
 
     /// Builds a camera on `ws`, producing `scene` with `cfg`, stamped
@@ -193,17 +236,36 @@ impl System {
         cfg: CameraConfig,
         vci: u16,
     ) -> Rc<RefCell<Camera>> {
+        self.build_camera_on(ws.camera_ep, scene, cfg, vci)
+    }
+
+    /// Builds a camera transmitting from an arbitrary endpoint — the
+    /// spec-driven path where the endpoint came from
+    /// [`System::attach_device`] rather than a [`Workstation`].
+    pub fn build_camera_on(
+        &self,
+        ep: EndpointId,
+        scene: Scene,
+        cfg: CameraConfig,
+        vci: u16,
+    ) -> Rc<RefCell<Camera>> {
         let video = SyntheticVideo::qcif(scene);
-        Camera::new(video, cfg, vci, self.net.endpoint_tx(ws.camera_ep))
+        Camera::new(video, cfg, vci, self.net.endpoint_tx(ep))
     }
 
     /// Builds an audio source on `ws` for an already-opened connection.
     pub fn build_audio_source(&self, ws: &Workstation, vci: u16) -> Rc<RefCell<AudioSource>> {
-        AudioSource::new(
-            AudioConfig::telephony(),
-            vci,
-            self.net.endpoint_tx(ws.audio_src_ep),
-        )
+        self.build_audio_source_on(ws.audio_src_ep, AudioConfig::telephony(), vci)
+    }
+
+    /// Builds an audio source transmitting from an arbitrary endpoint.
+    pub fn build_audio_source_on(
+        &self,
+        ep: EndpointId,
+        cfg: AudioConfig,
+        vci: u16,
+    ) -> Rc<RefCell<AudioSource>> {
+        AudioSource::new(cfg, vci, self.net.endpoint_tx(ep))
     }
 }
 
@@ -240,14 +302,23 @@ mod tests {
             .unwrap();
         let mut wm = WindowManager::new(b.display.clone(), 1);
         wm.create(vc.dst_vci, Rect::new(0, 0, 176, 144));
-        let cam = sys.build_camera(&a, Scene::MovingGradient, CameraConfig::default(), vc.src_vci);
+        let cam = sys.build_camera(
+            &a,
+            Scene::MovingGradient,
+            CameraConfig::default(),
+            vc.src_vci,
+        );
         let mut sim = Simulator::new();
         Camera::start(&cam, &mut sim);
         sim.run_until(100 * MS);
         cam.borrow_mut().stop();
         sim.run();
         let d = b.display.borrow();
-        assert!(d.stats.tiles_blitted > 100, "blitted {}", d.stats.tiles_blitted);
+        assert!(
+            d.stats.tiles_blitted > 100,
+            "blitted {}",
+            d.stats.tiles_blitted
+        );
         // The DAN property: no host CPU saw a single media byte.
         assert_eq!(a.host_nic.borrow().bytes_touched, 0);
         assert_eq!(b.host_nic.borrow().bytes_touched, 0);
@@ -271,15 +342,67 @@ mod tests {
             Some((vc_host_disp.src_vci, sys.net.endpoint_tx(a.host_ep)));
         let mut wm = WindowManager::new(b.display.clone(), 1);
         wm.create(vc_host_disp.dst_vci, Rect::new(0, 0, 176, 144));
-        let cam = sys.build_camera(&a, Scene::TestCard, CameraConfig::default(), vc_cam_host.src_vci);
+        let cam = sys.build_camera(
+            &a,
+            Scene::TestCard,
+            CameraConfig::default(),
+            vc_cam_host.src_vci,
+        );
         let mut sim = Simulator::new();
         Camera::start(&cam, &mut sim);
         sim.run_until(50 * MS);
         cam.borrow_mut().stop();
         sim.run();
         assert!(b.display.borrow().stats.tiles_blitted > 0);
-        assert!(a.host_nic.borrow().bytes_touched > 0, "the CPU paid for every byte");
+        assert!(
+            a.host_nic.borrow().bytes_touched > 0,
+            "the CPU paid for every byte"
+        );
         assert!(a.host_nic.borrow().cpu_time > 0);
+    }
+
+    #[test]
+    fn multi_switch_fabric_carries_video_between_sites() {
+        use pegasus_atm::network::TopologyShape;
+        let mut sys = System::with_topology(TopologyShape::Ring, 4, LinkConfig::pegasus_default());
+        assert_eq!(sys.fabric.len(), 4);
+        let a = sys.add_workstation_at(0, "north", 40);
+        let b = sys.add_workstation_at(2, "south", 40);
+        // Two ring hops between the sites.
+        let vc = sys
+            .net
+            .open_vc(a.camera_ep, b.display_ep, QosSpec::guaranteed(15_000_000))
+            .unwrap();
+        let mut wm = WindowManager::new(b.display.clone(), 1);
+        wm.create(vc.dst_vci, Rect::new(0, 0, 176, 144));
+        let cam = sys.build_camera(&a, Scene::TestCard, CameraConfig::default(), vc.src_vci);
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(100 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        assert!(b.display.borrow().stats.tiles_blitted > 100);
+        assert_eq!(b.host_nic.borrow().bytes_touched, 0);
+    }
+
+    #[test]
+    fn attach_device_puts_endpoints_on_the_fabric() {
+        use pegasus_atm::link::CaptureSink;
+        let mut sys = System::new();
+        let cam_ep = sys.attach_device(0, HostNic::shared());
+        let sink = CaptureSink::shared();
+        let dst_ep = sys.attach_device(0, sink.clone());
+        let vc = sys
+            .net
+            .open_vc(cam_ep, dst_ep, QosSpec::guaranteed(5_000_000))
+            .unwrap();
+        let mut sim = Simulator::new();
+        sys.net
+            .endpoint_tx(cam_ep)
+            .borrow_mut()
+            .send(&mut sim, Cell::new(vc.src_vci));
+        sim.run();
+        assert_eq!(sink.borrow().arrivals.len(), 1);
     }
 
     #[test]

@@ -100,12 +100,32 @@ impl VideoPhone {
             b.display.borrow().stats.tiles_blitted,
         );
         let video_latency_p50 = (
-            a.display.borrow_mut().stats.latency.percentile(50.0).unwrap_or(0),
-            b.display.borrow_mut().stats.latency.percentile(50.0).unwrap_or(0),
+            a.display
+                .borrow_mut()
+                .stats
+                .latency
+                .percentile(50.0)
+                .unwrap_or(0),
+            b.display
+                .borrow_mut()
+                .stats
+                .latency
+                .percentile(50.0)
+                .unwrap_or(0),
         );
         let video_latency_p99 = (
-            a.display.borrow_mut().stats.latency.percentile(99.0).unwrap_or(0),
-            b.display.borrow_mut().stats.latency.percentile(99.0).unwrap_or(0),
+            a.display
+                .borrow_mut()
+                .stats
+                .latency
+                .percentile(99.0)
+                .unwrap_or(0),
+            b.display
+                .borrow_mut()
+                .stats
+                .latency
+                .percentile(99.0)
+                .unwrap_or(0),
         );
         let audio_underruns = (
             a.audio_sink.borrow().stats.underruns,
@@ -139,7 +159,11 @@ impl VideoPhone {
         // negligible; the interesting contrast is video).
         let audio_vc = sys
             .net
-            .open_vc(from.audio_src_ep, to.audio_sink_ep, QosSpec::guaranteed(128_000))
+            .open_vc(
+                from.audio_src_ep,
+                to.audio_sink_ep,
+                QosSpec::guaranteed(128_000),
+            )
             .expect("audio admission");
         let audio = sys.build_audio_source(from, audio_vc.src_vci);
         pegasus_devices::audio::AudioSource::start(&audio, sim);
@@ -149,7 +173,11 @@ impl VideoPhone {
             VideoPath::Dan => {
                 let vc = sys
                     .net
-                    .open_vc(from.camera_ep, to.display_ep, QosSpec::guaranteed(cfg.video_bps))
+                    .open_vc(
+                        from.camera_ep,
+                        to.display_ep,
+                        QosSpec::guaranteed(cfg.video_bps),
+                    )
                     .expect("video admission");
                 wm.create(vc.dst_vci, Rect::new(0, 0, 176, 144));
                 vc.src_vci
@@ -158,11 +186,19 @@ impl VideoPhone {
                 // Camera → own host; host forwards → remote display.
                 let vc_in = sys
                     .net
-                    .open_vc(from.camera_ep, from.host_ep, QosSpec::guaranteed(cfg.video_bps))
+                    .open_vc(
+                        from.camera_ep,
+                        from.host_ep,
+                        QosSpec::guaranteed(cfg.video_bps),
+                    )
                     .expect("camera-to-host admission");
                 let vc_out = sys
                     .net
-                    .open_vc(from.host_ep, to.display_ep, QosSpec::guaranteed(cfg.video_bps))
+                    .open_vc(
+                        from.host_ep,
+                        to.display_ep,
+                        QosSpec::guaranteed(cfg.video_bps),
+                    )
                     .expect("host-to-display admission");
                 from.host_nic.borrow_mut().forward =
                     Some((vc_out.src_vci, sys.net.endpoint_tx(from.host_ep)));
@@ -193,8 +229,16 @@ mod tests {
     #[test]
     fn dan_call_delivers_video_both_ways_with_zero_cpu_bytes() {
         let r = VideoPhone::run(quick_cfg(VideoPath::Dan));
-        assert!(r.tiles_blitted.0 > 1000, "alice blitted {}", r.tiles_blitted.0);
-        assert!(r.tiles_blitted.1 > 1000, "bob blitted {}", r.tiles_blitted.1);
+        assert!(
+            r.tiles_blitted.0 > 1000,
+            "alice blitted {}",
+            r.tiles_blitted.0
+        );
+        assert!(
+            r.tiles_blitted.1 > 1000,
+            "bob blitted {}",
+            r.tiles_blitted.1
+        );
         assert_eq!(r.cpu_bytes, (0, 0), "DAN: CPUs only manage connections");
         assert_eq!(r.audio_underruns, (0, 0));
     }

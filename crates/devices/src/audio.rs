@@ -109,8 +109,8 @@ impl AudioSource {
 
     /// The sample the ADC reads at index `n` — a pure sine tone.
     fn sample(&self, n: u64) -> i16 {
-        let phase = (n as f64 * self.tone_hz as f64 / self.cfg.sample_rate as f64)
-            * std::f64::consts::TAU;
+        let phase =
+            (n as f64 * self.tone_hz as f64 / self.cfg.sample_rate as f64) * std::f64::consts::TAU;
         (phase.sin() * 12_000.0) as i16
     }
 

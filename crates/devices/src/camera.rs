@@ -116,7 +116,12 @@ pub struct Camera {
 impl Camera {
     /// Creates a camera producing `video` on virtual circuit `vci`,
     /// transmitting through `tx` (the endpoint link into the switch).
-    pub fn new(video: SyntheticVideo, cfg: CameraConfig, vci: Vci, tx: Rc<RefCell<Link>>) -> Rc<RefCell<Camera>> {
+    pub fn new(
+        video: SyntheticVideo,
+        cfg: CameraConfig,
+        vci: Vci,
+        tx: Rc<RefCell<Link>>,
+    ) -> Rc<RefCell<Camera>> {
         Rc::new(RefCell::new(Camera {
             video,
             cfg,
@@ -223,7 +228,14 @@ impl Camera {
 
     /// Encodes and transmits one row of tiles; `scanned_at` is the
     /// timestamp carried in the tile-frame trailer.
-    fn emit_row(&mut self, sim: &mut Simulator, image: &[u8], row: usize, frame_seq: u32, scanned_at: Ns) {
+    fn emit_row(
+        &mut self,
+        sim: &mut Simulator,
+        image: &[u8],
+        row: usize,
+        frame_seq: u32,
+        scanned_at: Ns,
+    ) {
         let tiles_x = self.video.tiles_x();
         let (coding, quality) = match self.cfg.mode {
             VideoMode::Raw => (TileCoding::Raw, 0),
@@ -401,7 +413,10 @@ mod tests {
         cam.borrow_mut().stop();
         sim.run();
         let ratio = cam.borrow().stats.compression_ratio();
-        assert!(ratio > 2.0, "gradient scene should compress ≥2×, got {ratio:.2}");
+        assert!(
+            ratio > 2.0,
+            "gradient scene should compress ≥2×, got {ratio:.2}"
+        );
     }
 
     #[test]

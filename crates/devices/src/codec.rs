@@ -84,7 +84,11 @@ fn fdct(block: &[f32; TILE_PIXELS]) -> [f32; TILE_PIXELS] {
                 sum += block[r * TILE_DIM + x]
                     * ((std::f32::consts::PI / n) * (x as f32 + 0.5) * k as f32).cos();
             }
-            let c = if k == 0 { (1.0 / n).sqrt() } else { (2.0 / n).sqrt() };
+            let c = if k == 0 {
+                (1.0 / n).sqrt()
+            } else {
+                (2.0 / n).sqrt()
+            };
             tmp[r * TILE_DIM + k] = c * sum;
         }
     }
@@ -96,7 +100,11 @@ fn fdct(block: &[f32; TILE_PIXELS]) -> [f32; TILE_PIXELS] {
                 sum += tmp[y * TILE_DIM + c]
                     * ((std::f32::consts::PI / n) * (y as f32 + 0.5) * k as f32).cos();
             }
-            let cc = if k == 0 { (1.0 / n).sqrt() } else { (2.0 / n).sqrt() };
+            let cc = if k == 0 {
+                (1.0 / n).sqrt()
+            } else {
+                (2.0 / n).sqrt()
+            };
             out[k * TILE_DIM + c] = cc * sum;
         }
     }
@@ -113,7 +121,11 @@ fn idct(block: &[f32; TILE_PIXELS]) -> [f32; TILE_PIXELS] {
         for y in 0..TILE_DIM {
             let mut sum = 0f32;
             for k in 0..TILE_DIM {
-                let cc = if k == 0 { (1.0 / n).sqrt() } else { (2.0 / n).sqrt() };
+                let cc = if k == 0 {
+                    (1.0 / n).sqrt()
+                } else {
+                    (2.0 / n).sqrt()
+                };
                 sum += cc
                     * block[k * TILE_DIM + c]
                     * ((std::f32::consts::PI / n) * (y as f32 + 0.5) * k as f32).cos();
@@ -126,7 +138,11 @@ fn idct(block: &[f32; TILE_PIXELS]) -> [f32; TILE_PIXELS] {
         for x in 0..TILE_DIM {
             let mut sum = 0f32;
             for k in 0..TILE_DIM {
-                let c = if k == 0 { (1.0 / n).sqrt() } else { (2.0 / n).sqrt() };
+                let c = if k == 0 {
+                    (1.0 / n).sqrt()
+                } else {
+                    (2.0 / n).sqrt()
+                };
                 sum += c
                     * tmp[r * TILE_DIM + k]
                     * ((std::f32::consts::PI / n) * (x as f32 + 0.5) * k as f32).cos();

@@ -162,7 +162,9 @@ impl Display {
             self.stats.tiles_discarded += frame.tiles.len() as u64;
             return;
         }
-        self.stats.latency.record(now.saturating_sub(frame.timestamp));
+        self.stats
+            .latency
+            .record(now.saturating_sub(frame.timestamp));
         for (tx, ty, data) in &frame.tiles {
             let pixels: Vec<u8> = match frame.coding {
                 TileCoding::Raw => {
@@ -357,7 +359,12 @@ mod tests {
     use pegasus_atm::aal5::Segmenter;
 
     /// Sends a tile frame straight into the display as cells.
-    fn send_frame(display: &Rc<RefCell<Display>>, sim: &mut Simulator, vci: Vci, frame: &TileFrame) {
+    fn send_frame(
+        display: &Rc<RefCell<Display>>,
+        sim: &mut Simulator,
+        vci: Vci,
+        frame: &TileFrame,
+    ) {
         let cells = Segmenter::new(vci).segment(&frame.encode()).unwrap();
         for cell in cells {
             display.borrow_mut().deliver(sim, cell);
@@ -423,7 +430,11 @@ mod tests {
         send_frame(&display, &mut sim, 5, &solid_frame(200, 0));
         let d = display.borrow();
         assert_eq!(d.pixel(0, 0), 200, "unoccluded part painted");
-        assert_eq!(d.pixel(4, 0), 50, "occluded part keeps the top window's pixels");
+        assert_eq!(
+            d.pixel(4, 0),
+            50,
+            "occluded part keeps the top window's pixels"
+        );
     }
 
     #[test]
@@ -451,7 +462,11 @@ mod tests {
         wm.lower(6);
         let mut sim = Simulator::new();
         send_frame(&display, &mut sim, 6, &solid_frame(77, 0));
-        assert_eq!(display.borrow().pixel(0, 0), 0, "lowered window fully hidden");
+        assert_eq!(
+            display.borrow().pixel(0, 0),
+            0,
+            "lowered window fully hidden"
+        );
     }
 
     #[test]
@@ -529,7 +544,9 @@ mod tests {
         let mut wm = WindowManager::new(display.clone(), 1);
         wm.create(5, Rect::new(0, 0, 64, 64));
         let mut sim = Simulator::new();
-        let mut cells = Segmenter::new(5).segment(&solid_frame(7, 0).encode()).unwrap();
+        let mut cells = Segmenter::new(5)
+            .segment(&solid_frame(7, 0).encode())
+            .unwrap();
         cells[0].payload[3] ^= 0xFF;
         for cell in cells {
             display.borrow_mut().deliver(&mut sim, cell);

@@ -241,7 +241,10 @@ mod tests {
         };
         let mut bytes = frame.encode();
         bytes.truncate(bytes.len() - 1);
-        assert_eq!(TileFrame::decode(&bytes), Err(TileFrameError::BadTileLength));
+        assert_eq!(
+            TileFrame::decode(&bytes),
+            Err(TileFrameError::BadTileLength)
+        );
     }
 
     #[test]

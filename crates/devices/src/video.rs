@@ -40,7 +40,10 @@ impl SyntheticVideo {
     ///
     /// Panics if `width` or `height` is not a multiple of 8.
     pub fn new(width: usize, height: usize, scene: Scene, seed: u64) -> Self {
-        assert!(width % 8 == 0 && height % 8 == 0, "dimensions must be tile-aligned");
+        assert!(
+            width.is_multiple_of(8) && height.is_multiple_of(8),
+            "dimensions must be tile-aligned"
+        );
         SyntheticVideo {
             width,
             height,

@@ -179,8 +179,15 @@ mod tests {
         let remote_mean = h.mean_cost();
         h.migrate(DomainRelation::SameDomain);
         let r = h.invoke(0, &4i64.to_be_bytes());
-        assert_eq!(i64::from_be_bytes(r.try_into().unwrap()), 7, "state survives migration");
-        assert!(h.mean_cost() < remote_mean, "calls get cheaper after migration");
+        assert_eq!(
+            i64::from_be_bytes(r.try_into().unwrap()),
+            7,
+            "state survives migration"
+        );
+        assert!(
+            h.mean_cost() < remote_mean,
+            "calls get cheaper after migration"
+        );
     }
 
     #[test]

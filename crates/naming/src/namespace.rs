@@ -157,9 +157,16 @@ impl NameWorld {
     }
 
     /// Binds `object` at `path` in `space`, creating directories.
-    pub fn bind(&mut self, space: NameSpaceId, path: &str, object: ObjectRef) -> Result<(), NameError> {
+    pub fn bind(
+        &mut self,
+        space: NameSpaceId,
+        path: &str,
+        object: ObjectRef,
+    ) -> Result<(), NameError> {
         let comps = Self::split(path);
-        let (&last, dirs) = comps.split_last().ok_or_else(|| NameError::IsADirectory("/".into()))?;
+        let (&last, dirs) = comps
+            .split_last()
+            .ok_or_else(|| NameError::IsADirectory("/".into()))?;
         let dir = self.ensure_dir(space, dirs)?;
         self.spaces[space.0].dirs[dir]
             .entries
@@ -171,9 +178,16 @@ impl NameWorld {
     /// is a local object with a connection to a name space in another
     /// process". The conventional use is `mount(space, "/global",
     /// shared)`.
-    pub fn mount(&mut self, space: NameSpaceId, path: &str, target: NameSpaceId) -> Result<(), NameError> {
+    pub fn mount(
+        &mut self,
+        space: NameSpaceId,
+        path: &str,
+        target: NameSpaceId,
+    ) -> Result<(), NameError> {
         let comps = Self::split(path);
-        let (&last, dirs) = comps.split_last().ok_or_else(|| NameError::IsADirectory("/".into()))?;
+        let (&last, dirs) = comps
+            .split_last()
+            .ok_or_else(|| NameError::IsADirectory("/".into()))?;
         let dir = self.ensure_dir(space, dirs)?;
         self.spaces[space.0].dirs[dir]
             .entries
@@ -268,11 +282,17 @@ mod tests {
         let local = w.create_space();
         let global = w.create_space();
         w.bind(local, "/fb", ObjectRef(1)).unwrap();
-        w.bind(global, "/org/cam/cl/atm/camera3", ObjectRef(2)).unwrap();
+        w.bind(global, "/org/cam/cl/atm/camera3", ObjectRef(2))
+            .unwrap();
         w.mount(local, "/global", global).unwrap();
         let near = w.resolve(local, "/fb").unwrap();
         let far = w.resolve(local, "/global/org/cam/cl/atm/camera3").unwrap();
-        assert!(far.cost > 50 * near.cost, "near {} far {}", near.cost, far.cost);
+        assert!(
+            far.cost > 50 * near.cost,
+            "near {} far {}",
+            near.cost,
+            far.cost
+        );
         assert_eq!(far.mount_hops, 1);
     }
 
@@ -336,12 +356,18 @@ mod tests {
         let mut w = NameWorld::new();
         let s = w.create_space();
         w.bind(s, "/a/b", ObjectRef(1)).unwrap();
-        assert_eq!(w.resolve(s, "/a/zz").unwrap_err(), NameError::NotFound("zz".into()));
+        assert_eq!(
+            w.resolve(s, "/a/zz").unwrap_err(),
+            NameError::NotFound("zz".into())
+        );
         assert_eq!(
             w.resolve(s, "/a/b/c").unwrap_err(),
             NameError::NotADirectory("b".into())
         );
-        assert_eq!(w.resolve(s, "/a").unwrap_err(), NameError::IsADirectory("/a".into()));
+        assert_eq!(
+            w.resolve(s, "/a").unwrap_err(),
+            NameError::IsADirectory("/a".into())
+        );
     }
 
     #[test]
@@ -365,7 +391,10 @@ mod tests {
             .pass_handle(server, "/objs/frame-buffer", client, "/imported/fb")
             .unwrap();
         assert_eq!(o, ObjectRef(77));
-        assert_eq!(w.resolve(client, "/imported/fb").unwrap().object, ObjectRef(77));
+        assert_eq!(
+            w.resolve(client, "/imported/fb").unwrap().object,
+            ObjectRef(77)
+        );
     }
 
     #[test]

@@ -394,7 +394,9 @@ mod tests {
             }
             back
         };
-        let r = client.call(&mut transport, 0, &21i64.to_be_bytes()).unwrap();
+        let r = client
+            .call(&mut transport, 0, &21i64.to_be_bytes())
+            .unwrap();
         assert_eq!(i64::from_be_bytes(r.try_into().unwrap()), 21);
     }
 }

@@ -169,7 +169,12 @@ impl EventSystem {
     ///
     /// This is an associated function taking the shared handle because
     /// delivery re-enters the system from inside the scheduled closure.
-    pub fn send(sys: &Rc<RefCell<EventSystem>>, sim: &mut Simulator, chan: ChannelId, mode: SignalMode) {
+    pub fn send(
+        sys: &Rc<RefCell<EventSystem>>,
+        sim: &mut Simulator,
+        chan: ChannelId,
+        mode: SignalMode,
+    ) {
         let delay = {
             let mut s = sys.borrow_mut();
             let rx = s.channels[chan.0].rx;
@@ -233,7 +238,8 @@ impl EventSystem {
                 return;
             }
             slot.activations += 1;
-            let work: Vec<(ChannelId, u64)> = std::mem::take(&mut slot.pending).into_iter().collect();
+            let work: Vec<(ChannelId, u64)> =
+                std::mem::take(&mut slot.pending).into_iter().collect();
             slot.deliveries += work.len() as u64;
             let handler = slot.handler.clone();
             for &(c, n) in &work {
@@ -320,7 +326,13 @@ impl IdcChannel {
     }
 
     /// Issues a call: enqueue the request and raise the request event.
-    pub fn call(&self, sys: &Rc<RefCell<EventSystem>>, sim: &mut Simulator, msg: Vec<u8>, mode: SignalMode) {
+    pub fn call(
+        &self,
+        sys: &Rc<RefCell<EventSystem>>,
+        sim: &mut Simulator,
+        msg: Vec<u8>,
+        mode: SignalMode,
+    ) {
         self.requests.borrow_mut().push_back(msg);
         EventSystem::send(sys, sim, self.ev_request, mode);
     }
@@ -388,8 +400,10 @@ mod tests {
             let chan = sys.borrow_mut().open_channel(rx);
             let t: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
             let t2 = t.clone();
-            sys.borrow_mut()
-                .set_handler(rx, Box::new(move |sim, _s, _c, _n| *t2.borrow_mut() = sim.now()));
+            sys.borrow_mut().set_handler(
+                rx,
+                Box::new(move |sim, _s, _c, _n| *t2.borrow_mut() = sim.now()),
+            );
             EventSystem::send(&sys, &mut sim, chan, mode);
             sim.run();
             let v = *t.borrow();
@@ -454,7 +468,8 @@ mod tests {
         let mut sim = Simulator::new();
         let client = sys.borrow_mut().add_domain("client");
         let server = sys.borrow_mut().add_domain("server");
-        let got: Rc<RefCell<Vec<(u64, Vec<u8>)>>> = Rc::new(RefCell::new(Vec::new()));
+        type Got = Rc<RefCell<Vec<(u64, Vec<u8>)>>>;
+        let got: Got = Rc::new(RefCell::new(Vec::new()));
         let got2 = got.clone();
         let idc = IdcChannel::new(
             &sys,

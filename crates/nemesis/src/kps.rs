@@ -227,7 +227,11 @@ mod tests {
                 assert_eq!(c.borrow().mode(), Mode::Kernel);
             });
             assert_eq!(c.borrow().kps_depth(), 1);
-            assert_eq!(c.borrow().mode(), Mode::Kernel, "still privileged at depth 1");
+            assert_eq!(
+                c.borrow().mode(),
+                Mode::Kernel,
+                "still privileged at depth 1"
+            );
         });
         assert_eq!(c.borrow().mode(), Mode::User);
     }

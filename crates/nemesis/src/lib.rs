@@ -23,8 +23,12 @@
 //!   signalling, and event-pair + shared-queue IDC channels (§3.4).
 //! * [`kps`] — **kernel-privileged sections**: dynamically scoped access
 //!   to kernel mode with try/finally semantics (§3.5).
+//! * [`faults`] — declarative fault schedules (rogue load spikes, weight
+//!   misconfigurations) replayed against the QoS manager, so scenario
+//!   harnesses can measure how the control plane degrades.
 
 pub mod events;
+pub mod faults;
 pub mod kps;
 pub mod mem;
 pub mod qosmgr;

@@ -310,7 +310,9 @@ mod tests {
     #[test]
     fn conservation_total_grant_never_exceeds_capacity() {
         let mut mgr = QosManager::new(0.8, 1.0);
-        let ids: Vec<AppId> = (0..7).map(|i| mgr.add_app(&format!("a{i}"), (i + 1) as f64)).collect();
+        let ids: Vec<AppId> = (0..7)
+            .map(|i| mgr.add_app(&format!("a{i}"), (i + 1) as f64))
+            .collect();
         for (i, id) in ids.iter().enumerate() {
             mgr.observe(*id, 0.15 * (i + 1) as f64 % 1.0);
         }

@@ -293,7 +293,11 @@ impl CpuSim {
             let pick = self.pick(&states, &mut rr_cursor);
 
             // Next decision boundary independent of the chosen task.
-            let next_release = states.iter().map(|s| s.next_release).min().expect("tasks exist");
+            let next_release = states
+                .iter()
+                .map(|s| s.next_release)
+                .min()
+                .expect("tasks exist");
             let next_replenish = if self.policy == Policy::NemesisEdf {
                 states
                     .iter()
@@ -486,7 +490,7 @@ mod tests {
     #[test]
     fn slack_lets_best_effort_finish_when_idle() {
         let mut sim = CpuSim::new(Policy::NemesisEdf);
-        sim.add_task(TaskSpec::guaranteed("audio", 10 * MS, 1 * MS));
+        sim.add_task(TaskSpec::guaranteed("audio", 10 * MS, MS));
         // Demands 5 ms/10 ms but has no share: pure slack consumer.
         sim.add_task(TaskSpec::best_effort("batch", 10 * MS, 5 * MS));
         let r = sim.run(HORIZON);
@@ -498,9 +502,7 @@ mod tests {
     fn non_slack_task_does_not_exceed_share() {
         let mut sim = CpuSim::new(Policy::NemesisEdf);
         // Wants 8 ms/10 ms but is only guaranteed 4 ms and refuses slack.
-        sim.add_task(
-            TaskSpec::guaranteed("greedy", 10 * MS, 8 * MS).with_share(4 * MS, 10 * MS),
-        );
+        sim.add_task(TaskSpec::guaranteed("greedy", 10 * MS, 8 * MS).with_share(4 * MS, 10 * MS));
         let r = sim.run(1_000 * MS);
         // Gets exactly its share.
         assert_eq!(r.tasks[0].cpu_received, 400 * MS);
@@ -511,12 +513,8 @@ mod tests {
     fn cpu_shares_proportional_under_saturation() {
         let mut sim = CpuSim::new(Policy::NemesisEdf);
         // Both want the whole CPU; shares 60/40.
-        sim.add_task(
-            TaskSpec::guaranteed("a", 10 * MS, 10 * MS).with_share(6 * MS, 10 * MS),
-        );
-        sim.add_task(
-            TaskSpec::guaranteed("b", 10 * MS, 10 * MS).with_share(4 * MS, 10 * MS),
-        );
+        sim.add_task(TaskSpec::guaranteed("a", 10 * MS, 10 * MS).with_share(6 * MS, 10 * MS));
+        sim.add_task(TaskSpec::guaranteed("b", 10 * MS, 10 * MS).with_share(4 * MS, 10 * MS));
         let r = sim.run(1_000 * MS);
         let a = r.tasks[0].cpu_received as f64;
         let b = r.tasks[1].cpu_received as f64;
@@ -552,7 +550,7 @@ mod tests {
     #[test]
     fn phases_offset_first_release() {
         let mut sim = CpuSim::new(Policy::NemesisEdf);
-        sim.add_task(TaskSpec::guaranteed("a", 10 * MS, 1 * MS).with_phase(5 * MS));
+        sim.add_task(TaskSpec::guaranteed("a", 10 * MS, MS).with_phase(5 * MS));
         let r = sim.run(100 * MS);
         // Releases at 5,15,...,95 → 10 releases.
         assert_eq!(r.tasks[0].releases, 10);

@@ -202,7 +202,7 @@ mod tests {
             UlThread {
                 name: "audio".into(),
                 period: 10 * MS,
-                work: 1 * MS,
+                work: MS,
             },
             UlThread {
                 name: "video".into(),
@@ -262,7 +262,7 @@ mod tests {
         sim.add_thread(UlThread {
             name: "t".into(),
             period: 10 * MS,
-            work: 1 * MS,
+            work: MS,
         });
         let stats = sim.run(&[], 100 * MS);
         assert_eq!(stats[0].completions, 0);
@@ -287,10 +287,7 @@ mod tests {
         let mut informed = run(UlsPolicy::InformedEdf, 5 * MS, 10 * MS, 4_000 * MS);
         let mut transparent = run(UlsPolicy::TransparentResume, 5 * MS, 10 * MS, 4_000 * MS);
         let ip99 = informed[0].response.percentile(99.0).unwrap();
-        let tp99 = transparent[0]
-            .response
-            .percentile(99.0)
-            .unwrap_or(u64::MAX);
+        let tp99 = transparent[0].response.percentile(99.0).unwrap_or(u64::MAX);
         assert!(
             ip99 < tp99,
             "informed p99 {ip99} should beat transparent p99 {tp99}"

@@ -126,7 +126,13 @@ impl DomainControl {
     /// its user-level scheduler), the kernel resumes the saved context
     /// transparently instead — the one case where resume semantics
     /// survive.
-    pub fn activate(&mut self, reason: ActivationReason, now: Ns, time_left: Ns, events: u64) -> Activation {
+    pub fn activate(
+        &mut self,
+        reason: ActivationReason,
+        now: Ns,
+        time_left: Ns,
+        events: u64,
+    ) -> Activation {
         self.dib.now = now;
         self.dib.time_left = time_left;
         self.dib.events_pending = events;
@@ -185,7 +191,10 @@ mod tests {
     #[test]
     fn deactivation_saves_context() {
         let mut dc = DomainControl::new(0x1000);
-        dc.deactivate(CpuContext { pc: 0x2222, sp: 0x8000 });
+        dc.deactivate(CpuContext {
+            pc: 0x2222,
+            sp: 0x8000,
+        });
         assert_eq!(dc.dib.saved_context.unwrap().pc, 0x2222);
     }
 
@@ -196,7 +205,10 @@ mod tests {
         dc.deactivate(CpuContext { pc: 0x3333, sp: 0 });
         let act = dc.activate(ActivationReason::Allocation, 10, 100, 0);
         assert_eq!(act.reason, ActivationReason::Resume);
-        assert_eq!(act.entry, 0x3333, "re-enters the saved context, not the vector");
+        assert_eq!(
+            act.entry, 0x3333,
+            "re-enters the saved context, not the vector"
+        );
         assert_eq!(dc.resumes, 1);
         assert_eq!(dc.activations, 0);
     }

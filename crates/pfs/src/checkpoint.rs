@@ -186,13 +186,7 @@ impl Checkpoint {
             let seg = r.u64()?;
             let live_bytes = r.u32()?;
             let class = byte_class(r.take(1)?[0])?;
-            segments.push((
-                seg,
-                SegmentInfo {
-                    live_bytes,
-                    class,
-                },
-            ));
+            segments.push((seg, SegmentInfo { live_bytes, class }));
         }
         Ok(Checkpoint {
             pnodes,
@@ -248,7 +242,10 @@ mod tests {
 
     #[test]
     fn bad_blobs_rejected() {
-        assert_eq!(Checkpoint::decode(&[]).unwrap_err(), CheckpointError::Truncated);
+        assert_eq!(
+            Checkpoint::decode(&[]).unwrap_err(),
+            CheckpointError::Truncated
+        );
         assert_eq!(
             Checkpoint::decode(&[0u8; 32]).unwrap_err(),
             CheckpointError::BadMagic

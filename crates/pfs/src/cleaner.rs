@@ -195,8 +195,17 @@ mod tests {
         let id2 = f.create(FileClass::Normal);
         f.append(id2, &data(2 * SEGMENT_BYTES, 2)).unwrap();
         f.sync().unwrap();
-        let segs: Vec<u64> = f.pnode(id2).unwrap().extents.iter().map(|e| e.segment).collect();
-        assert!(segs.contains(&seg), "freed segment {seg} reused (got {segs:?})");
+        let segs: Vec<u64> = f
+            .pnode(id2)
+            .unwrap()
+            .extents
+            .iter()
+            .map(|e| e.segment)
+            .collect();
+        assert!(
+            segs.contains(&seg),
+            "freed segment {seg} reused (got {segs:?})"
+        );
     }
 
     #[test]
@@ -302,7 +311,8 @@ mod tests {
                 let dead = f.create(FileClass::Normal);
                 f.append(dead, &vec![0u8; 700 * 1024]).unwrap();
                 let live = f.create(FileClass::Normal);
-                f.append(live, &vec![0u8; SEGMENT_BYTES - 700 * 1024]).unwrap();
+                f.append(live, &vec![0u8; SEGMENT_BYTES - 700 * 1024])
+                    .unwrap();
                 dead_ids.push(dead);
             }
             f.sync().unwrap();

@@ -99,7 +99,10 @@ impl WriteBehindSystem {
 
     /// Bytes currently buffered in server memory.
     pub fn pending_bytes(&self) -> u64 {
-        self.server_pending.iter().map(|p| p.data.len() as u64).sum()
+        self.server_pending
+            .iter()
+            .map(|p| p.data.len() as u64)
+            .sum()
     }
 
     /// Advances virtual time, flushing server-buffered writes whose
@@ -269,7 +272,7 @@ mod tests {
         assert_eq!(s.pending_bytes(), 1000);
         s.advance(29 * SEC).unwrap();
         assert_eq!(s.stats.disk_bytes, 0, "not due yet");
-        s.advance(1 * SEC).unwrap();
+        s.advance(SEC).unwrap();
         assert_eq!(s.stats.disk_bytes, 1000);
         assert_eq!(s.pending_bytes(), 0);
         // Data is readable once committed.

@@ -34,7 +34,10 @@ impl StreamIndex {
     /// at `ts`. Marks must be appended in timestamp order.
     pub fn add_mark(&mut self, ts: Ns, offset: u64) {
         if let Some(&(last_ts, last_off)) = self.entries.last() {
-            assert!(ts >= last_ts && offset >= last_off, "marks must be monotone");
+            assert!(
+                ts >= last_ts && offset >= last_off,
+                "marks must be monotone"
+            );
         }
         self.entries.push((ts, offset));
     }
@@ -115,7 +118,10 @@ impl std::fmt::Display for CmError {
             CmError::Oversubscribed {
                 requested,
                 available,
-            } => write!(f, "requested {requested} B/s, only {available} B/s available"),
+            } => write!(
+                f,
+                "requested {requested} B/s, only {available} B/s available"
+            ),
         }
     }
 }
@@ -243,8 +249,16 @@ mod tests {
         }
         assert_eq!(idx.offset_for(0), Some(0));
         assert_eq!(idx.offset_for(3_000_000), Some(1_500_000));
-        assert_eq!(idx.offset_for(3_500_000), Some(1_500_000), "floor semantics");
-        assert_eq!(idx.offset_for(99_000_000), Some(4_500_000), "clamps to last");
+        assert_eq!(
+            idx.offset_for(3_500_000),
+            Some(1_500_000),
+            "floor semantics"
+        );
+        assert_eq!(
+            idx.offset_for(99_000_000),
+            Some(4_500_000),
+            "clamps to last"
+        );
         assert_eq!(StreamIndex::new().offset_for(5), None);
     }
 

@@ -288,7 +288,11 @@ mod tests {
         let overhead = d.stats.seek_overhead();
         assert!(overhead < 0.10, "segment-sized I/O overhead {overhead:.3}");
         // And the effective rate stays ≥ 5 MB/s.
-        assert!(d.stats.throughput() >= 5_000_000.0, "{:.0}", d.stats.throughput());
+        assert!(
+            d.stats.throughput() >= 5_000_000.0,
+            "{:.0}",
+            d.stats.throughput()
+        );
     }
 
     #[test]
@@ -308,7 +312,10 @@ mod tests {
         let mut d = SimDisk::new(DiskConfig::hp_1994());
         d.write(0, &vec![1u8; SECTOR]).unwrap();
         d.fail();
-        assert_eq!(d.write(0, &vec![1u8; SECTOR]).unwrap_err(), DiskError::Failed);
+        assert_eq!(
+            d.write(0, &vec![1u8; SECTOR]).unwrap_err(),
+            DiskError::Failed
+        );
         assert_eq!(d.read(0, 1).unwrap_err(), DiskError::Failed);
         assert!(d.is_failed());
     }

@@ -497,7 +497,11 @@ impl LogFs {
 
     /// Moves every live extent of `file` out of `seg` by re-appending
     /// its data (cleaner use). Returns bytes moved.
-    pub(crate) fn relocate_file_from_segment(&mut self, file: FileId, seg: u64) -> Result<u64, FsError> {
+    pub(crate) fn relocate_file_from_segment(
+        &mut self,
+        file: FileId,
+        seg: u64,
+    ) -> Result<u64, FsError> {
         let pnode = self.pnodes.get(&file).ok_or(FsError::NoSuchFile)?.clone();
         let mut moved = 0u64;
         // Read the whole file, rewrite it. (A finer implementation would
@@ -656,11 +660,7 @@ mod tests {
         }
         f.sync().unwrap();
         let rate = f.stats.bytes_written as f64 / (f.io_time as f64 / 1e9);
-        assert!(
-            rate > 18_000_000.0,
-            "log write rate {:.1} MB/s",
-            rate / 1e6
-        );
+        assert!(rate > 18_000_000.0, "log write rate {:.1} MB/s", rate / 1e6);
     }
 
     #[test]
@@ -670,7 +670,11 @@ mod tests {
         for i in 0..10 {
             f.append(id, &bytes(100, i)).unwrap();
         }
-        assert_eq!(f.pnode(id).unwrap().extents.len(), 1, "contiguous appends merge");
+        assert_eq!(
+            f.pnode(id).unwrap().extents.len(),
+            1,
+            "contiguous appends merge"
+        );
     }
 
     #[test]
@@ -679,7 +683,8 @@ mod tests {
         let ids: Vec<FileId> = (0..20).map(|_| f.create(FileClass::Normal)).collect();
         for round in 0..5u8 {
             for (k, id) in ids.iter().enumerate() {
-                f.append(*id, &bytes(997, round.wrapping_mul(k as u8))).unwrap();
+                f.append(*id, &bytes(997, round.wrapping_mul(k as u8)))
+                    .unwrap();
             }
         }
         f.sync().unwrap();
@@ -687,7 +692,10 @@ mod tests {
             let data = f.read(*id, 0, 997 * 5).unwrap();
             for round in 0..5u8 {
                 let want = bytes(997, round.wrapping_mul(k as u8));
-                assert_eq!(&data[round as usize * 997..(round as usize + 1) * 997], &want[..]);
+                assert_eq!(
+                    &data[round as usize * 997..(round as usize + 1) * 997],
+                    &want[..]
+                );
             }
         }
     }

@@ -235,7 +235,9 @@ mod tests {
     }
 
     fn pattern(stripe: u64) -> Vec<u8> {
-        (0..MIB).map(|i| ((i as u64 + stripe * 13) % 251) as u8).collect()
+        (0..MIB)
+            .map(|i| ((i as u64 + stripe * 13) % 251) as u8)
+            .collect()
     }
 
     #[test]

@@ -275,7 +275,8 @@ mod tests {
         v.mkdir("/usr").unwrap();
         v.mkdir("/usr/local").unwrap();
         v.mkdir("/usr/local/lib").unwrap();
-        v.create("/usr/local/lib/tex.fmt", FileClass::Normal).unwrap();
+        v.create("/usr/local/lib/tex.fmt", FileClass::Normal)
+            .unwrap();
         v.write("/usr/local/lib/tex.fmt", &[9u8; 100]).unwrap();
         assert_eq!(v.getattr("/usr/local/lib/tex.fmt").unwrap().size, 100);
         assert_eq!(v.readdir("/usr/local").unwrap(), vec!["lib"]);
@@ -294,8 +295,14 @@ mod tests {
     #[test]
     fn missing_path_not_found() {
         let mut v = vfs();
-        assert!(matches!(v.open("/no/such/file"), Err(VnodeError::NotFound(_))));
-        assert!(matches!(v.read("/ghost", 0, 1), Err(VnodeError::NotFound(_))));
+        assert!(matches!(
+            v.open("/no/such/file"),
+            Err(VnodeError::NotFound(_))
+        ));
+        assert!(matches!(
+            v.read("/ghost", 0, 1),
+            Err(VnodeError::NotFound(_))
+        ));
     }
 
     #[test]

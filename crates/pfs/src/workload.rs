@@ -80,8 +80,12 @@ pub fn generate(cfg: WorkloadConfig, duration: Ns) -> Vec<(Ns, Op)> {
         if t >= duration {
             break;
         }
-        let size = heavy_tailed(&mut rng, cfg.min_size as f64, cfg.size_alpha, cfg.max_size as f64)
-            as u64;
+        let size = heavy_tailed(
+            &mut rng,
+            cfg.min_size as f64,
+            cfg.size_alpha,
+            cfg.max_size as f64,
+        ) as u64;
         events.push((t, Op::Create { handle, size }));
         let mean = if rng.gen_bool(cfg.short_fraction) {
             cfg.short_mean

@@ -33,7 +33,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn content(len: usize, tag: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(tag)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(tag))
+        .collect()
 }
 
 proptest! {

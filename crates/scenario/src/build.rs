@@ -1,0 +1,534 @@
+//! Compiling a [`ScenarioSpec`] into a wired system and running it.
+//!
+//! The builder assembles a [`System`] piecewise — fabric from the
+//! topology spec, then per-session devices attached directly to fabric
+//! switches — schedules every session's start/stop on the engine,
+//! applies the fault schedule, runs to the drain deadline, and folds
+//! every layer's statistics into a [`ScenarioReport`].
+//!
+//! Everything stochastic (placement, start times, scenes) draws from
+//! one RNG seeded by the spec, so a report is a pure function of
+//! `(spec, seed)` — the property the CI determinism gate enforces.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pegasus::system::{HostNic, System};
+use pegasus_atm::link::Link;
+use pegasus_atm::network::{EndpointId, Network, VcHandle};
+use pegasus_atm::signalling::QosSpec;
+use pegasus_devices::audio::{AudioConfig, AudioSink, AudioSource};
+use pegasus_devices::camera::Camera;
+use pegasus_devices::display::{Display, Rect, WindowManager};
+use pegasus_devices::tile::TileFrame;
+use pegasus_devices::video::Scene;
+use pegasus_nemesis::faults::{EpochDriver, Fault, FaultSchedule};
+use pegasus_nemesis::qosmgr::QosManager;
+use pegasus_pfs::cm::CmScheduler;
+use pegasus_pfs::disk::DiskConfig;
+use pegasus_pfs::log::{FileClass, LogFs, SEGMENT_BYTES};
+use pegasus_sim::rng::{exponential, seeded};
+use pegasus_sim::stats::Histogram;
+use pegasus_sim::time::{Ns, MS, SEC};
+use pegasus_sim::Simulator;
+use pegasus_streams::playback::{ArrivalSink, PlaybackControl, PlaybackPolicy, StreamId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::report::{CellReport, ClassReport, NemesisReport, PfsReport, ScenarioReport};
+use crate::spec::{Arrival, FaultSpec, ScenarioSpec};
+
+/// CM service period for VoD disk scheduling. A small read still costs
+/// a whole RAID stripe (~51 ms on the 1994 array), so the period is
+/// sized to amortize one stripe per stream; a server meets its
+/// deadlines while `streams × stripe_time < period`.
+const VOD_PERIOD: Ns = 500 * MS;
+
+/// CM periods replayed for a run of `duration`.
+fn vod_periods(duration: Ns) -> u64 {
+    (duration / VOD_PERIOD).max(1)
+}
+
+/// One VoD file server: a log file system with a pre-recorded
+/// continuous-media file and a rate-guaranteed scheduler over it.
+struct VodServer {
+    fs: LogFs,
+    cm: CmScheduler,
+    file: pegasus_pfs::log::FileId,
+}
+
+/// One VoD client's receive side: controller, its stream id, and the
+/// cell sink feeding it.
+type VodClient = (
+    Rc<RefCell<PlaybackControl>>,
+    StreamId,
+    Rc<RefCell<ArrivalSink>>,
+);
+
+/// A compiled scenario, ready to run.
+pub struct Scenario {
+    spec: ScenarioSpec,
+    /// The assembled installation.
+    pub sys: System,
+    /// The engine that will drive it.
+    pub sim: Simulator,
+    /// Per-class session counts (videophone, vod, tv).
+    pub counts: (usize, usize, usize),
+    /// Single-stream displays (one videophone session each).
+    displays: Vec<Rc<RefCell<Display>>>,
+    /// Control-room displays merging a whole TV group's feeds.
+    tv_displays: Vec<Rc<RefCell<Display>>>,
+    audio_sinks: Vec<Rc<RefCell<AudioSink>>>,
+    vod_clients: Vec<VodClient>,
+    tx_links: Vec<Rc<RefCell<Link>>>,
+    vod_servers: Vec<VodServer>,
+    admission_fallbacks: u64,
+}
+
+/// Opens a guaranteed VC, falling back to best effort when some hop is
+/// fully reserved (the session still runs; the report counts the
+/// downgrade).
+fn open_media_vc(
+    net: &mut Network,
+    src: EndpointId,
+    dst: EndpointId,
+    bps: u64,
+    fallbacks: &mut u64,
+) -> VcHandle {
+    match net.open_vc(src, dst, QosSpec::guaranteed(bps)) {
+        Ok(vc) => vc,
+        Err(_) => {
+            *fallbacks += 1;
+            net.open_vc(src, dst, QosSpec::best_effort(bps))
+                .expect("topology is connected")
+        }
+    }
+}
+
+fn pick_scene(rng: &mut SmallRng) -> Scene {
+    if rng.gen_range(0..2u32) == 0 {
+        Scene::MovingGradient
+    } else {
+        Scene::TestCard
+    }
+}
+
+fn start_time(rng: &mut SmallRng, arrival: Arrival, poisson_clock: &mut Ns) -> Ns {
+    match arrival {
+        Arrival::Immediate => 0,
+        Arrival::Uniform { window } => rng.gen_range(0..window.max(1)),
+        Arrival::Poisson { mean_gap } => {
+            *poisson_clock += exponential(rng, mean_gap as f64) as Ns;
+            *poisson_clock
+        }
+    }
+}
+
+/// Compiles `spec` into a wired, scheduled [`Scenario`].
+pub fn compile(spec: &ScenarioSpec) -> Scenario {
+    let mut rng = seeded(spec.seed);
+    let mut sys = System::with_topology(
+        spec.topology.shape,
+        spec.topology.switches,
+        spec.topology.link,
+    );
+    let mut sim = Simulator::new();
+    let n_fabric = sys.fabric.len();
+    let counts = spec.mix.counts(spec.sessions);
+    let (n_vp, n_vod, n_tv) = counts;
+
+    let mut scenario = Scenario {
+        spec: spec.clone(),
+        counts,
+        displays: Vec::new(),
+        tv_displays: Vec::new(),
+        audio_sinks: Vec::new(),
+        vod_clients: Vec::new(),
+        tx_links: Vec::new(),
+        vod_servers: Vec::new(),
+        admission_fallbacks: 0,
+        // Placeholders, replaced below once sessions are wired.
+        sys: System::new(),
+        sim: Simulator::new(),
+    };
+
+    let mut poisson_clock: Ns = 0;
+    let pick_pair = |rng: &mut SmallRng| -> (usize, usize) {
+        let src = rng.gen_range(0..n_fabric);
+        let dst = if n_fabric > 1 {
+            // Different switch: sessions should cross the fabric.
+            let d = rng.gen_range(0..n_fabric - 1);
+            if d >= src {
+                d + 1
+            } else {
+                d
+            }
+        } else {
+            src
+        };
+        (src, dst)
+    };
+
+    // ---- Videophone sessions: camera→display plus audio, one way. ----
+    for _ in 0..n_vp {
+        let (src, dst) = pick_pair(&mut rng);
+        let t0 = start_time(&mut rng, spec.arrival, &mut poisson_clock).min(spec.duration);
+        let scene = pick_scene(&mut rng);
+
+        let cam_ep = sys.attach_device(src, HostNic::shared());
+        let display = Display::shared(176, 144);
+        let disp_ep = sys.attach_device(dst, display.clone());
+        let vc = open_media_vc(
+            &mut sys.net,
+            cam_ep,
+            disp_ep,
+            spec.video_bps,
+            &mut scenario.admission_fallbacks,
+        );
+        let mut wm = WindowManager::new(display.clone(), 1);
+        wm.create(vc.dst_vci, Rect::new(0, 0, 176, 144));
+        let cam = sys.build_camera_on(cam_ep, scene, spec.camera, vc.src_vci);
+        scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
+        scenario.displays.push(display);
+        let (cam_start, cam_stop) = (cam.clone(), cam);
+        sim.schedule_at(t0, move |sim| Camera::start(&cam_start, sim));
+        sim.schedule_at(spec.duration, move |_| cam_stop.borrow_mut().stop());
+
+        let audio_src_ep = sys.attach_device(src, HostNic::shared());
+        let audio_sink = AudioSink::shared(AudioConfig::telephony(), spec.audio_jitter_buffer);
+        let audio_sink_ep = sys.attach_device(dst, audio_sink.clone());
+        let avc = open_media_vc(
+            &mut sys.net,
+            audio_src_ep,
+            audio_sink_ep,
+            128_000,
+            &mut scenario.admission_fallbacks,
+        );
+        let audio = sys.build_audio_source_on(audio_src_ep, AudioConfig::telephony(), avc.src_vci);
+        scenario.tx_links.push(sys.net.endpoint_tx(audio_src_ep));
+        scenario.audio_sinks.push(audio_sink.clone());
+        let (a_start, a_stop) = (audio.clone(), audio);
+        let duration = spec.duration;
+        sim.schedule_at(t0, move |sim| {
+            AudioSource::start(&a_start, sim);
+            AudioSink::start_playout(&audio_sink, sim, duration);
+        });
+        sim.schedule_at(spec.duration, move |_| a_stop.borrow_mut().stop());
+    }
+
+    // ---- VoD sessions: file server → synchronized playback client. ----
+    let servers = spec.pfs_servers.max(1);
+    if n_vod > 0 {
+        let per_server_rate = spec.vod_disk_rate * (n_vod as u64).div_ceil(servers as u64);
+        for _ in 0..servers.min(n_vod) {
+            let mut fs = LogFs::new(DiskConfig::hp_1994());
+            fs.raid_mut().set_store(false);
+            let file = fs.create(FileClass::Continuous);
+            // Pre-record enough media for every stream to read the whole
+            // replay from offset 0.
+            let replay = vod_periods(spec.duration) * VOD_PERIOD;
+            let need = (spec.vod_disk_rate as u128 * replay as u128 / SEC as u128) as usize;
+            for _ in 0..need.div_ceil(SEGMENT_BYTES).max(1) {
+                fs.append(file, &vec![0u8; SEGMENT_BYTES])
+                    .expect("prerecord");
+            }
+            fs.sync().expect("prerecord sync");
+            let cm = CmScheduler::new(VOD_PERIOD, per_server_rate * 2 + 1_000_000);
+            scenario.vod_servers.push(VodServer { fs, cm, file });
+        }
+    }
+    for i in 0..n_vod {
+        let (src, dst) = pick_pair(&mut rng);
+        let t0 = start_time(&mut rng, spec.arrival, &mut poisson_clock).min(spec.duration);
+        let scene = pick_scene(&mut rng);
+
+        let ctl = PlaybackControl::shared(PlaybackPolicy::Synchronized {
+            target_latency: spec.vod_target_latency,
+        });
+        let stream = ctl.borrow_mut().add_stream("vod");
+        let sink = ArrivalSink::shared(ctl.clone(), stream, |bytes| {
+            TileFrame::decode(bytes).ok().map(|tf| tf.timestamp)
+        });
+        let client_ep = sys.attach_device(dst, sink.clone());
+        let server_ep = sys.attach_device(src, HostNic::shared());
+        let vc = open_media_vc(
+            &mut sys.net,
+            server_ep,
+            client_ep,
+            spec.video_bps,
+            &mut scenario.admission_fallbacks,
+        );
+        // The continuous-media stack pushes tiles at frame rate; the
+        // camera model doubles as that paced pusher.
+        let cam = sys.build_camera_on(server_ep, scene, spec.camera, vc.src_vci);
+        scenario.tx_links.push(sys.net.endpoint_tx(server_ep));
+        scenario.vod_clients.push((ctl, stream, sink));
+        let (c_start, c_stop) = (cam.clone(), cam);
+        sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
+        sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
+
+        // Disk side: admit the stream on its server.
+        let n_servers = scenario.vod_servers.len().max(1);
+        let server = &mut scenario.vod_servers[i % n_servers];
+        let fid = server.file;
+        server
+            .cm
+            .admit(fid, spec.vod_disk_rate, 0)
+            .expect("vod admission ceiling sized to demand");
+    }
+
+    // ---- TV distribution: studio cameras into control-room stacks. ----
+    let group = spec.tv_group.max(1);
+    let mut tv_left = n_tv;
+    while tv_left > 0 {
+        let feeds = group.min(tv_left);
+        tv_left -= feeds;
+        let dst = rng.gen_range(0..n_fabric);
+        let display = Display::shared(176, 144);
+        let disp_ep = sys.attach_device(dst, display.clone());
+        let wm = Rc::new(RefCell::new(WindowManager::new(display.clone(), 1)));
+        scenario.tv_displays.push(display);
+        let mut feed_vcis = Vec::new();
+        let mut group_t0 = spec.duration;
+        for _ in 0..feeds {
+            let src = rng.gen_range(0..n_fabric);
+            let t0 = start_time(&mut rng, spec.arrival, &mut poisson_clock).min(spec.duration);
+            group_t0 = group_t0.min(t0);
+            let scene = pick_scene(&mut rng);
+            let cam_ep = sys.attach_device(src, HostNic::shared());
+            let vc = open_media_vc(
+                &mut sys.net,
+                cam_ep,
+                disp_ep,
+                spec.video_bps,
+                &mut scenario.admission_fallbacks,
+            );
+            wm.borrow_mut()
+                .create(vc.dst_vci, Rect::new(0, 0, 176, 144));
+            feed_vcis.push(vc.dst_vci);
+            let cam = sys.build_camera_on(cam_ep, scene, spec.camera, vc.src_vci);
+            scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
+            let (c_start, c_stop) = (cam.clone(), cam);
+            sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
+            sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
+        }
+        // The director cuts round-robin through the feeds: one window
+        // raise per cut, pure control.
+        let mut cut_no = 0usize;
+        let mut t = group_t0 + spec.tv_cut_period;
+        while t < spec.duration {
+            let wm = wm.clone();
+            let vci = feed_vcis[cut_no % feed_vcis.len()];
+            sim.schedule_at(t, move |_| wm.borrow_mut().raise(vci));
+            cut_no += 1;
+            t += spec.tv_cut_period;
+        }
+    }
+
+    // ---- Fault schedule: network incidents armed on the engine. ----
+    for fault in &spec.faults {
+        if let FaultSpec::SwitchDegrade {
+            at,
+            switch,
+            queue_capacity,
+        } = *fault
+        {
+            assert!(switch < sys.fabric.len(), "fault names a fabric switch");
+            let sw = sys.net.switch(sys.fabric[switch]).clone();
+            sim.schedule_at(at.min(spec.duration), move |_| {
+                sw.borrow_mut().queue_capacity = queue_capacity;
+            });
+        }
+    }
+
+    scenario.sys = sys;
+    scenario.sim = sim;
+    scenario
+}
+
+impl Scenario {
+    /// Runs the compiled scenario to completion and reports.
+    pub fn run(mut self) -> ScenarioReport {
+        let spec = &self.spec;
+        // Drain long enough for held playback items to present.
+        let drain = spec.drain.max(spec.vod_target_latency + 20 * MS);
+        self.sim.run_until(spec.duration + drain);
+
+        let mut report = ScenarioReport {
+            name: spec.name.clone(),
+            seed: spec.seed,
+            duration: spec.duration,
+            switches: self.sys.net.switch_count() as u64,
+            endpoints: self.sys.net.endpoint_count() as u64,
+            sessions: (
+                self.counts.0 as u64,
+                self.counts.1 as u64,
+                self.counts.2 as u64,
+            ),
+            admission_fallbacks: self.admission_fallbacks,
+            max_link_utilization: self.sys.net.max_reservation_utilization(),
+            events_executed: self.sim.events_executed(),
+            ..ScenarioReport::default()
+        };
+
+        // Video class: every display (videophone windows + TV stacks).
+        // Jitter is a per-stream quantity (latency in excess of the
+        // stream's own floor), so only single-stream displays feed it:
+        // a TV control room merges feeds with different hop counts, and
+        // subtracting one shared floor would read the constant
+        // path-delay differences as jitter.
+        let mut video_lat = Histogram::new();
+        let mut video_jit = Histogram::new();
+        for d in &self.displays {
+            let d = d.borrow();
+            report.tiles_blitted += d.stats.tiles_blitted;
+            video_lat.merge(&d.stats.latency);
+            video_jit.merge(&d.stats.latency.jitter_histogram());
+        }
+        for d in &self.tv_displays {
+            let d = d.borrow();
+            report.tiles_blitted += d.stats.tiles_blitted;
+            video_lat.merge(&d.stats.latency);
+        }
+        report.video = ClassReport {
+            sessions: (self.counts.0 + self.counts.2) as u64,
+            latency: video_lat.summarize(),
+            jitter: video_jit.summarize(),
+        };
+
+        // Audio class: DAC play-out.
+        let mut audio_lat = Histogram::new();
+        let mut audio_jit = Histogram::new();
+        for s in &self.audio_sinks {
+            let s = s.borrow();
+            report.audio_underruns += s.stats.underruns;
+            audio_lat.merge(&s.stats.playout_latency);
+            audio_jit.merge(&s.stats.playout_latency.jitter_histogram());
+        }
+        report.audio = ClassReport {
+            sessions: self.counts.0 as u64,
+            latency: audio_lat.summarize(),
+            jitter: audio_jit.summarize(),
+        };
+
+        // VoD class: synchronized presentations.
+        let mut vod_lat = Histogram::new();
+        let mut vod_jit = Histogram::new();
+        for (ctl, stream, _sink) in &self.vod_clients {
+            let ctl = ctl.borrow();
+            let st = ctl.stats(*stream);
+            report.vod_presented += st.presented;
+            report.playback_late += ctl.late_total();
+            vod_lat.merge(&st.latency);
+            vod_jit.merge(&st.latency.jitter_histogram());
+        }
+        report.vod = ClassReport {
+            sessions: self.counts.1 as u64,
+            latency: vod_lat.summarize(),
+            jitter: vod_jit.summarize(),
+        };
+
+        // Cell accounting and queue depths across the fabric.
+        let mut cells = CellReport::default();
+        for link in &self.tx_links {
+            cells.sent += link.borrow().cells_sent();
+        }
+        for i in 0..self.sys.net.switch_count() {
+            let sw = self
+                .sys
+                .net
+                .switch(pegasus_atm::network::SwitchId(i))
+                .borrow();
+            cells.dropped_overflow += sw.stats.overflowed;
+            cells.dropped_unroutable += sw.stats.unroutable;
+            report.peak_queue_cells = report.peak_queue_cells.max(sw.stats.peak_queue_cells);
+        }
+        cells.delivered = cells
+            .sent
+            .saturating_sub(cells.dropped_overflow + cells.dropped_unroutable);
+        report.cells = cells;
+
+        // File-server side of VoD: replay the CM schedule.
+        let periods = vod_periods(spec.duration);
+        let mut pfs = PfsReport::default();
+        for server in &mut self.vod_servers {
+            let r = server
+                .cm
+                .run_periods(&mut server.fs, periods)
+                .expect("prerecorded file");
+            pfs.periods += r.periods;
+            pfs.missed += r.missed;
+            pfs.bytes_delivered += r.bytes_delivered;
+        }
+        // Throughput over the replayed window (which may exceed a short
+        // run's duration: at least one full service period is played).
+        let replay = periods * VOD_PERIOD;
+        pfs.throughput_bps =
+            (pfs.bytes_delivered as u128 * 8 * SEC as u128 / replay as u128) as u64;
+        report.pfs = pfs;
+
+        // Control plane: replay the CPU fault schedule against the QoS
+        // manager. Media demand scales with the session count.
+        let mut mgr = QosManager::new(0.9, 1.0);
+        let media = mgr.add_app("media-control", 1.0);
+        let batch = mgr.add_app("batch", 1.0);
+        mgr.observe(batch, 1.0);
+        // Cap below the media app's fair share against the synthetic
+        // batch competitor (0.9 capacity split 1:1 = 0.45), so a
+        // healthy, fault-free run can never report starvation no matter
+        // the session count; only scheduled incidents push it under.
+        let media_demand = (0.05 + spec.sessions as f64 * 0.0004).min(0.4);
+        let schedule = FaultSchedule {
+            faults: spec
+                .faults
+                .iter()
+                .filter_map(|f| match *f {
+                    FaultSpec::CpuLoadSpike {
+                        at,
+                        until,
+                        demand,
+                        weight,
+                    } => Some(Fault::LoadSpike {
+                        at,
+                        until,
+                        demand,
+                        weight,
+                    }),
+                    FaultSpec::SwitchDegrade { .. } => None,
+                })
+                .collect(),
+        };
+        let er = EpochDriver::run(
+            &mut mgr,
+            media,
+            media_demand,
+            &schedule,
+            10 * MS,
+            spec.duration,
+        );
+        let mut quality = er.quality_milli.clone();
+        report.nemesis = NemesisReport {
+            epochs: er.epochs,
+            starved_epochs: er.starved_epochs,
+            quality_p50_milli: quality.percentile(50.0).unwrap_or(1000),
+            quality_min_milli: quality.min().unwrap_or(1000),
+        };
+
+        report.deadline_misses = report.total_misses();
+        report
+    }
+}
+
+/// Compiles and runs `spec` in one call.
+pub fn run(spec: &ScenarioSpec) -> ScenarioReport {
+    compile(spec).run()
+}
+
+/// Runs the spec once per seed — the multi-seed sweep used by soak
+/// jobs. Each run is independent and deterministic for its seed.
+pub fn run_seeds(spec: &ScenarioSpec, seeds: &[u64]) -> Vec<ScenarioReport> {
+    seeds
+        .iter()
+        .map(|&s| run(&spec.clone().with_seed(s)))
+        .collect()
+}

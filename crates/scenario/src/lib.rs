@@ -1,0 +1,30 @@
+//! The declarative scenario harness.
+//!
+//! The paper's argument is that one system carries many concurrent
+//! multimedia sessions — videophone calls, TV distribution, VoD
+//! playback — over ATM with predictable QoS. This crate makes that
+//! claim testable at scale: a [`spec::ScenarioSpec`] declares a
+//! topology, a session mix, an arrival process, a fault schedule, a run
+//! length and a seed; [`build::run`] compiles it onto the real system
+//! crates (atm fabric, devices, streams, pfs, nemesis), drives it on
+//! the deterministic engine, and emits a [`report::ScenarioReport`]
+//! whose JSON is byte-identical for identical `(spec, seed)`.
+//!
+//! * [`spec`] — the declarative inputs.
+//! * [`presets`] — `smoke` through `metropolis-1k`, the named library.
+//! * [`build`] — [`build::compile`]: spec → wired system → report.
+//! * [`report`] — the structured results and their JSON rendering.
+//! * [`json`] — the deterministic writer underneath.
+//!
+//! The `pegasus-scenario` binary wraps this for the command line and
+//! CI (`scripts/run_scenarios.sh`).
+
+pub mod build;
+pub mod json;
+pub mod presets;
+pub mod report;
+pub mod spec;
+
+pub use build::{compile, run, run_seeds, Scenario};
+pub use report::ScenarioReport;
+pub use spec::{Arrival, FaultSpec, ScenarioSpec, SessionMix, TopologySpec};

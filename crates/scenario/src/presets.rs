@@ -1,0 +1,192 @@
+//! Named scenario presets, from CI-sized `smoke` to `metropolis-1k`.
+//!
+//! Presets are ordinary [`ScenarioSpec`] values — the cookbook in
+//! `docs/SCENARIOS.md` explains each one's intent and the knobs worth
+//! turning. CI runs `smoke` and a scaled-down `metropolis-1k` on every
+//! PR and asserts zero deadline misses (see `scripts/run_scenarios.sh`).
+
+use pegasus_atm::network::{LinkConfig, TopologyShape};
+use pegasus_sim::time::MS;
+
+use crate::spec::{Arrival, FaultSpec, ScenarioSpec, SessionMix, TopologySpec};
+
+/// A 622 Mbit/s trunk (OC-12-class), for city fabrics.
+fn oc12() -> LinkConfig {
+    LinkConfig {
+        rate_bps: 622_000_000,
+        prop_delay: 5_000, // 5 µs: a kilometre-scale metro run
+    }
+}
+
+/// The CI-sized scenario: seconds of wall clock, all three classes,
+/// zero expected deadline misses.
+pub fn smoke() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("smoke");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::Star,
+        switches: 2,
+        link: LinkConfig::pegasus_default(),
+    };
+    spec.sessions = 8;
+    spec.mix = SessionMix {
+        videophone: 0.5,
+        vod: 0.25,
+        tv: 0.25,
+    };
+    spec.duration = 150 * MS;
+    spec
+}
+
+/// A wall of two-party calls on a campus star — the videophone workload
+/// of §2 at density.
+pub fn videophone_wall() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("videophone-wall");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::Star,
+        switches: 4,
+        link: oc12(),
+    };
+    spec.sessions = 64;
+    spec.mix = SessionMix {
+        videophone: 1.0,
+        vod: 0.0,
+        tv: 0.0,
+    };
+    spec.arrival = Arrival::Uniform { window: 50 * MS };
+    spec.duration = 300 * MS;
+    spec
+}
+
+/// A rack of VoD streams off the file servers — the §5 continuous-media
+/// service stack under fan-out.
+pub fn vod_rack() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("vod-rack");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::Ring,
+        switches: 4,
+        link: oc12(),
+    };
+    spec.sessions = 48;
+    spec.mix = SessionMix {
+        videophone: 0.0,
+        vod: 1.0,
+        tv: 0.0,
+    };
+    // One RAID stripe (~51 ms) per stream per 500 ms period: eight
+    // servers keep each one at six streams, inside its deadline.
+    spec.pfs_servers = 8;
+    spec.arrival = Arrival::Poisson { mean_gap: 2 * MS };
+    spec.duration = 300 * MS;
+    spec
+}
+
+/// Studios feeding control rooms with a director cutting — the flagship
+/// TV application, many rooms at once.
+pub fn tv_studio() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("tv-studio");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::Star,
+        switches: 3,
+        link: oc12(),
+    };
+    spec.sessions = 24;
+    spec.mix = SessionMix {
+        videophone: 0.0,
+        vod: 0.0,
+        tv: 1.0,
+    };
+    spec.tv_group = 4;
+    spec.tv_cut_period = 80 * MS;
+    spec.duration = 400 * MS;
+    spec
+}
+
+/// A mixed district under scheduled faults: a rogue CPU hog mid-run and
+/// a degraded line card — the resilience probe.
+pub fn nemesis_storm() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("nemesis-storm");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::Ring,
+        switches: 6,
+        link: LinkConfig::pegasus_default(),
+    };
+    spec.sessions = 36;
+    spec.pfs_servers = 2;
+    spec.duration = 300 * MS;
+    spec.faults = vec![
+        FaultSpec::CpuLoadSpike {
+            at: 100 * MS,
+            until: 200 * MS,
+            demand: 1.0,
+            // Heavy enough that the media app's weighted share of the
+            // CPU drops below its demand: the starvation must register.
+            weight: 30.0,
+        },
+        FaultSpec::SwitchDegrade {
+            at: 150 * MS,
+            switch: 2,
+            queue_capacity: 4,
+        },
+    ];
+    spec
+}
+
+/// The city: 1,000 concurrent sessions across a 16-switch metro mesh.
+pub fn metropolis_1k() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("metropolis-1k");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::FullMesh,
+        switches: 16,
+        link: oc12(),
+    };
+    spec.sessions = 1000;
+    spec.mix = SessionMix {
+        videophone: 0.5,
+        vod: 0.3,
+        tv: 0.2,
+    };
+    // 300 VoD streams: a 48-server cluster keeps every CM scheduler
+    // under seven streams per 500 ms period (one ~51 ms stripe each).
+    spec.pfs_servers = 48;
+    spec.arrival = Arrival::Uniform { window: 100 * MS };
+    spec.duration = 300 * MS;
+    spec
+}
+
+/// Looks a preset up by name.
+pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+    match name {
+        "smoke" => Some(smoke()),
+        "videophone-wall" => Some(videophone_wall()),
+        "vod-rack" => Some(vod_rack()),
+        "tv-studio" => Some(tv_studio()),
+        "nemesis-storm" => Some(nemesis_storm()),
+        "metropolis-1k" => Some(metropolis_1k()),
+        _ => None,
+    }
+}
+
+/// Every preset name, in menu order.
+pub const PRESETS: [&str; 6] = [
+    "smoke",
+    "videophone-wall",
+    "vod-rack",
+    "tv-studio",
+    "nemesis-storm",
+    "metropolis-1k",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_resolves() {
+        for name in PRESETS {
+            let spec = by_name(name).expect(name);
+            assert_eq!(spec.name, name);
+            assert!(spec.sessions >= 1);
+        }
+        assert!(by_name("nope").is_none());
+    }
+}

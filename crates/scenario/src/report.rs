@@ -1,0 +1,218 @@
+//! The structured result of a scenario run.
+//!
+//! A [`ScenarioReport`] is the whole claim surface of a run: delivery
+//! and drop counts, per-class latency/jitter percentiles, deadline
+//! misses from every layer (audio DACs, playback control, the CM disk
+//! scheduler, the Nemesis QoS manager), file-server throughput and peak
+//! switch queue depths. [`ScenarioReport::to_json`] renders it with the
+//! deterministic writer in [`crate::json`], so CI can diff two runs of
+//! the same spec byte-for-byte.
+
+use pegasus_sim::stats::Summary;
+use pegasus_sim::time::Ns;
+
+use crate::json::JsonWriter;
+
+/// Latency/jitter distributions of one traffic class.
+#[derive(Debug, Clone, Default)]
+pub struct ClassReport {
+    /// Sessions of this class.
+    pub sessions: u64,
+    /// End-to-end latency (capture to presentation), nanoseconds.
+    pub latency: Summary,
+    /// Per-stream jitter (latency in excess of the stream's floor),
+    /// merged across the class's sessions. Multi-stream TV control
+    /// rooms are excluded from the video class's jitter: their shared
+    /// floor would misread constant path-delay differences between
+    /// feeds as jitter.
+    pub jitter: Summary,
+}
+
+/// Cell-level accounting across the whole fabric.
+#[derive(Debug, Clone, Default)]
+pub struct CellReport {
+    /// Cells offered by every session source.
+    pub sent: u64,
+    /// Estimated deliveries: `sent` minus all drops (in-flight cells at
+    /// the drain deadline also subtract; the drain is sized so that is
+    /// negligible).
+    pub delivered: u64,
+    /// Cells dropped to full output queues.
+    pub dropped_overflow: u64,
+    /// Cells dropped for want of a route.
+    pub dropped_unroutable: u64,
+}
+
+/// File-server activity of the VoD class.
+#[derive(Debug, Clone, Default)]
+pub struct PfsReport {
+    /// Service periods simulated across all servers.
+    pub periods: u64,
+    /// Periods whose I/O exceeded the period (deadline misses).
+    pub missed: u64,
+    /// Bytes delivered from the log.
+    pub bytes_delivered: u64,
+    /// Delivered bytes per second of virtual time.
+    pub throughput_bps: u64,
+}
+
+/// Nemesis control-plane health under the fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct NemesisReport {
+    /// QoS-manager epochs replayed.
+    pub epochs: u64,
+    /// Epochs in which the media application was starved (deadline
+    /// misses of the control plane).
+    pub starved_epochs: u64,
+    /// Median delivered quality (grant ÷ demand), in thousandths.
+    pub quality_p50_milli: u64,
+    /// Worst epoch's delivered quality, in thousandths.
+    pub quality_min_milli: u64,
+}
+
+/// Everything a scenario run measured.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Virtual run length (ns).
+    pub duration: Ns,
+    /// Switches in the network (fabric only; scenarios attach devices
+    /// directly to fabric switches).
+    pub switches: u64,
+    /// Endpoints attached.
+    pub endpoints: u64,
+    /// Sessions by class: videophone, vod, tv.
+    pub sessions: (u64, u64, u64),
+    /// Video class (videophone + TV tiles onto displays).
+    pub video: ClassReport,
+    /// Audio class (DAC play-out).
+    pub audio: ClassReport,
+    /// VoD class (synchronized playback presentations).
+    pub vod: ClassReport,
+    /// Cell accounting.
+    pub cells: CellReport,
+    /// Guaranteed admissions that fell back to best effort.
+    pub admission_fallbacks: u64,
+    /// Most-reserved link as a fraction of its line rate.
+    pub max_link_utilization: f64,
+    /// Deepest output queue observed on any switch, in cells.
+    pub peak_queue_cells: u64,
+    /// Audio drop-outs (DAC underruns).
+    pub audio_underruns: u64,
+    /// VoD items presented after their play-out instant.
+    pub playback_late: u64,
+    /// Tiles painted across all displays.
+    pub tiles_blitted: u64,
+    /// VoD items presented.
+    pub vod_presented: u64,
+    /// File-server side of the VoD class.
+    pub pfs: PfsReport,
+    /// Control-plane health.
+    pub nemesis: NemesisReport,
+    /// Audio underruns + late playback + missed CM periods + starved
+    /// epochs: the number every QoS claim reduces to.
+    pub deadline_misses: u64,
+    /// Events the engine executed.
+    pub events_executed: u64,
+}
+
+impl ScenarioReport {
+    /// Sums the per-layer misses into [`ScenarioReport::deadline_misses`].
+    pub fn total_misses(&self) -> u64 {
+        self.audio_underruns + self.playback_late + self.pfs.missed + self.nemesis.starved_epochs
+    }
+
+    /// Renders the report as deterministic JSON (trailing newline, no
+    /// whitespace, fixed key order).
+    pub fn to_json(&self) -> String {
+        fn summary(w: &mut JsonWriter, k: &str, s: &Summary) {
+            w.obj(k, |w| {
+                w.u64("n", s.n);
+                w.u64("min", s.min);
+                w.u64("p50", s.p50);
+                w.u64("p90", s.p90);
+                w.u64("p99", s.p99);
+                w.u64("max", s.max);
+                w.f64("mean", s.mean);
+            });
+        }
+        fn class(w: &mut JsonWriter, k: &str, c: &ClassReport) {
+            w.obj(k, |w| {
+                w.u64("sessions", c.sessions);
+                summary(w, "latency_ns", &c.latency);
+                summary(w, "jitter_ns", &c.jitter);
+            });
+        }
+        JsonWriter::document(|w| {
+            w.str("scenario", &self.name);
+            w.u64("seed", self.seed);
+            w.u64("duration_ns", self.duration);
+            w.obj("topology", |w| {
+                w.u64("switches", self.switches);
+                w.u64("endpoints", self.endpoints);
+                w.f64("max_link_utilization", self.max_link_utilization);
+            });
+            w.obj("sessions", |w| {
+                w.u64("videophone", self.sessions.0);
+                w.u64("vod", self.sessions.1);
+                w.u64("tv", self.sessions.2);
+                w.u64("total", self.sessions.0 + self.sessions.1 + self.sessions.2);
+            });
+            class(w, "video", &self.video);
+            class(w, "audio", &self.audio);
+            class(w, "vod", &self.vod);
+            w.obj("cells", |w| {
+                w.u64("sent", self.cells.sent);
+                w.u64("delivered", self.cells.delivered);
+                w.u64("dropped_overflow", self.cells.dropped_overflow);
+                w.u64("dropped_unroutable", self.cells.dropped_unroutable);
+            });
+            w.obj("pfs", |w| {
+                w.u64("periods", self.pfs.periods);
+                w.u64("missed", self.pfs.missed);
+                w.u64("bytes_delivered", self.pfs.bytes_delivered);
+                w.u64("throughput_bps", self.pfs.throughput_bps);
+            });
+            w.obj("nemesis", |w| {
+                w.u64("epochs", self.nemesis.epochs);
+                w.u64("starved_epochs", self.nemesis.starved_epochs);
+                w.u64("quality_p50_milli", self.nemesis.quality_p50_milli);
+                w.u64("quality_min_milli", self.nemesis.quality_min_milli);
+            });
+            w.u64("admission_fallbacks", self.admission_fallbacks);
+            w.u64("peak_queue_cells", self.peak_queue_cells);
+            w.u64("audio_underruns", self.audio_underruns);
+            w.u64("playback_late", self.playback_late);
+            w.u64("tiles_blitted", self.tiles_blitted);
+            w.u64("vod_presented", self.vod_presented);
+            w.u64("deadline_misses", self.deadline_misses);
+            w.u64("events_executed", self.events_executed);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_contains_the_headline_fields() {
+        let mut r = ScenarioReport {
+            name: "unit".into(),
+            seed: 9,
+            ..ScenarioReport::default()
+        };
+        r.audio_underruns = 2;
+        r.playback_late = 1;
+        r.deadline_misses = r.total_misses();
+        let s = r.to_json();
+        assert!(s.starts_with("{\"scenario\":\"unit\",\"seed\":9,"));
+        assert!(s.contains("\"deadline_misses\":3"));
+        assert!(s.ends_with("}\n"));
+        // Deterministic: rendering twice is identical.
+        assert_eq!(s, r.to_json());
+    }
+}

@@ -1,0 +1,238 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] is everything a city-scale workload needs to be
+//! reproducible: topology shape and link rates, the session mix and how
+//! sessions arrive, the fault schedule, the run length and the seed.
+//! [`crate::build`] compiles one into a wired [`pegasus::system::System`]
+//! and runs it; the same spec and seed always produce byte-identical
+//! reports.
+
+use pegasus_atm::network::{LinkConfig, TopologyShape};
+use pegasus_devices::camera::CameraConfig;
+use pegasus_sim::time::{Ns, MS};
+
+/// The switch fabric a scenario runs on.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologySpec {
+    /// Wiring pattern of the fabric.
+    pub shape: TopologyShape,
+    /// Number of fabric switches.
+    pub switches: usize,
+    /// Link parameters for every link (inter-switch and device).
+    pub link: LinkConfig,
+}
+
+/// Relative weights of the session classes (normalized internally).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionMix {
+    /// Two-party calls: camera→display plus audio, device to device.
+    pub videophone: f64,
+    /// Video-on-demand: the file server streams an indexed file to a
+    /// synchronized playback client.
+    pub vod: f64,
+    /// TV distribution: studio cameras into a control-room window
+    /// stack, with periodic cuts.
+    pub tv: f64,
+}
+
+impl SessionMix {
+    /// Splits `total` sessions into per-class counts by largest
+    /// remainder, so the counts always sum to `total`.
+    pub fn counts(&self, total: usize) -> (usize, usize, usize) {
+        let sum = self.videophone + self.vod + self.tv;
+        assert!(sum > 0.0, "session mix must have positive weight");
+        let exact = [
+            self.videophone / sum * total as f64,
+            self.vod / sum * total as f64,
+            self.tv / sum * total as f64,
+        ];
+        let mut counts = [0usize; 3];
+        let mut assigned = 0;
+        for (c, e) in counts.iter_mut().zip(exact) {
+            *c = e.floor() as usize;
+            assigned += *c;
+        }
+        // Hand leftovers to the largest fractional parts (ties by class
+        // order — deterministic).
+        let mut order: Vec<usize> = (0..3).collect();
+        order.sort_by(|&a, &b| {
+            let fa = exact[a] - exact[a].floor();
+            let fb = exact[b] - exact[b].floor();
+            fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+        });
+        for &i in order.iter().cycle().take(total - assigned) {
+            counts[i] += 1;
+        }
+        (counts[0], counts[1], counts[2])
+    }
+}
+
+/// How session start times are drawn over the run.
+#[derive(Debug, Clone, Copy)]
+pub enum Arrival {
+    /// Every session starts at t = 0.
+    Immediate,
+    /// Starts drawn uniformly over `[0, window)`.
+    Uniform {
+        /// Width of the start window.
+        window: Ns,
+    },
+    /// Poisson arrivals: exponential gaps with the given mean.
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_gap: Ns,
+    },
+}
+
+/// One scheduled incident of the scenario's fault schedule.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultSpec {
+    /// A rogue domain demands CPU from the Nemesis QoS manager between
+    /// `at` and `until` (replayed through
+    /// [`pegasus_nemesis::faults::EpochDriver`]).
+    CpuLoadSpike {
+        /// Onset.
+        at: Ns,
+        /// End of the incident.
+        until: Ns,
+        /// CPU fraction demanded.
+        demand: f64,
+        /// Rogue's user weight (media baseline is 1.0).
+        weight: f64,
+    },
+    /// Fabric switch `switch` has its output-queue capacity clamped to
+    /// `queue_capacity` cells at time `at` (a degraded line card);
+    /// overflow drops follow.
+    SwitchDegrade {
+        /// When the degradation hits.
+        at: Ns,
+        /// Index into the fabric switch list.
+        switch: usize,
+        /// The clamped per-output queue capacity, in cells.
+        queue_capacity: u64,
+    },
+}
+
+/// A complete, reproducible workload description.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (lands in the report).
+    pub name: String,
+    /// RNG seed; the report is a pure function of (spec, seed).
+    pub seed: u64,
+    /// Virtual run length: sources stop at this time.
+    pub duration: Ns,
+    /// Extra virtual time for in-flight cells to drain.
+    pub drain: Ns,
+    /// Switch fabric.
+    pub topology: TopologySpec,
+    /// Total concurrent sessions.
+    pub sessions: usize,
+    /// Class mix.
+    pub mix: SessionMix,
+    /// Session start process.
+    pub arrival: Arrival,
+    /// Scheduled incidents.
+    pub faults: Vec<FaultSpec>,
+    /// Bandwidth requested per video stream (guaranteed, with
+    /// best-effort fallback when a hop is full).
+    pub video_bps: u64,
+    /// Camera settings for every video source.
+    pub camera: CameraConfig,
+    /// Audio jitter-buffer depth in samples.
+    pub audio_jitter_buffer: usize,
+    /// Synchronized play-out latency for VoD clients.
+    pub vod_target_latency: Ns,
+    /// Bytes/second each VoD stream draws from the file server.
+    pub vod_disk_rate: u64,
+    /// Number of file servers VoD streams are spread across.
+    pub pfs_servers: usize,
+    /// Camera feeds per TV control room.
+    pub tv_group: usize,
+    /// Time between TV director cuts.
+    pub tv_cut_period: Ns,
+}
+
+impl ScenarioSpec {
+    /// A neutral baseline other specs (and tests) derive from: one
+    /// backbone switch, a handful of mixed sessions, no faults.
+    pub fn base(name: &str) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.to_string(),
+            seed: 1,
+            duration: 200 * MS,
+            drain: 50 * MS,
+            topology: TopologySpec {
+                shape: TopologyShape::Star,
+                switches: 1,
+                link: LinkConfig::pegasus_default(),
+            },
+            sessions: 4,
+            mix: SessionMix {
+                videophone: 0.5,
+                vod: 0.25,
+                tv: 0.25,
+            },
+            arrival: Arrival::Immediate,
+            faults: Vec::new(),
+            video_bps: 8_000_000,
+            camera: CameraConfig::default(),
+            audio_jitter_buffer: 120,
+            vod_target_latency: 80 * MS,
+            vod_disk_rate: 250_000,
+            pfs_servers: 1,
+            tv_group: 4,
+            tv_cut_period: 400 * MS,
+        }
+    }
+
+    /// Scales the session count by `factor` (at least one session
+    /// remains), for CI-sized renditions of big presets.
+    pub fn scale_sessions(mut self, factor: f64) -> ScenarioSpec {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.sessions = ((self.sessions as f64 * factor).round() as usize).max(1);
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> ScenarioSpec {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_counts_sum_to_total() {
+        let mix = SessionMix {
+            videophone: 0.5,
+            vod: 0.3,
+            tv: 0.2,
+        };
+        for total in [0usize, 1, 7, 100, 1000] {
+            let (a, b, c) = mix.counts(total);
+            assert_eq!(a + b + c, total, "total {total}");
+        }
+        let (a, b, c) = mix.counts(1000);
+        assert_eq!((a, b, c), (500, 300, 200));
+    }
+
+    #[test]
+    fn single_class_mix() {
+        let mix = SessionMix {
+            videophone: 1.0,
+            vod: 0.0,
+            tv: 0.0,
+        };
+        assert_eq!(mix.counts(17), (17, 0, 0));
+    }
+
+    #[test]
+    fn scale_sessions_floors_at_one() {
+        let spec = ScenarioSpec::base("t").scale_sessions(0.001);
+        assert_eq!(spec.sessions, 1);
+    }
+}

@@ -129,6 +129,47 @@ impl Histogram {
         Some(self.max()? - self.min()?)
     }
 
+    /// Absorbs every sample of `other` into `self`.
+    ///
+    /// Scenario reports merge per-session histograms into per-class
+    /// distributions this way; the merge is order-insensitive as far as
+    /// any percentile or moment is concerned.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// The jitter view of the distribution: every sample's excess over
+    /// the smallest sample.
+    ///
+    /// For a latency histogram of one stream, the minimum is the fixed
+    /// transport delay and the excess is the queueing-induced variation,
+    /// so percentiles of this view are per-stream jitter percentiles.
+    pub fn jitter_histogram(&self) -> Histogram {
+        let base = self.min().unwrap_or(0);
+        Histogram {
+            samples: self.samples.iter().map(|&v| v - base).collect(),
+            sorted: self.sorted,
+        }
+    }
+
+    /// Captures the distribution as a plain [`Summary`] (all zeros when
+    /// empty), for embedding in serialized reports.
+    pub fn summarize(&mut self) -> Summary {
+        if self.samples.is_empty() {
+            return Summary::default();
+        }
+        Summary {
+            n: self.count() as u64,
+            min: self.min().unwrap(),
+            p50: self.percentile(50.0).unwrap(),
+            p90: self.percentile(90.0).unwrap(),
+            p99: self.percentile(99.0).unwrap(),
+            max: self.max().unwrap(),
+            mean: self.mean().unwrap(),
+        }
+    }
+
     /// One-line summary suitable for experiment tables.
     pub fn summary(&mut self) -> String {
         if self.samples.is_empty() {
@@ -144,6 +185,28 @@ impl Histogram {
             self.mean().unwrap(),
         )
     }
+}
+
+/// A value-typed snapshot of a [`Histogram`]: the fields every report
+/// table needs, detached from the sample storage.
+///
+/// `Histogram::summarize` produces one; scenario reports serialize them.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
 }
 
 /// A time-weighted gauge: integrates `value × dt` so that `average()`
@@ -177,7 +240,8 @@ impl TimeWeighted {
 
     /// Time-weighted average from creation until `time`.
     pub fn average(&self, time: Ns) -> f64 {
-        let total = self.weighted_sum + self.last_value * (time.saturating_sub(self.last_time)) as f64;
+        let total =
+            self.weighted_sum + self.last_value * (time.saturating_sub(self.last_time)) as f64;
         let span = time.saturating_sub(self.start) as f64;
         if span == 0.0 {
             self.last_value
@@ -262,11 +326,56 @@ mod tests {
     }
 
     #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 3, 5] {
+            a.record(v);
+        }
+        for v in [2u64, 4] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.median(), Some(3));
+        assert_eq!(a.max(), Some(5));
+    }
+
+    #[test]
+    fn jitter_histogram_subtracts_the_floor() {
+        let mut h = Histogram::new();
+        for v in [100u64, 105, 130] {
+            h.record(v);
+        }
+        let mut j = h.jitter_histogram();
+        assert_eq!(j.min(), Some(0));
+        assert_eq!(j.max(), Some(30));
+        assert_eq!(j.percentile(50.0), Some(5));
+    }
+
+    #[test]
+    fn summarize_matches_accessors() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.summarize();
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(Histogram::new().summarize(), Summary::default());
+    }
+
+    #[test]
     fn time_weighted_average() {
         let mut g = TimeWeighted::new(0, 0.0);
         g.set(10, 10.0); // value 0 for 10 ns
         g.set(20, 0.0); // value 10 for 10 ns
-        // Average over [0, 20): (0*10 + 10*10) / 20 = 5.
+                        // Average over [0, 20): (0*10 + 10*10) / 20 = 5.
         assert!((g.average(20) - 5.0).abs() < 1e-9);
         // Extending the window at value 0 dilutes it: 100/40 = 2.5.
         assert!((g.average(40) - 2.5).abs() < 1e-9);

@@ -137,13 +137,20 @@ fn check_program(ops: &[(u8, u64)], handler_cancels: bool) -> Result<(), TestCas
             _ => {
                 // Bounded drain.
                 let deadline = sim.now() + arg % 128;
-                while model.next().is_some_and(|i| model.events[i].time <= deadline) {
+                while model
+                    .next()
+                    .is_some_and(|i| model.events[i].time <= deadline)
+                {
                     model_step(&mut model, &mut model_fired);
                 }
                 sim.run_until(deadline);
             }
         }
-        prop_assert_eq!(&*fired.borrow(), &model_fired, "fire order diverged mid-program");
+        prop_assert_eq!(
+            &*fired.borrow(),
+            &model_fired,
+            "fire order diverged mid-program"
+        );
     }
 
     // Drain both to the end.

@@ -24,4 +24,4 @@ pub mod playback;
 
 pub use control::{connect_device, CtrlMsg, DeviceConnection};
 pub use merge::ControlMerger;
-pub use playback::{PlaybackControl, PlaybackPolicy, StreamId};
+pub use playback::{ArrivalSink, PlaybackControl, PlaybackPolicy, StreamId};

@@ -64,12 +64,7 @@ impl ControlMerger {
     }
 
     fn drain(&mut self) {
-        let Some(min_wm) = self
-            .watermark
-            .iter()
-            .map(|w| w.unwrap_or(0))
-            .min()
-        else {
+        let Some(min_wm) = self.watermark.iter().map(|w| w.unwrap_or(0)).min() else {
             return;
         };
         // Release, in timestamp order, every queued mark ≤ the minimum
@@ -78,7 +73,7 @@ impl ControlMerger {
             let mut best: Option<(usize, Ns)> = None;
             for (i, q) in self.inputs.iter().enumerate() {
                 if let Some(CtrlMsg::SyncMark { ts, .. }) = q.front() {
-                    if *ts <= min_wm && best.map_or(true, |(_, bts)| *ts < bts) {
+                    if *ts <= min_wm && best.is_none_or(|(_, bts)| *ts < bts) {
                         best = Some((i, *ts));
                     }
                 }

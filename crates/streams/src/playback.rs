@@ -14,6 +14,9 @@
 //! item renders on arrival — the baseline whose audio/video skew E16
 //! measures.
 
+use pegasus_atm::aal5::Reassembler;
+use pegasus_atm::cell::Cell;
+use pegasus_atm::link::CellSink;
 use pegasus_sim::stats::Histogram;
 use pegasus_sim::time::Ns;
 use pegasus_sim::{SharedHandler, Simulator};
@@ -96,7 +99,8 @@ impl PlaybackControl {
                     .pop()
                     .expect("one held item per hold event");
                 debug_assert_eq!(due, sim.now(), "holds fire at their due time");
-                ctl.borrow_mut().present(sim.now(), StreamId(stream), capture_ts, false);
+                ctl.borrow_mut()
+                    .present(sim.now(), StreamId(stream), capture_ts, false);
             }
             None
         }));
@@ -106,7 +110,8 @@ impl PlaybackControl {
 
     /// Registers a stream.
     pub fn add_stream(&mut self, name: &str) -> StreamId {
-        self.streams.push((name.to_string(), StreamStats::default()));
+        self.streams
+            .push((name.to_string(), StreamStats::default()));
         StreamId(self.streams.len() - 1)
     }
 
@@ -126,13 +131,15 @@ impl PlaybackControl {
         let policy = ctl.borrow().policy;
         match policy {
             PlaybackPolicy::FreeRunning => {
-                ctl.borrow_mut().present(sim.now(), stream, capture_ts, false);
+                ctl.borrow_mut()
+                    .present(sim.now(), stream, capture_ts, false);
             }
             PlaybackPolicy::Synchronized { target_latency } => {
                 let due = capture_ts + target_latency;
                 if sim.now() >= due {
                     // Arrived too late to hold: present now, count it.
-                    ctl.borrow_mut().present(sim.now(), stream, capture_ts, true);
+                    ctl.borrow_mut()
+                        .present(sim.now(), stream, capture_ts, true);
                 } else {
                     // Hold until `due` on the allocation-free lane.
                     let handler = Self::hold_handler(ctl);
@@ -166,6 +173,13 @@ impl PlaybackControl {
         entry.push((stream, now));
     }
 
+    /// Total presentations that arrived after their play-out instant,
+    /// across all streams — the playback half of a scenario's
+    /// deadline-miss count.
+    pub fn late_total(&self) -> u64 {
+        self.streams.iter().map(|(_, s)| s.late).sum()
+    }
+
     /// Fraction of presentations that were late, across all streams.
     pub fn late_fraction(&self) -> f64 {
         let (late, total) = self
@@ -180,6 +194,65 @@ impl PlaybackControl {
     }
 }
 
+/// A [`CellSink`] that turns a media virtual circuit into playback
+/// arrivals: cells are reassembled into AAL5 frames, a caller-supplied
+/// extractor reads each frame's source capture timestamp, and the item
+/// is handed to [`PlaybackControl::on_arrival`].
+///
+/// This is the glue that lets a scenario spec spawn a synchronized
+/// session directly on a network endpoint — no hand-wired per-frame
+/// callbacks. The extractor keeps this crate ignorant of the payload
+/// format (tile frames live in the devices crate).
+pub struct ArrivalSink {
+    ctl: Rc<RefCell<PlaybackControl>>,
+    stream: StreamId,
+    reasm: Reassembler,
+    ts_of: TimestampExtractor,
+    /// Frames delivered to the playback controller.
+    pub frames: u64,
+    /// Frames dropped: reassembly errors or no extractable timestamp.
+    pub frames_bad: u64,
+}
+
+/// Pulls the source capture timestamp out of a reassembled media frame.
+pub type TimestampExtractor = Box<dyn Fn(&[u8]) -> Option<Ns>>;
+
+impl ArrivalSink {
+    /// Creates a sink feeding `stream` of `ctl`, using `ts_of` to pull
+    /// the capture timestamp out of each reassembled frame.
+    pub fn shared(
+        ctl: Rc<RefCell<PlaybackControl>>,
+        stream: StreamId,
+        ts_of: impl Fn(&[u8]) -> Option<Ns> + 'static,
+    ) -> Rc<RefCell<ArrivalSink>> {
+        Rc::new(RefCell::new(ArrivalSink {
+            ctl,
+            stream,
+            reasm: Reassembler::new(),
+            ts_of: Box::new(ts_of),
+            frames: 0,
+            frames_bad: 0,
+        }))
+    }
+}
+
+impl CellSink for ArrivalSink {
+    fn deliver(&mut self, sim: &mut Simulator, cell: Cell) {
+        match self.reasm.push(&cell) {
+            None => {}
+            Some(Ok(bytes)) => match (self.ts_of)(&bytes) {
+                Some(ts) => {
+                    self.frames += 1;
+                    let ctl = self.ctl.clone();
+                    PlaybackControl::on_arrival(&ctl, sim, self.stream, ts);
+                }
+                None => self.frames_bad += 1,
+            },
+            Some(Err(_)) => self.frames_bad += 1,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,7 +260,11 @@ mod tests {
 
     /// Feeds two streams capturing the same instants but with different
     /// transport delays (video slow, audio fast).
-    fn drive(policy: PlaybackPolicy, video_delay: Ns, audio_delay: Ns) -> Rc<RefCell<PlaybackControl>> {
+    fn drive(
+        policy: PlaybackPolicy,
+        video_delay: Ns,
+        audio_delay: Ns,
+    ) -> Rc<RefCell<PlaybackControl>> {
         let ctl = PlaybackControl::shared(policy);
         let (video, audio) = {
             let mut c = ctl.borrow_mut();
@@ -227,7 +304,11 @@ mod tests {
             2 * MS,
         );
         let c = ctl.borrow();
-        assert_eq!(c.skew.max(), Some(0), "synchronized streams present together");
+        assert_eq!(
+            c.skew.max(),
+            Some(0),
+            "synchronized streams present together"
+        );
         assert_eq!(c.late_fraction(), 0.0);
     }
 
@@ -279,7 +360,66 @@ mod tests {
         let mut s = synced.borrow_mut();
         let fa = f.streams[1].1.latency.percentile(50.0).unwrap();
         let sa = s.streams[1].1.latency.percentile(50.0).unwrap();
-        assert!(fa < sa, "free-running audio latency {fa} < synchronized {sa}");
+        assert!(
+            fa < sa,
+            "free-running audio latency {fa} < synchronized {sa}"
+        );
+    }
+
+    #[test]
+    fn arrival_sink_feeds_playback_from_cells() {
+        use pegasus_atm::aal5::Segmenter;
+        use pegasus_atm::link::{Link, SinkRef};
+
+        let ctl = PlaybackControl::shared(PlaybackPolicy::Synchronized {
+            target_latency: 20 * MS,
+        });
+        let stream = ctl.borrow_mut().add_stream("video");
+        // Frames carry their capture time as an 8-byte BE prefix.
+        let sink = ArrivalSink::shared(ctl.clone(), stream, |bytes| {
+            bytes
+                .get(..8)
+                .map(|b| Ns::from_be_bytes(b.try_into().unwrap()))
+        });
+        let mut link = Link::new(100_000_000, 1_000, sink.clone() as SinkRef);
+        let seg = Segmenter::new(44);
+        let mut sim = Simulator::new();
+        for i in 0..10u64 {
+            let capture = i * 5 * MS;
+            let mut frame = capture.to_be_bytes().to_vec();
+            frame.extend_from_slice(&[0xAB; 100]);
+            let cells = seg.segment(&frame).unwrap();
+            // Cells leave the device a little after capture.
+            sim.run_until(capture + MS);
+            link.send_burst(&mut sim, cells);
+        }
+        sim.run();
+        let s = sink.borrow();
+        assert_eq!(s.frames, 10);
+        assert_eq!(s.frames_bad, 0);
+        let mut c = ctl.borrow_mut();
+        assert_eq!(c.stats(stream).presented, 10);
+        assert_eq!(c.stats(stream).late, 0);
+        // Synchronized play-out: every frame presents at capture + 20 ms.
+        assert_eq!(
+            c.streams[stream.0].1.latency.percentile(50.0),
+            Some(20 * MS)
+        );
+    }
+
+    #[test]
+    fn arrival_sink_counts_unparseable_frames() {
+        let ctl = PlaybackControl::shared(PlaybackPolicy::FreeRunning);
+        let stream = ctl.borrow_mut().add_stream("x");
+        let sink = ArrivalSink::shared(ctl, stream, |_| None);
+        use pegasus_atm::aal5::Segmenter;
+        let seg = Segmenter::new(9);
+        let mut sim = Simulator::new();
+        for cell in seg.segment(&[1, 2, 3]).unwrap() {
+            sink.borrow_mut().deliver(&mut sim, cell);
+        }
+        assert_eq!(sink.borrow().frames, 0);
+        assert_eq!(sink.borrow().frames_bad, 1);
     }
 
     #[test]

@@ -23,9 +23,16 @@ fn main() {
     // Signalling: a guaranteed 20 Mbit/s circuit, camera → display.
     let vc = sys
         .net
-        .open_vc(studio.camera_ep, lounge.display_ep, QosSpec::guaranteed(20_000_000))
+        .open_vc(
+            studio.camera_ep,
+            lounge.display_ep,
+            QosSpec::guaranteed(20_000_000),
+        )
         .expect("admission");
-    println!("virtual circuit open: camera vci {} → display vci {}", vc.src_vci, vc.dst_vci);
+    println!(
+        "virtual circuit open: camera vci {} → display vci {}",
+        vc.src_vci, vc.dst_vci
+    );
 
     // The window manager gives the stream a window by writing one
     // descriptor — that is all the "window system" there is.
@@ -33,7 +40,12 @@ fn main() {
     wm.create(vc.dst_vci, Rect::new(100, 80, 176, 144));
 
     // Roll half a second of 25 fps video.
-    let cam = sys.build_camera(&studio, Scene::MovingGradient, CameraConfig::default(), vc.src_vci);
+    let cam = sys.build_camera(
+        &studio,
+        Scene::MovingGradient,
+        CameraConfig::default(),
+        vc.src_vci,
+    );
     let mut sim = Simulator::new();
     Camera::start(&cam, &mut sim);
     sim.run_until(500 * MS);
@@ -49,7 +61,12 @@ fn main() {
     );
     let mut d = lounge.display.borrow_mut();
     let (blitted, pixels) = (d.stats.tiles_blitted, d.stats.pixels_written);
-    let p50 = d.stats.latency.percentile(50.0).map(fmt_ns).unwrap_or_default();
+    let p50 = d
+        .stats
+        .latency
+        .percentile(50.0)
+        .map(fmt_ns)
+        .unwrap_or_default();
     drop(d);
     println!("display: {blitted} tiles blitted, {pixels} pixels painted, scan→display p50 {p50}");
     println!(

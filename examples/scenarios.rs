@@ -1,0 +1,41 @@
+//! The example workloads, re-expressed as declarative scenarios.
+//!
+//! `videophone.rs`, `tv_director.rs` and `vcr.rs` each hand-wire one
+//! instance of a workload; the scenario harness runs the same three
+//! workloads as presets — a wall of calls, a bank of studios, a rack of
+//! VoD streams — then the whole city at once, from nothing but a spec.
+//!
+//! Run with: `cargo run --release --example scenarios`
+
+use pegasus_system::scenario::{presets, run};
+
+fn main() {
+    for name in ["videophone-wall", "tv-studio", "vod-rack"] {
+        let spec = presets::by_name(name).expect("preset");
+        let r = run(&spec);
+        println!(
+            "{name}: {} sessions / {} switches — p50 video latency {} µs, \
+             {} cells delivered, {} deadline misses",
+            r.sessions.0 + r.sessions.1 + r.sessions.2,
+            r.switches,
+            r.video.latency.p50 / 1_000,
+            r.cells.delivered,
+            r.deadline_misses,
+        );
+    }
+
+    // The city, CI-sized (5% of the sessions, same 16-switch mesh).
+    let spec = presets::metropolis_1k().scale_sessions(0.05);
+    let r = run(&spec);
+    println!(
+        "metropolis-1k @5%: {} sessions / {} switches — video jitter p99 {} µs, \
+         pfs {} Mbit/s, {} deadline misses",
+        r.sessions.0 + r.sessions.1 + r.sessions.2,
+        r.switches,
+        r.video.jitter.p99 / 1_000,
+        r.pfs.throughput_bps / 1_000_000,
+        r.deadline_misses,
+    );
+    assert_eq!(r.deadline_misses, 0, "the scaled city must run clean");
+    println!("\none harness, every workload: the spec is the experiment.");
+}

@@ -11,11 +11,11 @@ use pegasus_system::devices::video::Scene;
 use pegasus_system::sim::time::MS;
 
 fn main() {
-    let mut director = TvDirector::new(
-        3,
-        &[Scene::TestCard, Scene::MovingGradient, Scene::Noise],
+    let mut director = TvDirector::new(3, &[Scene::TestCard, Scene::MovingGradient, Scene::Noise]);
+    println!(
+        "on air with {} cameras; cutting every 400 ms...",
+        director.source_count()
     );
-    println!("on air with {} cameras; cutting every 400 ms...", director.source_count());
 
     let rundown = [0usize, 1, 2, 1, 0, 2];
     for (i, &source) in rundown.iter().enumerate() {
@@ -30,9 +30,18 @@ fn main() {
     }
     director.shutdown();
 
-    println!("\ncuts performed: {:?}", director.cuts.iter().map(|(_, s)| s).collect::<Vec<_>>());
-    println!("tiles painted on the control-room display: {}", director.tiles_blitted());
-    println!("media bytes any CPU touched: {}", director.cpu_media_bytes());
+    println!(
+        "\ncuts performed: {:?}",
+        director.cuts.iter().map(|(_, s)| s).collect::<Vec<_>>()
+    );
+    println!(
+        "tiles painted on the control-room display: {}",
+        director.tiles_blitted()
+    );
+    println!(
+        "media bytes any CPU touched: {}",
+        director.cpu_media_bytes()
+    );
     assert_eq!(director.cpu_media_bytes(), 0);
     println!("every cut was pure control: a descriptor raise in the display.");
 }

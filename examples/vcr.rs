@@ -27,11 +27,20 @@ fn main() {
     let storage_ep = sys.add_backbone_endpoint(recorder.clone());
     let vc = sys
         .net
-        .open_vc(studio.camera_ep, storage_ep, QosSpec::guaranteed(20_000_000))
+        .open_vc(
+            studio.camera_ep,
+            storage_ep,
+            QosSpec::guaranteed(20_000_000),
+        )
         .expect("admission");
 
     // Record one second.
-    let cam = sys.build_camera(&studio, Scene::MovingGradient, CameraConfig::default(), vc.src_vci);
+    let cam = sys.build_camera(
+        &studio,
+        Scene::MovingGradient,
+        CameraConfig::default(),
+        vc.src_vci,
+    );
     let mut sim = Simulator::new();
     Camera::start(&cam, &mut sim);
     sim.run_until(1_000 * MS);
@@ -71,7 +80,10 @@ fn main() {
     println!(
         "fast-forward:  {} key points: {:?}...",
         ff.len(),
-        ff.iter().take(4).map(|(t, _)| fmt_ns(*t)).collect::<Vec<_>>()
+        ff.iter()
+            .take(4)
+            .map(|(t, _)| fmt_ns(*t))
+            .collect::<Vec<_>>()
     );
 
     // Reverse play from 500 ms.

@@ -10,7 +10,10 @@ fn main() {
     println!("placing a 1-second bidirectional audio+video call, twice...\n");
     for (label, path) in [
         ("DAN: devices on the switch", VideoPath::Dan),
-        ("baseline: media through the host CPUs", VideoPath::BusAttached),
+        (
+            "baseline: media through the host CPUs",
+            VideoPath::BusAttached,
+        ),
     ] {
         let report = VideoPhone::run(VideoPhoneConfig {
             path,
@@ -26,7 +29,10 @@ fn main() {
         );
         println!("  audio drop-outs:         {:?}", report.audio_underruns);
         println!("  CPU media bytes (A, B):  {:?}", report.cpu_bytes);
-        println!("  CPU time moving media:   {}", fmt_ns(report.cpu_time.0 + report.cpu_time.1));
+        println!(
+            "  CPU time moving media:   {}",
+            fmt_ns(report.cpu_time.0 + report.cpu_time.1)
+        );
         println!();
     }
     println!("the call is identical to the user; only the data path — and the CPU bill — differs.");

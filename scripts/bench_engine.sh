@@ -20,6 +20,18 @@ fi
 
 # cargo runs bench binaries with the package directory as cwd; hand the
 # bench an absolute path so the json lands at the repo root.
-cargo bench --bench e18_engine_throughput -- --scale "$SCALE" --json "$PWD/$OUT"
+#
+# The bench's exit status is checked explicitly (and the output file
+# verified) so a crashing bench binary can never report success — the CI
+# bench-floor guard depends on this propagating.
+rm -f "$OUT"
+if ! cargo bench --bench e18_engine_throughput -- --scale "$SCALE" --json "$PWD/$OUT"; then
+    echo "bench_engine.sh: bench binary failed (scale $SCALE)" >&2
+    exit 1
+fi
+if [ ! -s "$OUT" ]; then
+    echo "bench_engine.sh: bench produced no $OUT" >&2
+    exit 1
+fi
 echo "--- $OUT"
 cat "$OUT"

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# The engine bench-regression guard: runs the e18 smoke bench and fails
+# when events/sec falls more than 30% below the committed floor in
+# BENCH_engine.json (the other rates are reported for context only —
+# events/sec is the engine's headline number).
+#
+# Caveat: the floor is an absolute rate recorded on the hardware that
+# last ran `scripts/bench_engine.sh` (full mode updates the committed
+# file). A runner materially slower than that machine trips the guard
+# without a code regression — refresh BENCH_engine.json from the slow
+# machine, or pass a wider tolerance.
+#
+# Usage: scripts/bench_guard.sh [tolerance-percent]   # default 30
+set -eu
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${1:-30}"
+
+sh scripts/bench_engine.sh --smoke
+
+json_field() {
+    # json_field FILE KEY NTH — NTH numeric value of "KEY": N in FILE.
+    # The bench emits the key once under "baseline" and once under
+    # "current" (in that order); the guard compares current to current.
+    awk -v key="\"$2\"" -v nth="$3" '
+        $0 ~ key {
+            if (++seen == nth) {
+                line = $0
+                sub(/^.*: */, "", line)
+                sub(/[,} ].*$/, "", line)
+                print line
+                exit
+            }
+        }' "$1"
+}
+
+FLOOR_BASE=$(json_field BENCH_engine.json events_per_sec 2)
+SMOKE=$(json_field BENCH_engine.smoke.json events_per_sec 2)
+if [ -z "$FLOOR_BASE" ] || [ -z "$SMOKE" ]; then
+    echo "bench_guard.sh: could not parse events_per_sec" >&2
+    exit 1
+fi
+
+FLOOR=$(awk -v b="$FLOOR_BASE" -v t="$TOLERANCE" 'BEGIN { printf "%d", b * (100 - t) / 100 }')
+echo "bench_guard: smoke events/sec $SMOKE vs floor $FLOOR (committed $FLOOR_BASE, -$TOLERANCE%)"
+if [ "$SMOKE" -lt "$FLOOR" ]; then
+    echo "bench_guard: REGRESSION — events/sec $SMOKE below floor $FLOOR" >&2
+    exit 1
+fi
+echo "bench_guard: OK"

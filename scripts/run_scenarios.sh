@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# The scenario gauntlet: runs scenario presets, writes their JSON
+# reports to scenario-reports/, and enforces the QoS gates CI relies on.
+#
+# Usage:
+#   scripts/run_scenarios.sh --smoke   # CI: smoke + metropolis-1k @5%,
+#                                      # zero deadline misses required,
+#                                      # determinism checked byte-for-byte
+#   scripts/run_scenarios.sh --full    # every preset at full scale
+#                                      # (fault presets may miss by design;
+#                                      # only completion is enforced)
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE="${1:---smoke}"
+OUTDIR=scenario-reports
+mkdir -p "$OUTDIR"
+
+cargo build --release --bin pegasus-scenario
+BIN=target/release/pegasus-scenario
+
+misses_of() {
+    awk '{
+        line = $0
+        sub(/^.*"deadline_misses":/, "", line)
+        sub(/[,}].*$/, "", line)
+        print line
+        exit
+    }' "$1"
+}
+
+require_clean() {
+    # require_clean NAME FILE — the preset must report zero misses.
+    MISSES=$(misses_of "$2")
+    if [ -z "$MISSES" ]; then
+        echo "run_scenarios.sh: no deadline_misses in $2" >&2
+        exit 1
+    fi
+    if [ "$MISSES" -ne 0 ]; then
+        echo "run_scenarios.sh: $1 reported $MISSES deadline misses (want 0)" >&2
+        exit 1
+    fi
+    echo "run_scenarios.sh: $1 clean (0 deadline misses)"
+}
+
+if [ "$MODE" = "--smoke" ]; then
+    "$BIN" run smoke --seed 7 --quiet --out "$OUTDIR/smoke.json"
+    require_clean smoke "$OUTDIR/smoke.json"
+
+    # Determinism gate: the same spec and seed must serialize
+    # byte-identically.
+    "$BIN" run smoke --seed 7 --quiet --out "$OUTDIR/smoke.rerun.json"
+    if ! cmp -s "$OUTDIR/smoke.json" "$OUTDIR/smoke.rerun.json"; then
+        echo "run_scenarios.sh: smoke report is not deterministic" >&2
+        exit 1
+    fi
+    echo "run_scenarios.sh: smoke deterministic"
+
+    # The city, CI-sized: 5% of the sessions on the full 16-switch mesh.
+    "$BIN" run metropolis-1k --seed 7 --scale 0.05 --quiet \
+        --out "$OUTDIR/metropolis-smoke.json"
+    require_clean "metropolis-1k@5%" "$OUTDIR/metropolis-smoke.json"
+elif [ "$MODE" = "--full" ]; then
+    for preset in smoke videophone-wall vod-rack tv-studio nemesis-storm metropolis-1k; do
+        "$BIN" run "$preset" --out "$OUTDIR/$preset.json"
+    done
+    # The clean presets must stay clean even at full scale.
+    for preset in smoke videophone-wall vod-rack tv-studio metropolis-1k; do
+        require_clean "$preset" "$OUTDIR/$preset.json"
+    done
+else
+    echo "usage: scripts/run_scenarios.sh [--smoke|--full]" >&2
+    exit 2
+fi
+
+echo "run_scenarios.sh: all gates passed"

@@ -12,5 +12,6 @@ pub use pegasus_devices as devices;
 pub use pegasus_naming as naming;
 pub use pegasus_nemesis as nemesis;
 pub use pegasus_pfs as pfs;
+pub use pegasus_scenario as scenario;
 pub use pegasus_sim as sim;
 pub use pegasus_streams as streams;

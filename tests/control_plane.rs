@@ -62,7 +62,7 @@ fn rpc_through_lossy_network_keeps_at_most_once() {
     let server2 = server.clone();
     let mut transport = move |wire: &[u8]| {
         tick += 1;
-        if tick % 2 == 0 {
+        if tick.is_multiple_of(2) {
             return None;
         }
         let call = CallMsg::decode(wire).ok()?;
@@ -73,7 +73,11 @@ fn rpc_through_lossy_network_keeps_at_most_once() {
         let r = client.call(&mut transport, 0, &[]).unwrap();
         assert_eq!(u32::from_be_bytes(r.try_into().unwrap()), expect);
     }
-    assert_eq!(state.borrow().0, 10, "exactly ten increments despite losses");
+    assert_eq!(
+        state.borrow().0,
+        10,
+        "exactly ten increments despite losses"
+    );
 }
 
 #[test]

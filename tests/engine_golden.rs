@@ -97,7 +97,12 @@ fn full_stack_event_count_and_clock_match_seed_engine() {
         .unwrap();
     let mut wm = WindowManager::new(b.display.clone(), 1);
     wm.create(vc.dst_vci, Rect::new(0, 0, 176, 144));
-    let cam = sys.build_camera(&a, Scene::MovingGradient, CameraConfig::default(), vc.src_vci);
+    let cam = sys.build_camera(
+        &a,
+        Scene::MovingGradient,
+        CameraConfig::default(),
+        vc.src_vci,
+    );
     let mut sim = Simulator::new();
     Camera::start(&cam, &mut sim);
     sim.run_until(60 * MS);
@@ -113,10 +118,17 @@ fn full_stack_event_count_and_clock_match_seed_engine() {
         tiles,
         switched
     );
-    assert_eq!(sim.events_executed(), GOLDEN_A_EVENTS, "executed event count drifted");
+    assert_eq!(
+        sim.events_executed(),
+        GOLDEN_A_EVENTS,
+        "executed event count drifted"
+    );
     assert_eq!(sim.now(), GOLDEN_A_CLOCK, "final clock drifted");
     assert_eq!(tiles, GOLDEN_A_TILES, "tiles blitted drifted");
-    assert_eq!(switched, GOLDEN_A_SWITCHED, "backbone forward count drifted");
+    assert_eq!(
+        switched, GOLDEN_A_SWITCHED,
+        "backbone forward count drifted"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -150,8 +162,15 @@ fn arrival_trace_matches_seed_engine_on_both_delivery_paths() {
     assert_eq!(probe_trace.len(), GOLDEN_B_LEN);
     assert_eq!(*probe_trace.first().unwrap(), GOLDEN_B_FIRST);
     assert_eq!(*probe_trace.last().unwrap(), GOLDEN_B_LAST);
-    assert_eq!(trace_hash(&probe_trace), GOLDEN_B_HASH, "arrival-time trace drifted");
-    assert_eq!(probe_events, GOLDEN_B_PROBE_EVENTS, "per-cell event count drifted");
+    assert_eq!(
+        trace_hash(&probe_trace),
+        GOLDEN_B_HASH,
+        "arrival-time trace drifted"
+    );
+    assert_eq!(
+        probe_events, GOLDEN_B_PROBE_EVENTS,
+        "per-cell event count drifted"
+    );
     assert_eq!(probe_clock, GOLDEN_B_CLOCK, "final clock drifted");
 
     // Batched path: CaptureSink consumes whole cell trains, yet must
@@ -164,6 +183,12 @@ fn arrival_trace_matches_seed_engine_on_both_delivery_paths() {
         .iter()
         .map(|(t, c)| (*t, c.vci()))
         .collect();
-    assert_eq!(capture_trace, probe_trace, "batched delivery changed the observable trace");
-    assert_eq!(capture_clock, probe_clock, "batched delivery changed the final clock");
+    assert_eq!(
+        capture_trace, probe_trace,
+        "batched delivery changed the observable trace"
+    );
+    assert_eq!(
+        capture_clock, probe_clock,
+        "batched delivery changed the final clock"
+    );
 }

@@ -22,17 +22,30 @@ fn two_cameras_share_one_display() {
     let viewer = sys.add_workstation("viewer", 40);
     let vc1 = sys
         .net
-        .open_vc(s1.camera_ep, viewer.display_ep, QosSpec::guaranteed(15_000_000))
+        .open_vc(
+            s1.camera_ep,
+            viewer.display_ep,
+            QosSpec::guaranteed(15_000_000),
+        )
         .unwrap();
     let vc2 = sys
         .net
-        .open_vc(s2.camera_ep, viewer.display_ep, QosSpec::guaranteed(15_000_000))
+        .open_vc(
+            s2.camera_ep,
+            viewer.display_ep,
+            QosSpec::guaranteed(15_000_000),
+        )
         .unwrap();
     let mut wm = WindowManager::new(viewer.display.clone(), 1);
     wm.create(vc1.dst_vci, Rect::new(0, 0, 176, 144));
     wm.create(vc2.dst_vci, Rect::new(200, 0, 176, 144));
     let cam1 = sys.build_camera(&s1, Scene::TestCard, CameraConfig::default(), vc1.src_vci);
-    let cam2 = sys.build_camera(&s2, Scene::MovingGradient, CameraConfig::default(), vc2.src_vci);
+    let cam2 = sys.build_camera(
+        &s2,
+        Scene::MovingGradient,
+        CameraConfig::default(),
+        vc2.src_vci,
+    );
     let mut sim = Simulator::new();
     Camera::start(&cam1, &mut sim);
     Camera::start(&cam2, &mut sim);
@@ -59,7 +72,11 @@ fn admission_control_protects_the_backbone() {
         .unwrap();
     let err = sys
         .net
-        .open_vc(a.audio_src_ep, b.audio_sink_ep, QosSpec::guaranteed(40_000_000))
+        .open_vc(
+            a.audio_src_ep,
+            b.audio_sink_ep,
+            QosSpec::guaranteed(40_000_000),
+        )
         .unwrap_err();
     assert!(matches!(err, AdmissionError::InsufficientBandwidth { .. }));
 }
@@ -118,4 +135,96 @@ fn videophone_reports_are_deterministic() {
     assert_eq!(a.tiles_blitted, b.tiles_blitted);
     assert_eq!(a.video_latency_p50, b.video_latency_p50);
     assert_eq!(a.cpu_bytes, b.cpu_bytes);
+}
+
+/// The workloads above, re-expressed through the declarative scenario
+/// harness: the same claims (delivery, shared displays, admission
+/// protection, determinism) must hold when the system is assembled from
+/// a spec instead of by hand.
+mod scenario_harness {
+    use pegasus_system::atm::network::TopologyShape;
+    use pegasus_system::scenario::spec::TopologySpec;
+    use pegasus_system::scenario::{presets, run, ScenarioSpec, SessionMix};
+    use pegasus_system::sim::time::MS;
+
+    /// `two_cameras_share_one_display`, spec-driven: a TV group is
+    /// exactly N cameras into one window stack.
+    #[test]
+    fn tv_group_shares_one_display() {
+        let mut spec = ScenarioSpec::base("shared-display");
+        spec.sessions = 2;
+        spec.mix = SessionMix {
+            videophone: 0.0,
+            vod: 0.0,
+            tv: 1.0,
+        };
+        spec.tv_group = 2;
+        spec.duration = 150 * MS;
+        let r = run(&spec);
+        assert_eq!(r.sessions.2, 2);
+        // Two feeds, one display endpoint: endpoints = 2 cameras + 1 display.
+        assert_eq!(r.endpoints, 3);
+        assert!(
+            r.tiles_blitted > 500,
+            "both feeds painted: {}",
+            r.tiles_blitted
+        );
+        assert_eq!(r.cells.dropped_unroutable, 0);
+    }
+
+    /// `admission_control_protects_the_backbone`, spec-driven: ask for
+    /// more guaranteed bandwidth than the fabric has; the harness must
+    /// degrade the surplus to best effort, never overbook a link.
+    #[test]
+    fn oversubscription_degrades_instead_of_overbooking() {
+        let mut spec = ScenarioSpec::base("oversub");
+        // Two switches: every session crosses the one 100 Mbit/s trunk.
+        spec.topology = TopologySpec {
+            switches: 2,
+            ..spec.topology
+        };
+        spec.sessions = 24;
+        spec.mix = SessionMix {
+            videophone: 1.0,
+            vod: 0.0,
+            tv: 0.0,
+        };
+        spec.video_bps = 30_000_000; // 24 × 30M across one 100M backbone
+        spec.duration = 50 * MS;
+        let r = run(&spec);
+        assert!(r.admission_fallbacks > 0, "surplus sessions must downgrade");
+        let budget = 0.95;
+        assert!(
+            r.max_link_utilization <= budget + 1e-9,
+            "reserved {} over budget {}",
+            r.max_link_utilization,
+            budget
+        );
+    }
+
+    /// `videophone_reports_are_deterministic`, spec-driven, through the
+    /// umbrella crate's re-export path.
+    #[test]
+    fn spec_runs_are_deterministic_end_to_end() {
+        let spec = presets::smoke().with_seed(3);
+        assert_eq!(run(&spec).to_json(), run(&spec).to_json());
+    }
+
+    /// The full-stack claim at fabric scale: a multi-switch ring still
+    /// delivers every class with zero deadline misses.
+    #[test]
+    fn ring_fabric_carries_the_mixed_workload() {
+        let mut spec = ScenarioSpec::base("ring-mixed");
+        spec.topology = TopologySpec {
+            shape: TopologyShape::Ring,
+            switches: 4,
+            ..spec.topology
+        };
+        spec.sessions = 8;
+        spec.duration = 150 * MS;
+        let r = run(&spec);
+        assert_eq!(r.switches, 4);
+        assert_eq!(r.deadline_misses, 0);
+        assert!(r.cells.delivered > 1_000);
+    }
 }

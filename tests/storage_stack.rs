@@ -25,7 +25,12 @@ fn record_session(ms: u64) -> (Rc<RefCell<LogFs>>, Rc<RefCell<RecorderSink>>) {
         .net
         .open_vc(studio.camera_ep, ep, QosSpec::guaranteed(20_000_000))
         .unwrap();
-    let cam = sys.build_camera(&studio, Scene::MovingGradient, CameraConfig::default(), vc.src_vci);
+    let cam = sys.build_camera(
+        &studio,
+        Scene::MovingGradient,
+        CameraConfig::default(),
+        vc.src_vci,
+    );
     let mut sim = Simulator::new();
     Camera::start(&cam, &mut sim);
     sim.run_until(ms * MS);

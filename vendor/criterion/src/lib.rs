@@ -32,7 +32,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b);
         let per_iter = if b.iters == 0 {
             0.0
@@ -66,9 +69,8 @@ impl Bencher {
         }
         // Measurement: run roughly a MEASURE window's worth, timed as one
         // batch to keep clock-read overhead out of the figure.
-        let target = (warm_iters.max(1) * MEASURE.as_millis() as u64
-            / WARMUP.as_millis() as u64)
-            .max(1);
+        let target =
+            (warm_iters.max(1) * MEASURE.as_millis() as u64 / WARMUP.as_millis() as u64).max(1);
         let start = Instant::now();
         for _ in 0..target {
             black_box(routine());

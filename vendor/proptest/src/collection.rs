@@ -14,20 +14,29 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "collection size range must be non-empty");
-        SizeRange { lo: r.start, hi_exclusive: r.end }
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { lo: n, hi_exclusive: n + 1 }
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
     }
 }
 
 /// Generates a `Vec` whose length is drawn from `size` and whose elements
 /// come from `element`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// Strategy returned by [`vec()`].

@@ -28,7 +28,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, f, whence }
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
     }
 }
 
@@ -102,7 +106,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter `{}`: rejected 1000 candidates in a row", self.whence);
+        panic!(
+            "prop_filter `{}`: rejected 1000 candidates in a row",
+            self.whence
+        );
     }
 }
 

@@ -50,7 +50,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        TestRng { inner: SmallRng::seed_from_u64(h) }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
     }
 
     /// Next 64 random bits.
