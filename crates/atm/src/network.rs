@@ -324,6 +324,40 @@ impl Network {
         v
     }
 
+    /// The admission-controller keys a guaranteed `src → dst` connection
+    /// reserves on, in reservation order: the endpoint's transmit link,
+    /// every inter-switch hop of `hops` (as produced by
+    /// [`Network::bfs_path`]), and the final delivery link. Both
+    /// [`Network::open_vc`] and [`Network::probe_vcs`] walk exactly this
+    /// list — the broker's "a successful probe implies the opens
+    /// succeed" contract depends on the two never diverging.
+    fn reservation_keys(
+        &self,
+        src: EndpointId,
+        dst: EndpointId,
+        hops: &[(usize, usize)],
+    ) -> Vec<ReservationKey> {
+        let (dst_sw, dst_port) = (self.endpoints[dst.0].switch, self.endpoints[dst.0].port);
+        let mut keys = vec![ReservationKey::EndpointTx(src.0)];
+        keys.extend(
+            hops.iter()
+                .map(|&(sw, port)| ReservationKey::SwitchOut(sw, port)),
+        );
+        keys.push(ReservationKey::SwitchOut(dst_sw, dst_port));
+        keys
+    }
+
+    /// Human-readable identity of a reservation key, for admission
+    /// errors.
+    fn key_name(&self, key: ReservationKey) -> String {
+        match key {
+            ReservationKey::EndpointTx(e) => format!("ep{e}:tx"),
+            ReservationKey::SwitchOut(s, p) => {
+                format!("{}:{p}", self.switches[s].borrow().name())
+            }
+        }
+    }
+
     /// Breadth-first path of (switch, out-port) hops from `src` switch to
     /// `dst` switch; empty when `src == dst`.
     fn bfs_path(&self, src: usize, dst: usize) -> Option<Vec<(usize, usize)>> {
@@ -379,19 +413,8 @@ impl Network {
         // Admission control with rollback on failure.
         let mut reservations: Vec<(ReservationKey, u64)> = Vec::new();
         if qos.class == ServiceClass::Guaranteed {
-            let mut keys = vec![ReservationKey::EndpointTx(src.0)];
-            keys.extend(
-                hops.iter()
-                    .map(|&(sw, port)| ReservationKey::SwitchOut(sw, port)),
-            );
-            keys.push(ReservationKey::SwitchOut(dst_sw, dst_port));
-            for key in keys {
-                let name = match key {
-                    ReservationKey::EndpointTx(e) => format!("ep{e}:tx"),
-                    ReservationKey::SwitchOut(s, p) => {
-                        format!("{}:{p}", self.switches[s].borrow().name())
-                    }
-                };
+            for key in self.reservation_keys(src, dst, &hops) {
+                let name = self.key_name(key);
                 let ac = self.acs.get_mut(&key).expect("admission controller exists");
                 match ac.reserve(qos.peak_bps, &name) {
                     Ok(()) => reservations.push((key, qos.peak_bps)),
@@ -458,6 +481,54 @@ impl Network {
             src,
             dst,
         })
+    }
+
+    /// Checks whether a *set* of guaranteed connections could all be
+    /// admitted at once, without reserving anything.
+    ///
+    /// Each flow is `(src, dst, peak_bps)`. Demands are accumulated per
+    /// link, so two flows sharing an inter-switch hop are checked
+    /// jointly — exactly the situation a session with a video and an
+    /// audio stream between the same two sites is in. The QoS broker
+    /// uses this to decide admit/degrade/reject before committing; a
+    /// subsequent [`Network::open_vc`] per flow is then guaranteed to
+    /// succeed (signalling is single-threaded, nothing can interleave).
+    pub fn probe_vcs(&self, flows: &[(EndpointId, EndpointId, u64)]) -> Result<(), AdmissionError> {
+        // Accumulate in a Vec (not a HashMap) so that the order demands
+        // are checked in — and therefore which saturated link an error
+        // names — is deterministic.
+        let mut demand: Vec<(ReservationKey, u64)> = Vec::new();
+        let add =
+            |demand: &mut Vec<(ReservationKey, u64)>, key: ReservationKey, bps: u64| match demand
+                .iter_mut()
+                .find(|(k, _)| *k == key)
+            {
+                Some((_, total)) => *total += bps,
+                None => demand.push((key, bps)),
+            };
+        for &(src, dst, bps) in flows {
+            if src.0 >= self.endpoints.len() || dst.0 >= self.endpoints.len() {
+                return Err(AdmissionError::UnknownEndpoint);
+            }
+            let (src_sw, dst_sw) = (self.endpoints[src.0].switch, self.endpoints[dst.0].switch);
+            let hops = self
+                .bfs_path(src_sw, dst_sw)
+                .ok_or(AdmissionError::NoRoute)?;
+            for key in self.reservation_keys(src, dst, &hops) {
+                add(&mut demand, key, bps);
+            }
+        }
+        for (key, bps) in demand {
+            let ac = self.acs.get(&key).expect("admission controller exists");
+            if bps > ac.available_bps() {
+                return Err(AdmissionError::InsufficientBandwidth {
+                    link: self.key_name(key),
+                    requested: bps,
+                    available: ac.available_bps(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Tears down a virtual circuit, removing routes and releasing
@@ -747,6 +818,54 @@ mod tests {
         let u = net.max_reservation_utilization();
         assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
         assert!(u <= net.reservable_fraction);
+    }
+
+    #[test]
+    fn probe_checks_joint_feasibility_without_reserving() {
+        let (mut net, cam, disp, _) = two_site_net();
+        // Individually each flow fits the 95 Mbit/s reservable trunk;
+        // jointly they do not — the probe must see the shared hop.
+        net.probe_vcs(&[(cam, disp, 60_000_000)]).unwrap();
+        net.probe_vcs(&[(cam, disp, 60_000_000), (cam, disp, 60_000_000)])
+            .unwrap_err();
+        // Probing reserved nothing.
+        assert_eq!(net.max_reservation_utilization(), 0.0);
+        // A successful probe's flows then open for real.
+        net.probe_vcs(&[(cam, disp, 50_000_000), (cam, disp, 40_000_000)])
+            .unwrap();
+        net.open_vc(cam, disp, QosSpec::guaranteed(50_000_000))
+            .unwrap();
+        net.open_vc(cam, disp, QosSpec::guaranteed(40_000_000))
+            .unwrap();
+    }
+
+    #[test]
+    fn probe_reports_routes_and_endpoints_like_open_vc() {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let sw_a = net.add_switch("a", 2, 0);
+        let sw_b = net.add_switch("b", 2, 0);
+        let a = net.add_endpoint(sw_a, 0, cfg, CaptureSink::shared());
+        let b = net.add_endpoint(sw_b, 0, cfg, CaptureSink::shared());
+        assert_eq!(
+            net.probe_vcs(&[(a, b, 1)]).unwrap_err(),
+            AdmissionError::NoRoute
+        );
+        assert_eq!(
+            net.probe_vcs(&[(a, EndpointId(42), 1)]).unwrap_err(),
+            AdmissionError::UnknownEndpoint
+        );
+    }
+
+    #[test]
+    fn probe_accounts_existing_reservations() {
+        let (mut net, cam, disp, _) = two_site_net();
+        let _vc = net
+            .open_vc(cam, disp, QosSpec::guaranteed(90_000_000))
+            .unwrap();
+        let err = net.probe_vcs(&[(cam, disp, 10_000_000)]).unwrap_err();
+        assert!(matches!(err, AdmissionError::InsufficientBandwidth { .. }));
+        net.probe_vcs(&[(cam, disp, 5_000_000)]).unwrap();
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! The cross-layer QoS broker: end-to-end admission and renegotiation.
+//!
+//! The paper's thesis is that a multimedia OS must reserve resources on
+//! *every* layer a session touches — CPU in the Nemesis kernel, peak
+//! bandwidth on each ATM hop, and streaming capacity at the Pegasus
+//! file server — and that under overload the system should renegotiate
+//! sessions down gracefully rather than let everything degrade at once.
+//! The broker is that policy in one place:
+//!
+//! * a session presents a [`ResourceVector`] — CPU share (micro-CPUs),
+//!   guaranteed video bandwidth (bits/second) and file-server stream
+//!   slots — as a [`SessionRequest`];
+//! * the broker checks the vector against three capacity ledgers: the
+//!   Nemesis [`CpuLedger`], the per-link admission controllers inside
+//!   the ATM [`Network`] (via [`Network::probe_vcs`], a joint
+//!   feasibility check over all the session's flows), and the
+//!   per-server [`StreamSlots`] ledgers of the PFS;
+//! * the outcome is three-way: **admit** at the full vector, **admit
+//!   degraded** at a renegotiated-down vector (the single degrade rung,
+//!   `degrade_milli` thousandths of the request — bitrate, frame rate
+//!   and CPU all scale down, slots never scale up), or **reject** with
+//!   the layer that refused.
+//!
+//! Checks run in a fixed order — CPU, then PFS slots, then bandwidth —
+//! and nothing is committed until every layer has said yes, so a
+//! refused session leaves all three ledgers untouched. Everything is
+//! integer accounting over a deterministic network, which makes the
+//! admit/degrade/reject boundary a pure function of the request
+//! sequence: the property tests in `crates/scenario` hold the broker to
+//! exactly that.
+
+use pegasus_atm::network::{EndpointId, Network, VcHandle};
+use pegasus_atm::signalling::QosSpec;
+use pegasus_nemesis::qosmgr::CpuLedger;
+use pegasus_pfs::cm::StreamSlots;
+
+/// The traffic classes the broker distinguishes (for reporting; the
+/// admission arithmetic is class-blind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionClass {
+    /// Two-party call: video plus a fixed-rate audio flow.
+    Videophone,
+    /// File-server playback: video flow plus one CM stream slot.
+    Vod,
+    /// One studio feed into a control-room stack.
+    Tv,
+}
+
+/// A session's demand (or grant) on every layer at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceVector {
+    /// Nemesis CPU share, in micro-CPUs (millionths of one processor).
+    pub cpu_micro: u64,
+    /// Guaranteed bandwidth per media flow, bits/second.
+    pub video_bps: u64,
+    /// Concurrent stream slots at the session's file server.
+    pub pfs_slots: u32,
+}
+
+impl ResourceVector {
+    /// Component-wise `<=`: renegotiation must only ever move a
+    /// session's vector down, and this is the order it moves down in.
+    pub fn le(&self, other: &ResourceVector) -> bool {
+        self.cpu_micro <= other.cpu_micro
+            && self.video_bps <= other.video_bps
+            && self.pfs_slots <= other.pfs_slots
+    }
+
+    /// The vector scaled to `milli` thousandths (floor), slots kept:
+    /// a degraded session still occupies one server slot.
+    fn scaled(&self, milli: u64) -> ResourceVector {
+        ResourceVector {
+            cpu_micro: self.cpu_micro * milli / 1000,
+            video_bps: self.video_bps * milli / 1000,
+            pfs_slots: self.pfs_slots,
+        }
+    }
+}
+
+/// One media flow a session wants opened as a guaranteed VC.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRequest {
+    /// Transmitting endpoint.
+    pub src: EndpointId,
+    /// Receiving endpoint.
+    pub dst: EndpointId,
+    /// Peak rate to reserve, bits/second. For media flows this is the
+    /// request's `video_bps` (the broker scales it when degrading); for
+    /// fixed flows it is reserved as-is.
+    pub bps: u64,
+}
+
+/// Everything a session asks the broker for.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// Class, for per-class reporting.
+    pub class: SessionClass,
+    /// Degradable media flows (video): reserved at the granted rate.
+    pub media_flows: Vec<FlowRequest>,
+    /// Non-degradable flows (audio, control): reserved at their stated
+    /// rate on both rungs — a call with unintelligible audio is not a
+    /// lower-quality call, it is a failed one.
+    pub fixed_flows: Vec<FlowRequest>,
+    /// CPU demand at full quality, micro-CPUs.
+    pub cpu_micro: u64,
+    /// File server whose slot ledger the session draws on, if any.
+    pub pfs_server: Option<usize>,
+}
+
+impl SessionRequest {
+    /// The request's full-quality resource vector.
+    pub fn requested(&self) -> ResourceVector {
+        ResourceVector {
+            cpu_micro: self.cpu_micro,
+            video_bps: self.media_flows.iter().map(|f| f.bps).max().unwrap_or(0),
+            pfs_slots: if self.pfs_server.is_some() { 1 } else { 0 },
+        }
+    }
+}
+
+/// The layer that refused a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectLayer {
+    /// The Nemesis CPU ledger was exhausted.
+    Cpu,
+    /// Some ATM link lacked unreserved bandwidth.
+    Bandwidth,
+    /// The session's file server had no free stream slot.
+    PfsSlots,
+}
+
+/// The broker's three-way verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Admitted at the full requested vector.
+    Admitted,
+    /// Admitted at the renegotiated-down vector.
+    Degraded,
+    /// Refused outright; the layer is the one that refused the
+    /// *degraded* rung (the binding constraint).
+    Rejected(RejectLayer),
+}
+
+/// What the broker returns: the verdict, the contract, and the opened
+/// circuits (media flows first, then fixed flows, in request order).
+#[derive(Debug)]
+pub struct SessionGrant {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Granted quality in thousandths of the request: 1000 admitted,
+    /// the broker's `degrade_milli` when degraded, 0 when rejected.
+    pub quality_milli: u64,
+    /// What the session asked for.
+    pub requested: ResourceVector,
+    /// What it holds now (all zeros when rejected).
+    pub granted: ResourceVector,
+    /// The file server whose slot ledger was charged, when one was:
+    /// [`QosBroker::release`] returns the slot there.
+    pub pfs_server: Option<usize>,
+    /// Guaranteed VCs opened on the session's behalf; empty when
+    /// rejected.
+    pub vcs: Vec<VcHandle>,
+}
+
+impl SessionGrant {
+    /// Whether the session runs (admitted or degraded).
+    pub fn is_admitted(&self) -> bool {
+        !matches!(self.outcome, Outcome::Rejected(_))
+    }
+}
+
+/// The cross-layer QoS broker: one CPU ledger, one slot ledger per file
+/// server, and the network's own per-link controllers (borrowed per
+/// call — the [`Network`] stays the single owner of its bandwidth
+/// books).
+#[derive(Debug)]
+pub struct QosBroker {
+    /// Nemesis CPU capacity ledger.
+    pub cpu: CpuLedger,
+    /// One stream-slot ledger per file server.
+    pub pfs: Vec<StreamSlots>,
+    /// The single degrade rung, in thousandths of the requested vector.
+    pub degrade_milli: u64,
+}
+
+impl QosBroker {
+    /// Creates a broker with `cpu_capacity_micro` micro-CPUs, `servers`
+    /// slot ledgers of `slots_per_server` each, and the given degrade
+    /// rung (0 < `degrade_milli` <= 1000).
+    pub fn new(
+        cpu_capacity_micro: u64,
+        servers: usize,
+        slots_per_server: usize,
+        degrade_milli: u64,
+    ) -> Self {
+        assert!(
+            degrade_milli > 0 && degrade_milli <= 1000,
+            "degrade rung must be in (0, 1000]"
+        );
+        QosBroker {
+            cpu: CpuLedger::new(cpu_capacity_micro),
+            pfs: vec![StreamSlots::new(slots_per_server); servers],
+            degrade_milli,
+        }
+    }
+
+    /// Decides a session: admit at full quality, degrade to the broker's
+    /// rung, or reject. On admit/degrade every ledger is charged and the
+    /// session's guaranteed VCs are opened; on reject nothing changes.
+    pub fn admit(&mut self, net: &mut Network, req: &SessionRequest) -> SessionGrant {
+        let requested = req.requested();
+        match self.try_rung(net, req, 1000) {
+            Ok(grant) => grant,
+            Err(_) if self.degrade_milli < 1000 => {
+                match self.try_rung(net, req, self.degrade_milli) {
+                    Ok(grant) => grant,
+                    Err(layer) => Self::rejection(requested, layer),
+                }
+            }
+            Err(layer) => Self::rejection(requested, layer),
+        }
+    }
+
+    /// Returns a session's resources: closes its VCs and releases its
+    /// CPU and slot reservations. The grant itself records which server
+    /// (if any) its slot was charged to.
+    pub fn release(&mut self, net: &mut Network, grant: SessionGrant) {
+        for vc in grant.vcs {
+            net.close_vc(vc);
+        }
+        self.cpu.release(grant.granted.cpu_micro);
+        if let Some(s) = grant.pfs_server {
+            self.pfs[s].release();
+        }
+    }
+
+    /// Free CPU capacity, micro-CPUs.
+    pub fn cpu_headroom_micro(&self) -> u64 {
+        self.cpu.available_micro()
+    }
+
+    /// Free stream slots across all servers.
+    pub fn pfs_headroom_slots(&self) -> u64 {
+        self.pfs.iter().map(|s| s.available() as u64).sum()
+    }
+
+    fn rejection(requested: ResourceVector, layer: RejectLayer) -> SessionGrant {
+        SessionGrant {
+            outcome: Outcome::Rejected(layer),
+            quality_milli: 0,
+            requested,
+            granted: ResourceVector::default(),
+            pfs_server: None,
+            vcs: Vec::new(),
+        }
+    }
+
+    /// Attempts one rung: all-or-nothing across the three layers, in
+    /// the fixed order CPU → PFS slots → bandwidth. Commits only after
+    /// every layer has passed.
+    fn try_rung(
+        &mut self,
+        net: &mut Network,
+        req: &SessionRequest,
+        milli: u64,
+    ) -> Result<SessionGrant, RejectLayer> {
+        let requested = req.requested();
+        let granted = requested.scaled(milli);
+
+        if granted.cpu_micro > self.cpu.available_micro() {
+            return Err(RejectLayer::Cpu);
+        }
+        if let Some(s) = req.pfs_server {
+            assert!(s < self.pfs.len(), "request names a known file server");
+            if self.pfs[s].available() == 0 {
+                return Err(RejectLayer::PfsSlots);
+            }
+        }
+        // Joint bandwidth feasibility over every flow of the session:
+        // media flows at the rung's rate, fixed flows as stated.
+        let flows: Vec<(EndpointId, EndpointId, u64)> = req
+            .media_flows
+            .iter()
+            .map(|f| (f.src, f.dst, f.bps * milli / 1000))
+            .chain(req.fixed_flows.iter().map(|f| (f.src, f.dst, f.bps)))
+            .collect();
+        if net.probe_vcs(&flows).is_err() {
+            return Err(RejectLayer::Bandwidth);
+        }
+
+        // Every layer said yes: commit. The probe guarantees the opens
+        // succeed (signalling is single-threaded).
+        self.cpu
+            .reserve(granted.cpu_micro)
+            .expect("checked against the ledger above");
+        if let Some(s) = req.pfs_server {
+            self.pfs[s].take().expect("checked for a free slot above");
+        }
+        let vcs = flows
+            .iter()
+            .map(|&(src, dst, bps)| {
+                net.open_vc(src, dst, QosSpec::guaranteed(bps))
+                    .expect("probe_vcs accepted this flow set")
+            })
+            .collect();
+        Ok(SessionGrant {
+            outcome: if milli == 1000 {
+                Outcome::Admitted
+            } else {
+                Outcome::Degraded
+            },
+            quality_milli: milli,
+            requested,
+            granted,
+            pfs_server: req.pfs_server.filter(|_| granted.pfs_slots > 0),
+            vcs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegasus_atm::link::CaptureSink;
+    use pegasus_atm::network::LinkConfig;
+
+    /// Two switches joined by one 100 Mbit/s trunk; every session
+    /// crosses it.
+    fn two_site() -> (Network, EndpointId, EndpointId) {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let a = net.add_switch("a", 8, 0);
+        let b = net.add_switch("b", 8, 0);
+        net.connect_switches(a, 0, b, 0, cfg);
+        let src = net.add_endpoint_auto(a, cfg, CaptureSink::shared());
+        let dst = net.add_endpoint_auto(b, cfg, CaptureSink::shared());
+        (net, src, dst)
+    }
+
+    fn video_request(src: EndpointId, dst: EndpointId, bps: u64, cpu: u64) -> SessionRequest {
+        SessionRequest {
+            class: SessionClass::Videophone,
+            media_flows: vec![FlowRequest { src, dst, bps }],
+            fixed_flows: Vec::new(),
+            cpu_micro: cpu,
+            pfs_server: None,
+        }
+    }
+
+    #[test]
+    fn admits_at_full_quality_when_everything_fits() {
+        let (mut net, src, dst) = two_site();
+        let mut broker = QosBroker::new(10_000, 0, 0, 500);
+        let grant = broker.admit(&mut net, &video_request(src, dst, 10_000_000, 300));
+        assert_eq!(grant.outcome, Outcome::Admitted);
+        assert_eq!(grant.quality_milli, 1000);
+        assert_eq!(grant.granted, grant.requested);
+        assert_eq!(grant.vcs.len(), 1);
+        assert_eq!(broker.cpu.reserved_micro(), 300);
+    }
+
+    #[test]
+    fn degrades_when_full_rate_does_not_fit() {
+        let (mut net, src, dst) = two_site();
+        let mut broker = QosBroker::new(10_000, 0, 0, 500);
+        // 95 Mbit/s reservable: one 60M session fits, the second only
+        // at the 30M degraded rung.
+        let g1 = broker.admit(&mut net, &video_request(src, dst, 60_000_000, 300));
+        assert_eq!(g1.outcome, Outcome::Admitted);
+        let g2 = broker.admit(&mut net, &video_request(src, dst, 60_000_000, 300));
+        assert_eq!(g2.outcome, Outcome::Degraded);
+        assert_eq!(g2.quality_milli, 500);
+        assert_eq!(g2.granted.video_bps, 30_000_000);
+        assert!(g2.granted.le(&g2.requested));
+        // A third cannot fit even degraded: 60+30+30 > 95.
+        let g3 = broker.admit(&mut net, &video_request(src, dst, 60_000_000, 300));
+        assert_eq!(g3.outcome, Outcome::Rejected(RejectLayer::Bandwidth));
+        assert!(g3.vcs.is_empty());
+        assert_eq!(g3.granted, ResourceVector::default());
+    }
+
+    #[test]
+    fn cpu_exhaustion_rejects_and_charges_nothing() {
+        let (mut net, src, dst) = two_site();
+        let mut broker = QosBroker::new(500, 0, 0, 500);
+        let g1 = broker.admit(&mut net, &video_request(src, dst, 1_000_000, 400));
+        assert_eq!(g1.outcome, Outcome::Admitted);
+        // 100 µCPU left: full (400) fails, degraded (200) fails too.
+        let g2 = broker.admit(&mut net, &video_request(src, dst, 1_000_000, 400));
+        assert_eq!(g2.outcome, Outcome::Rejected(RejectLayer::Cpu));
+        assert_eq!(broker.cpu.reserved_micro(), 400);
+        assert_eq!(net.max_reservation_utilization(), 0.01);
+        // A cheap-enough session still degrades in on CPU: 160 µCPU
+        // requested, 80 at the rung.
+        let g3 = broker.admit(&mut net, &video_request(src, dst, 1_000_000, 160));
+        assert_eq!(g3.outcome, Outcome::Degraded);
+        assert_eq!(g3.granted.cpu_micro, 80);
+    }
+
+    #[test]
+    fn pfs_slot_exhaustion_rejects() {
+        let (mut net, src, dst) = two_site();
+        let mut broker = QosBroker::new(10_000, 1, 1, 500);
+        let mut vod = video_request(src, dst, 1_000_000, 100);
+        vod.class = SessionClass::Vod;
+        vod.pfs_server = Some(0);
+        let g1 = broker.admit(&mut net, &vod);
+        assert_eq!(g1.outcome, Outcome::Admitted);
+        assert_eq!(g1.granted.pfs_slots, 1);
+        let g2 = broker.admit(&mut net, &vod);
+        assert_eq!(g2.outcome, Outcome::Rejected(RejectLayer::PfsSlots));
+        assert_eq!(broker.pfs_headroom_slots(), 0);
+        assert_eq!(broker.pfs[0].used(), 1);
+    }
+
+    #[test]
+    fn fixed_flows_are_not_degraded_but_count_against_links() {
+        let (mut net, src, dst) = two_site();
+        let mut broker = QosBroker::new(10_000, 0, 0, 500);
+        let mut req = video_request(src, dst, 90_000_000, 100);
+        req.fixed_flows.push(FlowRequest {
+            src,
+            dst,
+            bps: 20_000_000,
+        });
+        // Full: 90 + 20 > 95 fails. Degraded: 45 + 20 = 65 fits, and
+        // the fixed flow keeps its whole 20M.
+        let g = broker.admit(&mut net, &req);
+        assert_eq!(g.outcome, Outcome::Degraded);
+        assert_eq!(g.vcs.len(), 2);
+        assert_eq!(g.vcs[0].qos.peak_bps, 45_000_000);
+        assert_eq!(g.vcs[1].qos.peak_bps, 20_000_000);
+    }
+
+    #[test]
+    fn release_returns_every_resource() {
+        let (mut net, src, dst) = two_site();
+        let mut broker = QosBroker::new(1_000, 1, 1, 500);
+        let mut req = video_request(src, dst, 90_000_000, 800);
+        req.pfs_server = Some(0);
+        let g = broker.admit(&mut net, &req);
+        assert_eq!(g.outcome, Outcome::Admitted);
+        assert_eq!(g.pfs_server, Some(0));
+        broker.release(&mut net, g);
+        assert_eq!(broker.cpu.reserved_micro(), 0);
+        assert_eq!(broker.pfs[0].used(), 0);
+        assert_eq!(net.max_reservation_utilization(), 0.0);
+        // The capacity is genuinely reusable.
+        let g2 = broker.admit(&mut net, &req);
+        assert_eq!(g2.outcome, Outcome::Admitted);
+    }
+
+    #[test]
+    fn degrade_rung_of_1000_means_no_second_attempt() {
+        let (mut net, src, dst) = two_site();
+        let mut broker = QosBroker::new(10_000, 0, 0, 1000);
+        let _ = broker.admit(&mut net, &video_request(src, dst, 90_000_000, 100));
+        let g = broker.admit(&mut net, &video_request(src, dst, 90_000_000, 100));
+        assert_eq!(g.outcome, Outcome::Rejected(RejectLayer::Bandwidth));
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade rung")]
+    fn zero_degrade_rung_rejected() {
+        QosBroker::new(1, 0, 0, 0);
+    }
+}

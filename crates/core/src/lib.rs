@@ -11,6 +11,10 @@
 //! * [`system`] — topology building: workstations with camera, display
 //!   and audio endpoints; the CPU-bytes-touched accounting behind the
 //!   "no processors need to process any video data" claim.
+//! * [`broker`] — the cross-layer QoS broker: per-session resource
+//!   contracts admitted against the Nemesis CPU ledger, the per-link
+//!   ATM bandwidth books and the PFS stream-slot ledgers, with
+//!   admit / admit-degraded / reject outcomes.
 //! * [`videophone`] — the paper's motivating application, in both the
 //!   DAN configuration and a bus-attached baseline where the host CPU
 //!   forwards every media byte.
@@ -20,10 +24,15 @@
 //!   camera windows and program cuts done purely by window-descriptor
 //!   manipulation.
 
+pub mod broker;
 pub mod director;
 pub mod recorder;
 pub mod system;
 pub mod videophone;
 
+pub use broker::{
+    FlowRequest, Outcome, QosBroker, RejectLayer, ResourceVector, SessionClass, SessionGrant,
+    SessionRequest,
+};
 pub use system::{System, Workstation};
 pub use videophone::{VideoPath, VideoPhone, VideoPhoneConfig, VideoPhoneReport};

@@ -267,6 +267,20 @@ impl System {
     ) -> Rc<RefCell<AudioSource>> {
         AudioSource::new(cfg, vci, self.net.endpoint_tx(ep))
     }
+
+    /// Runs a session request through the QoS broker against this
+    /// system's network: the broker checks its CPU and stream-slot
+    /// ledgers plus every ATM hop the session's flows cross, then
+    /// admits (opening the guaranteed VCs), admits degraded, or
+    /// rejects. This is the one gate all spec-driven session setup goes
+    /// through — see [`crate::broker`] for the contract model.
+    pub fn admit_session(
+        &mut self,
+        broker: &mut crate::broker::QosBroker,
+        req: &crate::broker::SessionRequest,
+    ) -> crate::broker::SessionGrant {
+        broker.admit(&mut self.net, req)
+    }
 }
 
 #[cfg(test)]
@@ -403,6 +417,45 @@ mod tests {
             .send(&mut sim, Cell::new(vc.src_vci));
         sim.run();
         assert_eq!(sink.borrow().arrivals.len(), 1);
+    }
+
+    #[test]
+    fn admit_session_brokered_end_to_end() {
+        use crate::broker::{
+            FlowRequest, Outcome, QosBroker, RejectLayer, SessionClass, SessionRequest,
+        };
+        let mut sys = System::new();
+        let a = sys.add_workstation("a", 40);
+        let b = sys.add_workstation("b", 40);
+        let mut broker = QosBroker::new(1_000, 0, 0, 500);
+        let req = SessionRequest {
+            class: SessionClass::Videophone,
+            media_flows: vec![FlowRequest {
+                src: a.camera_ep,
+                dst: b.display_ep,
+                bps: 60_000_000,
+            }],
+            fixed_flows: vec![FlowRequest {
+                src: a.audio_src_ep,
+                dst: b.audio_sink_ep,
+                bps: 128_000,
+            }],
+            cpu_micro: 300,
+            pfs_server: None,
+        };
+        let g1 = sys.admit_session(&mut broker, &req);
+        assert_eq!(g1.outcome, Outcome::Admitted);
+        assert_eq!(g1.vcs.len(), 2);
+        // The shared backbone forces the second call down a rung, the
+        // third out entirely — renegotiation, not collapse.
+        let g2 = sys.admit_session(&mut broker, &req);
+        assert_eq!(g2.outcome, Outcome::Degraded);
+        let g3 = sys.admit_session(&mut broker, &req);
+        assert_eq!(g3.outcome, Outcome::Rejected(RejectLayer::Bandwidth));
+        // The books agree: two sessions' CPU and the degraded rate.
+        assert_eq!(broker.cpu.reserved_micro(), 300 + 150);
+        assert_eq!(g2.granted.video_bps, 30_000_000);
+        assert!(g2.granted.le(&g2.requested));
     }
 
     #[test]

@@ -188,6 +188,105 @@ impl QosManager {
     }
 }
 
+/// Why a CPU reservation was refused by a [`CpuLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuLedgerError {
+    /// Micro-CPUs requested.
+    pub requested: u64,
+    /// Micro-CPUs still unreserved.
+    pub available: u64,
+}
+
+impl std::fmt::Display for CpuLedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requested {} µCPU but only {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for CpuLedgerError {}
+
+/// Setup-time CPU admission: the ledger the QoS broker checks before a
+/// session is allowed to add its share to the media application's
+/// demand.
+///
+/// The [`QosManager`] adapts *running* applications to each other on an
+/// epoch timescale; it cannot refuse work, only starve it. End-to-end
+/// QoS (the paper's §3.3 argument carried to its conclusion) needs a
+/// gate in front of it: a fixed budget of reservable CPU, in integer
+/// micro-CPUs (millionths of one processor) so that accounting is exact
+/// and the admit/reject boundary is reproducible bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use pegasus_nemesis::qosmgr::CpuLedger;
+///
+/// let mut ledger = CpuLedger::new(1_000); // 0.001 CPUs reservable
+/// ledger.reserve(600).unwrap();
+/// assert_eq!(ledger.available_micro(), 400);
+/// assert!(ledger.reserve(500).is_err());
+/// ledger.release(600);
+/// assert_eq!(ledger.available_micro(), 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuLedger {
+    capacity_micro: u64,
+    reserved_micro: u64,
+}
+
+impl CpuLedger {
+    /// Creates a ledger with `capacity_micro` micro-CPUs reservable.
+    pub fn new(capacity_micro: u64) -> Self {
+        CpuLedger {
+            capacity_micro,
+            reserved_micro: 0,
+        }
+    }
+
+    /// Total reservable capacity, in micro-CPUs.
+    pub fn capacity_micro(&self) -> u64 {
+        self.capacity_micro
+    }
+
+    /// Micro-CPUs currently reserved.
+    pub fn reserved_micro(&self) -> u64 {
+        self.reserved_micro
+    }
+
+    /// Micro-CPUs still unreserved.
+    pub fn available_micro(&self) -> u64 {
+        self.capacity_micro - self.reserved_micro
+    }
+
+    /// The reserved share as a fraction of one CPU, for feeding the
+    /// [`QosManager`] as observed demand.
+    pub fn reserved_fraction(&self) -> f64 {
+        self.reserved_micro as f64 / 1_000_000.0
+    }
+
+    /// Reserves `micro` micro-CPUs, or reports what was available.
+    pub fn reserve(&mut self, micro: u64) -> Result<(), CpuLedgerError> {
+        if micro > self.available_micro() {
+            return Err(CpuLedgerError {
+                requested: micro,
+                available: self.available_micro(),
+            });
+        }
+        self.reserved_micro += micro;
+        Ok(())
+    }
+
+    /// Releases a previous reservation (saturating, like the bandwidth
+    /// ledger in the ATM layer).
+    pub fn release(&mut self, micro: u64) {
+        self.reserved_micro = self.reserved_micro.saturating_sub(micro);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,5 +433,45 @@ mod tests {
     fn zero_weight_rejected() {
         let mut mgr = mgr_no_smoothing();
         mgr.add_app("bad", 0.0);
+    }
+
+    #[test]
+    fn cpu_ledger_reserves_to_capacity_and_not_beyond() {
+        let mut ledger = CpuLedger::new(350_000);
+        ledger.reserve(300_000).unwrap();
+        ledger.reserve(50_000).unwrap();
+        let err = ledger.reserve(1).unwrap_err();
+        assert_eq!(err.requested, 1);
+        assert_eq!(err.available, 0);
+        assert_eq!(ledger.reserved_micro(), 350_000);
+        assert!((ledger.reserved_fraction() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_ledger_failed_reserve_changes_nothing() {
+        let mut ledger = CpuLedger::new(1_000);
+        ledger.reserve(900).unwrap();
+        assert!(ledger.reserve(200).is_err());
+        assert_eq!(ledger.reserved_micro(), 900);
+        ledger.reserve(100).unwrap();
+    }
+
+    #[test]
+    fn cpu_ledger_release_saturates() {
+        let mut ledger = CpuLedger::new(1_000);
+        ledger.reserve(400).unwrap();
+        ledger.release(999);
+        assert_eq!(ledger.reserved_micro(), 0);
+        assert_eq!(ledger.available_micro(), 1_000);
+    }
+
+    #[test]
+    fn cpu_ledger_error_display() {
+        let e = CpuLedgerError {
+            requested: 7,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('3'));
     }
 }

@@ -110,6 +110,13 @@ pub enum CmError {
         /// Rate still available.
         available: u64,
     },
+    /// Every concurrent stream slot is taken: one small read still
+    /// costs a whole RAID stripe per service period, so the server's
+    /// real capacity is a stream *count*, not just a byte rate.
+    NoSlots {
+        /// The server's slot capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for CmError {
@@ -122,7 +129,63 @@ impl std::fmt::Display for CmError {
                 f,
                 "requested {requested} B/s, only {available} B/s available"
             ),
+            CmError::NoSlots { capacity } => {
+                write!(f, "all {capacity} concurrent stream slots in use")
+            }
         }
+    }
+}
+
+/// A concurrent-stream-slot ledger for one file server.
+///
+/// The CM scheduler's deadline analysis is per-stream: each admitted
+/// stream costs one RAID stripe time (~51 ms on the 1994 array) per
+/// service period regardless of how few bytes it reads, so a server
+/// stays inside its period only while the stream *count* is bounded.
+/// The QoS broker reserves from this ledger at session setup; the
+/// [`CmScheduler`]'s own `max_streams` cap enforces the same bound from
+/// inside the server as defence in depth.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSlots {
+    capacity: usize,
+    used: usize,
+}
+
+impl StreamSlots {
+    /// Creates a ledger with `capacity` concurrent slots.
+    pub fn new(capacity: usize) -> Self {
+        StreamSlots { capacity, used: 0 }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots currently reserved.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Slots still free.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Takes one slot, or reports the exhausted capacity.
+    pub fn take(&mut self) -> Result<(), CmError> {
+        if self.used >= self.capacity {
+            return Err(CmError::NoSlots {
+                capacity: self.capacity,
+            });
+        }
+        self.used += 1;
+        Ok(())
+    }
+
+    /// Returns one slot (saturating).
+    pub fn release(&mut self) {
+        self.used = self.used.saturating_sub(1);
     }
 }
 
@@ -148,6 +211,9 @@ pub struct CmScheduler {
     pub reservable_fraction: f64,
     /// Array bandwidth used for admission (bytes/second).
     pub array_bandwidth: u64,
+    /// Concurrent-stream cap (the slot ledger's bound, enforced from
+    /// inside the server as well).
+    max_streams: usize,
     streams: Vec<CmStream>,
 }
 
@@ -158,8 +224,20 @@ impl CmScheduler {
             period,
             reservable_fraction: 0.8,
             array_bandwidth,
+            max_streams: usize::MAX,
             streams: Vec::new(),
         }
+    }
+
+    /// Caps the number of concurrently admitted streams (see
+    /// [`StreamSlots`]).
+    pub fn set_max_streams(&mut self, max_streams: usize) {
+        self.max_streams = max_streams;
+    }
+
+    /// The concurrent-stream cap.
+    pub fn max_streams(&self) -> usize {
+        self.max_streams
     }
 
     /// Total rate currently reserved.
@@ -174,6 +252,11 @@ impl CmScheduler {
 
     /// Admits a stream at `rate` bytes/second from `offset` of `file`.
     pub fn admit(&mut self, file: FileId, rate: u64, offset: u64) -> Result<usize, CmError> {
+        if self.streams.len() >= self.max_streams {
+            return Err(CmError::NoSlots {
+                capacity: self.max_streams,
+            });
+        }
         if rate > self.available() {
             return Err(CmError::Oversubscribed {
                 requested: rate,
@@ -327,6 +410,43 @@ mod tests {
         }
         let report = sched.run_periods(&mut fs, 2).unwrap();
         assert!(report.missed > 0, "an oversubscribed array must miss");
+    }
+
+    #[test]
+    fn slot_cap_refuses_extra_streams() {
+        let mut sched = CmScheduler::new(500 * MS, 1_000_000_000);
+        sched.set_max_streams(2);
+        let f = FileId(1);
+        sched.admit(f, 1_000, 0).unwrap();
+        sched.admit(f, 1_000, 0).unwrap();
+        assert_eq!(
+            sched.admit(f, 1_000, 0).unwrap_err(),
+            CmError::NoSlots { capacity: 2 }
+        );
+        // Releasing a stream frees its slot.
+        sched.release(0);
+        sched.admit(f, 1_000, 0).unwrap();
+        assert_eq!(sched.max_streams(), 2);
+    }
+
+    #[test]
+    fn stream_slots_ledger_take_release() {
+        let mut slots = StreamSlots::new(2);
+        assert_eq!(slots.available(), 2);
+        slots.take().unwrap();
+        slots.take().unwrap();
+        let err = slots.take().unwrap_err();
+        assert_eq!(err, CmError::NoSlots { capacity: 2 });
+        assert!(err.to_string().contains('2'));
+        slots.release();
+        assert_eq!(slots.used(), 1);
+        slots.take().unwrap();
+        // Release saturates at zero.
+        slots.release();
+        slots.release();
+        slots.release();
+        assert_eq!(slots.used(), 0);
+        assert_eq!(slots.capacity(), 2);
     }
 
     #[test]

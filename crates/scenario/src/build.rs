@@ -6,19 +6,35 @@
 //! applies the fault schedule, runs to the drain deadline, and folds
 //! every layer's statistics into a [`ScenarioReport`].
 //!
+//! Every session is admitted through the cross-layer QoS broker
+//! ([`pegasus::broker::QosBroker`]): its requested resource vector —
+//! CPU share, guaranteed video bandwidth (both scaled by the mix's
+//! `load` factor) and a file-server stream slot for VoD — is checked
+//! against the Nemesis CPU ledger, every ATM hop, and the per-server
+//! slot ledgers. Admitted sessions run at full quality; degraded ones
+//! at the broker's rung (halved bitrate, frame rate, codec quality and
+//! CPU by default); rejected ones are not wired at all. The per-session
+//! [`SessionContract`]s, outcome counts and capacity-headroom samples
+//! land in the report's `broker` section.
+//!
 //! Everything stochastic (placement, start times, scenes) draws from
 //! one RNG seeded by the spec, so a report is a pure function of
 //! `(spec, seed)` — the property the CI determinism gate enforces.
+//! Admission is part of that function: which sessions are admitted,
+//! degraded or rejected is byte-for-byte reproducible.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use pegasus::broker::{
+    FlowRequest, Outcome, QosBroker, RejectLayer, ResourceVector, SessionClass, SessionGrant,
+    SessionRequest,
+};
 use pegasus::system::{HostNic, System};
 use pegasus_atm::link::Link;
-use pegasus_atm::network::{EndpointId, Network, VcHandle};
-use pegasus_atm::signalling::QosSpec;
+use pegasus_atm::network::Network;
 use pegasus_devices::audio::{AudioConfig, AudioSink, AudioSource};
-use pegasus_devices::camera::Camera;
+use pegasus_devices::camera::{Camera, CameraConfig, VideoMode};
 use pegasus_devices::display::{Display, Rect, WindowManager};
 use pegasus_devices::tile::TileFrame;
 use pegasus_devices::video::Scene;
@@ -35,8 +51,14 @@ use pegasus_streams::playback::{ArrivalSink, PlaybackControl, PlaybackPolicy, St
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::report::{CellReport, ClassReport, NemesisReport, PfsReport, ScenarioReport};
+use crate::report::{
+    BrokerReport, CellReport, ClassReport, NemesisReport, PfsReport, ScenarioReport,
+};
 use crate::spec::{Arrival, FaultSpec, ScenarioSpec};
+
+/// Bandwidth reserved for a videophone session's audio flow, never
+/// degraded: a call with unintelligible audio is a failed call.
+const AUDIO_BPS: u64 = 128_000;
 
 /// CM service period for VoD disk scheduling. A small read still costs
 /// a whole RAID stripe (~51 ms on the 1994 array), so the period is
@@ -65,6 +87,98 @@ type VodClient = (
     Rc<RefCell<ArrivalSink>>,
 );
 
+/// One session's admission record: what it asked for, what the broker
+/// granted, and the verdict. The property tests hold the broker to
+/// these (ledgers never exceeded, renegotiation only lowers, outcomes
+/// a pure function of `(spec, seed)`).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionContract {
+    /// The session's class.
+    pub class: SessionClass,
+    /// The broker's verdict.
+    pub outcome: Outcome,
+    /// Requested resource vector (at the mix's load factor).
+    pub requested: ResourceVector,
+    /// Granted vector (all zeros when rejected).
+    pub granted: ResourceVector,
+}
+
+/// Outcome counts, per-class quality sums and capacity-headroom samples
+/// accumulated while sessions are admitted, folded into
+/// [`BrokerReport`] at report time.
+#[derive(Default)]
+struct BrokerTally {
+    admitted: u64,
+    degraded: u64,
+    rejected: u64,
+    rejected_cpu: u64,
+    rejected_bandwidth: u64,
+    rejected_pfs: u64,
+    quality_sum: [u64; 3],
+    quality_n: [u64; 3],
+    headroom_cpu: Histogram,
+    headroom_bw: Histogram,
+    headroom_pfs: Histogram,
+}
+
+impl BrokerTally {
+    /// Records one decision and samples every layer's headroom — the
+    /// "capacity headroom over time" series of the report.
+    fn record(
+        &mut self,
+        grant: &SessionGrant,
+        class: SessionClass,
+        net: &Network,
+        broker: &QosBroker,
+    ) {
+        match grant.outcome {
+            Outcome::Admitted => self.admitted += 1,
+            Outcome::Degraded => self.degraded += 1,
+            Outcome::Rejected(layer) => {
+                self.rejected += 1;
+                match layer {
+                    RejectLayer::Cpu => self.rejected_cpu += 1,
+                    RejectLayer::Bandwidth => self.rejected_bandwidth += 1,
+                    RejectLayer::PfsSlots => self.rejected_pfs += 1,
+                }
+            }
+        }
+        let idx = match class {
+            SessionClass::Videophone => 0,
+            SessionClass::Vod => 1,
+            SessionClass::Tv => 2,
+        };
+        self.quality_sum[idx] += grant.quality_milli;
+        self.quality_n[idx] += 1;
+        self.headroom_cpu.record(broker.cpu_headroom_micro());
+        let bw = (net.reservable_fraction - net.max_reservation_utilization()) * 1000.0;
+        self.headroom_bw.record(bw.max(0.0).floor() as u64);
+        self.headroom_pfs.record(broker.pfs_headroom_slots());
+    }
+
+    fn quality(&self, idx: usize) -> u64 {
+        // A class with no sessions degraded nothing: full quality.
+        self.quality_sum[idx]
+            .checked_div(self.quality_n[idx])
+            .unwrap_or(1000)
+    }
+
+    fn into_report(mut self) -> BrokerReport {
+        BrokerReport {
+            admitted: self.admitted,
+            degraded: self.degraded,
+            rejected: self.rejected,
+            rejected_cpu: self.rejected_cpu,
+            rejected_bandwidth: self.rejected_bandwidth,
+            rejected_pfs: self.rejected_pfs,
+            quality_milli: (self.quality(0), self.quality(1), self.quality(2)),
+            headroom_cpu: self.headroom_cpu.summarize(),
+            headroom_bandwidth: self.headroom_bw.summarize(),
+            headroom_pfs: self.headroom_pfs.summarize(),
+        }
+    }
+}
+
 /// A compiled scenario, ready to run.
 pub struct Scenario {
     spec: ScenarioSpec,
@@ -72,8 +186,14 @@ pub struct Scenario {
     pub sys: System,
     /// The engine that will drive it.
     pub sim: Simulator,
-    /// Per-class session counts (videophone, vod, tv).
+    /// Per-class session counts (videophone, vod, tv) — requested, not
+    /// admitted; the broker section of the report gives the outcomes.
     pub counts: (usize, usize, usize),
+    /// The QoS broker holding the run's capacity ledgers.
+    pub broker: QosBroker,
+    /// One contract per requested session, in setup order.
+    pub contracts: Vec<SessionContract>,
+    tally: BrokerTally,
     /// Single-stream displays (one videophone session each).
     displays: Vec<Rc<RefCell<Display>>>,
     /// Control-room displays merging a whole TV group's feeds.
@@ -82,27 +202,22 @@ pub struct Scenario {
     vod_clients: Vec<VodClient>,
     tx_links: Vec<Rc<RefCell<Link>>>,
     vod_servers: Vec<VodServer>,
-    admission_fallbacks: u64,
 }
 
-/// Opens a guaranteed VC, falling back to best effort when some hop is
-/// fully reserved (the session still runs; the report counts the
-/// downgrade).
-fn open_media_vc(
-    net: &mut Network,
-    src: EndpointId,
-    dst: EndpointId,
-    bps: u64,
-    fallbacks: &mut u64,
-) -> VcHandle {
-    match net.open_vc(src, dst, QosSpec::guaranteed(bps)) {
-        Ok(vc) => vc,
-        Err(_) => {
-            *fallbacks += 1;
-            net.open_vc(src, dst, QosSpec::best_effort(bps))
-                .expect("topology is connected")
-        }
+/// The camera settings a session runs at after renegotiation: frame
+/// rate and Motion-JPEG quality scale with the granted rung (floored,
+/// never below 1), so a degraded session offers the network less load
+/// — the whole point of renegotiating down instead of dropping cells.
+fn camera_for(cfg: CameraConfig, quality_milli: u64) -> CameraConfig {
+    if quality_milli >= 1000 {
+        return cfg;
     }
+    let mut degraded = cfg;
+    degraded.fps = ((cfg.fps as u64 * quality_milli / 1000).max(1)) as u32;
+    if let VideoMode::Mjpeg(q) = cfg.mode {
+        degraded.mode = VideoMode::Mjpeg(((q as u64 * quality_milli / 1000).max(1)) as u8);
+    }
+    degraded
 }
 
 fn pick_scene(rng: &mut SmallRng) -> Scene {
@@ -137,19 +252,51 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
     let counts = spec.mix.counts(spec.sessions);
     let (n_vp, n_vod, n_tv) = counts;
 
+    // Requested per-session demand at the mix's load factor.
+    let load = spec.mix.load;
+    let req_bps = (spec.video_bps as f64 * load).round() as u64;
+    let req_cpu = (spec.broker.cpu_per_session_micro as f64 * load).round() as u64;
+    let req_disk = (spec.vod_disk_rate as f64 * load).round() as u64;
+
+    let n_servers = spec.pfs_servers.max(1).min(n_vod.max(1));
+    let mut broker = QosBroker::new(
+        spec.broker.cpu_capacity_micro,
+        if n_vod > 0 { n_servers } else { 0 },
+        spec.broker.pfs_slots_per_server,
+        spec.broker.degrade_milli,
+    );
+
     let mut scenario = Scenario {
         spec: spec.clone(),
         counts,
+        contracts: Vec::new(),
+        tally: BrokerTally::default(),
         displays: Vec::new(),
         tv_displays: Vec::new(),
         audio_sinks: Vec::new(),
         vod_clients: Vec::new(),
         tx_links: Vec::new(),
         vod_servers: Vec::new(),
-        admission_fallbacks: 0,
         // Placeholders, replaced below once sessions are wired.
+        broker: QosBroker::new(0, 0, 0, 1000),
         sys: System::new(),
         sim: Simulator::new(),
+    };
+
+    let decide = |scenario: &mut Scenario,
+                  sys: &mut System,
+                  broker: &mut QosBroker,
+                  req: &SessionRequest|
+     -> SessionGrant {
+        let grant = sys.admit_session(broker, req);
+        scenario.tally.record(&grant, req.class, &sys.net, broker);
+        scenario.contracts.push(SessionContract {
+            class: req.class,
+            outcome: grant.outcome,
+            requested: grant.requested,
+            granted: grant.granted,
+        });
+        grant
     };
 
     let mut poisson_clock: Ns = 0;
@@ -178,32 +325,41 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         let cam_ep = sys.attach_device(src, HostNic::shared());
         let display = Display::shared(176, 144);
         let disp_ep = sys.attach_device(dst, display.clone());
-        let vc = open_media_vc(
-            &mut sys.net,
-            cam_ep,
-            disp_ep,
-            spec.video_bps,
-            &mut scenario.admission_fallbacks,
-        );
+        let audio_src_ep = sys.attach_device(src, HostNic::shared());
+        let audio_sink = AudioSink::shared(AudioConfig::telephony(), spec.audio_jitter_buffer);
+        let audio_sink_ep = sys.attach_device(dst, audio_sink.clone());
+
+        let req = SessionRequest {
+            class: SessionClass::Videophone,
+            media_flows: vec![FlowRequest {
+                src: cam_ep,
+                dst: disp_ep,
+                bps: req_bps,
+            }],
+            fixed_flows: vec![FlowRequest {
+                src: audio_src_ep,
+                dst: audio_sink_ep,
+                bps: AUDIO_BPS,
+            }],
+            cpu_micro: req_cpu,
+            pfs_server: None,
+        };
+        let grant = decide(&mut scenario, &mut sys, &mut broker, &req);
+        if !grant.is_admitted() {
+            continue;
+        }
+        let (vc, avc) = (&grant.vcs[0], &grant.vcs[1]);
+
         let mut wm = WindowManager::new(display.clone(), 1);
         wm.create(vc.dst_vci, Rect::new(0, 0, 176, 144));
-        let cam = sys.build_camera_on(cam_ep, scene, spec.camera, vc.src_vci);
+        let cam_cfg = camera_for(spec.camera, grant.quality_milli);
+        let cam = sys.build_camera_on(cam_ep, scene, cam_cfg, vc.src_vci);
         scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
         scenario.displays.push(display);
         let (cam_start, cam_stop) = (cam.clone(), cam);
         sim.schedule_at(t0, move |sim| Camera::start(&cam_start, sim));
         sim.schedule_at(spec.duration, move |_| cam_stop.borrow_mut().stop());
 
-        let audio_src_ep = sys.attach_device(src, HostNic::shared());
-        let audio_sink = AudioSink::shared(AudioConfig::telephony(), spec.audio_jitter_buffer);
-        let audio_sink_ep = sys.attach_device(dst, audio_sink.clone());
-        let avc = open_media_vc(
-            &mut sys.net,
-            audio_src_ep,
-            audio_sink_ep,
-            128_000,
-            &mut scenario.admission_fallbacks,
-        );
         let audio = sys.build_audio_source_on(audio_src_ep, AudioConfig::telephony(), avc.src_vci);
         scenario.tx_links.push(sys.net.endpoint_tx(audio_src_ep));
         scenario.audio_sinks.push(audio_sink.clone());
@@ -217,23 +373,27 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
     }
 
     // ---- VoD sessions: file server → synchronized playback client. ----
-    let servers = spec.pfs_servers.max(1);
     if n_vod > 0 {
-        let per_server_rate = spec.vod_disk_rate * (n_vod as u64).div_ceil(servers as u64);
-        for _ in 0..servers.min(n_vod) {
+        // Rate ceiling sized to a slot-full server at the requested
+        // rate: the stream *slots* are the binding capacity, enforced
+        // by the broker's ledger and the scheduler's own cap.
+        let slots = spec.broker.pfs_slots_per_server;
+        let per_server_rate = req_disk * slots.max(1) as u64;
+        for _ in 0..n_servers {
             let mut fs = LogFs::new(DiskConfig::hp_1994());
             fs.raid_mut().set_store(false);
             let file = fs.create(FileClass::Continuous);
             // Pre-record enough media for every stream to read the whole
-            // replay from offset 0.
+            // replay from offset 0, even at the full requested rate.
             let replay = vod_periods(spec.duration) * VOD_PERIOD;
-            let need = (spec.vod_disk_rate as u128 * replay as u128 / SEC as u128) as usize;
+            let need = (req_disk as u128 * replay as u128 / SEC as u128) as usize;
             for _ in 0..need.div_ceil(SEGMENT_BYTES).max(1) {
                 fs.append(file, &vec![0u8; SEGMENT_BYTES])
                     .expect("prerecord");
             }
             fs.sync().expect("prerecord sync");
-            let cm = CmScheduler::new(VOD_PERIOD, per_server_rate * 2 + 1_000_000);
+            let mut cm = CmScheduler::new(VOD_PERIOD, per_server_rate * 2 + 1_000_000);
+            cm.set_max_streams(slots);
             scenario.vod_servers.push(VodServer { fs, cm, file });
         }
     }
@@ -251,30 +411,44 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         });
         let client_ep = sys.attach_device(dst, sink.clone());
         let server_ep = sys.attach_device(src, HostNic::shared());
-        let vc = open_media_vc(
-            &mut sys.net,
-            server_ep,
-            client_ep,
-            spec.video_bps,
-            &mut scenario.admission_fallbacks,
-        );
+
+        let req = SessionRequest {
+            class: SessionClass::Vod,
+            media_flows: vec![FlowRequest {
+                src: server_ep,
+                dst: client_ep,
+                bps: req_bps,
+            }],
+            fixed_flows: Vec::new(),
+            cpu_micro: req_cpu,
+            pfs_server: Some(i % n_servers),
+        };
+        let grant = decide(&mut scenario, &mut sys, &mut broker, &req);
+        if !grant.is_admitted() {
+            continue;
+        }
+        let vc = &grant.vcs[0];
+
         // The continuous-media stack pushes tiles at frame rate; the
-        // camera model doubles as that paced pusher.
-        let cam = sys.build_camera_on(server_ep, scene, spec.camera, vc.src_vci);
+        // camera model doubles as that paced pusher, renegotiated down
+        // with the rest of the session when degraded.
+        let cam_cfg = camera_for(spec.camera, grant.quality_milli);
+        let cam = sys.build_camera_on(server_ep, scene, cam_cfg, vc.src_vci);
         scenario.tx_links.push(sys.net.endpoint_tx(server_ep));
         scenario.vod_clients.push((ctl, stream, sink));
         let (c_start, c_stop) = (cam.clone(), cam);
         sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
         sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
 
-        // Disk side: admit the stream on its server.
-        let n_servers = scenario.vod_servers.len().max(1);
+        // Disk side: admit the stream on its granted server at the
+        // granted (possibly renegotiated-down) rate.
+        let granted_disk = (req_disk * grant.quality_milli / 1000).max(1);
         let server = &mut scenario.vod_servers[i % n_servers];
         let fid = server.file;
         server
             .cm
-            .admit(fid, spec.vod_disk_rate, 0)
-            .expect("vod admission ceiling sized to demand");
+            .admit(fid, granted_disk, 0)
+            .expect("broker slot grant implies CM capacity");
     }
 
     // ---- TV distribution: studio cameras into control-room stacks. ----
@@ -293,35 +467,50 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         for _ in 0..feeds {
             let src = rng.gen_range(0..n_fabric);
             let t0 = start_time(&mut rng, spec.arrival, &mut poisson_clock).min(spec.duration);
-            group_t0 = group_t0.min(t0);
             let scene = pick_scene(&mut rng);
             let cam_ep = sys.attach_device(src, HostNic::shared());
-            let vc = open_media_vc(
-                &mut sys.net,
-                cam_ep,
-                disp_ep,
-                spec.video_bps,
-                &mut scenario.admission_fallbacks,
-            );
+
+            let req = SessionRequest {
+                class: SessionClass::Tv,
+                media_flows: vec![FlowRequest {
+                    src: cam_ep,
+                    dst: disp_ep,
+                    bps: req_bps,
+                }],
+                fixed_flows: Vec::new(),
+                cpu_micro: req_cpu,
+                pfs_server: None,
+            };
+            let grant = decide(&mut scenario, &mut sys, &mut broker, &req);
+            if !grant.is_admitted() {
+                continue;
+            }
+            let vc = &grant.vcs[0];
+            group_t0 = group_t0.min(t0);
+
             wm.borrow_mut()
                 .create(vc.dst_vci, Rect::new(0, 0, 176, 144));
             feed_vcis.push(vc.dst_vci);
-            let cam = sys.build_camera_on(cam_ep, scene, spec.camera, vc.src_vci);
+            let cam_cfg = camera_for(spec.camera, grant.quality_milli);
+            let cam = sys.build_camera_on(cam_ep, scene, cam_cfg, vc.src_vci);
             scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
             let (c_start, c_stop) = (cam.clone(), cam);
             sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
             sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
         }
-        // The director cuts round-robin through the feeds: one window
-        // raise per cut, pure control.
-        let mut cut_no = 0usize;
-        let mut t = group_t0 + spec.tv_cut_period;
-        while t < spec.duration {
-            let wm = wm.clone();
-            let vci = feed_vcis[cut_no % feed_vcis.len()];
-            sim.schedule_at(t, move |_| wm.borrow_mut().raise(vci));
-            cut_no += 1;
-            t += spec.tv_cut_period;
+        // The director cuts round-robin through the admitted feeds: one
+        // window raise per cut, pure control. A room whose every feed
+        // was rejected has nothing to cut between.
+        if !feed_vcis.is_empty() {
+            let mut cut_no = 0usize;
+            let mut t = group_t0 + spec.tv_cut_period;
+            while t < spec.duration {
+                let wm = wm.clone();
+                let vci = feed_vcis[cut_no % feed_vcis.len()];
+                sim.schedule_at(t, move |_| wm.borrow_mut().raise(vci));
+                cut_no += 1;
+                t += spec.tv_cut_period;
+            }
         }
     }
 
@@ -343,6 +532,7 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
 
     scenario.sys = sys;
     scenario.sim = sim;
+    scenario.broker = broker;
     scenario
 }
 
@@ -365,7 +555,7 @@ impl Scenario {
                 self.counts.1 as u64,
                 self.counts.2 as u64,
             ),
-            admission_fallbacks: self.admission_fallbacks,
+            broker: self.tally.into_report(),
             max_link_utilization: self.sys.net.max_reservation_utilization(),
             events_executed: self.sim.events_executed(),
             ..ScenarioReport::default()
@@ -468,16 +658,19 @@ impl Scenario {
         report.pfs = pfs;
 
         // Control plane: replay the CPU fault schedule against the QoS
-        // manager. Media demand scales with the session count.
+        // manager. Media demand is exactly what the broker's CPU ledger
+        // granted (plus a control baseline): rejected and degraded
+        // sessions demand less, which is the broker's whole point.
         let mut mgr = QosManager::new(0.9, 1.0);
         let media = mgr.add_app("media-control", 1.0);
         let batch = mgr.add_app("batch", 1.0);
         mgr.observe(batch, 1.0);
-        // Cap below the media app's fair share against the synthetic
+        // The default broker capacity (0.35) plus the 0.05 baseline
+        // stays below the media app's fair share against the synthetic
         // batch competitor (0.9 capacity split 1:1 = 0.45), so a
         // healthy, fault-free run can never report starvation no matter
         // the session count; only scheduled incidents push it under.
-        let media_demand = (0.05 + spec.sessions as f64 * 0.0004).min(0.4);
+        let media_demand = 0.05 + self.broker.cpu.reserved_fraction();
         let schedule = FaultSchedule {
             faults: spec
                 .faults

@@ -33,6 +33,15 @@ fn summarize(r: &ScenarioReport) {
         r.endpoints,
     );
     eprintln!(
+        "  broker: {} admitted, {} degraded, {} rejected (cpu {}, bw {}, pfs {})",
+        r.broker.admitted,
+        r.broker.degraded,
+        r.broker.rejected,
+        r.broker.rejected_cpu,
+        r.broker.rejected_bandwidth,
+        r.broker.rejected_pfs,
+    );
+    eprintln!(
         "  cells: {} sent, {} delivered, {} dropped (peak queue {} cells)",
         r.cells.sent,
         r.cells.delivered,

@@ -28,11 +28,7 @@ pub fn smoke() -> ScenarioSpec {
         link: LinkConfig::pegasus_default(),
     };
     spec.sessions = 8;
-    spec.mix = SessionMix {
-        videophone: 0.5,
-        vod: 0.25,
-        tv: 0.25,
-    };
+    spec.mix = SessionMix::new(0.5, 0.25, 0.25);
     spec.duration = 150 * MS;
     spec
 }
@@ -47,11 +43,7 @@ pub fn videophone_wall() -> ScenarioSpec {
         link: oc12(),
     };
     spec.sessions = 64;
-    spec.mix = SessionMix {
-        videophone: 1.0,
-        vod: 0.0,
-        tv: 0.0,
-    };
+    spec.mix = SessionMix::new(1.0, 0.0, 0.0);
     spec.arrival = Arrival::Uniform { window: 50 * MS };
     spec.duration = 300 * MS;
     spec
@@ -67,11 +59,7 @@ pub fn vod_rack() -> ScenarioSpec {
         link: oc12(),
     };
     spec.sessions = 48;
-    spec.mix = SessionMix {
-        videophone: 0.0,
-        vod: 1.0,
-        tv: 0.0,
-    };
+    spec.mix = SessionMix::new(0.0, 1.0, 0.0);
     // One RAID stripe (~51 ms) per stream per 500 ms period: eight
     // servers keep each one at six streams, inside its deadline.
     spec.pfs_servers = 8;
@@ -90,11 +78,7 @@ pub fn tv_studio() -> ScenarioSpec {
         link: oc12(),
     };
     spec.sessions = 24;
-    spec.mix = SessionMix {
-        videophone: 0.0,
-        vod: 0.0,
-        tv: 1.0,
-    };
+    spec.mix = SessionMix::new(0.0, 0.0, 1.0);
     spec.tv_group = 4;
     spec.tv_cut_period = 80 * MS;
     spec.duration = 400 * MS;
@@ -140,16 +124,56 @@ pub fn metropolis_1k() -> ScenarioSpec {
         link: oc12(),
     };
     spec.sessions = 1000;
-    spec.mix = SessionMix {
-        videophone: 0.5,
-        vod: 0.3,
-        tv: 0.2,
-    };
+    spec.mix = SessionMix::new(0.5, 0.3, 0.2);
     // 300 VoD streams: a 48-server cluster keeps every CM scheduler
     // under seven streams per 500 ms period (one ~51 ms stripe each).
     spec.pfs_servers = 48;
     spec.arrival = Arrival::Uniform { window: 100 * MS };
     spec.duration = 300 * MS;
+    spec
+}
+
+/// Twice-sustainable demand on a two-switch star: every session crosses
+/// the single 100 Mbit/s trunk asking for double the nominal vector, so
+/// the QoS broker must renegotiate some sessions down and turn the rest
+/// away — overload as a measured, deterministic outcome instead of
+/// every queue overflowing at once.
+pub fn overload_2x() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("overload-2x");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::Star,
+        switches: 2,
+        link: LinkConfig::pegasus_default(),
+    };
+    spec.sessions = 24;
+    spec.mix = SessionMix::new(0.5, 0.25, 0.25).with_load(2.0);
+    spec.pfs_servers = 1;
+    spec.arrival = Arrival::Uniform { window: 40 * MS };
+    spec.duration = 200 * MS;
+    spec
+}
+
+/// A flash crowd: a burst of sessions arriving almost at once on a
+/// small fabric with one file server and a deliberately tight CPU
+/// budget, so all three layers — bandwidth, stream slots and the
+/// Nemesis CPU ledger — end up the binding constraint for someone.
+pub fn flash_crowd() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("flash-crowd");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::Star,
+        switches: 3,
+        link: LinkConfig::pegasus_default(),
+    };
+    spec.sessions = 60;
+    spec.mix = SessionMix::new(0.4, 0.4, 0.2);
+    spec.pfs_servers = 1;
+    // Everyone shows up inside 10 ms.
+    spec.arrival = Arrival::Uniform { window: 10 * MS };
+    spec.duration = 200 * MS;
+    // A CPU budget sized so the crowd exhausts it on the late arrivals:
+    // tight enough to bite after bandwidth has squeezed the videophone
+    // wall and the lone server's slots have filled.
+    spec.broker.cpu_capacity_micro = 11_000;
     spec
 }
 
@@ -162,18 +186,22 @@ pub fn by_name(name: &str) -> Option<ScenarioSpec> {
         "tv-studio" => Some(tv_studio()),
         "nemesis-storm" => Some(nemesis_storm()),
         "metropolis-1k" => Some(metropolis_1k()),
+        "overload-2x" => Some(overload_2x()),
+        "flash-crowd" => Some(flash_crowd()),
         _ => None,
     }
 }
 
 /// Every preset name, in menu order.
-pub const PRESETS: [&str; 6] = [
+pub const PRESETS: [&str; 8] = [
     "smoke",
     "videophone-wall",
     "vod-rack",
     "tv-studio",
     "nemesis-storm",
     "metropolis-1k",
+    "overload-2x",
+    "flash-crowd",
 ];
 
 #[cfg(test)]

@@ -56,6 +56,43 @@ pub struct PfsReport {
     pub throughput_bps: u64,
 }
 
+/// The QoS broker's admission record for one run.
+///
+/// `headroom_*` are "capacity headroom over time": each layer's free
+/// capacity is sampled immediately after every admission decision, and
+/// the sequence is summarized (so `min` is the tightest the layer ever
+/// got during setup, `max` the loosest — session 1's view). Units:
+/// CPU in micro-CPUs, bandwidth in thousandths of the most-loaded
+/// link's line rate still reservable, PFS in free stream slots summed
+/// across servers.
+#[derive(Debug, Clone, Default)]
+pub struct BrokerReport {
+    /// Sessions admitted at their full requested vector.
+    pub admitted: u64,
+    /// Sessions admitted at the renegotiated-down rung.
+    pub degraded: u64,
+    /// Sessions refused outright.
+    pub rejected: u64,
+    /// Rejections whose binding constraint was the Nemesis CPU ledger.
+    pub rejected_cpu: u64,
+    /// Rejections bound by ATM link bandwidth.
+    pub rejected_bandwidth: u64,
+    /// Rejections bound by file-server stream slots.
+    pub rejected_pfs: u64,
+    /// Mean post-renegotiation quality per class (videophone, vod, tv)
+    /// in thousandths of the requested vector: admitted = 1000,
+    /// degraded = the rung, rejected = 0. 1000 when a class has no
+    /// sessions (nothing was degraded).
+    pub quality_milli: (u64, u64, u64),
+    /// CPU-ledger headroom after each decision, micro-CPUs.
+    pub headroom_cpu: Summary,
+    /// Bandwidth headroom of the most-reserved link after each
+    /// decision, thousandths of its line rate.
+    pub headroom_bandwidth: Summary,
+    /// Free stream slots across all servers after each decision.
+    pub headroom_pfs: Summary,
+}
+
 /// Nemesis control-plane health under the fault schedule.
 #[derive(Debug, Clone, Default)]
 pub struct NemesisReport {
@@ -94,8 +131,9 @@ pub struct ScenarioReport {
     pub vod: ClassReport,
     /// Cell accounting.
     pub cells: CellReport,
-    /// Guaranteed admissions that fell back to best effort.
-    pub admission_fallbacks: u64,
+    /// The QoS broker's admission record (counts, per-class quality,
+    /// capacity headroom over setup time).
+    pub broker: BrokerReport,
     /// Most-reserved link as a fraction of its line rate.
     pub max_link_utilization: f64,
     /// Deepest output queue observed on any switch, in cells.
@@ -182,7 +220,26 @@ impl ScenarioReport {
                 w.u64("quality_p50_milli", self.nemesis.quality_p50_milli);
                 w.u64("quality_min_milli", self.nemesis.quality_min_milli);
             });
-            w.u64("admission_fallbacks", self.admission_fallbacks);
+            w.obj("broker", |w| {
+                w.u64("admitted", self.broker.admitted);
+                w.u64("degraded", self.broker.degraded);
+                w.u64("rejected", self.broker.rejected);
+                w.obj("rejected_by_layer", |w| {
+                    w.u64("cpu", self.broker.rejected_cpu);
+                    w.u64("bandwidth", self.broker.rejected_bandwidth);
+                    w.u64("pfs", self.broker.rejected_pfs);
+                });
+                w.obj("quality_milli", |w| {
+                    w.u64("videophone", self.broker.quality_milli.0);
+                    w.u64("vod", self.broker.quality_milli.1);
+                    w.u64("tv", self.broker.quality_milli.2);
+                });
+                w.obj("headroom", |w| {
+                    summary(w, "cpu_micro", &self.broker.headroom_cpu);
+                    summary(w, "bandwidth_milli", &self.broker.headroom_bandwidth);
+                    summary(w, "pfs_slots", &self.broker.headroom_pfs);
+                });
+            });
             w.u64("peak_queue_cells", self.peak_queue_cells);
             w.u64("audio_underruns", self.audio_underruns);
             w.u64("playback_late", self.playback_late);
@@ -208,9 +265,18 @@ mod tests {
         r.audio_underruns = 2;
         r.playback_late = 1;
         r.deadline_misses = r.total_misses();
+        r.broker.admitted = 5;
+        r.broker.degraded = 2;
+        r.broker.rejected = 1;
+        r.broker.rejected_bandwidth = 1;
+        r.broker.quality_milli = (1000, 750, 500);
         let s = r.to_json();
         assert!(s.starts_with("{\"scenario\":\"unit\",\"seed\":9,"));
         assert!(s.contains("\"deadline_misses\":3"));
+        assert!(s.contains("\"broker\":{\"admitted\":5,\"degraded\":2,\"rejected\":1,"));
+        assert!(s.contains("\"rejected_by_layer\":{\"cpu\":0,\"bandwidth\":1,\"pfs\":0}"));
+        assert!(s.contains("\"quality_milli\":{\"videophone\":1000,\"vod\":750,\"tv\":500}"));
+        assert!(s.contains("\"headroom\":{\"cpu_micro\":{"));
         assert!(s.ends_with("}\n"));
         // Deterministic: rendering twice is identical.
         assert_eq!(s, r.to_json());

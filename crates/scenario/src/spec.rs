@@ -22,7 +22,8 @@ pub struct TopologySpec {
     pub link: LinkConfig,
 }
 
-/// Relative weights of the session classes (normalized internally).
+/// Relative weights of the session classes (normalized internally),
+/// plus the mix's demand load factor.
 #[derive(Debug, Clone, Copy)]
 pub struct SessionMix {
     /// Two-party calls: camera→display plus audio, device to device.
@@ -33,9 +34,31 @@ pub struct SessionMix {
     /// TV distribution: studio cameras into a control-room window
     /// stack, with periodic cuts.
     pub tv: f64,
+    /// Demand multiplier on every session's requested resource vector
+    /// (CPU share, guaranteed video bandwidth, per-stream disk rate).
+    /// 1.0 is nominal; the overload presets ask for more than the plant
+    /// holds, so the QoS broker has to degrade or reject the surplus.
+    pub load: f64,
 }
 
 impl SessionMix {
+    /// A mix at nominal (1.0) load.
+    pub fn new(videophone: f64, vod: f64, tv: f64) -> SessionMix {
+        SessionMix {
+            videophone,
+            vod,
+            tv,
+            load: 1.0,
+        }
+    }
+
+    /// The same class weights at a different load factor.
+    pub fn with_load(mut self, load: f64) -> SessionMix {
+        assert!(load > 0.0, "load factor must be positive");
+        self.load = load;
+        self
+    }
+
     /// Splits `total` sessions into per-class counts by largest
     /// remainder, so the counts always sum to `total`.
     pub fn counts(&self, total: usize) -> (usize, usize, usize) {
@@ -113,6 +136,39 @@ pub enum FaultSpec {
     },
 }
 
+/// Capacity and policy knobs of the cross-layer QoS broker
+/// ([`pegasus::broker::QosBroker`]) a scenario's sessions are admitted
+/// through.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerSpec {
+    /// Reservable Nemesis CPU for media sessions, in micro-CPUs. The
+    /// default (350,000 = 0.35 CPUs) plus the 0.05 control-plane
+    /// baseline stays under the media app's 0.45 fair share against the
+    /// synthetic batch competitor, so admitted load can never starve.
+    pub cpu_capacity_micro: u64,
+    /// Per-session CPU demand at nominal load, micro-CPUs.
+    pub cpu_per_session_micro: u64,
+    /// The renegotiation rung, in thousandths of the requested vector
+    /// (500 = a degraded session runs at half bitrate / frame rate /
+    /// CPU). 1000 disables degradation: admit or reject only.
+    pub degrade_milli: u64,
+    /// Concurrent stream slots per file server. One small read costs a
+    /// whole RAID stripe (~51 ms) per 500 ms CM period, so eight slots
+    /// keep every server inside its deadline with margin.
+    pub pfs_slots_per_server: usize,
+}
+
+impl Default for BrokerSpec {
+    fn default() -> Self {
+        BrokerSpec {
+            cpu_capacity_micro: 350_000,
+            cpu_per_session_micro: 300,
+            degrade_milli: 500,
+            pfs_slots_per_server: 8,
+        }
+    }
+}
+
 /// A complete, reproducible workload description.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
@@ -151,6 +207,8 @@ pub struct ScenarioSpec {
     pub tv_group: usize,
     /// Time between TV director cuts.
     pub tv_cut_period: Ns,
+    /// QoS-broker capacities and renegotiation policy.
+    pub broker: BrokerSpec,
 }
 
 impl ScenarioSpec {
@@ -168,11 +226,7 @@ impl ScenarioSpec {
                 link: LinkConfig::pegasus_default(),
             },
             sessions: 4,
-            mix: SessionMix {
-                videophone: 0.5,
-                vod: 0.25,
-                tv: 0.25,
-            },
+            mix: SessionMix::new(0.5, 0.25, 0.25),
             arrival: Arrival::Immediate,
             faults: Vec::new(),
             video_bps: 8_000_000,
@@ -183,6 +237,7 @@ impl ScenarioSpec {
             pfs_servers: 1,
             tv_group: 4,
             tv_cut_period: 400 * MS,
+            broker: BrokerSpec::default(),
         }
     }
 
@@ -207,11 +262,7 @@ mod tests {
 
     #[test]
     fn mix_counts_sum_to_total() {
-        let mix = SessionMix {
-            videophone: 0.5,
-            vod: 0.3,
-            tv: 0.2,
-        };
+        let mix = SessionMix::new(0.5, 0.3, 0.2);
         for total in [0usize, 1, 7, 100, 1000] {
             let (a, b, c) = mix.counts(total);
             assert_eq!(a + b + c, total, "total {total}");
@@ -222,12 +273,21 @@ mod tests {
 
     #[test]
     fn single_class_mix() {
-        let mix = SessionMix {
-            videophone: 1.0,
-            vod: 0.0,
-            tv: 0.0,
-        };
+        let mix = SessionMix::new(1.0, 0.0, 0.0);
         assert_eq!(mix.counts(17), (17, 0, 0));
+    }
+
+    #[test]
+    fn load_factor_defaults_to_nominal_and_scales() {
+        let mix = SessionMix::new(1.0, 0.0, 0.0);
+        assert_eq!(mix.load, 1.0);
+        assert_eq!(mix.with_load(2.0).load, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor must be positive")]
+    fn zero_load_rejected() {
+        let _ = SessionMix::new(1.0, 0.0, 0.0).with_load(0.0);
     }
 
     #[test]

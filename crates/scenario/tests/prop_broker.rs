@@ -1,0 +1,143 @@
+//! Property tests for the QoS broker's cross-layer invariants, driven
+//! through the scenario compiler so that every generated overload —
+//! any topology, session count, load factor, slot budget and CPU
+//! budget — exercises the real admission path:
+//!
+//! 1. no layer's capacity ledger is ever exceeded, and the sum of the
+//!    granted contracts is exactly what the ledgers say is reserved;
+//! 2. admission outcomes are a pure function of `(spec, seed)`;
+//! 3. renegotiation only ever lowers a session's resource vector.
+
+use proptest::prelude::*;
+
+use pegasus::broker::Outcome;
+use pegasus_scenario::build::SessionContract;
+use pegasus_scenario::spec::{ScenarioSpec, SessionMix};
+use pegasus_sim::time::MS;
+
+/// An overload-prone spec from raw generator values. Wiring (not
+/// traffic) is the subject, so the duration is minimal.
+fn overload_spec(
+    switches: usize,
+    sessions: usize,
+    load_pct: u64,
+    video_mbps: u64,
+    slots: usize,
+    cpu_capacity: u64,
+    seed: u64,
+) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("prop-broker").with_seed(seed);
+    spec.topology.switches = switches;
+    spec.sessions = sessions;
+    spec.mix = SessionMix::new(0.4, 0.4, 0.2).with_load(load_pct as f64 / 100.0);
+    spec.video_bps = video_mbps * 1_000_000;
+    spec.pfs_servers = 2;
+    spec.broker.pfs_slots_per_server = slots;
+    spec.broker.cpu_capacity_micro = cpu_capacity;
+    spec.duration = MS;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Invariant 1: whatever the overload, the sum of admitted
+    /// contracts never exceeds any layer's capacity ledger — and the
+    /// ledgers agree exactly with the contracts (conservation, both
+    /// directions).
+    #[test]
+    fn admitted_contracts_never_exceed_any_ledger(
+        switches in 1usize..5,
+        sessions in 1usize..48,
+        load_pct in 50u64..300,
+        video_mbps in 1u64..40,
+        slots in 1usize..6,
+        cpu_capacity in 1_000u64..20_000,
+        seed in 0u64..1000,
+    ) {
+        let spec = overload_spec(
+            switches, sessions, load_pct, video_mbps, slots, cpu_capacity, seed,
+        );
+        let scenario = pegasus_scenario::compile(&spec);
+
+        // CPU ledger: inside capacity, and exactly the contract sum.
+        let broker = &scenario.broker;
+        prop_assert!(broker.cpu.reserved_micro() <= broker.cpu.capacity_micro());
+        let cpu_sum: u64 = scenario.contracts.iter().map(|c| c.granted.cpu_micro).sum();
+        prop_assert_eq!(cpu_sum, broker.cpu.reserved_micro());
+
+        // Stream slots: every server inside capacity, totals agree.
+        for server in &broker.pfs {
+            prop_assert!(server.used() <= server.capacity());
+        }
+        let slot_sum: u64 = scenario.contracts.iter().map(|c| c.granted.pfs_slots as u64).sum();
+        let ledger_sum: u64 = broker.pfs.iter().map(|s| s.used() as u64).sum();
+        prop_assert_eq!(slot_sum, ledger_sum);
+
+        // Bandwidth: no link past its reservable budget.
+        let u = scenario.sys.net.max_reservation_utilization();
+        let budget = scenario.sys.net.reservable_fraction;
+        prop_assert!(u <= budget + 1e-9, "utilization {} over budget {}", u, budget);
+    }
+
+    /// Invariant 2: the admit/degrade/reject verdict of every session —
+    /// not just the counts — is deterministic in `(spec, seed)`.
+    #[test]
+    fn rejection_is_deterministic_in_spec_and_seed(
+        switches in 1usize..5,
+        sessions in 1usize..32,
+        load_pct in 50u64..300,
+        video_mbps in 1u64..40,
+        slots in 1usize..6,
+        cpu_capacity in 1_000u64..20_000,
+        seed in 0u64..1000,
+    ) {
+        let spec = overload_spec(
+            switches, sessions, load_pct, video_mbps, slots, cpu_capacity, seed,
+        );
+        let outcomes = |contracts: &[SessionContract]| -> Vec<Outcome> {
+            contracts.iter().map(|c| c.outcome).collect()
+        };
+        let a = pegasus_scenario::compile(&spec);
+        let b = pegasus_scenario::compile(&spec);
+        prop_assert_eq!(outcomes(&a.contracts), outcomes(&b.contracts));
+        prop_assert_eq!(a.contracts.len(), spec.sessions);
+    }
+
+    /// Invariant 3: renegotiation only ever lowers a session's resource
+    /// vector — a degraded grant is component-wise at or below the
+    /// request (and strictly below somewhere), an admitted grant is the
+    /// request, a rejected session holds nothing.
+    #[test]
+    fn renegotiation_only_lowers_the_vector(
+        switches in 1usize..5,
+        sessions in 1usize..48,
+        load_pct in 50u64..300,
+        video_mbps in 1u64..40,
+        slots in 1usize..6,
+        cpu_capacity in 1_000u64..20_000,
+        seed in 0u64..1000,
+    ) {
+        let spec = overload_spec(
+            switches, sessions, load_pct, video_mbps, slots, cpu_capacity, seed,
+        );
+        let scenario = pegasus_scenario::compile(&spec);
+        for c in &scenario.contracts {
+            prop_assert!(
+                c.granted.le(&c.requested),
+                "granted {:?} above requested {:?}", c.granted, c.requested
+            );
+            match c.outcome {
+                Outcome::Admitted => prop_assert_eq!(c.granted, c.requested),
+                Outcome::Degraded => {
+                    prop_assert!(c.granted != c.requested, "degraded but nothing lowered");
+                    // Slots are never the degraded dimension.
+                    prop_assert_eq!(c.granted.pfs_slots, c.requested.pfs_slots);
+                }
+                Outcome::Rejected(_) => {
+                    prop_assert_eq!(c.granted, Default::default());
+                }
+            }
+        }
+    }
+}

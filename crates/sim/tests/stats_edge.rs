@@ -1,0 +1,199 @@
+//! Edge-case coverage for the measurement primitives every scenario
+//! report is built from: histogram merging at the empty/single-sample
+//! extremes, the jitter view at bucket boundaries, and percentile
+//! behaviour at the saturation points (p = 0, p = 100, `u64::MAX`
+//! samples). The golden-report gate depends on all of this being exact.
+
+use pegasus_sim::stats::{Histogram, Summary};
+
+fn hist(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+// ---- Summary via merge: empty and single-sample histograms. ----
+
+#[test]
+fn merge_two_empty_histograms_summarizes_to_default() {
+    let mut a = Histogram::new();
+    let b = Histogram::new();
+    a.merge(&b);
+    assert!(a.is_empty());
+    assert_eq!(a.summarize(), Summary::default());
+}
+
+#[test]
+fn merge_empty_into_populated_is_identity() {
+    let mut a = hist(&[3, 1, 2]);
+    let before = a.clone().summarize();
+    a.merge(&Histogram::new());
+    assert_eq!(a.summarize(), before);
+}
+
+#[test]
+fn merge_populated_into_empty_adopts_the_samples() {
+    let mut a = Histogram::new();
+    a.merge(&hist(&[5, 9]));
+    let s = a.summarize();
+    assert_eq!((s.n, s.min, s.max), (2, 5, 9));
+    assert_eq!(s.mean, 7.0);
+}
+
+#[test]
+fn merge_single_sample_histograms() {
+    // Two one-sample distributions: every percentile of the merge is
+    // one of the two samples, the summary is exact.
+    let mut a = hist(&[10]);
+    a.merge(&hist(&[20]));
+    let s = a.summarize();
+    assert_eq!(s.n, 2);
+    assert_eq!(s.min, 10);
+    assert_eq!(s.p50, 10, "nearest-rank median of two is the lower");
+    assert_eq!(s.p90, 20);
+    assert_eq!(s.p99, 20);
+    assert_eq!(s.max, 20);
+    assert_eq!(s.mean, 15.0);
+}
+
+#[test]
+fn single_sample_summary_is_that_sample_everywhere() {
+    let s = hist(&[42]).summarize();
+    assert_eq!(
+        s,
+        Summary {
+            n: 1,
+            min: 42,
+            p50: 42,
+            p90: 42,
+            p99: 42,
+            max: 42,
+            mean: 42.0,
+        }
+    );
+}
+
+#[test]
+fn merge_is_order_insensitive_for_summaries() {
+    let (x, y) = (hist(&[1, 100, 7]), hist(&[3, 3, 50]));
+    let mut xy = x.clone();
+    xy.merge(&y);
+    let mut yx = y.clone();
+    yx.merge(&x);
+    assert_eq!(xy.summarize(), yx.summarize());
+}
+
+#[test]
+fn merge_after_percentile_resorts() {
+    // A percentile call sorts and caches; a merge afterwards must
+    // invalidate that cache.
+    let mut a = hist(&[10, 30]);
+    assert_eq!(a.percentile(50.0), Some(10));
+    a.merge(&hist(&[1]));
+    assert_eq!(a.percentile(50.0), Some(10));
+    assert_eq!(a.min(), Some(1));
+    assert_eq!(a.percentile(100.0), Some(30));
+}
+
+// ---- jitter_histogram at bucket boundaries. ----
+
+#[test]
+fn jitter_of_empty_histogram_is_empty() {
+    let j = Histogram::new().jitter_histogram();
+    assert!(j.is_empty());
+    assert_eq!(j.clone().summarize(), Summary::default());
+}
+
+#[test]
+fn jitter_of_single_sample_is_exactly_zero() {
+    let mut j = hist(&[123_456]).jitter_histogram();
+    assert_eq!(j.min(), Some(0));
+    assert_eq!(j.max(), Some(0));
+    assert_eq!(j.percentile(100.0), Some(0));
+}
+
+#[test]
+fn jitter_of_identical_samples_is_all_zero() {
+    // Every sample sits exactly on the floor: the boundary bucket.
+    let j = hist(&[777, 777, 777, 777]).jitter_histogram();
+    assert_eq!(j.count(), 4);
+    assert_eq!(j.max(), Some(0));
+    assert_eq!(j.mean(), Some(0.0));
+}
+
+#[test]
+fn jitter_boundary_values_floor_and_ceiling() {
+    // Floor sample maps to 0, ceiling to max - min, interior exact.
+    let mut j = hist(&[100, 101, 150]).jitter_histogram();
+    assert_eq!(j.min(), Some(0));
+    assert_eq!(j.max(), Some(50));
+    assert_eq!(j.percentile(50.0), Some(1));
+}
+
+#[test]
+fn jitter_at_u64_extremes_does_not_overflow() {
+    // min = 0 keeps v - base = v even for u64::MAX.
+    let j = hist(&[0, u64::MAX]).jitter_histogram();
+    assert_eq!(j.min(), Some(0));
+    assert_eq!(j.max(), Some(u64::MAX));
+    // And with a nonzero floor the subtraction stays in range.
+    let mut j2 = hist(&[u64::MAX - 5, u64::MAX]).jitter_histogram();
+    assert_eq!(j2.max(), Some(5));
+    assert_eq!(j2.percentile(0.0), Some(0));
+}
+
+#[test]
+fn jitter_histogram_preserves_sample_count() {
+    let h = hist(&[4, 8, 15, 16, 23, 42]);
+    assert_eq!(h.jitter_histogram().count(), h.count());
+}
+
+// ---- Percentile behaviour at saturation. ----
+
+#[test]
+fn percentile_zero_clamps_to_minimum() {
+    let mut h = hist(&[10, 20, 30]);
+    // Nearest-rank at p=0 computes rank 0; the clamp must land on the
+    // smallest sample, not panic or underflow.
+    assert_eq!(h.percentile(0.0), Some(10));
+}
+
+#[test]
+fn percentile_hundred_is_the_maximum() {
+    let mut h = hist(&[10, 20, 30]);
+    assert_eq!(h.percentile(100.0), Some(30));
+    assert_eq!(h.percentile(100.0), h.max());
+}
+
+#[test]
+fn percentile_above_hundred_saturates_at_maximum() {
+    let mut h = hist(&[10, 20, 30]);
+    assert_eq!(h.percentile(150.0), Some(30), "rank clamps to n");
+}
+
+#[test]
+fn percentiles_with_saturated_samples() {
+    // All samples at the type's ceiling: every percentile is the
+    // ceiling and the summary holds it exactly.
+    let mut h = hist(&[u64::MAX, u64::MAX, u64::MAX]);
+    assert_eq!(h.percentile(50.0), Some(u64::MAX));
+    let s = h.summarize();
+    assert_eq!(s.min, u64::MAX);
+    assert_eq!(s.p99, u64::MAX);
+    assert_eq!(s.max, u64::MAX);
+}
+
+#[test]
+fn percentile_grid_never_decreases() {
+    // Percentiles are monotone in p — including the saturation ends.
+    let mut h = hist(&[9, 1, 5, 3, 7, 2, 8, 4, 6, 0]);
+    let mut last = 0;
+    for p in 0..=100 {
+        let v = h.percentile(p as f64).unwrap();
+        assert!(v >= last, "p{p}: {v} < {last}");
+        last = v;
+    }
+    assert_eq!(last, 9);
+}

@@ -3,8 +3,12 @@
 # reports to scenario-reports/, and enforces the QoS gates CI relies on.
 #
 # Usage:
-#   scripts/run_scenarios.sh --smoke   # CI: smoke + metropolis-1k @5%,
-#                                      # zero deadline misses required,
+#   scripts/run_scenarios.sh --smoke   # CI: smoke + metropolis-1k @5%
+#                                      # + the overload presets;
+#                                      # zero deadline misses required
+#                                      # (for admitted sessions),
+#                                      # overload must reject some
+#                                      # sessions deterministically,
 #                                      # determinism checked byte-for-byte
 #   scripts/run_scenarios.sh --full    # every preset at full scale
 #                                      # (fault presets may miss by design;
@@ -19,10 +23,12 @@ mkdir -p "$OUTDIR"
 cargo build --release --bin pegasus-scenario
 BIN=target/release/pegasus-scenario
 
-misses_of() {
-    awk '{
+field_of() {
+    # field_of FILE KEY — first integer value of "KEY": in the report.
+    awk -v key="\"$2\":" '{
         line = $0
-        sub(/^.*"deadline_misses":/, "", line)
+        if (index(line, key) == 0) next
+        sub(".*" key, "", line)
         sub(/[,}].*$/, "", line)
         print line
         exit
@@ -31,7 +37,9 @@ misses_of() {
 
 require_clean() {
     # require_clean NAME FILE — the preset must report zero misses.
-    MISSES=$(misses_of "$2")
+    # Rejected sessions are never wired, so deadline_misses is by
+    # construction a claim about admitted sessions only.
+    MISSES=$(field_of "$2" deadline_misses)
     if [ -z "$MISSES" ]; then
         echo "run_scenarios.sh: no deadline_misses in $2" >&2
         exit 1
@@ -43,30 +51,64 @@ require_clean() {
     echo "run_scenarios.sh: $1 clean (0 deadline misses)"
 }
 
+require_rejections() {
+    # require_rejections NAME FILE — an overload preset must turn
+    # sessions away; zero rejections means admission control is not
+    # actually gating anything.
+    REJECTED=$(field_of "$2" rejected)
+    if [ -z "$REJECTED" ] || [ "$REJECTED" -eq 0 ]; then
+        echo "run_scenarios.sh: $1 rejected '${REJECTED:-none}' sessions (want > 0)" >&2
+        exit 1
+    fi
+    echo "run_scenarios.sh: $1 rejected $REJECTED sessions under overload"
+}
+
+require_deterministic() {
+    # require_deterministic NAME PRESET ARGS... — rerun and byte-compare.
+    NAME=$1
+    shift
+    "$BIN" run "$@" --quiet --out "$OUTDIR/$NAME.rerun.json"
+    if ! cmp -s "$OUTDIR/$NAME.json" "$OUTDIR/$NAME.rerun.json"; then
+        echo "run_scenarios.sh: $NAME report is not deterministic" >&2
+        exit 1
+    fi
+    echo "run_scenarios.sh: $NAME deterministic"
+}
+
 if [ "$MODE" = "--smoke" ]; then
     "$BIN" run smoke --seed 7 --quiet --out "$OUTDIR/smoke.json"
     require_clean smoke "$OUTDIR/smoke.json"
 
     # Determinism gate: the same spec and seed must serialize
     # byte-identically.
-    "$BIN" run smoke --seed 7 --quiet --out "$OUTDIR/smoke.rerun.json"
-    if ! cmp -s "$OUTDIR/smoke.json" "$OUTDIR/smoke.rerun.json"; then
-        echo "run_scenarios.sh: smoke report is not deterministic" >&2
-        exit 1
-    fi
-    echo "run_scenarios.sh: smoke deterministic"
+    require_deterministic smoke smoke --seed 7
 
     # The city, CI-sized: 5% of the sessions on the full 16-switch mesh.
     "$BIN" run metropolis-1k --seed 7 --scale 0.05 --quiet \
         --out "$OUTDIR/metropolis-smoke.json"
     require_clean "metropolis-1k@5%" "$OUTDIR/metropolis-smoke.json"
+
+    # The overload presets: admitted sessions stay clean, the surplus is
+    # rejected — deterministically.
+    for preset in overload-2x flash-crowd; do
+        "$BIN" run "$preset" --quiet --out "$OUTDIR/$preset.json"
+        require_clean "$preset (admitted sessions)" "$OUTDIR/$preset.json"
+        require_rejections "$preset" "$OUTDIR/$preset.json"
+        require_deterministic "$preset" "$preset"
+    done
 elif [ "$MODE" = "--full" ]; then
-    for preset in smoke videophone-wall vod-rack tv-studio nemesis-storm metropolis-1k; do
+    for preset in smoke videophone-wall vod-rack tv-studio nemesis-storm \
+                  metropolis-1k overload-2x flash-crowd; do
         "$BIN" run "$preset" --out "$OUTDIR/$preset.json"
     done
-    # The clean presets must stay clean even at full scale.
-    for preset in smoke videophone-wall vod-rack tv-studio metropolis-1k; do
+    # The clean presets must stay clean even at full scale — including
+    # the overload pair, whose *admitted* sessions must never miss.
+    for preset in smoke videophone-wall vod-rack tv-studio metropolis-1k \
+                  overload-2x flash-crowd; do
         require_clean "$preset" "$OUTDIR/$preset.json"
+    done
+    for preset in overload-2x flash-crowd; do
+        require_rejections "$preset" "$OUTDIR/$preset.json"
     done
 else
     echo "usage: scripts/run_scenarios.sh [--smoke|--full]" >&2

@@ -153,11 +153,7 @@ mod scenario_harness {
     fn tv_group_shares_one_display() {
         let mut spec = ScenarioSpec::base("shared-display");
         spec.sessions = 2;
-        spec.mix = SessionMix {
-            videophone: 0.0,
-            vod: 0.0,
-            tv: 1.0,
-        };
+        spec.mix = SessionMix::new(0.0, 0.0, 1.0);
         spec.tv_group = 2;
         spec.duration = 150 * MS;
         let r = run(&spec);
@@ -173,10 +169,11 @@ mod scenario_harness {
     }
 
     /// `admission_control_protects_the_backbone`, spec-driven: ask for
-    /// more guaranteed bandwidth than the fabric has; the harness must
-    /// degrade the surplus to best effort, never overbook a link.
+    /// more guaranteed bandwidth than the fabric has; the QoS broker
+    /// must renegotiate the surplus down or reject it, never overbook a
+    /// link.
     #[test]
-    fn oversubscription_degrades_instead_of_overbooking() {
+    fn oversubscription_renegotiates_instead_of_overbooking() {
         let mut spec = ScenarioSpec::base("oversub");
         // Two switches: every session crosses the one 100 Mbit/s trunk.
         spec.topology = TopologySpec {
@@ -184,15 +181,22 @@ mod scenario_harness {
             ..spec.topology
         };
         spec.sessions = 24;
-        spec.mix = SessionMix {
-            videophone: 1.0,
-            vod: 0.0,
-            tv: 0.0,
-        };
+        spec.mix = SessionMix::new(1.0, 0.0, 0.0);
         spec.video_bps = 30_000_000; // 24 × 30M across one 100M backbone
         spec.duration = 50 * MS;
         let r = run(&spec);
-        assert!(r.admission_fallbacks > 0, "surplus sessions must downgrade");
+        assert!(
+            r.broker.degraded + r.broker.rejected > 0,
+            "surplus sessions must renegotiate or be refused"
+        );
+        assert!(
+            r.broker.admitted > 0,
+            "the trunk fits at least one full-rate call"
+        );
+        assert_eq!(
+            r.broker.admitted + r.broker.degraded + r.broker.rejected,
+            24
+        );
         let budget = 0.95;
         assert!(
             r.max_link_utilization <= budget + 1e-9,
