@@ -7,6 +7,22 @@
 //! checksum octet (HEC). The payload-type indicator's least significant
 //! bit is the AAL-user bit that AAL5 uses to mark the final cell of a
 //! frame.
+//!
+//! # Payload representation
+//!
+//! Inside the simulated single address space, a cell's 48 payload bytes
+//! are either [`Payload::Inline`] (an owned array — signalling, audio,
+//! anything built byte-by-byte) or [`Payload::View`] (a refcounted
+//! [`FrameView`] into the arena buffer the frame was produced in).
+//! Forwarding a view cell through links and switches bumps a refcount
+//! instead of copying 48 bytes — the paper's no-copy data path. The two
+//! representations are observationally identical: [`Cell::payload`]
+//! always yields the same 48 bytes, equality and wire serialization
+//! compare/emit bytes, and [`Cell::payload_mut`] transparently
+//! materialises a view into an owned copy before mutation (the arena
+//! buffer itself is immutable).
+
+use pegasus_sim::arena::FrameView;
 
 /// Size of a full ATM cell in bytes.
 pub const CELL_SIZE: usize = 53;
@@ -45,10 +61,22 @@ const fn build_hec_table() -> [u8; 256] {
 
 static HEC_TABLE: [u8; 256] = build_hec_table();
 
+/// The 48 payload bytes of a cell: owned, or a refcounted view into an
+/// arena frame buffer. See the module docs for the equivalence contract.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// An owned copy of the bytes.
+    Inline([u8; PAYLOAD_SIZE]),
+    /// A zero-copy slice of an immutable arena buffer; always exactly
+    /// [`PAYLOAD_SIZE`] bytes.
+    View(FrameView),
+}
+
 /// One ATM cell.
 ///
-/// Cells are `Clone` and small; the simulator copies them freely between
-/// queues the same way hardware copies them between port buffers.
+/// Cells are `Clone` and small; the simulator moves them freely between
+/// queues the same way hardware moves them between port buffers. Cloning
+/// a view-payload cell bumps a refcount rather than copying the bytes.
 ///
 /// # Examples
 ///
@@ -62,16 +90,27 @@ static HEC_TABLE: [u8; 256] = build_hec_table();
 /// assert_eq!(back.vci(), 42);
 /// assert!(back.is_last());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Cell {
     gfc: u8,
     vpi: u8,
     vci: Vci,
     pti: u8,
     clp: bool,
-    /// The 48-byte payload.
-    pub payload: [u8; PAYLOAD_SIZE],
+    payload: Payload,
 }
+
+impl PartialEq for Cell {
+    fn eq(&self, other: &Self) -> bool {
+        self.gfc == other.gfc
+            && self.vpi == other.vpi
+            && self.vci == other.vci
+            && self.pti == other.pti
+            && self.clp == other.clp
+            && self.payload() == other.payload()
+    }
+}
+impl Eq for Cell {}
 
 impl Cell {
     /// Creates a zero-payload cell on virtual circuit `vci`.
@@ -82,7 +121,7 @@ impl Cell {
             vci,
             pti: 0,
             clp: false,
-            payload: [0; PAYLOAD_SIZE],
+            payload: Payload::Inline([0; PAYLOAD_SIZE]),
         }
     }
 
@@ -99,8 +138,69 @@ impl Cell {
             data.len()
         );
         let mut cell = Cell::new(vci);
-        cell.payload[..data.len()].copy_from_slice(data);
+        cell.payload_mut()[..data.len()].copy_from_slice(data);
         cell
+    }
+
+    /// Creates a cell on `vci` whose payload is a zero-copy view of an
+    /// arena frame buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `view` is exactly [`PAYLOAD_SIZE`] bytes — AAL5
+    /// scatter-gather only takes full-cell slices of a frame; partial
+    /// tails are synthesised inline.
+    pub fn with_view(vci: Vci, view: FrameView) -> Self {
+        assert_eq!(
+            view.len(),
+            PAYLOAD_SIZE,
+            "view cells are exactly one payload"
+        );
+        Cell {
+            gfc: 0,
+            vpi: 0,
+            vci,
+            pti: 0,
+            clp: false,
+            payload: Payload::View(view),
+        }
+    }
+
+    /// The 48 payload bytes, whichever representation carries them.
+    pub fn payload(&self) -> &[u8] {
+        match &self.payload {
+            Payload::Inline(a) => a,
+            Payload::View(v) => v,
+        }
+    }
+
+    /// Mutable access to the payload. A view payload is first
+    /// materialised into an owned copy (copy-on-write): arena buffers
+    /// are immutable, so corruption and in-place edits only ever touch a
+    /// private copy.
+    pub fn payload_mut(&mut self) -> &mut [u8; PAYLOAD_SIZE] {
+        if let Payload::View(v) = &self.payload {
+            let mut owned = [0u8; PAYLOAD_SIZE];
+            owned.copy_from_slice(v);
+            self.payload = Payload::Inline(owned);
+        }
+        match &mut self.payload {
+            Payload::Inline(a) => a,
+            Payload::View(_) => unreachable!("view materialised above"),
+        }
+    }
+
+    /// The payload view, when this cell rides the zero-copy lane.
+    pub fn payload_view(&self) -> Option<&FrameView> {
+        match &self.payload {
+            Payload::View(v) => Some(v),
+            Payload::Inline(_) => None,
+        }
+    }
+
+    /// Whether the payload is a zero-copy arena view.
+    pub fn is_view(&self) -> bool {
+        matches!(self.payload, Payload::View(_))
     }
 
     /// The cell's virtual circuit identifier.
@@ -182,7 +282,7 @@ impl Cell {
         out[3] = ((self.vci as u8 & 0x0F) << 4) | (self.pti << 1) | self.clp as u8;
         let hdr4 = [out[0], out[1], out[2], out[3]];
         out[4] = Self::hec(&hdr4);
-        out[HEADER_SIZE..].copy_from_slice(&self.payload);
+        out[HEADER_SIZE..].copy_from_slice(self.payload());
         out
     }
 
@@ -213,7 +313,7 @@ impl Cell {
             vci,
             pti,
             clp,
-            payload,
+            payload: Payload::Inline(payload),
         })
     }
 }
@@ -235,7 +335,49 @@ mod tests {
         assert_eq!(back.vpi(), 0xAB);
         assert!(back.clp());
         assert!(back.is_last());
-        assert_eq!(&back.payload[..5], b"hello");
+        assert_eq!(&back.payload()[..5], b"hello");
+    }
+
+    #[test]
+    fn view_payload_roundtrips_and_compares_equal_to_inline() {
+        use pegasus_sim::arena::Arena;
+        let arena = Arena::new();
+        let mut bytes = vec![0u8; PAYLOAD_SIZE];
+        bytes[..5].copy_from_slice(b"hello");
+        let frame = arena.frame_from(&bytes);
+        let mut vc = Cell::with_view(0x1234, frame.view_all());
+        vc.set_last(true);
+        let mut ic = Cell::with_payload(0x1234, b"hello");
+        ic.set_last(true);
+        assert!(vc.is_view());
+        assert!(!ic.is_view());
+        assert_eq!(vc, ic, "representation must not affect equality");
+        assert_eq!(vc.to_bytes(), ic.to_bytes());
+        // Wire parsing always lands inline.
+        assert!(!Cell::from_bytes(&vc.to_bytes()).unwrap().is_view());
+    }
+
+    #[test]
+    fn payload_mut_materialises_views_copy_on_write() {
+        use pegasus_sim::arena::Arena;
+        let arena = Arena::new();
+        let frame = arena.frame_from(&[9u8; PAYLOAD_SIZE]);
+        let mut cell = Cell::with_view(7, frame.view_all());
+        let twin = cell.clone();
+        cell.payload_mut()[0] = 0;
+        assert!(!cell.is_view(), "mutation detaches from the arena");
+        assert!(twin.is_view(), "the clone still rides the view");
+        assert_eq!(frame[0], 9, "the arena buffer is untouched");
+        assert_eq!(cell.payload()[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one payload")]
+    fn partial_views_rejected() {
+        use pegasus_sim::arena::Arena;
+        let arena = Arena::new();
+        let frame = arena.frame_from(&[0u8; 10]);
+        let _ = Cell::with_view(1, frame.view_all());
     }
 
     #[test]

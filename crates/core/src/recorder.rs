@@ -36,6 +36,9 @@ pub struct RecorderSink {
     reasm: Reassembler,
     offset: u64,
     last_indexed_frame: Option<u32>,
+    /// Length-prefix + frame scratch, reused so steady-state ingest
+    /// performs one file-system append and no allocations per frame.
+    rec_scratch: Vec<u8>,
     /// AAL5 frames stored.
     pub frames_stored: u64,
     /// Reassembly/parse failures.
@@ -54,6 +57,7 @@ impl RecorderSink {
             reasm: Reassembler::new(),
             offset: 0,
             last_indexed_frame: None,
+            rec_scratch: Vec::new(),
             frames_stored: 0,
             frames_bad: 0,
         }))
@@ -67,11 +71,12 @@ impl RecorderSink {
                 self.last_indexed_frame = Some(tf.frame_seq);
             }
         }
-        let mut rec = Vec::with_capacity(4 + bytes.len());
-        rec.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
-        rec.extend_from_slice(bytes);
-        self.fs.borrow_mut().append(self.file, &rec)?;
-        self.offset += rec.len() as u64;
+        self.rec_scratch.clear();
+        self.rec_scratch
+            .extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        self.rec_scratch.extend_from_slice(bytes);
+        self.fs.borrow_mut().append(self.file, &self.rec_scratch)?;
+        self.offset += self.rec_scratch.len() as u64;
         self.frames_stored += 1;
         Ok(())
     }
@@ -79,9 +84,11 @@ impl RecorderSink {
 
 impl CellSink for RecorderSink {
     fn deliver(&mut self, _sim: &mut Simulator, cell: Cell) {
-        match self.reasm.push(&cell) {
+        // Zero-copy ingest: a clean camera frame arrives as a view of
+        // the producer's arena buffer and goes straight to the log.
+        match self.reasm.push_frame(&cell) {
             None => {}
-            Some(Ok(bytes)) => self.frames_bad += u64::from(self.store(&bytes).is_err()),
+            Some(Ok(lease)) => self.frames_bad += u64::from(self.store(&lease).is_err()),
             Some(Err(_)) => self.frames_bad += 1,
         }
     }
@@ -99,21 +106,27 @@ pub struct MediaPlayer;
 
 impl MediaPlayer {
     /// Reads every stored tile frame from byte `offset` to the end.
+    ///
+    /// Record bodies come back as arena leases ([`LogFs::read_leased`])
+    /// recycled record-to-record, so a long playback scan reuses two
+    /// buffers instead of allocating two `Vec`s per stored frame.
     pub fn read_from_offset(
         fs: &mut LogFs,
         file: FileId,
         offset: u64,
     ) -> Result<Vec<TileFrame>, FsError> {
+        let arena = pegasus_sim::arena::Arena::new();
         let size = fs.pnode(file).ok_or(FsError::NoSuchFile)?.size;
         let mut out = Vec::new();
         let mut pos = offset;
         while pos + 4 <= size {
-            let lenb = fs.read(file, pos, 4)?;
-            let len = u32::from_be_bytes(lenb.try_into().expect("4 bytes")) as u64;
+            let lenb = fs.read_leased(file, pos, 4, &arena)?;
+            let len = u32::from_be_bytes(lenb[..4].try_into().expect("4 bytes")) as u64;
+            drop(lenb);
             if pos + 4 + len > size {
                 break; // torn tail record
             }
-            let body = fs.read(file, pos + 4, len as usize)?;
+            let body = fs.read_leased(file, pos + 4, len as usize, &arena)?;
             if let Ok(tf) = TileFrame::decode(&body) {
                 out.push(tf);
             }

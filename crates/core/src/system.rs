@@ -52,7 +52,7 @@ impl HostNic {
 
 impl CellSink for HostNic {
     fn deliver(&mut self, sim: &mut Simulator, mut cell: Cell) {
-        self.bytes_touched += cell.payload.len() as u64;
+        self.bytes_touched += cell.payload().len() as u64;
         self.cells += 1;
         self.cpu_time += self.per_cell_cpu;
         if let Some((vci, link)) = &self.forward {

@@ -71,10 +71,11 @@ pub fn pack_cell(vci: Vci, timestamp: Ns, samples: &[i16; SAMPLES_PER_CELL]) -> 
 
 /// Unpacks a cell produced by [`pack_cell`].
 pub fn unpack_cell(cell: &Cell) -> (Ns, [i16; SAMPLES_PER_CELL]) {
-    let ts = Ns::from_be_bytes(cell.payload[..8].try_into().expect("8 bytes"));
+    let payload = cell.payload();
+    let ts = Ns::from_be_bytes(payload[..8].try_into().expect("8 bytes"));
     let mut samples = [0i16; SAMPLES_PER_CELL];
     for (i, s) in samples.iter_mut().enumerate() {
-        *s = i16::from_be_bytes([cell.payload[8 + 2 * i], cell.payload[8 + 2 * i + 1]]);
+        *s = i16::from_be_bytes([payload[8 + 2 * i], payload[8 + 2 * i + 1]]);
     }
     (ts, samples)
 }

@@ -20,13 +20,14 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use pegasus_atm::aal5::Segmenter;
-use pegasus_atm::cell::Vci;
+use pegasus_atm::cell::{Cell, Vci};
 use pegasus_atm::link::Link;
+use pegasus_sim::arena::{Arena, FrameBuf, FrameBufMut};
 use pegasus_sim::time::{Ns, SEC};
 use pegasus_sim::Simulator;
 
 use crate::codec;
-use crate::tile::{Tile, TileCoding, TileFrame};
+use crate::tile::{Tile, TileCoding, TileFrameWriter};
 use crate::video::SyntheticVideo;
 
 /// Raw or compressed output, fixed at VC-establishment time.
@@ -102,6 +103,13 @@ impl CameraStats {
 }
 
 /// The ATM camera device.
+///
+/// The data path is allocation-free at steady state: the CCD renders
+/// into a buffer leased from the camera's [`Arena`], tile frames are
+/// written directly into further leased buffers (no intermediate
+/// `TileFrame` struct, no per-tile `Vec`s), and AAL5 segmentation takes
+/// zero-copy views of those buffers — the switch fabric forwards the
+/// very bytes the encoder wrote.
 pub struct Camera {
     video: SyntheticVideo,
     cfg: CameraConfig,
@@ -109,6 +117,10 @@ pub struct Camera {
     tx: Rc<RefCell<Link>>,
     running: bool,
     frame_no: u32,
+    /// The buffer pool frames and tile frames are leased from.
+    arena: Arena,
+    /// Scratch cell train reused across sends.
+    cells: Vec<Cell>,
     /// Per-run statistics.
     pub stats: CameraStats,
 }
@@ -129,8 +141,15 @@ impl Camera {
             tx,
             running: false,
             frame_no: 0,
+            arena: Arena::new(),
+            cells: Vec::new(),
             stats: CameraStats::default(),
         }))
+    }
+
+    /// The camera's buffer arena (for lease-accounting assertions).
+    pub fn arena(&self) -> &Arena {
+        &self.arena
     }
 
     /// Frame period from the configured rate.
@@ -196,15 +215,15 @@ impl Camera {
                 c.cfg.granularity,
             )
         };
-        // Render the frame the CCD will scan.
+        // Render the frame the CCD will scan, into recycled arena
+        // storage; row emissions share it by refcount.
         let image = {
             let mut c = cam.borrow_mut();
             let n = c.frame_no;
             c.frame_no += 1;
             c.stats.frames_captured += 1;
-            c.video.frame(n)
+            c.video.frame_leased(n, &c.arena)
         };
-        let image = Rc::new(image);
         let frame_seq = cam.borrow().frame_no - 1;
         let frame_scan_done = frame_start + height as u64 * line_period;
         for row in 0..rows {
@@ -227,11 +246,13 @@ impl Camera {
     }
 
     /// Encodes and transmits one row of tiles; `scanned_at` is the
-    /// timestamp carried in the tile-frame trailer.
+    /// timestamp carried in the tile-frame trailer. Tile payloads are
+    /// encoded straight into a leased buffer, which AAL5 then segments
+    /// by reference — no copy from encoder to wire.
     fn emit_row(
         &mut self,
         sim: &mut Simulator,
-        image: &[u8],
+        image: &FrameBuf,
         row: usize,
         frame_seq: u32,
         scanned_at: Ns,
@@ -241,38 +262,35 @@ impl Camera {
             VideoMode::Raw => (TileCoding::Raw, 0),
             VideoMode::Mjpeg(q) => (TileCoding::Compressed, q),
         };
-        let mut pending: Vec<(u16, u16, Vec<u8>)> = Vec::with_capacity(self.cfg.tiles_per_frame);
+        let mut writer: Option<TileFrameWriter<FrameBufMut>> = None;
         for tx_idx in 0..tiles_x {
             let tile = Tile::from_image(image, self.video.width, tx_idx, row);
-            let payload = match self.cfg.mode {
-                VideoMode::Raw => tile.pixels.to_vec(),
-                VideoMode::Mjpeg(q) => codec::encode_tile(&tile.pixels, q),
-            };
+            let w = writer.get_or_insert_with(|| {
+                TileFrameWriter::begin(self.arena.lease(), coding, quality, frame_seq, scanned_at)
+            });
+            match self.cfg.mode {
+                VideoMode::Raw => w.push_tile(tile.x, tile.y, &tile.pixels),
+                VideoMode::Mjpeg(q) => w.push_tile_with(tile.x, tile.y, |out| {
+                    codec::encode_tile_into(&tile.pixels, q, out)
+                }),
+            }
             self.stats.raw_bytes += 64;
             self.stats.tiles_sent += 1;
-            pending.push((tile.x, tile.y, payload));
-            if pending.len() == self.cfg.tiles_per_frame || tx_idx == tiles_x - 1 {
-                let frame = TileFrame {
-                    coding,
-                    quality,
-                    frame_seq,
-                    timestamp: scanned_at,
-                    tiles: std::mem::take(&mut pending),
-                };
+            if w.tiles() == self.cfg.tiles_per_frame || tx_idx == tiles_x - 1 {
+                let frame = writer.take().expect("writer active").finish().freeze();
                 self.send_frame(sim, &frame);
             }
         }
     }
 
-    fn send_frame(&mut self, sim: &mut Simulator, frame: &TileFrame) {
-        let bytes = frame.encode();
+    fn send_frame(&mut self, sim: &mut Simulator, frame: &FrameBuf) {
         self.stats.aal5_frames += 1;
-        self.stats.payload_bytes += bytes.len() as u64;
-        let cells = Segmenter::new(self.vci)
-            .segment(&bytes)
+        self.stats.payload_bytes += frame.len() as u64;
+        Segmenter::new(self.vci)
+            .segment_frame(&frame.view_all(), &mut self.cells)
             .expect("tile frames are far below the AAL5 maximum");
         let mut tx = self.tx.borrow_mut();
-        for cell in cells {
+        for cell in self.cells.drain(..) {
             tx.send(sim, cell);
         }
     }
@@ -281,6 +299,7 @@ impl Camera {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tile::TileFrame;
     use crate::video::Scene;
     use pegasus_atm::aal5::Reassembler;
     use pegasus_atm::link::CaptureSink;
@@ -450,6 +469,76 @@ mod tests {
             let avg = total_psnr / n as f64;
             assert!(avg > 28.0, "average tile PSNR {avg:.1} dB too low");
         }
+    }
+
+    #[test]
+    fn camera_cells_ride_the_zero_copy_lane() {
+        let (cam, sink) = capture_setup(CameraConfig {
+            mode: VideoMode::Raw,
+            ..CameraConfig::default()
+        });
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(100 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        // Every full-body cell references an arena frame; only the
+        // synthesised pad/trailer tails are inline.
+        {
+            let arrivals = &sink.borrow().arrivals;
+            assert!(!arrivals.is_empty());
+            let views = arrivals.iter().filter(|(_, c)| c.is_view()).count();
+            assert!(
+                views * 2 > arrivals.len(),
+                "most cells must be views, got {views}/{}",
+                arrivals.len()
+            );
+        }
+        // The capture sink still holds the delivered cells, pinning the
+        // tile-frame buffers — but the CCD image buffers recycle from
+        // frame to frame, so fresh allocations lag leases.
+        let stats = cam.borrow().arena().stats();
+        assert!(
+            stats.fresh_allocs < stats.leases_granted,
+            "fresh {} vs granted {}",
+            stats.fresh_allocs,
+            stats.leases_granted
+        );
+    }
+
+    #[test]
+    fn steady_state_camera_recycles_buffers() {
+        let (cam, sink) = capture_setup(CameraConfig {
+            mode: VideoMode::Mjpeg(50),
+            ..CameraConfig::default()
+        });
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        // Drain the capture sink between frames so leases return.
+        for i in 1..=10u64 {
+            sim.run_until(i * 40 * MS);
+            sink.borrow_mut().arrivals.clear();
+        }
+        cam.borrow_mut().stop();
+        sim.run();
+        sink.borrow_mut().arrivals.clear();
+        let stats = cam.borrow().arena().stats();
+        assert_eq!(
+            stats.outstanding, 0,
+            "every frame and tile-frame lease returned"
+        );
+        // 10+ frames, each an image lease + several tile-frame leases,
+        // served by a handful of distinct buffers.
+        assert!(
+            stats.leases_granted > 50,
+            "granted {}",
+            stats.leases_granted
+        );
+        assert!(
+            stats.fresh_allocs <= 8,
+            "steady state must recycle, allocated {}",
+            stats.fresh_allocs
+        );
     }
 
     #[test]

@@ -159,13 +159,21 @@ fn idct(block: &[f32; TILE_PIXELS]) -> [f32; TILE_PIXELS] {
 /// zero-run length followed by a big-endian `i16` level, terminated by
 /// the end-of-block byte `0xFF`.
 pub fn encode_tile(pixels: &[u8; TILE_PIXELS], quality: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    encode_tile_into(pixels, quality, &mut out);
+    out
+}
+
+/// [`encode_tile`], appending the bitstream to `out` — the zero-copy
+/// camera path encodes straight into the leased frame buffer a tile
+/// frame is being assembled in, so compression allocates nothing.
+pub fn encode_tile_into(pixels: &[u8; TILE_PIXELS], quality: u8, out: &mut Vec<u8>) {
     let quant = quant_matrix(quality);
     let mut block = [0f32; TILE_PIXELS];
     for (b, &p) in block.iter_mut().zip(pixels.iter()) {
         *b = p as f32 - 128.0;
     }
     let coeffs = fdct(&block);
-    let mut out = Vec::with_capacity(24);
     let mut run: u8 = 0;
     for &zz in ZIGZAG.iter() {
         let q = (coeffs[zz] / quant[zz] as f32).round() as i16;
@@ -178,7 +186,6 @@ pub fn encode_tile(pixels: &[u8; TILE_PIXELS], quality: u8) -> Vec<u8> {
         }
     }
     out.push(0xFF); // end of block
-    out
 }
 
 /// Decompresses a tile produced by [`encode_tile`] at the same quality.

@@ -211,10 +211,12 @@ impl Display {
 impl CellSink for Display {
     fn deliver(&mut self, sim: &mut Simulator, cell: Cell) {
         let vci = cell.vci();
-        let result = self.reasm.entry(vci).or_default().push(&cell);
+        // Zero-copy receive: an uncorrupted frame arrives as a view of
+        // the camera's own arena buffer and is decoded in place.
+        let result = self.reasm.entry(vci).or_default().push_frame(&cell);
         match result {
             None => {}
-            Some(Ok(bytes)) => match TileFrame::decode(&bytes) {
+            Some(Ok(lease)) => match TileFrame::decode(&lease) {
                 Ok(frame) => self.blit_frame(sim.now(), &frame, vci),
                 Err(_) => self.stats.frames_bad += 1,
             },
@@ -547,7 +549,7 @@ mod tests {
         let mut cells = Segmenter::new(5)
             .segment(&solid_frame(7, 0).encode())
             .unwrap();
-        cells[0].payload[3] ^= 0xFF;
+        cells[0].payload_mut()[3] ^= 0xFF;
         for cell in cells {
             display.borrow_mut().deliver(&mut sim, cell);
         }

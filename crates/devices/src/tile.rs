@@ -179,6 +179,100 @@ impl TileFrame {
     }
 }
 
+/// Streams the [`TileFrame::encode`] wire format directly into a byte
+/// buffer — the zero-copy camera path writes each tile into the leased
+/// arena buffer the AAL5 frame will be segmented from, skipping the
+/// intermediate `TileFrame` struct and its per-tile `Vec`s entirely.
+///
+/// `B` is any owned-or-borrowed handle to a `Vec<u8>`: a plain
+/// `&mut Vec<u8>`, or a `pegasus_sim::arena::FrameBufMut` lease.
+///
+/// # Examples
+///
+/// ```
+/// use pegasus_devices::tile::{TileCoding, TileFrame, TileFrameWriter};
+///
+/// let mut buf = Vec::new();
+/// let mut w = TileFrameWriter::begin(&mut buf, TileCoding::Raw, 0, 3, 99);
+/// w.push_tile(0, 8, &[7u8; 64]);
+/// w.finish();
+/// let frame = TileFrame::decode(&buf).unwrap();
+/// assert_eq!(frame.frame_seq, 3);
+/// assert_eq!(frame.tiles[0].2, vec![7u8; 64]);
+/// ```
+pub struct TileFrameWriter<B: std::ops::DerefMut<Target = Vec<u8>>> {
+    buf: B,
+    /// Where this frame starts in the buffer.
+    base: usize,
+    tiles: usize,
+}
+
+impl<B: std::ops::DerefMut<Target = Vec<u8>>> TileFrameWriter<B> {
+    /// Starts a frame, appending the fixed header to `buf`.
+    pub fn begin(
+        mut buf: B,
+        coding: TileCoding,
+        quality: u8,
+        frame_seq: u32,
+        timestamp: u64,
+    ) -> Self {
+        let base = buf.len();
+        buf.push(match coding {
+            TileCoding::Raw => 0,
+            TileCoding::Compressed => 1,
+        });
+        buf.push(quality);
+        buf.push(0); // ntiles, patched by finish()
+        buf.extend_from_slice(&frame_seq.to_be_bytes());
+        buf.extend_from_slice(&timestamp.to_be_bytes());
+        TileFrameWriter {
+            buf,
+            base,
+            tiles: 0,
+        }
+    }
+
+    /// Appends one tile with an already-encoded payload.
+    pub fn push_tile(&mut self, x: u16, y: u16, data: &[u8]) {
+        self.push_tile_with(x, y, |out| out.extend_from_slice(data));
+    }
+
+    /// Appends one tile whose payload `encode` writes directly into the
+    /// frame buffer (how the compressed path avoids a per-tile `Vec`).
+    pub fn push_tile_with(&mut self, x: u16, y: u16, encode: impl FnOnce(&mut Vec<u8>)) {
+        assert!(
+            self.tiles < u8::MAX as usize,
+            "tile count field is one byte"
+        );
+        self.buf.extend_from_slice(&x.to_be_bytes());
+        self.buf.extend_from_slice(&y.to_be_bytes());
+        let len_at = self.buf.len();
+        self.buf.extend_from_slice(&[0, 0]); // length, patched below
+        encode(&mut self.buf);
+        let len = self.buf.len() - len_at - 2;
+        self.buf[len_at..len_at + 2].copy_from_slice(&(len as u16).to_be_bytes());
+        self.tiles += 1;
+    }
+
+    /// Tiles appended so far.
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Payload bytes of this frame so far (excluding any bytes that
+    /// preceded it in the buffer).
+    pub fn frame_len(&self) -> usize {
+        self.buf.len() - self.base
+    }
+
+    /// Patches the tile count and returns the buffer handle.
+    pub fn finish(mut self) -> B {
+        let ntiles = self.tiles as u8;
+        self.buf[self.base + 2] = ntiles;
+        self.buf
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,7 +362,73 @@ mod tests {
         assert_eq!((t.x, t.y), (8, 16));
     }
 
+    #[test]
+    fn writer_matches_encode_byte_for_byte() {
+        let frame = TileFrame {
+            coding: TileCoding::Compressed,
+            quality: 61,
+            frame_seq: 0xDEAD_BEEF,
+            timestamp: 0x0123_4567_89AB_CDEF,
+            tiles: vec![
+                (0, 0, vec![1u8; 17]),
+                (8, 0, vec![]),
+                (16, 8, vec![9u8; 64]),
+            ],
+        };
+        let mut buf = Vec::new();
+        let mut w = TileFrameWriter::begin(
+            &mut buf,
+            frame.coding,
+            frame.quality,
+            frame.frame_seq,
+            frame.timestamp,
+        );
+        for (x, y, d) in &frame.tiles {
+            w.push_tile(*x, *y, d);
+        }
+        assert_eq!(w.tiles(), 3);
+        w.finish();
+        assert_eq!(buf, frame.encode());
+    }
+
+    #[test]
+    fn writer_appends_after_existing_bytes() {
+        let mut buf = vec![0xEE; 5];
+        let mut w = TileFrameWriter::begin(&mut buf, TileCoding::Raw, 0, 1, 2);
+        w.push_tile_with(0, 0, |out| out.extend_from_slice(&[3u8; 64]));
+        assert_eq!(w.frame_len(), 15 + 6 + 64);
+        w.finish();
+        assert_eq!(&buf[..5], &[0xEE; 5]);
+        let frame = TileFrame::decode(&buf[5..]).unwrap();
+        assert_eq!(frame.tiles.len(), 1);
+    }
+
     proptest! {
+        #[test]
+        fn prop_writer_equivalent_to_encode(
+            seq in any::<u32>(),
+            ts in any::<u64>(),
+            tiles in proptest::collection::vec(
+                (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..100)),
+                0..20,
+            ),
+        ) {
+            let frame = TileFrame {
+                coding: TileCoding::Compressed,
+                quality: 17,
+                frame_seq: seq,
+                timestamp: ts,
+                tiles,
+            };
+            let mut buf = Vec::new();
+            let mut w = TileFrameWriter::begin(&mut buf, frame.coding, frame.quality, seq, ts);
+            for (x, y, d) in &frame.tiles {
+                w.push_tile(*x, *y, d);
+            }
+            w.finish();
+            prop_assert_eq!(buf, frame.encode());
+        }
+
         #[test]
         fn prop_frame_roundtrip(
             seq in any::<u32>(),

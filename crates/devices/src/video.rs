@@ -70,6 +70,19 @@ impl SyntheticVideo {
         buf
     }
 
+    /// Renders frame `n` into a buffer leased from `arena` — the CCD
+    /// "scans" straight into recycled arena storage, so a steady-state
+    /// camera allocates nothing per frame.
+    pub fn frame_leased(
+        &self,
+        n: u32,
+        arena: &pegasus_sim::arena::Arena,
+    ) -> pegasus_sim::arena::FrameBuf {
+        let mut lease = arena.lease_zeroed(self.frame_bytes());
+        self.render(n, &mut lease);
+        lease.freeze()
+    }
+
     /// Renders frame `n` into `buf` (must be `frame_bytes()` long).
     pub fn render(&self, n: u32, buf: &mut [u8]) {
         assert_eq!(buf.len(), self.frame_bytes());

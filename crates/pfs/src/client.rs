@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 
 use crate::log::{FileClass, FileId, FsError, LogFs};
+use pegasus_sim::arena::{Arena, FrameBuf};
 use pegasus_sim::time::Ns;
 
 /// When the server pushes buffered data to the log.
@@ -36,10 +37,13 @@ pub enum WritePolicy {
     },
 }
 
+/// One write in flight: the server buffer and the client agent reference
+/// the *same* immutable arena lease — "keeps a copy of the data in its
+/// buffers" costs a refcount bump, not a second allocation.
 #[derive(Debug, Clone)]
 struct Pending {
     file: FileId,
-    data: Vec<u8>,
+    data: FrameBuf,
     enqueued: Ns,
     seq: u64,
 }
@@ -68,8 +72,11 @@ pub struct WriteBehindSystem {
     now: Ns,
     /// Data acknowledged but not yet on disk (server RAM).
     server_pending: Vec<Pending>,
-    /// Copies the client agent retains until the server writes to disk.
+    /// Copies the client agent retains until the server writes to disk
+    /// (references to the same leases the server holds).
     client_copies: HashMap<u64, Pending>,
+    /// The pool write leases are drawn from; committed buffers recycle.
+    arena: Arena,
     next_seq: u64,
     /// Whether the server has battery backup / UPS.
     pub server_has_ups: bool,
@@ -86,6 +93,7 @@ impl WriteBehindSystem {
             now: 0,
             server_pending: Vec::new(),
             client_copies: HashMap::new(),
+            arena: Arena::new(),
             next_seq: 0,
             server_has_ups: true,
             stats: WriteStats::default(),
@@ -150,9 +158,12 @@ impl WriteBehindSystem {
                 Ok(())
             }
             WritePolicy::WriteBehind { .. } => {
+                // One copy into an arena lease; server buffer and client
+                // agent then share it by refcount (the seed did
+                // `to_vec()` *and* a full `clone()` — two copies).
                 let p = Pending {
                     file,
-                    data: data.to_vec(),
+                    data: self.arena.frame_from(data),
                     enqueued: self.now,
                     seq: self.next_seq,
                 };
@@ -361,6 +372,26 @@ mod tests {
         s.advance(DELAY).unwrap();
         let back = s.fs.read(f, 0, 12).unwrap();
         assert_eq!(back, b"first second");
+    }
+
+    #[test]
+    fn client_copy_is_a_reference_not_a_second_allocation() {
+        let mut s = system(WritePolicy::WriteBehind { delay: DELAY });
+        let f = s.create();
+        s.write(f, &[8u8; 4096]).unwrap();
+        // Server buffer + client copy share one lease: one buffer
+        // outstanding, referenced from both sides.
+        let st = s.arena.stats();
+        assert_eq!(st.outstanding, 1, "one lease serves both copies");
+        assert!(
+            FrameBuf::same_buffer(&s.server_pending[0].data, &s.client_copies[&0].data),
+            "server and client reference the same bytes"
+        );
+        // After commit both references drop and the storage recycles.
+        s.advance(DELAY).unwrap();
+        assert_eq!(s.arena.stats().outstanding, 0);
+        s.write(f, &[9u8; 4096]).unwrap();
+        assert_eq!(s.arena.stats().fresh_allocs, 1, "second write recycles");
     }
 
     #[test]

@@ -215,6 +215,9 @@ pub struct CmScheduler {
     /// inside the server as well).
     max_streams: usize,
     streams: Vec<CmStream>,
+    /// Reused read buffer: periodic service allocates nothing at steady
+    /// state.
+    scratch: Vec<u8>,
 }
 
 impl CmScheduler {
@@ -226,6 +229,7 @@ impl CmScheduler {
             array_bandwidth,
             max_streams: usize::MAX,
             streams: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -290,7 +294,7 @@ impl CmScheduler {
                 let size = fs.pnode(s.file).ok_or(FsError::NoSuchFile)?.size;
                 let take = want.min(size.saturating_sub(s.offset));
                 if take > 0 {
-                    let _ = fs.read(s.file, s.offset, take as usize)?;
+                    fs.read_into(s.file, s.offset, take as usize, &mut self.scratch)?;
                     s.offset += take;
                     delivered += take;
                 }

@@ -213,22 +213,38 @@ impl SimDisk {
     /// data and the operation's duration. Unwritten sectors read as
     /// zeros.
     pub fn read(&mut self, sector: u64, sectors: u64) -> Result<(Vec<u8>, Ns), DiskError> {
+        let mut out = Vec::with_capacity(sectors as usize * SECTOR);
+        let t = self.read_into(sector, sectors, &mut out)?;
+        Ok((out, t))
+    }
+
+    /// [`SimDisk::read`], appending into a caller-supplied buffer — the
+    /// RAID and log layers reuse one scratch buffer across reads so the
+    /// storage hot path stops allocating at steady state.
+    pub fn read_into(
+        &mut self,
+        sector: u64,
+        sectors: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<Ns, DiskError> {
         self.check(sector, (sectors as usize) * SECTOR)?;
         let pos = self.position(sector);
-        let mut out = Vec::with_capacity(sectors as usize * SECTOR);
+        let base = out.len();
+        out.reserve(sectors as usize * SECTOR);
         for s in sector..sector + sectors {
             match self.data.get(&s) {
                 Some(b) => out.extend_from_slice(&b[..]),
                 None => out.extend_from_slice(&[0u8; SECTOR]),
             }
         }
-        let xfer = self.transfer_time(out.len());
+        let n = out.len() - base;
+        let xfer = self.transfer_time(n);
         self.head = sector + sectors;
         self.stats.reads += 1;
-        self.stats.bytes_read += out.len() as u64;
+        self.stats.bytes_read += n as u64;
         self.stats.positioning += pos;
         self.stats.transferring += xfer;
-        Ok((out, xfer + pos))
+        Ok(xfer + pos)
     }
 
     fn check(&self, sector: u64, bytes: usize) -> Result<(), DiskError> {

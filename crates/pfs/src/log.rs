@@ -150,6 +150,9 @@ pub struct LogFs {
     pub io_time: Ns,
     /// Counters.
     pub stats: FsStats,
+    /// Reused stripe buffer for array reads: a steady-state read path
+    /// performs no per-read stripe allocations.
+    stripe_scratch: Vec<u8>,
 }
 
 impl LogFs {
@@ -172,6 +175,7 @@ impl LogFs {
             },
             pnodes: HashMap::new(),
             next_pnode: 1,
+            stripe_scratch: Vec::new(),
             segments: HashMap::new(),
             open_deficit: HashMap::new(),
             garbage: Vec::new(),
@@ -393,11 +397,28 @@ impl LogFs {
 
     /// Reads `len` bytes of `file` starting at `offset`.
     pub fn read(&mut self, file: FileId, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        let mut out = Vec::new();
+        self.read_into(file, offset, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`LogFs::read`] into a caller-supplied buffer (cleared, then
+    /// filled with exactly `len` bytes) — rate-guaranteed CM service
+    /// reuses one buffer per scheduler so periodic reads allocate
+    /// nothing at steady state.
+    pub fn read_into(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), FsError> {
         let pnode = self.pnodes.get(&file).ok_or(FsError::NoSuchFile)?.clone();
         if offset + len as u64 > pnode.size {
             return Err(FsError::BadRange);
         }
-        let mut out = vec![0u8; len];
+        out.clear();
+        out.resize(len, 0);
         for ext in &pnode.extents {
             let ext_end = ext.file_offset + ext.len as u64;
             let want_end = offset + len as u64;
@@ -416,13 +437,31 @@ impl LogFs {
             if let Some(open) = open {
                 out[dst..dst + n].copy_from_slice(&open.buf[seg_off..seg_off + n]);
             } else {
-                let (stripe, t) = self.raid.read_stripe(ext.segment)?;
+                let t = self
+                    .raid
+                    .read_stripe_into(ext.segment, &mut self.stripe_scratch)?;
                 self.io_time += t;
-                out[dst..dst + n].copy_from_slice(&stripe[seg_off..seg_off + n]);
+                out[dst..dst + n].copy_from_slice(&self.stripe_scratch[seg_off..seg_off + n]);
             }
         }
         self.stats.bytes_read += len as u64;
-        Ok(out)
+        Ok(())
+    }
+
+    /// Reads `len` bytes of `file` into a buffer leased from `arena` —
+    /// the server hands the caller a refcounted lease instead of a fresh
+    /// allocation, so playback fan-out shares one copy of the data and
+    /// the storage recycles buffers as consumers release them.
+    pub fn read_leased(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        len: usize,
+        arena: &pegasus_sim::arena::Arena,
+    ) -> Result<pegasus_sim::arena::FrameBuf, FsError> {
+        let mut lease = arena.lease();
+        self.read_into(file, offset, len, &mut lease)?;
+        Ok(lease.freeze())
     }
 
     fn garbage_extents(&mut self, extents: &[Extent]) {

@@ -150,49 +150,49 @@ impl RaidArray {
     /// Reads one full stripe, reconstructing through parity if a single
     /// data disk has failed. Returns the data and the duration.
     pub fn read_stripe(&mut self, stripe: u64) -> Result<(Vec<u8>, Ns), RaidError> {
+        let mut out = Vec::with_capacity(self.stripe_bytes());
+        let t = self.read_stripe_into(stripe, &mut out)?;
+        Ok((out, t))
+    }
+
+    /// [`RaidArray::read_stripe`] into a caller-supplied buffer
+    /// (cleared, then filled with exactly one stripe) — the log layer
+    /// keeps one stripe scratch so per-read stripe allocations
+    /// disappear from the storage hot path.
+    pub fn read_stripe_into(&mut self, stripe: u64, out: &mut Vec<u8>) -> Result<Ns, RaidError> {
         if self.failed_count() > 1 {
             return Err(RaidError::TooManyFailures);
         }
         let sector = stripe * self.chunk_sectors();
         let n = self.chunk_sectors();
-        let mut chunks: Vec<Option<Vec<u8>>> = Vec::with_capacity(DATA_DISKS);
+        out.clear();
         let mut max_t = 0;
         let mut missing: Option<usize> = None;
         for i in 0..DATA_DISKS {
-            match self.disks[i].read(sector, n) {
-                Ok((d, t)) => {
-                    max_t = max_t.max(t);
-                    chunks.push(Some(d));
-                }
+            match self.disks[i].read_into(sector, n, out) {
+                Ok(t) => max_t = max_t.max(t),
                 Err(DiskError::Failed) => {
                     missing = Some(i);
-                    chunks.push(None);
+                    out.resize(out.len() + self.chunk_bytes, 0);
                 }
                 Err(e) => return Err(e.into()),
             }
         }
         if let Some(miss) = missing {
-            // Reconstruct from parity.
+            // Reconstruct the missing chunk in place from parity.
             let (parity, t) = self.disks[DATA_DISKS].read(sector, n)?;
             max_t = max_t.max(t);
-            let mut rebuilt = parity;
-            for (i, c) in chunks.iter().enumerate() {
-                if i != miss {
-                    for (r, b) in rebuilt
-                        .iter_mut()
-                        .zip(c.as_ref().expect("only one missing").iter())
-                    {
-                        *r ^= b;
-                    }
+            let cb = self.chunk_bytes;
+            let (pre, rest) = out.split_at_mut(miss * cb);
+            let (slot, post) = rest.split_at_mut(cb);
+            slot.copy_from_slice(&parity);
+            for chunk in pre.chunks(cb).chain(post.chunks(cb)) {
+                for (s, b) in slot.iter_mut().zip(chunk.iter()) {
+                    *s ^= b;
                 }
             }
-            chunks[miss] = Some(rebuilt);
         }
-        let mut out = Vec::with_capacity(self.stripe_bytes());
-        for c in chunks {
-            out.extend_from_slice(&c.expect("all chunks present"));
-        }
-        Ok((out, max_t))
+        Ok(max_t)
     }
 
     /// Rebuilds a replaced disk from the surviving four, stripe by

@@ -21,11 +21,13 @@
 //! assert_eq!(sim.now(), 3 * time::MS);
 //! ```
 
+pub mod arena;
 pub mod engine;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arena::{Arena, ArenaStats, FrameBuf, FrameBufMut, FrameView};
 pub use engine::{EventId, SharedHandler, Simulator};
 pub use stats::{Counter, Histogram, TimeWeighted};
 pub use time::Ns;

@@ -1,0 +1,117 @@
+//! Property tests for the arena's lease-conservation invariants.
+//!
+//! The zero-copy data path rests on deterministic lease accounting:
+//! every lease granted is eventually returned, the outstanding count
+//! never underflows, and the arena only allocates fresh storage when
+//! every previously created buffer is simultaneously leased out (so the
+//! number of buffers ever created — the slab's high-water mark — is
+//! bounded by the peak number of live frames, never by traffic volume).
+
+use pegasus_sim::arena::{Arena, FrameBuf, FrameView};
+use proptest::prelude::*;
+
+/// Number of distinct underlying buffers alive across both handle sets.
+fn distinct_live(bufs: &[FrameBuf], views: &[FrameView]) -> u64 {
+    let mut reps: Vec<&FrameBuf> = Vec::new();
+    for b in bufs.iter().chain(views.iter().map(|v| v.buf())) {
+        if !reps.iter().any(|r| FrameBuf::same_buffer(r, b)) {
+            reps.push(b);
+        }
+    }
+    reps.len() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drive a random sequence of lease / view / drop operations and
+    /// check the books after every step.
+    #[test]
+    fn prop_lease_conservation(
+        ops in proptest::collection::vec((0u8..5, any::<u8>()), 1..120),
+    ) {
+        let arena = Arena::new();
+        let mut bufs: Vec<FrameBuf> = Vec::new();
+        let mut views: Vec<FrameView> = Vec::new();
+        let mut peak_live = 0u64;
+        for (op, arg) in ops {
+            let arg = arg as usize;
+            match op {
+                // Lease, fill, freeze.
+                0 => {
+                    let mut lease = arena.lease();
+                    lease.resize(arg + 1, arg as u8);
+                    bufs.push(lease.freeze());
+                }
+                // Take a view of a random buffer.
+                1 if !bufs.is_empty() => {
+                    let b = &bufs[arg % bufs.len()];
+                    let len = arg % (b.len() + 1);
+                    views.push(b.view(b.len() - len, len));
+                }
+                // Drop a buffer handle.
+                2 if !bufs.is_empty() => {
+                    bufs.swap_remove(arg % bufs.len());
+                }
+                // Drop a view.
+                3 if !views.is_empty() => {
+                    views.swap_remove(arg % views.len());
+                }
+                // Sub-slice an existing view (replacing it).
+                4 if !views.is_empty() => {
+                    let i = arg % views.len();
+                    let v = &views[i];
+                    let len = arg % (v.len() + 1);
+                    views[i] = v.slice(0, len);
+                }
+                _ => {}
+            }
+            let live = distinct_live(&bufs, &views);
+            peak_live = peak_live.max(live);
+            let s = arena.stats();
+            // Conservation: granted = returned + outstanding, and the
+            // outstanding leases are exactly the live buffers.
+            prop_assert_eq!(s.leases_granted, s.leases_returned + s.outstanding);
+            prop_assert_eq!(s.outstanding, live);
+            // The pool never creates storage unless everything already
+            // created is out — so created-ever equals the high-water
+            // mark, which is bounded by the peak of live frames.
+            prop_assert_eq!(s.fresh_allocs, s.high_water);
+            prop_assert!(s.high_water <= peak_live.max(1));
+            // Free storage plus outstanding leases account for every
+            // buffer ever created.
+            prop_assert_eq!(arena.pooled() as u64 + s.outstanding, s.fresh_allocs);
+        }
+        // Every lease returns once the handles go.
+        bufs.clear();
+        views.clear();
+        let s = arena.stats();
+        prop_assert_eq!(s.outstanding, 0);
+        prop_assert_eq!(s.leases_returned, s.leases_granted);
+        prop_assert_eq!(arena.pooled() as u64, s.fresh_allocs);
+    }
+
+    /// A producer/consumer pipeline with bounded in-flight frames never
+    /// grows the slab past the in-flight bound, regardless of volume.
+    #[test]
+    fn prop_high_water_bounded_by_in_flight(
+        frames in 1usize..200,
+        in_flight in 1usize..8,
+        size in 1usize..2048,
+    ) {
+        let arena = Arena::new();
+        let mut queue: Vec<FrameBuf> = Vec::new();
+        for n in 0..frames {
+            if queue.len() == in_flight {
+                queue.remove(0); // consumer releases the oldest frame
+            }
+            let mut lease = arena.lease();
+            lease.resize(size, n as u8);
+            queue.push(lease.freeze());
+        }
+        let s = arena.stats();
+        prop_assert_eq!(s.leases_granted, frames as u64);
+        prop_assert!(s.fresh_allocs <= in_flight as u64 + 1);
+        prop_assert_eq!(s.fresh_allocs, s.high_water);
+    }
+}

@@ -1,21 +1,24 @@
 #!/usr/bin/env sh
-# Runs the e18 engine-throughput macro-bench and writes BENCH_engine.json
-# (events/sec, cells/sec, cancels/sec, plus the pre-rearchitecture
-# baseline and the speedup ratios).
+# Runs the e18 engine-throughput macro-bench (BENCH_engine.json) and the
+# e19 zero-copy frame-path bench (BENCH_frame_path.json): events/sec,
+# cells/sec, cancels/sec, and copy-vs-view frames/sec with the speedup
+# ratios against each bench's in-binary baseline.
 #
 # Usage:
-#   scripts/bench_engine.sh           # full run, updates BENCH_engine.json
+#   scripts/bench_engine.sh           # full run, updates BENCH_*.json
 #   scripts/bench_engine.sh --smoke   # short CI run (scale 20), writes
-#                                     # BENCH_engine.smoke.json instead so
+#                                     # BENCH_*.smoke.json instead so
 #                                     # the committed numbers stay full-scale
 set -eu
 cd "$(dirname "$0")/.."
 
 SCALE=1
 OUT=BENCH_engine.json
+FRAME_OUT=BENCH_frame_path.json
 if [ "${1:-}" = "--smoke" ]; then
     SCALE=20
     OUT=BENCH_engine.smoke.json
+    FRAME_OUT=BENCH_frame_path.smoke.json
 fi
 
 # cargo runs bench binaries with the package directory as cwd; hand the
@@ -35,3 +38,15 @@ if [ ! -s "$OUT" ]; then
 fi
 echo "--- $OUT"
 cat "$OUT"
+
+rm -f "$FRAME_OUT"
+if ! cargo bench --bench e19_frame_path -- --scale "$SCALE" --json "$PWD/$FRAME_OUT"; then
+    echo "bench_engine.sh: e19 bench binary failed (scale $SCALE)" >&2
+    exit 1
+fi
+if [ ! -s "$FRAME_OUT" ]; then
+    echo "bench_engine.sh: bench produced no $FRAME_OUT" >&2
+    exit 1
+fi
+echo "--- $FRAME_OUT"
+cat "$FRAME_OUT"

@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
-# The engine bench-regression guard: runs the e18 smoke bench and fails
+# The bench-regression guard: runs the e18/e19 smoke benches and fails
 # when events/sec falls more than 30% below the committed floor in
 # BENCH_engine.json (the other rates are reported for context only —
-# events/sec is the engine's headline number).
+# events/sec is the engine's headline number), or when the zero-copy
+# frame path's copy-vs-view speedup drops below the e19 floor (the
+# committed full-scale run shows >=2x; the smoke floor is 1.5x to absorb
+# slow CI machines).
 #
 # Caveat: the floor is an absolute rate recorded on the hardware that
 # last ran `scripts/bench_engine.sh` (full mode updates the committed
@@ -34,17 +37,36 @@ json_field() {
         }' "$1"
 }
 
-FLOOR_BASE=$(json_field BENCH_engine.json events_per_sec 2)
-SMOKE=$(json_field BENCH_engine.smoke.json events_per_sec 2)
-if [ -z "$FLOOR_BASE" ] || [ -z "$SMOKE" ]; then
-    echo "bench_guard.sh: could not parse events_per_sec" >&2
+# rate_floor KEY LABEL — compare smoke KEY against the committed floor.
+rate_floor() {
+    BASE=$(json_field BENCH_engine.json "$1" 2)
+    SMOKE=$(json_field BENCH_engine.smoke.json "$1" 2)
+    if [ -z "$BASE" ] || [ -z "$SMOKE" ]; then
+        echo "bench_guard.sh: could not parse $1" >&2
+        exit 1
+    fi
+    FLOOR=$(awk -v b="$BASE" -v t="$TOLERANCE" 'BEGIN { printf "%d", b * (100 - t) / 100 }')
+    echo "bench_guard: smoke $2 $SMOKE vs floor $FLOOR (committed $BASE, -$TOLERANCE%)"
+    if [ "$SMOKE" -lt "$FLOOR" ]; then
+        echo "bench_guard: REGRESSION — $2 $SMOKE below floor $FLOOR" >&2
+        exit 1
+    fi
+}
+
+rate_floor events_per_sec events/sec
+rate_floor cells_per_sec cells/sec
+
+# The top-level "frames" speedup of the e19 json ("frames_per_sec" and
+# "frames_total" don't match the quoted key, so the first hit is it).
+FRAME_SPEEDUP=$(json_field BENCH_frame_path.smoke.json frames 1)
+if [ -z "$FRAME_SPEEDUP" ]; then
+    echo "bench_guard.sh: could not parse frame-path speedup" >&2
     exit 1
 fi
-
-FLOOR=$(awk -v b="$FLOOR_BASE" -v t="$TOLERANCE" 'BEGIN { printf "%d", b * (100 - t) / 100 }')
-echo "bench_guard: smoke events/sec $SMOKE vs floor $FLOOR (committed $FLOOR_BASE, -$TOLERANCE%)"
-if [ "$SMOKE" -lt "$FLOOR" ]; then
-    echo "bench_guard: REGRESSION — events/sec $SMOKE below floor $FLOOR" >&2
+FRAME_OK=$(awk -v s="$FRAME_SPEEDUP" 'BEGIN { print (s >= 1.5) ? 1 : 0 }')
+echo "bench_guard: frame-path view/copy speedup ${FRAME_SPEEDUP}x (floor 1.5x smoke, 2x committed)"
+if [ "$FRAME_OK" != "1" ]; then
+    echo "bench_guard: REGRESSION — zero-copy frame path speedup ${FRAME_SPEEDUP}x below 1.5x" >&2
     exit 1
 fi
 echo "bench_guard: OK"
