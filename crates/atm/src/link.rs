@@ -113,6 +113,12 @@ pub struct Link {
     sink: SinkRef,
     next_free: Ns,
     cells_sent: u64,
+    /// Cells offered while the line was down (dropped, never delivered).
+    cells_dropped: u64,
+    /// The line is down until this instant: cells whose serialization
+    /// would start before it are lost on the wire (a flapping link or a
+    /// pulled line card). `0` means the link has never been down.
+    outage_until: Ns,
     train: Rc<RefCell<Train>>,
     handler: SharedHandler,
 }
@@ -178,6 +184,8 @@ impl Link {
             sink,
             next_free: 0,
             cells_sent: 0,
+            cells_dropped: 0,
+            outage_until: 0,
             train,
             handler,
         }
@@ -196,6 +204,20 @@ impl Link {
     /// Total cells handed to this link so far.
     pub fn cells_sent(&self) -> u64 {
         self.cells_sent
+    }
+
+    /// Cells lost to outage windows (see [`Link::set_outage_until`]).
+    pub fn cells_dropped(&self) -> u64 {
+        self.cells_dropped
+    }
+
+    /// Takes the line down until `until`: cells whose serialization
+    /// would start before that instant are dropped and counted in
+    /// [`Link::cells_dropped`]. A later call may extend (never shorten)
+    /// the outage; cells already accepted stay in flight — an outage
+    /// cuts the line, it does not un-send what already left.
+    pub fn set_outage_until(&mut self, until: Ns) {
+        self.outage_until = self.outage_until.max(until);
     }
 
     /// Earliest time a newly offered cell would start serializing.
@@ -218,6 +240,13 @@ impl Link {
     /// single event.
     pub fn send(&mut self, sim: &mut Simulator, cell: Cell) -> Ns {
         let start = self.next_free.max(sim.now());
+        if start < self.outage_until {
+            // The line is down when this cell would hit it: lost on the
+            // wire. Mid-frame losses are exactly what reassembly's
+            // fallback path must absorb.
+            self.cells_dropped += 1;
+            return start;
+        }
         let done = start + self.cell_time();
         self.next_free = done;
         self.cells_sent += 1;
@@ -409,6 +438,36 @@ mod tests {
             batch_events < per_cell_events,
             "batching must collapse events: {batch_events} vs {per_cell_events}"
         );
+    }
+
+    #[test]
+    fn outage_window_drops_and_counts() {
+        let sink = CaptureSink::shared();
+        let mut link = Link::new(MBPS_100, 0, sink.clone());
+        let mut sim = Simulator::new();
+        link.send(&mut sim, Cell::new(1)); // in flight before the cut
+        link.set_outage_until(100_000);
+        for _ in 0..3 {
+            link.send(&mut sim, Cell::new(2)); // lost on the wire
+        }
+        sim.run_until(200_000);
+        link.send(&mut sim, Cell::new(3)); // line is back
+        sim.run();
+        let vcis: Vec<u16> = sink
+            .borrow()
+            .arrivals
+            .iter()
+            .map(|(_, c)| c.vci())
+            .collect();
+        assert_eq!(vcis, vec![1, 3], "outage cells never arrive");
+        assert_eq!(link.cells_dropped(), 3);
+        assert_eq!(link.cells_sent(), 2, "only wire-borne cells count as sent");
+        // A shorter outage never shortens an existing one.
+        link.set_outage_until(150_000);
+        assert_eq!(link.cells_dropped(), 3);
+        link.send(&mut sim, Cell::new(4));
+        sim.run();
+        assert_eq!(sink.borrow().arrivals.len(), 3);
     }
 
     #[test]

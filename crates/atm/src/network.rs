@@ -85,6 +85,15 @@ pub struct VcHandle {
     pub dst: EndpointId,
 }
 
+impl VcHandle {
+    /// Whether this circuit's installed route passes through `sw` —
+    /// the question signalling asks when a switch dies and survivors
+    /// must be re-routed.
+    pub fn crosses_switch(&self, sw: SwitchId) -> bool {
+        self.route.iter().any(|&(s, _, _)| s == sw.0)
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum ReservationKey {
     /// Endpoint transmit direction (device → switch).
@@ -110,6 +119,9 @@ pub struct Network {
     used_ports: Vec<usize>,
     endpoints: Vec<EndpointInfo>,
     acs: HashMap<ReservationKey, AdmissionController>,
+    /// dead\[s\] = switch `s` has failed: no adjacency, no routes, and
+    /// signalling refuses to route anything through or onto it.
+    dead: Vec<bool>,
     next_vci: Vci,
     next_conn: u64,
     /// Fraction of each link's rate available to guaranteed reservations.
@@ -131,6 +143,7 @@ impl Network {
             used_ports: Vec::new(),
             endpoints: Vec::new(),
             acs: HashMap::new(),
+            dead: Vec::new(),
             next_vci: 32,
             next_conn: 1,
             reservable_fraction: 0.95,
@@ -144,6 +157,7 @@ impl Network {
             .push(Switch::shared(name, ports, fabric_latency));
         self.adj.push(Vec::new());
         self.used_ports.push(0);
+        self.dead.push(false);
         SwitchId(self.switches.len() - 1)
     }
 
@@ -401,11 +415,31 @@ impl Network {
         dst: EndpointId,
         qos: QosSpec,
     ) -> Result<VcHandle, AdmissionError> {
+        self.open_vc_pinned(src, dst, qos, None)
+    }
+
+    /// [`Network::open_vc`] with the two endpoint-segment VCIs optionally
+    /// pinned instead of freshly allocated. Re-routing a live circuit
+    /// around a dead switch pins them so neither endpoint has to be
+    /// reconfigured: only the interior hops change.
+    fn open_vc_pinned(
+        &mut self,
+        src: EndpointId,
+        dst: EndpointId,
+        qos: QosSpec,
+        pin: Option<(Vci, Vci)>,
+    ) -> Result<VcHandle, AdmissionError> {
         if src.0 >= self.endpoints.len() || dst.0 >= self.endpoints.len() {
             return Err(AdmissionError::UnknownEndpoint);
         }
         let (src_sw, src_port) = (self.endpoints[src.0].switch, self.endpoints[src.0].port);
         let (dst_sw, dst_port) = (self.endpoints[dst.0].switch, self.endpoints[dst.0].port);
+        if self.dead[src_sw] || self.dead[dst_sw] {
+            // A dead switch strands its endpoints: same-switch pairs
+            // would otherwise route through zero hops and never consult
+            // the (emptied) adjacency.
+            return Err(AdmissionError::NoRoute);
+        }
         let hops = self
             .bfs_path(src_sw, dst_sw)
             .ok_or(AdmissionError::NoRoute)?;
@@ -429,9 +463,19 @@ impl Network {
         }
 
         // Allocate one VCI per link segment: endpoint→sw_src, each
-        // inter-switch hop, and the delivery segment.
+        // inter-switch hop, and the delivery segment. Pinned endpoint
+        // VCIs (re-route) are reused verbatim; interior hops are always
+        // fresh so a new path never collides with remnants of the old.
         let nsegs = hops.len() + 2;
-        let vcis: Vec<Vci> = (0..nsegs).map(|_| self.alloc_vci()).collect();
+        let mut vcis: Vec<Vci> = Vec::with_capacity(nsegs);
+        for i in 0..nsegs {
+            let pinned = match pin {
+                Some((s, _)) if i == 0 => Some(s),
+                Some((_, d)) if i == nsegs - 1 => Some(d),
+                _ => None,
+            };
+            vcis.push(pinned.unwrap_or_else(|| self.alloc_vci()));
+        }
 
         // Install routes. The switch path is src_sw, then the peer of each
         // hop. The in-port at src_sw is the endpoint port; at subsequent
@@ -542,6 +586,45 @@ impl Network {
                 ac.release(bps);
             }
         }
+    }
+
+    /// Kills a fabric switch: its translation table is wiped (cells
+    /// already crossing it drop as unroutable), every adjacency touching
+    /// it is removed so signalling routes around the corpse, and any
+    /// endpoint attached to it is stranded until further notice.
+    ///
+    /// Live circuits are *not* touched — the caller walks its open
+    /// [`VcHandle`]s and calls [`Network::reroute_vc`] on each one that
+    /// [`VcHandle::crosses_switch`] reports affected.
+    pub fn fail_switch(&mut self, sw: SwitchId) {
+        self.dead[sw.0] = true;
+        self.switches[sw.0].borrow_mut().clear_routes();
+        self.adj[sw.0].clear();
+        for peers in &mut self.adj {
+            peers.retain(|&(_, peer)| peer != sw.0);
+        }
+    }
+
+    /// Whether [`Network::fail_switch`] has killed `sw`.
+    pub fn switch_is_dead(&self, sw: SwitchId) -> bool {
+        self.dead[sw.0]
+    }
+
+    /// Re-routes a live circuit over the surviving topology — the
+    /// signalling half of switch-failure recovery.
+    ///
+    /// The old circuit is always torn down (routes removed, reservations
+    /// released). On success the replacement keeps the original
+    /// endpoint-segment VCIs, so the transmitting and receiving devices
+    /// keep working unmodified; only interior hops change. When no
+    /// alternate path or capacity exists the circuit stays closed and
+    /// the error says why — the caller decides whether that strands a
+    /// session or triggers renegotiation.
+    pub fn reroute_vc(&mut self, vc: VcHandle) -> Result<VcHandle, AdmissionError> {
+        let (src, dst, qos) = (vc.src, vc.dst, vc.qos);
+        let pin = (vc.src_vci, vc.dst_vci);
+        self.close_vc(vc);
+        self.open_vc_pinned(src, dst, qos, Some(pin))
     }
 
     /// Remaining guaranteed bandwidth on an endpoint's transmit link.
@@ -692,6 +775,64 @@ mod tests {
             .send(&mut sim, Cell::new(src_vci));
         sim.run();
         assert_eq!(disp_sink.borrow().arrivals.len(), 0);
+    }
+
+    #[test]
+    fn switch_death_reroutes_over_surviving_ring() {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let ring = net.build_topology(TopologyShape::Ring, 4, "r", 4, 0, cfg);
+        let a = net.add_endpoint_auto(ring[0], cfg, CaptureSink::shared());
+        let b_sink = CaptureSink::shared();
+        let b = net.add_endpoint_auto(ring[2], cfg, b_sink.clone());
+        let vc = net.open_vc(a, b, QosSpec::guaranteed(10_000_000)).unwrap();
+        // BFS found some two-hop path; kill the transit switch it chose.
+        let transit = if vc.crosses_switch(ring[1]) {
+            ring[1]
+        } else {
+            ring[3]
+        };
+        net.fail_switch(transit);
+        assert!(net.switch_is_dead(transit));
+        let (src_vci, dst_vci) = (vc.src_vci, vc.dst_vci);
+        let vc = net.reroute_vc(vc).expect("ring survives one death");
+        assert_eq!(vc.src_vci, src_vci, "sender keeps its VCI");
+        assert_eq!(vc.dst_vci, dst_vci, "receiver keeps its VCI");
+        assert!(!vc.crosses_switch(transit), "new path avoids the corpse");
+        let mut sim = Simulator::new();
+        net.endpoint_tx(a)
+            .borrow_mut()
+            .send(&mut sim, Cell::new(vc.src_vci));
+        sim.run();
+        let arr = &b_sink.borrow().arrivals;
+        assert_eq!(arr.len(), 1, "traffic flows around the dead switch");
+        assert_eq!(arr[0].1.vci(), dst_vci);
+    }
+
+    #[test]
+    fn endpoint_on_dead_switch_is_stranded() {
+        let mut net = Network::new();
+        let cfg = LinkConfig::pegasus_default();
+        let ring = net.build_topology(TopologyShape::Ring, 3, "r", 4, 0, cfg);
+        let a = net.add_endpoint_auto(ring[0], cfg, CaptureSink::shared());
+        let b = net.add_endpoint_auto(ring[1], cfg, CaptureSink::shared());
+        let before = net.endpoint_tx_available(a);
+        let vc = net.open_vc(a, b, QosSpec::guaranteed(10_000_000)).unwrap();
+        net.fail_switch(ring[1]);
+        assert_eq!(
+            net.reroute_vc(vc).unwrap_err(),
+            AdmissionError::NoRoute,
+            "no alternate attach point exists"
+        );
+        // The failed reroute still released the old reservations.
+        assert_eq!(net.endpoint_tx_available(a), before);
+        // Fresh circuits to or on the dead switch are refused, even
+        // same-switch pairs that need no inter-switch hop.
+        let c = net.add_endpoint_auto(ring[1], cfg, CaptureSink::shared());
+        assert_eq!(
+            net.open_vc(b, c, QosSpec::best_effort(0)).unwrap_err(),
+            AdmissionError::NoRoute
+        );
     }
 
     #[test]

@@ -116,6 +116,27 @@ impl Switch {
         self.routes.remove(&(in_port, in_vci)).is_some()
     }
 
+    /// Wipes the whole translation table — a dead switch forwards
+    /// nothing; everything arriving afterwards counts as unroutable.
+    pub fn clear_routes(&mut self) {
+        self.routes.clear();
+    }
+
+    /// The wired output links, in port order (line cards of this
+    /// switch). Fault injection uses this to cut or inspect lines.
+    pub fn output_links_mut(&mut self) -> impl Iterator<Item = &mut Link> {
+        self.outputs.iter_mut().filter_map(|l| l.as_mut())
+    }
+
+    /// Cells this switch's output lines lost to outage windows.
+    pub fn cells_dropped_outage(&self) -> u64 {
+        self.outputs
+            .iter()
+            .filter_map(|l| l.as_ref())
+            .map(Link::cells_dropped)
+            .sum()
+    }
+
     /// Looks up the route for a cell arriving on `in_port` with `in_vci`.
     pub fn route_for(&self, in_port: usize, in_vci: Vci) -> Option<Route> {
         self.routes.get(&(in_port, in_vci)).copied()

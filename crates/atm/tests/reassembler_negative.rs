@@ -1,0 +1,156 @@
+//! Negative-path tests for AAL5 reassembly: frames that arrive damaged
+//! must come back as classified errors — never a panic, never corrupt
+//! bytes delivered as if whole — and the reassembler's per-frame state
+//! must reset so the next clean frame is untouched.
+
+use pegasus_atm::aal5::{Aal5Error, Reassembler, Segmenter, TRAILER_SIZE};
+use pegasus_atm::cell::{Cell, PAYLOAD_SIZE};
+use pegasus_atm::crc::crc32;
+
+const VCI: u16 = 9;
+
+/// Feeds a raw CPCS-PDU to a fresh reassembler, one 48-byte cell at a
+/// time, and returns the end-of-frame verdict.
+fn drive(pdu: &[u8]) -> Result<Vec<u8>, Aal5Error> {
+    assert_eq!(pdu.len() % PAYLOAD_SIZE, 0, "PDU must be cell-aligned");
+    let n = pdu.len() / PAYLOAD_SIZE;
+    let mut r = Reassembler::new();
+    let mut verdict = None;
+    for (i, chunk) in pdu.chunks(PAYLOAD_SIZE).enumerate() {
+        let mut cell = Cell::with_payload(VCI, chunk);
+        cell.set_last(i == n - 1);
+        if let Some(v) = r.push(&cell) {
+            verdict = Some(v);
+        }
+    }
+    verdict.expect("the marked last cell closes the frame")
+}
+
+/// A well-formed PDU for `frame` whose length field is overwritten with
+/// `claimed` and whose CRC-32 is then *recomputed*, so the CRC check
+/// passes and only the length plausibility check can catch it.
+fn pdu_claiming(frame: &[u8], claimed: u16) -> Vec<u8> {
+    let mut pdu = Segmenter::new(VCI).build_pdu(frame).expect("small frame");
+    let t = pdu.len();
+    pdu[t - 6..t - 4].copy_from_slice(&claimed.to_be_bytes());
+    let crc = crc32(&pdu[..t - 4]);
+    pdu[t - 4..].copy_from_slice(&crc.to_be_bytes());
+    pdu
+}
+
+#[test]
+fn lone_final_cell_is_rejected_and_state_resets() {
+    // The head of the frame is lost in the fabric; only the cell
+    // carrying the trailer arrives. The trailer's length field promises
+    // 100 bytes the reassembler never saw.
+    let frame = [0x5Au8; 100];
+    let cells = Segmenter::new(VCI).segment(&frame).expect("3 cells");
+    assert_eq!(cells.len(), 3);
+    let mut r = Reassembler::new();
+    let verdict = r.push(&cells[2]).expect("marked last");
+    // The stored CRC covers bytes that never arrived.
+    assert_eq!(verdict.unwrap_err(), Aal5Error::BadCrc);
+    assert_eq!(r.frames_bad, 1);
+
+    // The failure consumed the partial state: a clean frame sails through.
+    let clean = Segmenter::new(VCI).segment(b"after the wreck").unwrap();
+    let mut out = None;
+    for c in &clean {
+        if let Some(v) = r.push(c) {
+            out = Some(v);
+        }
+    }
+    assert_eq!(out.unwrap().unwrap(), b"after the wreck");
+    assert_eq!(r.frames_ok, 1);
+}
+
+#[test]
+fn truncated_final_cell_merges_into_next_frame_and_is_rejected() {
+    // The final cell never arrives: the partial body waits, merges with
+    // the next frame's cells, and the combined mess is rejected at that
+    // frame's boundary — one loss costs at most one extra frame.
+    let frame = [0xC3u8; 200];
+    let cells = Segmenter::new(VCI).segment(&frame).unwrap();
+    let mut r = Reassembler::new();
+    for c in &cells[..cells.len() - 1] {
+        assert!(r.push(c).is_none());
+    }
+    assert!(r.partial_len() > 0, "partial state is pending");
+
+    let next = Segmenter::new(VCI).segment(b"innocent bystander").unwrap();
+    let mut verdict = None;
+    for c in &next {
+        if let Some(v) = r.push(c) {
+            verdict = Some(v);
+        }
+    }
+    assert!(verdict.expect("boundary reached").is_err());
+    assert_eq!(r.partial_len(), 0, "the rejection drained all state");
+
+    // And the frame after that is clean again.
+    let again = Segmenter::new(VCI).segment(b"recovered").unwrap();
+    let mut out = None;
+    for c in &again {
+        if let Some(v) = r.push(c) {
+            out = Some(v);
+        }
+    }
+    assert_eq!(out.unwrap().unwrap(), b"recovered");
+}
+
+#[test]
+fn trailer_length_beyond_accumulated_bytes_is_bad_length() {
+    // CRC deliberately made valid over the inflated length field: the
+    // length plausibility check is the only line of defence, and 200
+    // claimed bytes cannot fit a 144-byte PDU.
+    let frame = [7u8; 100];
+    let pdu = pdu_claiming(&frame, 200);
+    assert_eq!(drive(&pdu), Err(Aal5Error::BadLength));
+}
+
+#[test]
+fn crc_valid_but_length_too_small_is_bad_length() {
+    // Claiming 10 bytes in a 3-cell PDU leaves more than a whole cell
+    // of "padding" — a frame that would have segmented into fewer
+    // cells. CRC passes; the placement check must still refuse.
+    let frame = [7u8; 100];
+    let pdu = pdu_claiming(&frame, 10);
+    assert_eq!(drive(&pdu), Err(Aal5Error::BadLength));
+}
+
+#[test]
+fn length_field_edges_hold() {
+    // Table of claimed lengths for a 100-byte frame (PDU = 144 bytes,
+    // max payload 136, real padding boundary at 89): every claim in the
+    // legal placement window decodes (CRC was recomputed, so these are
+    // indistinguishable from honest frames of that length); everything
+    // outside is BadLength.
+    let frame = [0x11u8; 100];
+    let max_payload = (3 * PAYLOAD_SIZE - TRAILER_SIZE) as u16;
+    let cases: &[(u16, bool)] = &[
+        (89, true),          // smallest length that still needs 3 cells
+        (88, false),         // would have fit in 2 cells: over-padded
+        (100, true),         // the honest length
+        (max_payload, true), // zero padding
+        (max_payload + 1, false),
+        (u16::MAX, false),
+    ];
+    for &(claim, ok) in cases {
+        let pdu = pdu_claiming(&frame, claim);
+        let got = drive(&pdu);
+        if ok {
+            let out = got.unwrap_or_else(|e| panic!("claim {claim} should decode, got {e}"));
+            assert_eq!(out.len(), claim as usize);
+        } else {
+            assert_eq!(got, Err(Aal5Error::BadLength), "claim {claim}");
+        }
+    }
+}
+
+#[test]
+fn flipped_body_byte_is_bad_crc_not_delivery() {
+    let frame: Vec<u8> = (0..300).map(|i| i as u8).collect();
+    let mut pdu = Segmenter::new(VCI).build_pdu(&frame).unwrap();
+    pdu[150] ^= 0x40;
+    assert_eq!(drive(&pdu), Err(Aal5Error::BadCrc));
+}

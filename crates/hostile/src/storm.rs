@@ -1,0 +1,83 @@
+//! The storm front: the full `nemesis-storm` scenario — flapping lines
+//! mid-frame, a switch death repaired through signalling, a disk death
+//! with a live RAID rebuild — rerun and compared byte-for-byte.
+//!
+//! Where [`crate::wire`] and [`crate::disk`] attack one seam at a time,
+//! the storm is the integration oracle: every fault fires at once on a
+//! live city-scale workload and the run must remain a pure function of
+//! `(spec, seed)`. The golden snapshot in
+//! `crates/scenario/tests/golden/` pins one instance; this front sweeps
+//! fresh seeds.
+
+use pegasus_scenario::{presets, run};
+
+use crate::{Front, Repro};
+
+/// Counters from a storm run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StormStats {
+    /// Seeds stormed.
+    pub steps: u64,
+    /// Cells dropped by link flaps, summed over seeds.
+    pub dropped_outage: u64,
+    /// Circuits re-routed plus stranded, summed over seeds.
+    pub vcs_hit: u64,
+}
+
+/// Runs the storm preset at half scale for `steps` distinct seeds
+/// derived from `seed`, asserting determinism and the survival
+/// invariants each time. Panics with a reproducing triple on violation.
+pub fn run_storm(seed: u64, steps: u64) -> StormStats {
+    let mut stats = StormStats::default();
+    for step in 0..steps {
+        let repro = Repro {
+            seed,
+            front: Front::Storm,
+            step,
+        };
+        let spec = presets::nemesis_storm()
+            .scale_sessions(0.5)
+            .with_seed(repro.step_seed());
+        let a = run(&spec);
+        let b = run(&spec);
+        repro.check(
+            a.to_json() == b.to_json(),
+            "storm reran with different bytes: the report is not a pure function of (spec, seed)",
+        );
+        repro.check(a.pfs.rebuilds == 1, "the failed spindle was not rebuilt");
+        repro.check(a.pfs.rebuild_ns > 0, "the rebuild took no time");
+        repro.check(
+            a.cells.dropped_outage > 0,
+            "the link flap dropped no cells: the fault never bit",
+        );
+        repro.check(
+            a.vcs_rerouted + a.vcs_stranded > 0,
+            "the switch death hit no live circuit",
+        );
+        repro.check(
+            a.peak_queue_cells <= 1024,
+            "a queue grew unbounded under the storm",
+        );
+        repro.check(
+            a.cells.delivered <= a.cells.sent,
+            "cell conservation violated",
+        );
+        stats.dropped_outage += a.cells.dropped_outage;
+        stats.vcs_hit += a.vcs_rerouted + a.vcs_stranded;
+        stats.steps += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_storm_seed_survives() {
+        let s = run_storm(0x5707, 1);
+        assert_eq!(s.steps, 1);
+        assert!(s.dropped_outage > 0);
+        assert!(s.vcs_hit > 0);
+    }
+}

@@ -32,7 +32,7 @@ use pegasus::broker::{
 };
 use pegasus::system::{HostNic, System};
 use pegasus_atm::link::Link;
-use pegasus_atm::network::Network;
+use pegasus_atm::network::{Network, VcHandle};
 use pegasus_devices::audio::{AudioConfig, AudioSink, AudioSource};
 use pegasus_devices::camera::{Camera, CameraConfig, VideoMode};
 use pegasus_devices::display::{Display, Rect, WindowManager};
@@ -202,6 +202,10 @@ pub struct Scenario {
     vod_clients: Vec<VodClient>,
     tx_links: Vec<Rc<RefCell<Link>>>,
     vod_servers: Vec<VodServer>,
+    /// Every admitted circuit, held for mid-run signalling repair: when
+    /// a `SwitchDeath` fault fires, circuits crossing the corpse are
+    /// re-routed (endpoint VCIs pinned) or written off as stranded.
+    vcs: Vec<VcHandle>,
 }
 
 /// The camera settings a session runs at after renegotiation: frame
@@ -277,6 +281,7 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         vod_clients: Vec::new(),
         tx_links: Vec::new(),
         vod_servers: Vec::new(),
+        vcs: Vec::new(),
         // Placeholders, replaced below once sessions are wired.
         broker: QosBroker::new(0, 0, 0, 1000),
         sys: System::new(),
@@ -296,6 +301,9 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
             requested: grant.requested,
             granted: grant.granted,
         });
+        if grant.is_admitted() {
+            scenario.vcs.extend(grant.vcs.iter().cloned());
+        }
         grant
     };
 
@@ -515,18 +523,47 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
     }
 
     // ---- Fault schedule: network incidents armed on the engine. ----
+    // `SwitchDeath` and `DiskFail` are not armed here: the first needs
+    // the (exclusively owned) `Network` for signalling repair, so
+    // [`Scenario::run`] applies it between engine segments at the fault
+    // time; the second lands on the post-hoc CM replay.
     for fault in &spec.faults {
-        if let FaultSpec::SwitchDegrade {
-            at,
-            switch,
-            queue_capacity,
-        } = *fault
-        {
-            assert!(switch < sys.fabric.len(), "fault names a fabric switch");
-            let sw = sys.net.switch(sys.fabric[switch]).clone();
-            sim.schedule_at(at.min(spec.duration), move |_| {
-                sw.borrow_mut().queue_capacity = queue_capacity;
-            });
+        match *fault {
+            FaultSpec::SwitchDegrade {
+                at,
+                switch,
+                queue_capacity,
+            } => {
+                assert!(switch < sys.fabric.len(), "fault names a fabric switch");
+                let sw = sys.net.switch(sys.fabric[switch]).clone();
+                sim.schedule_at(at.min(spec.duration), move |_| {
+                    sw.borrow_mut().queue_capacity = queue_capacity;
+                });
+            }
+            FaultSpec::LinkFlap { at, until, switch } => {
+                assert!(switch < sys.fabric.len(), "fault names a fabric switch");
+                assert!(until >= at, "flap must end after it starts");
+                let sw = sys.net.switch(sys.fabric[switch]).clone();
+                sim.schedule_at(at.min(spec.duration), move |_| {
+                    for link in sw.borrow_mut().output_links_mut() {
+                        link.set_outage_until(until);
+                    }
+                });
+            }
+            FaultSpec::SwitchDeath { switch, .. } => {
+                assert!(switch < sys.fabric.len(), "fault names a fabric switch");
+            }
+            FaultSpec::DiskFail { server, disk, .. } => {
+                assert!(
+                    server < scenario.vod_servers.len().max(1),
+                    "fault names a VoD server"
+                );
+                assert!(
+                    disk <= pegasus_pfs::raid::DATA_DISKS,
+                    "fault names a RAID member"
+                );
+            }
+            FaultSpec::CpuLoadSpike { .. } => {}
         }
     }
 
@@ -542,6 +579,48 @@ impl Scenario {
         let spec = &self.spec;
         // Drain long enough for held playback items to present.
         let drain = spec.drain.max(spec.vod_target_latency + 20 * MS);
+
+        // Switch deaths are structural: the fabric's routing state and
+        // the signalling repair both need the owned `Network`, so the
+        // engine runs in segments split at each death. Splitting at an
+        // event boundary preserves determinism — the engine's schedule
+        // is identical whether or not it pauses there.
+        let mut deaths: Vec<(Ns, usize)> = spec
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultSpec::SwitchDeath { at, switch } => Some((at.min(spec.duration), switch)),
+                _ => None,
+            })
+            .collect();
+        deaths.sort_unstable();
+        let mut vcs_rerouted = 0u64;
+        let mut vcs_stranded = 0u64;
+        for (at, switch) in deaths {
+            self.sim.run_until(at);
+            let sw = self.sys.fabric[switch];
+            self.sys.net.fail_switch(sw);
+            // Signalling walks every live circuit: those crossing the
+            // corpse are re-routed with their endpoint VCIs pinned so
+            // the attached devices never notice; circuits that cannot
+            // be repaired (an endpoint on the dead switch, or no spare
+            // capacity on the surviving paths) are stranded and their
+            // reservations released.
+            let held = std::mem::take(&mut self.vcs);
+            for vc in held {
+                if !vc.crosses_switch(sw) {
+                    self.vcs.push(vc);
+                } else {
+                    match self.sys.net.reroute_vc(vc) {
+                        Ok(repaired) => {
+                            vcs_rerouted += 1;
+                            self.vcs.push(repaired);
+                        }
+                        Err(_) => vcs_stranded += 1,
+                    }
+                }
+            }
+        }
         self.sim.run_until(spec.duration + drain);
 
         let mut report = ScenarioReport {
@@ -631,24 +710,89 @@ impl Scenario {
                 .borrow();
             cells.dropped_overflow += sw.stats.overflowed;
             cells.dropped_unroutable += sw.stats.unroutable;
+            cells.dropped_outage += sw.cells_dropped_outage();
             report.peak_queue_cells = report.peak_queue_cells.max(sw.stats.peak_queue_cells);
         }
-        cells.delivered = cells
-            .sent
-            .saturating_sub(cells.dropped_overflow + cells.dropped_unroutable);
+        cells.delivered = cells.sent.saturating_sub(
+            cells.dropped_overflow + cells.dropped_unroutable + cells.dropped_outage,
+        );
         report.cells = cells;
+        report.vcs_rerouted = vcs_rerouted;
+        report.vcs_stranded = vcs_stranded;
 
-        // File-server side of VoD: replay the CM schedule.
+        // File-server side of VoD: replay the CM schedule. A server
+        // with a scheduled disk incident replays in three spans —
+        // healthy, degraded (one member fail-stopped, reads
+        // reconstructing through parity), healthy again after the
+        // spindle swap and rebuild. `run_periods` keeps no state across
+        // calls except the per-stream offsets, so the split replay is
+        // byte-identical to an unsplit one at the same health.
         let periods = vod_periods(spec.duration);
         let mut pfs = PfsReport::default();
-        for server in &mut self.vod_servers {
-            let r = server
-                .cm
-                .run_periods(&mut server.fs, periods)
-                .expect("prerecorded file");
-            pfs.periods += r.periods;
-            pfs.missed += r.missed;
-            pfs.bytes_delivered += r.bytes_delivered;
+        for (si, server) in self.vod_servers.iter_mut().enumerate() {
+            let incident = spec.faults.iter().find_map(|f| match *f {
+                FaultSpec::DiskFail {
+                    at,
+                    server: s,
+                    disk,
+                    replace_at,
+                } if s == si => {
+                    let fail_p = at / VOD_PERIOD;
+                    // The replacement lands on the next period boundary
+                    // at the earliest: every incident spends at least
+                    // one period degraded.
+                    let rep_p = (replace_at / VOD_PERIOD).max(fail_p + 1);
+                    Some((fail_p, rep_p, disk))
+                }
+                _ => None,
+            });
+            let mut fold = |r: &pegasus_pfs::cm::CmReport| {
+                pfs.periods += r.periods;
+                pfs.missed += r.missed;
+                pfs.bytes_delivered += r.bytes_delivered;
+            };
+            match incident {
+                Some((fail_p, rep_p, disk)) if fail_p < periods => {
+                    let rep_p = rep_p.min(periods);
+                    let r = server
+                        .cm
+                        .run_periods(&mut server.fs, fail_p)
+                        .expect("prerecorded file");
+                    fold(&r);
+                    server.fs.raid_mut().disk_mut(disk).fail();
+                    let r = server
+                        .cm
+                        .run_periods(&mut server.fs, rep_p - fail_p)
+                        .expect("degraded reads reconstruct through parity");
+                    fold(&r);
+                    // Swap the spindle and rebuild it from the
+                    // survivors. Rebuild I/O is charged at the RAID
+                    // layer, not against the log's clock, so the
+                    // remaining periods' deadline accounting is clean —
+                    // the array is simply whole again.
+                    server.fs.raid_mut().disk_mut(disk).replace();
+                    let stripes = server.fs.used_segments() as u64;
+                    let t = server
+                        .fs
+                        .raid_mut()
+                        .rebuild_disk(disk, stripes)
+                        .expect("single failure is rebuildable");
+                    pfs.rebuilds += 1;
+                    pfs.rebuild_ns += t;
+                    let r = server
+                        .cm
+                        .run_periods(&mut server.fs, periods - rep_p)
+                        .expect("prerecorded file");
+                    fold(&r);
+                }
+                _ => {
+                    let r = server
+                        .cm
+                        .run_periods(&mut server.fs, periods)
+                        .expect("prerecorded file");
+                    fold(&r);
+                }
+            }
         }
         // Throughput over the replayed window (which may exceed a short
         // run's duration: at least one full service period is played).
@@ -687,7 +831,7 @@ impl Scenario {
                         demand,
                         weight,
                     }),
-                    FaultSpec::SwitchDegrade { .. } => None,
+                    _ => None,
                 })
                 .collect(),
         };

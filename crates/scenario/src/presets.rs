@@ -85,8 +85,10 @@ pub fn tv_studio() -> ScenarioSpec {
     spec
 }
 
-/// A mixed district under scheduled faults: a rogue CPU hog mid-run and
-/// a degraded line card — the resilience probe.
+/// A mixed district under scheduled faults: a rogue CPU hog, a degraded
+/// line card, flapping lines mid-frame, a switch death repaired by
+/// signalling, and a disk failure with a live RAID rebuild — every
+/// layer's resilience probe at once.
 pub fn nemesis_storm() -> ScenarioSpec {
     let mut spec = ScenarioSpec::base("nemesis-storm");
     spec.topology = TopologySpec {
@@ -110,6 +112,29 @@ pub fn nemesis_storm() -> ScenarioSpec {
             at: 150 * MS,
             switch: 2,
             queue_capacity: 4,
+        },
+        // A member disk of server 0 dies early; streams ride parity
+        // reconstruction until the swap, then the rebuild runs under
+        // the same live load.
+        FaultSpec::DiskFail {
+            at: 50 * MS,
+            server: 0,
+            disk: 2,
+            replace_at: 200 * MS,
+        },
+        // Switch 4's lines flap dark for 15 ms mid-run: frames in
+        // flight lose cells mid-body and the receive path must fall
+        // back and classify, never accept.
+        FaultSpec::LinkFlap {
+            at: 120 * MS,
+            until: 135 * MS,
+            switch: 4,
+        },
+        // Switch 1 dies outright; signalling re-routes the surviving
+        // ring with endpoint VCIs pinned, strands the rest.
+        FaultSpec::SwitchDeath {
+            at: 180 * MS,
+            switch: 1,
         },
     ];
     spec

@@ -41,6 +41,8 @@ pub struct CellReport {
     pub dropped_overflow: u64,
     /// Cells dropped for want of a route.
     pub dropped_unroutable: u64,
+    /// Cells dropped on dark lines during link-flap outages.
+    pub dropped_outage: u64,
 }
 
 /// File-server activity of the VoD class.
@@ -54,6 +56,11 @@ pub struct PfsReport {
     pub bytes_delivered: u64,
     /// Delivered bytes per second of virtual time.
     pub throughput_bps: u64,
+    /// RAID rebuilds completed after disk-failure incidents.
+    pub rebuilds: u64,
+    /// Total disk time the rebuilds took (charged at the RAID layer,
+    /// not against the CM schedule).
+    pub rebuild_ns: u64,
 }
 
 /// The QoS broker's admission record for one run.
@@ -136,6 +143,12 @@ pub struct ScenarioReport {
     pub broker: BrokerReport,
     /// Most-reserved link as a fraction of its line rate.
     pub max_link_utilization: f64,
+    /// Circuits signalling repaired around a dead switch (endpoint
+    /// VCIs pinned, interior hops replaced).
+    pub vcs_rerouted: u64,
+    /// Circuits signalling could not repair (an endpoint on the dead
+    /// switch, or no spare capacity on the survivors).
+    pub vcs_stranded: u64,
     /// Deepest output queue observed on any switch, in cells.
     pub peak_queue_cells: u64,
     /// Audio drop-outs (DAC underruns).
@@ -207,12 +220,19 @@ impl ScenarioReport {
                 w.u64("delivered", self.cells.delivered);
                 w.u64("dropped_overflow", self.cells.dropped_overflow);
                 w.u64("dropped_unroutable", self.cells.dropped_unroutable);
+                w.u64("dropped_outage", self.cells.dropped_outage);
+            });
+            w.obj("signalling", |w| {
+                w.u64("vcs_rerouted", self.vcs_rerouted);
+                w.u64("vcs_stranded", self.vcs_stranded);
             });
             w.obj("pfs", |w| {
                 w.u64("periods", self.pfs.periods);
                 w.u64("missed", self.pfs.missed);
                 w.u64("bytes_delivered", self.pfs.bytes_delivered);
                 w.u64("throughput_bps", self.pfs.throughput_bps);
+                w.u64("rebuilds", self.pfs.rebuilds);
+                w.u64("rebuild_ns", self.pfs.rebuild_ns);
             });
             w.obj("nemesis", |w| {
                 w.u64("epochs", self.nemesis.epochs);

@@ -134,6 +134,43 @@ pub enum FaultSpec {
         /// The clamped per-output queue capacity, in cells.
         queue_capacity: u64,
     },
+    /// Every output line of fabric switch `switch` goes dark between
+    /// `at` and `until`: cells offered while the line is down drop on
+    /// the floor mid-frame, exactly as a flapping transceiver would.
+    LinkFlap {
+        /// When the lines go dark.
+        at: Ns,
+        /// When they come back.
+        until: Ns,
+        /// Index into the fabric switch list.
+        switch: usize,
+    },
+    /// Fabric switch `switch` dies at `at`: routing tables gone,
+    /// adjacent lines cut. Signalling re-routes established circuits
+    /// around the corpse with their endpoint VCIs pinned (devices keep
+    /// sending and receiving on the VCIs they were configured with);
+    /// circuits terminating on the dead switch are stranded.
+    SwitchDeath {
+        /// Time of death.
+        at: Ns,
+        /// Index into the fabric switch list.
+        switch: usize,
+    },
+    /// Member disk `disk` of VoD server `server`'s RAID array
+    /// fail-stops at `at`; reads run degraded (parity reconstruction)
+    /// until a fresh spindle is swapped in at `replace_at`, when a full
+    /// rebuild runs while the CM scheduler keeps serving streams. At
+    /// most one incident per server.
+    DiskFail {
+        /// Fail-stop time.
+        at: Ns,
+        /// Index into the VoD server list.
+        server: usize,
+        /// RAID member index (0..=4; 4 is the parity disk).
+        disk: usize,
+        /// When the replacement spindle arrives.
+        replace_at: Ns,
+    },
 }
 
 /// Capacity and policy knobs of the cross-layer QoS broker

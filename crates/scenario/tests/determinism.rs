@@ -26,6 +26,36 @@ fn faulted_poisson_spec_is_byte_identical() {
 }
 
 #[test]
+fn full_storm_is_byte_identical_and_survives() {
+    // The whole fault schedule fires — flapping lines, a switch death
+    // with signalling repair, a disk failure with a live rebuild — and
+    // the run must still be a pure function of (spec, seed).
+    let spec = presets::nemesis_storm().scale_sessions(0.5).with_seed(3);
+    let a = run(&spec);
+    let b = run(&spec);
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "storm must rerun byte-identically"
+    );
+    assert_eq!(a.pfs.rebuilds, 1, "the failed spindle was rebuilt");
+    assert!(a.pfs.rebuild_ns > 0);
+    assert!(
+        a.cells.dropped_outage > 0,
+        "the flap dropped cells mid-frame"
+    );
+    assert!(
+        a.vcs_rerouted + a.vcs_stranded > 0,
+        "the switch death hit at least one live circuit"
+    );
+    assert!(
+        a.peak_queue_cells <= 1024,
+        "queues stay bounded under the storm (peak {})",
+        a.peak_queue_cells
+    );
+}
+
+#[test]
 fn different_seeds_differ_but_each_reproduces() {
     let spec = presets::smoke();
     let first = run_seeds(&spec, &[1, 2]);

@@ -6,7 +6,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-FLOOR=527
+FLOOR=552
 
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT

@@ -9,6 +9,7 @@
 pub use pegasus as core;
 pub use pegasus_atm as atm;
 pub use pegasus_devices as devices;
+pub use pegasus_hostile as hostile;
 pub use pegasus_naming as naming;
 pub use pegasus_nemesis as nemesis;
 pub use pegasus_pfs as pfs;
