@@ -1,0 +1,274 @@
+//! Credit-based per-VC flow control.
+//!
+//! Admission control (the signalling ledgers) bounds *average* rates;
+//! it cannot stop a transient burst from growing a switch queue until
+//! cells drop. Credits close that gap by construction: the consuming
+//! endpoint grants a window of `window` cells, the producer spends one
+//! credit per cell **before** it transmits, and the consumer returns
+//! each credit as the cell drains off the wire. A producer with an
+//! empty window holds its whole cell-train at the source, so the number
+//! of this circuit's cells anywhere between producer and consumer —
+//! link trains, switch queues, fabric crossings — never exceeds the
+//! window. Σ(windows through a queue) is therefore a hard bound on that
+//! queue's depth, independent of offered load.
+//!
+//! Producers acquire at *frame* granularity (a whole AAL5 frame's worth
+//! of cells or nothing), so a stall never strands a half-segmented
+//! frame in the fabric; see `Camera::send_frame`.
+//!
+//! Cells dropped in the fabric (outage windows, or overflow on circuits
+//! that opted out of credits) never reach the consumer, so their
+//! credits would leak and wedge the producer. Drop sites count drops
+//! per in-VCI ([`crate::switch::Switch::take_dropped_by_vci`],
+//! [`crate::link::Link::take_dropped_by_vci`]) and the control plane
+//! returns them via [`CreditWindow::reclaim`] at each congestion epoch.
+//! Conservation is then exact and checkable:
+//! `consumed == in_flight + returned + reclaimed`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pegasus_sim::engine::Simulator;
+use pegasus_sim::time::Ns;
+
+use crate::cell::{Cell, Vci};
+use crate::link::{CellSink, SinkRef};
+
+/// A shared handle on one circuit's credit window: the producer holds
+/// one clone (to acquire), the consumer-side [`CreditSink`] another (to
+/// release), the control plane a third (to reclaim and read stats).
+pub type CreditRef = Rc<RefCell<CreditWindow>>;
+
+/// One virtual circuit's credit state.
+///
+/// All counters are cumulative cell counts; the invariant
+/// [`CreditWindow::conserved`] ties them together.
+#[derive(Debug)]
+pub struct CreditWindow {
+    /// Credits granted by the consumer: the hard cap on in-flight cells.
+    window: u64,
+    /// Cells currently between producer and consumer.
+    in_flight: u64,
+    /// Total credits ever spent ([`CreditWindow::try_acquire`]).
+    consumed: u64,
+    /// Total credits returned by the consumer ([`CreditWindow::release`]).
+    returned: u64,
+    /// Credits reclaimed for cells the fabric dropped
+    /// ([`CreditWindow::reclaim`]).
+    reclaimed: u64,
+    /// Failed acquires, cumulative (each is one whole frame held back).
+    stalls: u64,
+    /// Failed acquires since the last [`CreditWindow::take_epoch_stalls`].
+    epoch_stalls: u64,
+    /// High-water mark of `in_flight`.
+    peak_in_flight: u64,
+}
+
+impl CreditWindow {
+    /// A window of `window` cells, shared and empty of traffic.
+    pub fn shared(window: u64) -> CreditRef {
+        Rc::new(RefCell::new(CreditWindow {
+            window,
+            in_flight: 0,
+            consumed: 0,
+            returned: 0,
+            reclaimed: 0,
+            stalls: 0,
+            epoch_stalls: 0,
+            peak_in_flight: 0,
+        }))
+    }
+
+    /// Spends `n` credits if the window has room for all of them;
+    /// otherwise spends nothing and records a stall. All-or-nothing is
+    /// what gives frame granularity: a producer asks for a whole AAL5
+    /// frame's cells at once.
+    pub fn try_acquire(&mut self, n: u64) -> bool {
+        if self.in_flight + n <= self.window {
+            self.in_flight += n;
+            self.consumed += n;
+            self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
+            true
+        } else {
+            self.stalls += 1;
+            self.epoch_stalls += 1;
+            false
+        }
+    }
+
+    /// Returns `n` credits as cells drain at the consumer.
+    pub fn release(&mut self, n: u64) {
+        debug_assert!(n <= self.in_flight, "released more credits than in flight");
+        self.in_flight = self.in_flight.saturating_sub(n);
+        self.returned += n;
+    }
+
+    /// Returns `n` credits for cells the fabric dropped (they will never
+    /// reach the consumer, so [`CreditWindow::release`] can't).
+    pub fn reclaim(&mut self, n: u64) {
+        debug_assert!(n <= self.in_flight, "reclaimed more credits than in flight");
+        self.in_flight = self.in_flight.saturating_sub(n);
+        self.reclaimed += n;
+    }
+
+    /// The conservation invariant: every credit ever spent is either
+    /// still in flight, returned by the consumer, or reclaimed after a
+    /// drop.
+    pub fn conserved(&self) -> bool {
+        self.consumed == self.in_flight + self.returned + self.reclaimed
+    }
+
+    /// The granted window, in cells.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Cells currently in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Cumulative failed acquires.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Cumulative credits reclaimed after fabric drops.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed
+    }
+
+    /// High-water mark of in-flight cells (always `<=` the window).
+    pub fn peak_in_flight(&self) -> u64 {
+        self.peak_in_flight
+    }
+
+    /// Failed acquires since the last call; resets the epoch counter.
+    /// This is the congestion signal the QoS control loop samples.
+    pub fn take_epoch_stalls(&mut self) -> u64 {
+        std::mem::take(&mut self.epoch_stalls)
+    }
+}
+
+/// The consumer side: wraps an endpoint's receive sink and returns one
+/// credit per delivered cell on every registered circuit, before
+/// forwarding the cell unchanged.
+///
+/// Registration is by *destination* VCI (the label the cell carries on
+/// its final hop). A handful of circuits terminate at any one endpoint,
+/// so the table is a linear scan.
+pub struct CreditSink {
+    inner: SinkRef,
+    /// `(dst_vci, window)` for every credited circuit ending here.
+    windows: Vec<(Vci, CreditRef)>,
+}
+
+impl CreditSink {
+    /// Wraps `inner`, sharing the result as a [`SinkRef`].
+    pub fn wrap(inner: SinkRef) -> Rc<RefCell<CreditSink>> {
+        Rc::new(RefCell::new(CreditSink {
+            inner,
+            windows: Vec::new(),
+        }))
+    }
+
+    /// Registers `window` for cells arriving with `dst_vci`.
+    pub fn register(&mut self, dst_vci: Vci, window: CreditRef) {
+        debug_assert!(
+            self.windows.iter().all(|(v, _)| *v != dst_vci),
+            "duplicate credit registration for VCI {dst_vci}"
+        );
+        self.windows.push((dst_vci, window));
+    }
+
+    fn credit_for(&self, vci: Vci) -> Option<&CreditRef> {
+        self.windows.iter().find(|(v, _)| *v == vci).map(|(_, w)| w)
+    }
+}
+
+impl CellSink for CreditSink {
+    fn deliver(&mut self, sim: &mut Simulator, cell: Cell) {
+        if let Some(w) = self.credit_for(cell.vci()) {
+            w.borrow_mut().release(1);
+        }
+        self.inner.borrow_mut().deliver(sim, cell);
+    }
+
+    fn deliver_batch(&mut self, sim: &mut Simulator, cells: &mut Vec<(Ns, Cell)>) {
+        for (_, cell) in cells.iter() {
+            if let Some(w) = self.credit_for(cell.vci()) {
+                w.borrow_mut().release(1);
+            }
+        }
+        self.inner.borrow_mut().deliver_batch(sim, cells);
+    }
+
+    /// Credit bookkeeping reads no clocks, so batching is safe exactly
+    /// when the wrapped sink says it is.
+    fn batch_capable(&self) -> bool {
+        self.inner.borrow().batch_capable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::CaptureSink;
+
+    #[test]
+    fn acquire_is_all_or_nothing_and_bounded() {
+        let w = CreditWindow::shared(10);
+        assert!(w.borrow_mut().try_acquire(6));
+        assert!(!w.borrow_mut().try_acquire(5), "6+5 exceeds the window");
+        assert_eq!(w.borrow().in_flight(), 6, "failed acquire spent nothing");
+        assert!(w.borrow_mut().try_acquire(4));
+        assert_eq!(w.borrow().in_flight(), 10);
+        assert_eq!(w.borrow().stalls(), 1);
+        assert!(w.borrow().conserved());
+    }
+
+    #[test]
+    fn release_and_reclaim_conserve() {
+        let w = CreditWindow::shared(8);
+        assert!(w.borrow_mut().try_acquire(8));
+        w.borrow_mut().release(5);
+        w.borrow_mut().reclaim(3);
+        let w = w.borrow();
+        assert_eq!(w.in_flight(), 0);
+        assert!(w.conserved());
+        assert_eq!(w.peak_in_flight(), 8);
+    }
+
+    #[test]
+    fn epoch_stalls_reset_but_cumulative_stand() {
+        let w = CreditWindow::shared(1);
+        assert!(w.borrow_mut().try_acquire(1));
+        assert!(!w.borrow_mut().try_acquire(1));
+        assert!(!w.borrow_mut().try_acquire(1));
+        assert_eq!(w.borrow_mut().take_epoch_stalls(), 2);
+        assert_eq!(w.borrow_mut().take_epoch_stalls(), 0);
+        assert_eq!(w.borrow().stalls(), 2);
+    }
+
+    #[test]
+    fn credit_sink_releases_only_registered_vcis() {
+        let mut sim = Simulator::new();
+        let capture = CaptureSink::shared();
+        let sink = CreditSink::wrap(capture.clone());
+        let w = CreditWindow::shared(4);
+        sink.borrow_mut().register(7, w.clone());
+        assert!(w.borrow_mut().try_acquire(2));
+
+        let mine = Cell::new(7);
+        let other = Cell::new(9);
+        sink.borrow_mut().deliver(&mut sim, mine.clone());
+        sink.borrow_mut().deliver(&mut sim, other);
+        assert_eq!(w.borrow().in_flight(), 1, "one credit back for VCI 7");
+
+        let mut batch = vec![(0, mine)];
+        sink.borrow_mut().deliver_batch(&mut sim, &mut batch);
+        assert_eq!(w.borrow().in_flight(), 0);
+        assert!(w.borrow().conserved());
+        assert_eq!(capture.borrow().arrivals.len(), 3, "all cells forwarded");
+    }
+}

@@ -9,6 +9,8 @@
 //!
 //! * [`cell`] — the 53-byte ATM cell with a real header layout.
 //! * [`crc`] — CRC-32 as used by the AAL5 trailer.
+//! * [`credit`] — credit-based per-VC flow control: consumer-granted
+//!   windows that bound every queue by construction.
 //! * [`aal5`] — AAL5 CPCS framing, segmentation and reassembly.
 //! * [`link`] — point-to-point links with serialization and propagation
 //!   delay, driven by the discrete-event engine.
@@ -21,6 +23,7 @@
 pub mod aal5;
 pub mod cell;
 pub mod crc;
+pub mod credit;
 pub mod link;
 pub mod network;
 pub mod signalling;
@@ -28,6 +31,7 @@ pub mod switch;
 
 pub use aal5::{Aal5Error, Reassembler, Segmenter};
 pub use cell::{Cell, Vci, CELL_SIZE, PAYLOAD_SIZE};
+pub use credit::{CreditRef, CreditSink, CreditWindow};
 pub use link::{CellSink, Link, SinkRef};
 pub use network::{EndpointId, Network, VcHandle};
 pub use signalling::{AdmissionError, QosSpec, ServiceClass};

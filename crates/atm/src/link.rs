@@ -29,7 +29,7 @@ use std::rc::Rc;
 use pegasus_sim::time::{tx_time, Ns};
 use pegasus_sim::{SharedHandler, Simulator};
 
-use crate::cell::{Cell, CELL_SIZE};
+use crate::cell::{Cell, Vci, CELL_SIZE};
 
 /// Anything that can receive cells: switch ports, displays, audio sinks,
 /// host network interfaces.
@@ -115,6 +115,10 @@ pub struct Link {
     cells_sent: u64,
     /// Cells offered while the line was down (dropped, never delivered).
     cells_dropped: u64,
+    /// Outage drops per VCI (few circuits share one line; linear scan).
+    /// Drained by [`Link::take_dropped_by_vci`] so the control plane can
+    /// reclaim the lost cells' credits and attribute the loss.
+    dropped_by_vci: Vec<(Vci, u64)>,
     /// The line is down until this instant: cells whose serialization
     /// would start before it are lost on the wire (a flapping link or a
     /// pulled line card). `0` means the link has never been down.
@@ -185,6 +189,7 @@ impl Link {
             next_free: 0,
             cells_sent: 0,
             cells_dropped: 0,
+            dropped_by_vci: Vec::new(),
             outage_until: 0,
             train,
             handler,
@@ -209,6 +214,13 @@ impl Link {
     /// Cells lost to outage windows (see [`Link::set_outage_until`]).
     pub fn cells_dropped(&self) -> u64 {
         self.cells_dropped
+    }
+
+    /// Outage drops per VCI since the last call, drained in VCI order.
+    pub fn take_dropped_by_vci(&mut self) -> Vec<(Vci, u64)> {
+        let mut drops = std::mem::take(&mut self.dropped_by_vci);
+        drops.sort_unstable();
+        drops
     }
 
     /// Takes the line down until `until`: cells whose serialization
@@ -245,6 +257,10 @@ impl Link {
             // wire. Mid-frame losses are exactly what reassembly's
             // fallback path must absorb.
             self.cells_dropped += 1;
+            match self.dropped_by_vci.iter_mut().find(|(v, _)| *v == cell.vci()) {
+                Some((_, n)) => *n += 1,
+                None => self.dropped_by_vci.push((cell.vci(), 1)),
+            }
             return start;
         }
         let done = start + self.cell_time();

@@ -92,6 +92,18 @@ impl VcHandle {
     pub fn crosses_switch(&self, sw: SwitchId) -> bool {
         self.route.iter().any(|&(s, _, _)| s == sw.0)
     }
+
+    /// Every VCI this circuit's cells carry anywhere on the path: the
+    /// incoming label at each hop plus the final delivery label. VCIs
+    /// are allocated from one network-wide counter, so any of these
+    /// labels identifies exactly this circuit — per-VCI drop counters
+    /// at switches and links attribute back through this set.
+    pub fn vcis(&self) -> impl Iterator<Item = Vci> + '_ {
+        self.route
+            .iter()
+            .map(|&(_, _, v)| v)
+            .chain(std::iter::once(self.dst_vci))
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -575,6 +587,52 @@ impl Network {
         Ok(())
     }
 
+    /// Re-sizes a live circuit's guaranteed bandwidth in place — the
+    /// signalling half of a QoS renegotiation. Routes and VCIs are
+    /// untouched (cells in flight are unaffected); only the ledger
+    /// entries change, on exactly the keys the original admission
+    /// reserved. Fails without side effects if any hop lacks capacity
+    /// for the new rate (old reservations are restored).
+    ///
+    /// Best-effort circuits carry no reservations; the call just
+    /// records the new rate on the handle.
+    pub fn resize_vc(&mut self, vc: &mut VcHandle, new_bps: u64) -> Result<(), AdmissionError> {
+        if vc.reservations.is_empty() {
+            vc.qos.peak_bps = new_bps;
+            return Ok(());
+        }
+        let old = std::mem::take(&mut vc.reservations);
+        for &(key, bps) in &old {
+            self.acs.get_mut(&key).expect("was reserved").release(bps);
+        }
+        let mut made: Vec<(ReservationKey, u64)> = Vec::with_capacity(old.len());
+        for &(key, _) in &old {
+            let name = self.key_name(key);
+            let ac = self.acs.get_mut(&key).expect("admission controller exists");
+            match ac.reserve(new_bps, &name) {
+                Ok(()) => made.push((key, new_bps)),
+                Err(e) => {
+                    for (k, bps) in made {
+                        self.acs.get_mut(&k).expect("just reserved").release(bps);
+                    }
+                    for &(k, bps) in &old {
+                        let name = self.key_name(k);
+                        self.acs
+                            .get_mut(&k)
+                            .expect("was reserved")
+                            .reserve(bps, &name)
+                            .expect("released capacity restores");
+                    }
+                    vc.reservations = old;
+                    return Err(e);
+                }
+            }
+        }
+        vc.reservations = made;
+        vc.qos.peak_bps = new_bps;
+        Ok(())
+    }
+
     /// Tears down a virtual circuit, removing routes and releasing
     /// reservations.
     pub fn close_vc(&mut self, vc: VcHandle) {
@@ -755,6 +813,56 @@ mod tests {
             .open_vc(cam, disp, QosSpec::guaranteed(99_000_000))
             .unwrap_err();
         assert_eq!(net.endpoint_tx_available(cam), before);
+    }
+
+    #[test]
+    fn resize_vc_moves_the_ledgers_and_rolls_back() {
+        let (mut net, cam, disp, disp_sink) = two_site_net();
+        let before = net.endpoint_tx_available(cam);
+        let mut vc = net
+            .open_vc(cam, disp, QosSpec::guaranteed(60_000_000))
+            .unwrap();
+        let (src_vci, dst_vci) = (vc.src_vci, vc.dst_vci);
+
+        // Down: frees headroom; routes and VCIs untouched, traffic flows.
+        net.resize_vc(&mut vc, 30_000_000).unwrap();
+        assert_eq!(net.endpoint_tx_available(cam), before - 30_000_000);
+        assert_eq!((vc.src_vci, vc.dst_vci), (src_vci, dst_vci));
+        let mut sim = Simulator::new();
+        net.endpoint_tx(cam)
+            .borrow_mut()
+            .send(&mut sim, Cell::new(vc.src_vci));
+        sim.run();
+        assert_eq!(disp_sink.borrow().arrivals.len(), 1);
+
+        // Up past what a second circuit now holds: fails, old rate kept.
+        let other = net
+            .open_vc(cam, disp, QosSpec::guaranteed(50_000_000))
+            .unwrap();
+        let err = net.resize_vc(&mut vc, 60_000_000).unwrap_err();
+        assert!(matches!(err, AdmissionError::InsufficientBandwidth { .. }));
+        assert_eq!(vc.qos.peak_bps, 30_000_000, "failed resize kept the old rate");
+        assert_eq!(net.endpoint_tx_available(cam), before - 80_000_000);
+
+        // Back up once the contender is gone: original rate restores.
+        net.close_vc(other);
+        net.resize_vc(&mut vc, 60_000_000).unwrap();
+        assert_eq!(net.endpoint_tx_available(cam), before - 60_000_000);
+        net.close_vc(vc);
+        assert_eq!(net.endpoint_tx_available(cam), before, "no leak after resizes");
+    }
+
+    #[test]
+    fn vcis_cover_every_hop_label() {
+        let (mut net, cam, disp, _) = two_site_net();
+        let vc = net
+            .open_vc(cam, disp, QosSpec::guaranteed(10_000_000))
+            .unwrap();
+        let vcis: Vec<Vci> = vc.vcis().collect();
+        // Two switches: endpoint segment, inter-switch hop, delivery.
+        assert_eq!(vcis.len(), 3);
+        assert!(vcis.contains(&vc.src_vci));
+        assert!(vcis.contains(&vc.dst_vci));
     }
 
     #[test]

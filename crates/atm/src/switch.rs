@@ -40,6 +40,17 @@ pub struct SwitchStats {
     /// Deepest output backlog observed (in cells, including the cell
     /// being accepted) — the high-water mark scenario reports publish.
     pub peak_queue_cells: u64,
+    /// Deepest backlog since the last [`SwitchStats::take_epoch_peak`]
+    /// — the resettable gauge the congestion control loop samples to
+    /// judge headroom, distinct from the run-long high-water mark.
+    pub epoch_peak_queue_cells: u64,
+}
+
+impl SwitchStats {
+    /// The deepest backlog this epoch; resets the epoch gauge.
+    pub fn take_epoch_peak(&mut self) -> u64 {
+        std::mem::take(&mut self.epoch_peak_queue_cells)
+    }
 }
 
 /// An output-queued cell switch.
@@ -52,6 +63,11 @@ pub struct Switch {
     pub queue_capacity: u64,
     /// Forwarding statistics.
     pub stats: SwitchStats,
+    /// Overflow drops per *incoming* VCI (the label the cell still
+    /// carries at the drop point, before translation). Globally unique
+    /// VCIs make this attributable to one circuit; the control plane
+    /// drains it to reclaim credits and attribute admitted-session loss.
+    dropped_by_vci: HashMap<Vci, u64>,
     next_vci: Vci,
 }
 
@@ -66,6 +82,7 @@ impl Switch {
             routes: HashMap::new(),
             queue_capacity: 1024,
             stats: SwitchStats::default(),
+            dropped_by_vci: HashMap::new(),
             next_vci: 32, // low VCIs reserved for signalling, as on real ATM
         }))
     }
@@ -137,6 +154,14 @@ impl Switch {
             .sum()
     }
 
+    /// Overflow drops per incoming VCI since the last call, drained and
+    /// sorted by VCI so callers iterate deterministically.
+    pub fn take_dropped_by_vci(&mut self) -> Vec<(Vci, u64)> {
+        let mut drops: Vec<(Vci, u64)> = self.dropped_by_vci.drain().collect();
+        drops.sort_unstable();
+        drops
+    }
+
     /// Looks up the route for a cell arriving on `in_port` with `in_vci`.
     pub fn route_for(&self, in_port: usize, in_vci: Vci) -> Option<Route> {
         self.routes.get(&(in_port, in_vci)).copied()
@@ -159,12 +184,16 @@ impl Switch {
         let backlog_cells = link.backlog(sim.now()) / link.cell_time().max(1);
         if backlog_cells >= self.queue_capacity {
             self.stats.overflowed += 1;
+            // The cell still carries its incoming label here (the VCI
+            // rewrite below never ran), so the drop attributes cleanly.
+            *self.dropped_by_vci.entry(cell.vci()).or_insert(0) += 1;
             return;
         }
         cell.set_vci(route.out_vci);
         link.send(sim, cell);
         self.stats.switched += 1;
         self.stats.peak_queue_cells = self.stats.peak_queue_cells.max(backlog_cells + 1);
+        self.stats.epoch_peak_queue_cells = self.stats.epoch_peak_queue_cells.max(backlog_cells + 1);
     }
 }
 

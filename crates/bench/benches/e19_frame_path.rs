@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use pegasus_atm::aal5::{Reassembler, Segmenter};
 use pegasus_atm::cell::Cell;
+use pegasus_atm::credit::CreditWindow;
 use pegasus_bench::{banner, row};
 use pegasus_devices::tile::{TileCoding, TileFrame, TileFrameWriter};
 use pegasus_pfs::disk::DiskConfig;
@@ -160,6 +161,56 @@ fn run_view_path(frames: u64) -> (u64, f64) {
     (frames, start.elapsed().as_secs_f64())
 }
 
+/// The view path with per-VC credit accounting on the hot path — the
+/// backpressure tax when nothing is congested: one all-or-nothing
+/// acquire per frame at the producer, one shared-window release per
+/// delivered cell at the consumer, through the same `Rc<RefCell<..>>`
+/// handle the real `CreditSink` uses. The window is sized so the lane
+/// never stalls; the measurement is pure accounting overhead.
+fn run_credit_path(frames: u64) -> (u64, f64) {
+    let tiles = tile_payloads();
+    let seg = Segmenter::new(7);
+    let arena = Arena::new();
+    let credit = CreditWindow::shared(1024);
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut spare: Vec<Cell> = Vec::new();
+    let mut delivered: Vec<Cell> = Vec::new();
+    let mut consumers: Vec<Reassembler> = (0..FANOUT).map(|_| Reassembler::new()).collect();
+    let mut ts_acc = 0u64;
+    let start = Instant::now();
+    for n in 0..frames {
+        let mut w =
+            TileFrameWriter::begin(arena.lease(), TileCoding::Raw, 0, n as u32, n * 40_000_000);
+        for (i, p) in tiles.iter().enumerate() {
+            w.push_tile((i * 8) as u16, 0, p);
+        }
+        let frame = w.finish().freeze();
+        seg.segment_frame(&frame.view_all(), &mut cells)
+            .expect("in range");
+        drop(frame);
+        let acquired = credit.borrow_mut().try_acquire(cells.len() as u64);
+        assert!(acquired, "the uncongested lane never stalls");
+        forward(&mut cells, &mut spare, &mut delivered);
+        // The consumer edge returns one credit per drained cell (the
+        // fan-out shares one circuit, so one release per cell).
+        for _ in &delivered {
+            credit.borrow_mut().release(1);
+        }
+        for reasm in &mut consumers {
+            for cell in &delivered {
+                if let Some(res) = reasm.push_frame(cell) {
+                    let out = res.expect("clean path");
+                    ts_acc ^= u64::from_be_bytes(out[7..15].try_into().expect("8 bytes"));
+                }
+            }
+        }
+        delivered.clear();
+    }
+    assert_ne!(ts_acc, 1);
+    assert!(credit.borrow().conserved(), "bench books must balance");
+    (frames, start.elapsed().as_secs_f64())
+}
+
 /// PFS leg: a continuous-media file striped over the array, read back
 /// periodically — per-read allocation (seed) vs leased reads over a
 /// recycling arena.
@@ -202,12 +253,14 @@ fn write_json(
     path: &str,
     copy_fps: f64,
     view_fps: f64,
+    credit_fps: f64,
     frames: u64,
     pfs_owned: f64,
     pfs_leased: f64,
 ) {
     let json = format!(
-        "{{\n  \"bench\": \"e19_frame_path\",\n  \"baseline\": {{\n    \"lane\": \"copy path (seed representation: owned PDU, per-cell payload copies)\",\n    \"frames_per_sec\": {copy_fps:.0}\n  }},\n  \"current\": {{\n    \"lane\": \"view path (arena leases, scatter-gather cells, view stitching)\",\n    \"frames_per_sec\": {view_fps:.0},\n    \"frames_total\": {frames}\n  }},\n  \"pfs\": {{\n    \"owned_read_mb_per_sec\": {pfs_owned:.1},\n    \"leased_read_mb_per_sec\": {pfs_leased:.1},\n    \"speedup\": {:.2}\n  }},\n  \"speedup\": {{\n    \"frames\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"e19_frame_path\",\n  \"baseline\": {{\n    \"lane\": \"copy path (seed representation: owned PDU, per-cell payload copies)\",\n    \"frames_per_sec\": {copy_fps:.0}\n  }},\n  \"current\": {{\n    \"lane\": \"view path (arena leases, scatter-gather cells, view stitching)\",\n    \"frames_per_sec\": {view_fps:.0},\n    \"frames_total\": {frames}\n  }},\n  \"backpressure\": {{\n    \"lane\": \"view path + per-VC credit accounting (uncongested)\",\n    \"credited_frames_per_sec\": {credit_fps:.0},\n    \"relative_to_view\": {:.2}\n  }},\n  \"pfs\": {{\n    \"owned_read_mb_per_sec\": {pfs_owned:.1},\n    \"leased_read_mb_per_sec\": {pfs_leased:.1},\n    \"speedup\": {:.2}\n  }},\n  \"speedup\": {{\n    \"frames\": {:.2}\n  }}\n}}\n",
+        if view_fps > 0.0 { credit_fps / view_fps } else { 0.0 },
         if pfs_owned > 0.0 { pfs_leased / pfs_owned } else { 0.0 },
         if copy_fps > 0.0 { view_fps / copy_fps } else { 0.0 },
     );
@@ -250,16 +303,26 @@ fn main() {
     // noisy scheduler tick cannot understate either lane.
     let mut copy_fps = 0.0f64;
     let mut view_fps = 0.0f64;
+    let mut credit_fps = 0.0f64;
     for _ in 0..3 {
         let (n, t) = run_copy_path(frames);
         copy_fps = copy_fps.max(n as f64 / t);
         let (n, t) = run_view_path(frames);
         view_fps = view_fps.max(n as f64 / t);
+        let (n, t) = run_credit_path(frames);
+        credit_fps = credit_fps.max(n as f64 / t);
     }
     row(&[
         ("copy path", format!("{copy_fps:.0} frames/s")),
         ("view path", format!("{view_fps:.0} frames/s")),
         ("speedup", format!("{:.2}x", view_fps / copy_fps)),
+    ]);
+    row(&[
+        ("credited view path", format!("{credit_fps:.0} frames/s")),
+        (
+            "credit overhead",
+            format!("{:.1}%", (1.0 - credit_fps / view_fps) * 100.0),
+        ),
     ]);
 
     let (pfs_owned, pfs_leased) = run_pfs((4_000 / scale).max(200), 64 * 1024);
@@ -270,7 +333,9 @@ fn main() {
     ]);
 
     if let Some(path) = json_path {
-        write_json(&path, copy_fps, view_fps, frames, pfs_owned, pfs_leased);
+        write_json(
+            &path, copy_fps, view_fps, credit_fps, frames, pfs_owned, pfs_leased,
+        );
     }
     println!(
         "expect: ≥2x frames/s — the view lane pays one copy (device fill) and one CRC \

@@ -141,15 +141,30 @@ pub enum Outcome {
     Rejected(RejectLayer),
 }
 
+/// One live quality transition in a session's contract history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Renegotiation {
+    /// Simulation time of the transition, nanoseconds.
+    pub at_ns: u64,
+    /// Quality before, thousandths of the request.
+    pub from_milli: u64,
+    /// Quality after.
+    pub to_milli: u64,
+}
+
 /// What the broker returns: the verdict, the contract, and the opened
 /// circuits (media flows first, then fixed flows, in request order).
 #[derive(Debug)]
 pub struct SessionGrant {
     /// The verdict.
     pub outcome: Outcome,
-    /// Granted quality in thousandths of the request: 1000 admitted,
-    /// the broker's `degrade_milli` when degraded, 0 when rejected.
+    /// Current quality in thousandths of the request: starts at 1000
+    /// (admitted) or the broker's `degrade_milli` (degraded), 0 when
+    /// rejected; live renegotiation moves it afterwards.
     pub quality_milli: u64,
+    /// Quality at admission time — the contract ceiling. Live
+    /// renegotiation never raises a session above this.
+    pub admitted_milli: u64,
     /// What the session asked for.
     pub requested: ResourceVector,
     /// What it holds now (all zeros when rejected).
@@ -158,8 +173,14 @@ pub struct SessionGrant {
     /// [`QosBroker::release`] returns the slot there.
     pub pfs_server: Option<usize>,
     /// Guaranteed VCs opened on the session's behalf; empty when
-    /// rejected.
+    /// rejected. Media flows come first, then fixed flows.
     pub vcs: Vec<VcHandle>,
+    /// The media flows' *full-quality* rates, in [`SessionGrant::vcs`]
+    /// order — the basis live renegotiation rescales from, so repeated
+    /// down/up transitions never accumulate rounding error.
+    pub media_full_bps: Vec<u64>,
+    /// Every live quality transition, in order — the contract history.
+    pub history: Vec<Renegotiation>,
 }
 
 impl SessionGrant {
@@ -248,11 +269,82 @@ impl QosBroker {
         SessionGrant {
             outcome: Outcome::Rejected(layer),
             quality_milli: 0,
+            admitted_milli: 0,
             requested,
             granted: ResourceVector::default(),
             pfs_server: None,
             vcs: Vec::new(),
+            media_full_bps: Vec::new(),
+            history: Vec::new(),
         }
+    }
+
+    /// Moves a *live* session to `new_milli` thousandths of its request
+    /// — the congestion loop's actuator. Media VCs are resized in place
+    /// (routes and VCIs untouched, so cells in flight are unaffected),
+    /// the CPU ledger is recharged at the new rate, and the transition
+    /// is appended to the grant's contract history. Fixed flows (audio)
+    /// and stream slots never change — a degraded call is a lower-rate
+    /// call, not a broken one.
+    ///
+    /// `new_milli` is clamped to the session's `admitted_milli`: live
+    /// renegotiation restores, it never exceeds the admitted contract.
+    /// Fails without side effects if some layer cannot carry the new
+    /// rate (only possible on the way up).
+    pub fn renegotiate_live(
+        &mut self,
+        net: &mut Network,
+        grant: &mut SessionGrant,
+        new_milli: u64,
+        at_ns: u64,
+    ) -> Result<(), RejectLayer> {
+        assert!(grant.is_admitted(), "only live sessions renegotiate");
+        let target = new_milli.min(grant.admitted_milli);
+        let from = grant.quality_milli;
+        if target == from {
+            return Ok(());
+        }
+        let new = grant.requested.scaled(target);
+        let old_cpu = grant.granted.cpu_micro;
+
+        // CPU first: the only ledger whose reserve can refuse here.
+        if new.cpu_micro >= old_cpu {
+            if self.cpu.reserve(new.cpu_micro - old_cpu).is_err() {
+                return Err(RejectLayer::Cpu);
+            }
+        } else {
+            self.cpu.release(old_cpu - new.cpu_micro);
+        }
+
+        // Resize each media VC; on a refusal (possible only going up),
+        // restore the ones already moved and the CPU delta.
+        for i in 0..grant.media_full_bps.len() {
+            let new_bps = grant.media_full_bps[i] * target / 1000;
+            if net.resize_vc(&mut grant.vcs[i], new_bps).is_err() {
+                for j in 0..i {
+                    let old_bps = grant.media_full_bps[j] * from / 1000;
+                    net.resize_vc(&mut grant.vcs[j], old_bps)
+                        .expect("shrinking back always fits");
+                }
+                if new.cpu_micro >= old_cpu {
+                    self.cpu.release(new.cpu_micro - old_cpu);
+                } else {
+                    self.cpu
+                        .reserve(old_cpu - new.cpu_micro)
+                        .expect("released capacity restores");
+                }
+                return Err(RejectLayer::Bandwidth);
+            }
+        }
+
+        grant.granted = new;
+        grant.quality_milli = target;
+        grant.history.push(Renegotiation {
+            at_ns,
+            from_milli: from,
+            to_milli: target,
+        });
+        Ok(())
     }
 
     /// Attempts one rung: all-or-nothing across the three layers, in
@@ -310,10 +402,13 @@ impl QosBroker {
                 Outcome::Degraded
             },
             quality_milli: milli,
+            admitted_milli: milli,
             requested,
             granted,
             pfs_server: req.pfs_server.filter(|_| granted.pfs_slots > 0),
             vcs,
+            media_full_bps: req.media_flows.iter().map(|f| f.bps).collect(),
+            history: Vec::new(),
         })
     }
 }
@@ -448,6 +543,77 @@ mod tests {
         // The capacity is genuinely reusable.
         let g2 = broker.admit(&mut net, &req);
         assert_eq!(g2.outcome, Outcome::Admitted);
+    }
+
+    #[test]
+    fn live_renegotiation_moves_down_and_back_never_above_admitted() {
+        let (mut net, src, dst) = two_site();
+        let mut broker = QosBroker::new(10_000, 0, 0, 500);
+        let mut g = broker.admit(&mut net, &video_request(src, dst, 60_000_000, 300));
+        assert_eq!(g.outcome, Outcome::Admitted);
+        let (src_vci, dst_vci) = (g.vcs[0].src_vci, g.vcs[0].dst_vci);
+
+        broker.renegotiate_live(&mut net, &mut g, 500, 1_000).unwrap();
+        assert_eq!(g.quality_milli, 500);
+        assert_eq!(g.granted.video_bps, 30_000_000);
+        assert_eq!(g.vcs[0].qos.peak_bps, 30_000_000);
+        assert_eq!(broker.cpu.reserved_micro(), 150);
+        assert_eq!(
+            (g.vcs[0].src_vci, g.vcs[0].dst_vci),
+            (src_vci, dst_vci),
+            "renegotiation must not disturb the circuit"
+        );
+
+        // Asking for more than admitted clamps to the admitted contract.
+        broker.renegotiate_live(&mut net, &mut g, 1500, 2_000).unwrap();
+        assert_eq!(g.quality_milli, 1000);
+        assert_eq!(g.granted, g.requested);
+        assert_eq!(broker.cpu.reserved_micro(), 300);
+        assert_eq!(g.history.len(), 2);
+        assert_eq!(
+            g.history[1],
+            Renegotiation {
+                at_ns: 2_000,
+                from_milli: 500,
+                to_milli: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn failed_renegotiation_up_restores_every_ledger() {
+        let (mut net, src, dst) = two_site();
+        let mut broker = QosBroker::new(10_000, 0, 0, 500);
+        let mut g = broker.admit(&mut net, &video_request(src, dst, 60_000_000, 300));
+        broker.renegotiate_live(&mut net, &mut g, 500, 0).unwrap();
+        // A newcomer takes the freed bandwidth; the way back up is shut.
+        let squatter = broker.admit(&mut net, &video_request(src, dst, 50_000_000, 100));
+        assert_eq!(squatter.outcome, Outcome::Admitted);
+        let cpu_before = broker.cpu.reserved_micro();
+        let util_before = net.max_reservation_utilization();
+        let err = broker
+            .renegotiate_live(&mut net, &mut g, 1000, 0)
+            .unwrap_err();
+        assert_eq!(err, RejectLayer::Bandwidth);
+        assert_eq!(g.quality_milli, 500, "failed up keeps the current rung");
+        assert_eq!(broker.cpu.reserved_micro(), cpu_before);
+        assert_eq!(net.max_reservation_utilization(), util_before);
+        assert_eq!(g.history.len(), 1, "a refused transition is not history");
+    }
+
+    #[test]
+    fn degraded_admission_caps_the_live_ceiling() {
+        let (mut net, src, dst) = two_site();
+        let mut broker = QosBroker::new(10_000, 0, 0, 500);
+        let _g1 = broker.admit(&mut net, &video_request(src, dst, 60_000_000, 300));
+        let mut g2 = broker.admit(&mut net, &video_request(src, dst, 60_000_000, 300));
+        assert_eq!(g2.outcome, Outcome::Degraded);
+        assert_eq!(g2.admitted_milli, 500);
+        // Even with capacity to spare, up-renegotiation stops at the
+        // admitted contract, not the original request.
+        broker.renegotiate_live(&mut net, &mut g2, 1000, 0).unwrap();
+        assert_eq!(g2.quality_milli, 500);
+        assert!(g2.history.is_empty(), "clamped no-op records nothing");
     }
 
     #[test]

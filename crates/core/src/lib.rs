@@ -15,6 +15,10 @@
 //!   contracts admitted against the Nemesis CPU ledger, the per-link
 //!   ATM bandwidth books and the PFS stream-slot ledgers, with
 //!   admit / admit-degraded / reject outcomes.
+//! * [`congestion`] — the feedback half of the contract model: epoch
+//!   congestion signals (credit stalls, queue depth, CM slot pressure)
+//!   driven through a hysteresis controller whose verdicts make the
+//!   broker renegotiate *live* sessions down a rung and back up.
 //! * [`videophone`] — the paper's motivating application, in both the
 //!   DAN configuration and a bus-attached baseline where the host CPU
 //!   forwards every media byte.
@@ -25,14 +29,16 @@
 //!   manipulation.
 
 pub mod broker;
+pub mod congestion;
 pub mod director;
 pub mod recorder;
 pub mod system;
 pub mod videophone;
 
 pub use broker::{
-    FlowRequest, Outcome, QosBroker, RejectLayer, ResourceVector, SessionClass, SessionGrant,
-    SessionRequest,
+    FlowRequest, Outcome, QosBroker, RejectLayer, Renegotiation, ResourceVector, SessionClass,
+    SessionGrant, SessionRequest,
 };
+pub use congestion::{CongestionController, CongestionSignal, Verdict};
 pub use system::{System, Workstation};
 pub use videophone::{VideoPath, VideoPhone, VideoPhoneConfig, VideoPhoneReport};

@@ -21,6 +21,7 @@ use std::rc::Rc;
 
 use pegasus_atm::aal5::Segmenter;
 use pegasus_atm::cell::{Cell, Vci};
+use pegasus_atm::credit::CreditRef;
 use pegasus_atm::link::Link;
 use pegasus_sim::arena::{Arena, FrameBuf, FrameBufMut};
 use pegasus_sim::time::{Ns, SEC};
@@ -85,6 +86,9 @@ pub struct CameraStats {
     pub tiles_sent: u64,
     /// AAL5 tile-frames emitted.
     pub aal5_frames: u64,
+    /// AAL5 tile-frames withheld because the credit window was empty —
+    /// backpressure degrading at frame granularity, never mid-frame.
+    pub frames_skipped: u64,
     /// Payload bytes before AAL5 overhead.
     pub payload_bytes: u64,
     /// Raw pixel bytes digitized.
@@ -121,6 +125,9 @@ pub struct Camera {
     arena: Arena,
     /// Scratch cell train reused across sends.
     cells: Vec<Cell>,
+    /// The circuit's credit window, when flow control is on: a whole
+    /// tile-frame's cells are acquired before any of them transmit.
+    credit: Option<CreditRef>,
     /// Per-run statistics.
     pub stats: CameraStats,
 }
@@ -143,8 +150,28 @@ impl Camera {
             frame_no: 0,
             arena: Arena::new(),
             cells: Vec::new(),
+            credit: None,
             stats: CameraStats::default(),
         }))
+    }
+
+    /// Puts the data circuit under `credit` flow control: every AAL5
+    /// frame's cells are acquired all-or-nothing before transmission,
+    /// and a frame that cannot get credits is skipped whole.
+    pub fn set_credit(&mut self, credit: CreditRef) {
+        self.credit = Some(credit);
+    }
+
+    /// Changes the frame rate (the control-VC `SetRate` command). Takes
+    /// effect at the next frame tick — the loop reads the period fresh.
+    pub fn set_fps(&mut self, fps: u32) {
+        assert!(fps > 0, "a camera cannot run at 0 fps");
+        self.cfg.fps = fps;
+    }
+
+    /// The current configured frame rate.
+    pub fn fps(&self) -> u32 {
+        self.cfg.fps
     }
 
     /// The camera's buffer arena (for lease-accounting assertions).
@@ -284,11 +311,21 @@ impl Camera {
     }
 
     fn send_frame(&mut self, sim: &mut Simulator, frame: &FrameBuf) {
-        self.stats.aal5_frames += 1;
-        self.stats.payload_bytes += frame.len() as u64;
         Segmenter::new(self.vci)
             .segment_frame(&frame.view_all(), &mut self.cells)
             .expect("tile frames are far below the AAL5 maximum");
+        if let Some(credit) = &self.credit {
+            if !credit.borrow_mut().try_acquire(self.cells.len() as u64) {
+                // No credits for the whole frame: hold it at the source.
+                // Dropping a complete tile-frame costs one frame's tiles;
+                // sending part of one would poison reassembly downstream.
+                self.cells.clear();
+                self.stats.frames_skipped += 1;
+                return;
+            }
+        }
+        self.stats.aal5_frames += 1;
+        self.stats.payload_bytes += frame.len() as u64;
         let mut tx = self.tx.borrow_mut();
         for cell in self.cells.drain(..) {
             tx.send(sim, cell);
@@ -539,6 +576,54 @@ mod tests {
             "steady state must recycle, allocated {}",
             stats.fresh_allocs
         );
+    }
+
+    #[test]
+    fn empty_credit_window_skips_whole_frames_only() {
+        use pegasus_atm::credit::CreditWindow;
+        let (cam, sink) = capture_setup(CameraConfig {
+            mode: VideoMode::Raw,
+            ..CameraConfig::default()
+        });
+        // Room for exactly one 8-tile AAL5 frame (64 B tiles ≈ 13 cells
+        // with headers and trailer) and nothing more: every later frame
+        // must be withheld whole.
+        let credit = CreditWindow::shared(20);
+        cam.borrow_mut().set_credit(credit.clone());
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(39 * MS);
+        cam.borrow_mut().stop();
+        sim.run();
+        let stats = cam.borrow().stats.clone();
+        assert_eq!(stats.aal5_frames, 1, "one frame fit the window");
+        assert!(stats.frames_skipped > 0, "the rest were held at source");
+        assert!(credit.borrow().conserved());
+        assert!(credit.borrow().peak_in_flight() <= 20);
+        // Whatever arrived reassembles cleanly — no partial frames.
+        let frames = reassemble_frames(&sink);
+        assert_eq!(frames.len(), 1);
+    }
+
+    #[test]
+    fn set_fps_takes_effect_at_the_next_tick() {
+        let (cam, _) = capture_setup(CameraConfig {
+            mode: VideoMode::Raw,
+            ..CameraConfig::default()
+        });
+        let mut sim = Simulator::new();
+        Camera::start(&cam, &mut sim);
+        sim.run_until(500 * MS); // ~12 frames at 25 fps
+        cam.borrow_mut().set_fps(5);
+        sim.run_until(1_000 * MS); // ~2-3 more at 5 fps
+        cam.borrow_mut().stop();
+        sim.run();
+        let f = cam.borrow().stats.frames_captured;
+        assert!(
+            (14..=17).contains(&f),
+            "rate change must halve the cadence live, captured {f}"
+        );
+        assert_eq!(cam.borrow().fps(), 5);
     }
 
     #[test]

@@ -23,11 +23,15 @@
 //! * [`storm`] — the `nemesis-storm` scenario preset (link flaps, a
 //!   switch death with signalling repair, a disk failure with a live
 //!   RAID rebuild) rerun and compared byte-for-byte.
+//! * [`control`] — random walks over the QoS feedback loop (admit,
+//!   congest, renegotiate down, recover, renegotiate up) against the
+//!   real broker, credit windows and hysteresis controller.
 //!
 //! Each front runs under plain `cargo test` with a small budget; the
 //! `fuzz-gauntlet` binary (`scripts/fuzz_gauntlet.sh`) runs the CI-sized
 //! budgets.
 
+pub mod control;
 pub mod disk;
 pub mod storm;
 pub mod wire;
@@ -41,6 +45,8 @@ pub enum Front {
     Disk,
     /// The golden-gated scenario storm.
     Storm,
+    /// The QoS feedback loop: backpressure, hysteresis, renegotiation.
+    Control,
 }
 
 impl std::fmt::Display for Front {
@@ -49,6 +55,7 @@ impl std::fmt::Display for Front {
             Front::Wire => write!(f, "wire"),
             Front::Disk => write!(f, "disk"),
             Front::Storm => write!(f, "storm"),
+            Front::Control => write!(f, "control"),
         }
     }
 }

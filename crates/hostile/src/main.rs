@@ -1,7 +1,7 @@
 //! `fuzz-gauntlet` — the CI-sized driver for the hostile fronts.
 //!
 //! ```text
-//! fuzz-gauntlet [--front wire|signalling|disk|crash|storm|all]
+//! fuzz-gauntlet [--front wire|signalling|disk|crash|storm|control|all]
 //!               [--seed N] [--iters N]
 //! ```
 //!
@@ -9,7 +9,7 @@
 //! panics with its one-line `(seed, front, step)` reproduction triple.
 //! `scripts/fuzz_gauntlet.sh` wraps this with the CI budgets.
 
-use pegasus_hostile::{disk, storm, wire};
+use pegasus_hostile::{control, disk, storm, wire};
 
 struct Args {
     front: String,
@@ -32,7 +32,7 @@ fn parse() -> Args {
             "--iters" => args.iters = grab("--iters").parse().expect("--iters takes a u64"),
             "--help" | "-h" => {
                 println!(
-                    "usage: fuzz-gauntlet [--front wire|signalling|disk|crash|storm|all] \
+                    "usage: fuzz-gauntlet [--front wire|signalling|disk|crash|storm|control|all] \
                      [--seed N] [--iters N]"
                 );
                 std::process::exit(0);
@@ -80,6 +80,14 @@ fn main() {
         println!(
             "crash: {} boundaries cut, {} acknowledged records verified — ok",
             s.crash_points, s.records_verified
+        );
+    }
+    if all || args.front == "control" {
+        let n = pick(300);
+        let s = control::run_control(args.seed, n);
+        println!(
+            "control: {} walks, {} admitted, {} stalls, {} downs, {} ups — ok",
+            s.steps, s.admitted, s.stalls, s.downs, s.ups
         );
     }
     if all || args.front == "storm" {

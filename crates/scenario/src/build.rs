@@ -30,9 +30,13 @@ use pegasus::broker::{
     FlowRequest, Outcome, QosBroker, RejectLayer, ResourceVector, SessionClass, SessionGrant,
     SessionRequest,
 };
+use pegasus::congestion::{CongestionController, CongestionSignal, Verdict};
 use pegasus::system::{HostNic, System};
-use pegasus_atm::link::Link;
-use pegasus_atm::network::{Network, VcHandle};
+use pegasus_atm::cell::{Cell, Vci, CELL_SIZE};
+use pegasus_atm::credit::{CreditRef, CreditSink, CreditWindow};
+use pegasus_atm::link::{CellSink, Link};
+use pegasus_atm::network::{LinkConfig, Network, VcHandle};
+use pegasus_atm::signalling::QosSpec;
 use pegasus_devices::audio::{AudioConfig, AudioSink, AudioSource};
 use pegasus_devices::camera::{Camera, CameraConfig, VideoMode};
 use pegasus_devices::display::{Display, Rect, WindowManager};
@@ -52,7 +56,8 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::report::{
-    BrokerReport, CellReport, ClassReport, NemesisReport, PfsReport, ScenarioReport,
+    BackpressureReport, BrokerReport, CellReport, ClassReport, NemesisReport, PfsReport,
+    ScenarioReport,
 };
 use crate::spec::{Arrival, FaultSpec, ScenarioSpec};
 
@@ -86,6 +91,43 @@ type VodClient = (
     StreamId,
     Rc<RefCell<ArrivalSink>>,
 );
+
+/// The blast's discard endpoint: cells vanish here, their credits
+/// already returned by the [`CreditSink`] wrapped around it.
+struct NullSink;
+
+impl NullSink {
+    fn shared() -> Rc<RefCell<NullSink>> {
+        Rc::new(RefCell::new(NullSink))
+    }
+}
+
+impl CellSink for NullSink {
+    fn deliver(&mut self, _sim: &mut Simulator, _cell: Cell) {}
+
+    /// Reads no clocks: trains may collapse to one delivery event.
+    fn batch_capable(&self) -> bool {
+        true
+    }
+}
+
+/// One live session's running state, kept for the whole run: the
+/// broker's grant (whose `vcs` the congestion loop resizes in place),
+/// the producer to retune after a renegotiation, and the media
+/// circuit's credit window. Also the set signalling walks when a switch
+/// dies — `stranded[i]` marks circuits repair gave up on, so no later
+/// renegotiation touches their released reservations.
+struct SessionBook {
+    grant: SessionGrant,
+    class: SessionClass,
+    /// The media producer (camera, or the VoD paced pusher).
+    camera: Option<Rc<RefCell<Camera>>>,
+    /// The media circuit's credit window, when backpressure is on.
+    credit: Option<CreditRef>,
+    /// Parallel to `grant.vcs`: circuit `i` was stranded by a switch
+    /// death (reservations already released — never resize it again).
+    stranded: Vec<bool>,
+}
 
 /// One session's admission record: what it asked for, what the broker
 /// granted, and the verdict. The property tests hold the broker to
@@ -202,10 +244,14 @@ pub struct Scenario {
     vod_clients: Vec<VodClient>,
     tx_links: Vec<Rc<RefCell<Link>>>,
     vod_servers: Vec<VodServer>,
-    /// Every admitted circuit, held for mid-run signalling repair: when
-    /// a `SwitchDeath` fault fires, circuits crossing the corpse are
-    /// re-routed (endpoint VCIs pinned) or written off as stranded.
-    vcs: Vec<VcHandle>,
+    /// One book entry per admitted session: the grant (held live so the
+    /// congestion loop can renegotiate it), the producer, the credit
+    /// window, and the circuits signalling repairs after a switch death.
+    books: Vec<SessionBook>,
+    /// Best-effort blast circuits (congestion sources), with their own
+    /// credit windows: pressure by construction, never overflow. The
+    /// bool marks a blast stranded by a switch death.
+    blasts: Vec<(VcHandle, CreditRef, bool)>,
 }
 
 /// The camera settings a session runs at after renegotiation: frame
@@ -281,7 +327,8 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         vod_clients: Vec::new(),
         tx_links: Vec::new(),
         vod_servers: Vec::new(),
-        vcs: Vec::new(),
+        books: Vec::new(),
+        blasts: Vec::new(),
         // Placeholders, replaced below once sessions are wired.
         broker: QosBroker::new(0, 0, 0, 1000),
         sys: System::new(),
@@ -301,11 +348,9 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
             requested: grant.requested,
             granted: grant.granted,
         });
-        if grant.is_admitted() {
-            scenario.vcs.extend(grant.vcs.iter().cloned());
-        }
         grant
     };
+    let bp = spec.backpressure;
 
     let mut poisson_clock: Ns = 0;
     let pick_pair = |rng: &mut SmallRng| -> (usize, usize) {
@@ -332,7 +377,13 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
 
         let cam_ep = sys.attach_device(src, HostNic::shared());
         let display = Display::shared(176, 144);
-        let disp_ep = sys.attach_device(dst, display.clone());
+        // With backpressure on, the consuming endpoint fronts its sink
+        // with a credit gate that returns one credit per drained cell.
+        let credit_sink = bp.enabled.then(|| CreditSink::wrap(display.clone()));
+        let disp_ep = match &credit_sink {
+            Some(cs) => sys.attach_device(dst, cs.clone()),
+            None => sys.attach_device(dst, display.clone()),
+        };
         let audio_src_ep = sys.attach_device(src, HostNic::shared());
         let audio_sink = AudioSink::shared(AudioConfig::telephony(), spec.audio_jitter_buffer);
         let audio_sink_ep = sys.attach_device(dst, audio_sink.clone());
@@ -356,19 +407,37 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         if !grant.is_admitted() {
             continue;
         }
-        let (vc, avc) = (&grant.vcs[0], &grant.vcs[1]);
+        let (vc_src, vc_dst, avc_src) = (
+            grant.vcs[0].src_vci,
+            grant.vcs[0].dst_vci,
+            grant.vcs[1].src_vci,
+        );
 
         let mut wm = WindowManager::new(display.clone(), 1);
-        wm.create(vc.dst_vci, Rect::new(0, 0, 176, 144));
+        wm.create(vc_dst, Rect::new(0, 0, 176, 144));
         let cam_cfg = camera_for(spec.camera, grant.quality_milli);
-        let cam = sys.build_camera_on(cam_ep, scene, cam_cfg, vc.src_vci);
+        let cam = sys.build_camera_on(cam_ep, scene, cam_cfg, vc_src);
+        let credit = credit_sink.map(|cs| {
+            let w = CreditWindow::shared(bp.window_cells);
+            cs.borrow_mut().register(vc_dst, w.clone());
+            cam.borrow_mut().set_credit(w.clone());
+            w
+        });
         scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
         scenario.displays.push(display);
+        let stranded = vec![false; grant.vcs.len()];
+        scenario.books.push(SessionBook {
+            grant,
+            class: SessionClass::Videophone,
+            camera: Some(cam.clone()),
+            credit,
+            stranded,
+        });
         let (cam_start, cam_stop) = (cam.clone(), cam);
         sim.schedule_at(t0, move |sim| Camera::start(&cam_start, sim));
         sim.schedule_at(spec.duration, move |_| cam_stop.borrow_mut().stop());
 
-        let audio = sys.build_audio_source_on(audio_src_ep, AudioConfig::telephony(), avc.src_vci);
+        let audio = sys.build_audio_source_on(audio_src_ep, AudioConfig::telephony(), avc_src);
         scenario.tx_links.push(sys.net.endpoint_tx(audio_src_ep));
         scenario.audio_sinks.push(audio_sink.clone());
         let (a_start, a_stop) = (audio.clone(), audio);
@@ -417,7 +486,11 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         let sink = ArrivalSink::shared(ctl.clone(), stream, |bytes| {
             TileFrame::decode(bytes).ok().map(|tf| tf.timestamp)
         });
-        let client_ep = sys.attach_device(dst, sink.clone());
+        let credit_sink = bp.enabled.then(|| CreditSink::wrap(sink.clone()));
+        let client_ep = match &credit_sink {
+            Some(cs) => sys.attach_device(dst, cs.clone()),
+            None => sys.attach_device(dst, sink.clone()),
+        };
         let server_ep = sys.attach_device(src, HostNic::shared());
 
         let req = SessionRequest {
@@ -435,22 +508,35 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         if !grant.is_admitted() {
             continue;
         }
-        let vc = &grant.vcs[0];
+        let (vc_src, vc_dst) = (grant.vcs[0].src_vci, grant.vcs[0].dst_vci);
 
         // The continuous-media stack pushes tiles at frame rate; the
         // camera model doubles as that paced pusher, renegotiated down
         // with the rest of the session when degraded.
         let cam_cfg = camera_for(spec.camera, grant.quality_milli);
-        let cam = sys.build_camera_on(server_ep, scene, cam_cfg, vc.src_vci);
+        let cam = sys.build_camera_on(server_ep, scene, cam_cfg, vc_src);
+        let credit = credit_sink.map(|cs| {
+            let w = CreditWindow::shared(bp.window_cells);
+            cs.borrow_mut().register(vc_dst, w.clone());
+            cam.borrow_mut().set_credit(w.clone());
+            w
+        });
         scenario.tx_links.push(sys.net.endpoint_tx(server_ep));
         scenario.vod_clients.push((ctl, stream, sink));
-        let (c_start, c_stop) = (cam.clone(), cam);
-        sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
-        sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
-
         // Disk side: admit the stream on its granted server at the
         // granted (possibly renegotiated-down) rate.
         let granted_disk = (req_disk * grant.quality_milli / 1000).max(1);
+        let stranded = vec![false; grant.vcs.len()];
+        scenario.books.push(SessionBook {
+            grant,
+            class: SessionClass::Vod,
+            camera: Some(cam.clone()),
+            credit,
+            stranded,
+        });
+        let (c_start, c_stop) = (cam.clone(), cam);
+        sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
+        sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
         let server = &mut scenario.vod_servers[i % n_servers];
         let fid = server.file;
         server
@@ -467,7 +553,13 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         tv_left -= feeds;
         let dst = rng.gen_range(0..n_fabric);
         let display = Display::shared(176, 144);
-        let disp_ep = sys.attach_device(dst, display.clone());
+        // One credit gate per control room: every admitted feed
+        // registers its own window on it, keyed by delivery VCI.
+        let credit_sink = bp.enabled.then(|| CreditSink::wrap(display.clone()));
+        let disp_ep = match &credit_sink {
+            Some(cs) => sys.attach_device(dst, cs.clone()),
+            None => sys.attach_device(dst, display.clone()),
+        };
         let wm = Rc::new(RefCell::new(WindowManager::new(display.clone(), 1)));
         scenario.tv_displays.push(display);
         let mut feed_vcis = Vec::new();
@@ -493,15 +585,28 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
             if !grant.is_admitted() {
                 continue;
             }
-            let vc = &grant.vcs[0];
+            let (vc_src, vc_dst) = (grant.vcs[0].src_vci, grant.vcs[0].dst_vci);
             group_t0 = group_t0.min(t0);
 
-            wm.borrow_mut()
-                .create(vc.dst_vci, Rect::new(0, 0, 176, 144));
-            feed_vcis.push(vc.dst_vci);
+            wm.borrow_mut().create(vc_dst, Rect::new(0, 0, 176, 144));
+            feed_vcis.push(vc_dst);
             let cam_cfg = camera_for(spec.camera, grant.quality_milli);
-            let cam = sys.build_camera_on(cam_ep, scene, cam_cfg, vc.src_vci);
+            let cam = sys.build_camera_on(cam_ep, scene, cam_cfg, vc_src);
+            let credit = credit_sink.as_ref().map(|cs| {
+                let w = CreditWindow::shared(bp.window_cells);
+                cs.borrow_mut().register(vc_dst, w.clone());
+                cam.borrow_mut().set_credit(w.clone());
+                w
+            });
             scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
+            let stranded = vec![false; grant.vcs.len()];
+            scenario.books.push(SessionBook {
+                grant,
+                class: SessionClass::Tv,
+                camera: Some(cam.clone()),
+                credit,
+                stranded,
+            });
             let (c_start, c_stop) = (cam.clone(), cam);
             sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
             sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
@@ -550,6 +655,69 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
                     }
                 });
             }
+            FaultSpec::BestEffortBlast {
+                at,
+                until,
+                from_switch,
+                to_switch,
+                rate_bps,
+                window,
+            } => {
+                assert!(
+                    from_switch < sys.fabric.len() && to_switch < sys.fabric.len(),
+                    "blast names fabric switches"
+                );
+                assert!(until >= at, "blast must end after it starts");
+                assert!(rate_bps > 0 && window > 0, "blast needs rate and credits");
+                // The injector gets its own fat access link so the
+                // bottleneck is the shared trunk, not its first hop; the
+                // sink end discards, its credit gate returning credits
+                // as cells drain — which is exactly what bounds the
+                // standing queue the blast builds in the fabric.
+                let blast_link = LinkConfig {
+                    rate_bps,
+                    prop_delay: spec.topology.link.prop_delay,
+                };
+                let csink = CreditSink::wrap(NullSink::shared());
+                let src_ep =
+                    sys.net
+                        .add_endpoint_auto(sys.fabric[from_switch], blast_link, NullSink::shared());
+                let dst_ep =
+                    sys.net
+                        .add_endpoint_auto(sys.fabric[to_switch], spec.topology.link, csink.clone());
+                let vc = sys
+                    .net
+                    .open_vc(src_ep, dst_ep, QosSpec::best_effort(0))
+                    .expect("best-effort blast needs only a route");
+                let w = CreditWindow::shared(window);
+                csink.borrow_mut().register(vc.dst_vci, w.clone());
+                let tx = sys.net.endpoint_tx(src_ep);
+                scenario.tx_links.push(tx.clone());
+                // Offer bursts at the injector's line rate; an empty
+                // window holds the whole burst at the source.
+                const BURST: u64 = 32;
+                let tick: Ns = BURST * CELL_SIZE as u64 * 8 * SEC / rate_bps;
+                let vci = vc.src_vci;
+                let until_t = until.min(spec.duration);
+                let pump_w = w.clone();
+                sim.schedule_at(at.min(spec.duration), move |sim| {
+                    let pump_w = pump_w.clone();
+                    let tx = tx.clone();
+                    sim.schedule_chain(move |sim| {
+                        if sim.now() >= until_t {
+                            return None;
+                        }
+                        if pump_w.borrow_mut().try_acquire(BURST) {
+                            let mut l = tx.borrow_mut();
+                            for _ in 0..BURST {
+                                l.send(sim, Cell::new(vci));
+                            }
+                        }
+                        Some(sim.now() + tick.max(1))
+                    });
+                });
+                scenario.blasts.push((vc, w, false));
+            }
             FaultSpec::SwitchDeath { switch, .. } => {
                 assert!(switch < sys.fabric.len(), "fault names a fabric switch");
             }
@@ -580,48 +748,154 @@ impl Scenario {
         // Drain long enough for held playback items to present.
         let drain = spec.drain.max(spec.vod_target_latency + 20 * MS);
 
-        // Switch deaths are structural: the fabric's routing state and
-        // the signalling repair both need the owned `Network`, so the
-        // engine runs in segments split at each death. Splitting at an
-        // event boundary preserves determinism — the engine's schedule
-        // is identical whether or not it pauses there.
-        let mut deaths: Vec<(Ns, usize)> = spec
+        // Two kinds of timeline mark need the owned `Network`, so the
+        // engine runs in segments split at each one: switch deaths
+        // (structural — routing state plus signalling repair) and, when
+        // backpressure is on, congestion epochs (sampling, credit
+        // reconciliation, renegotiation). Splitting at an event boundary
+        // preserves determinism — the engine's schedule is identical
+        // whether or not it pauses there.
+        enum Mark {
+            Death(usize),
+            Epoch,
+        }
+        let bp = spec.backpressure;
+        let mut marks: Vec<(Ns, u8, Mark)> = spec
             .faults
             .iter()
             .filter_map(|f| match *f {
-                FaultSpec::SwitchDeath { at, switch } => Some((at.min(spec.duration), switch)),
+                FaultSpec::SwitchDeath { at, switch } => {
+                    Some((at.min(spec.duration), 0u8, Mark::Death(switch)))
+                }
                 _ => None,
             })
             .collect();
-        deaths.sort_unstable();
+        if bp.enabled {
+            let mut t = bp.epoch.max(1);
+            while t <= spec.duration {
+                marks.push((t, 1, Mark::Epoch));
+                t += bp.epoch.max(1);
+            }
+        }
+        // Stable by (time, kind): same-time deaths keep schedule order,
+        // and a death at an epoch boundary lands before the sample.
+        marks.sort_by_key(|&(t, tag, _)| (t, tag));
+
+        let mut controller = CongestionController::new(
+            bp.down_after,
+            bp.up_after,
+            bp.stall_threshold,
+            bp.headroom_cells,
+        );
         let mut vcs_rerouted = 0u64;
         let mut vcs_stranded = 0u64;
-        for (at, switch) in deaths {
+        let mut admitted_dropped = (0u64, 0u64); // (overflow, outage)
+        for (at, _, mark) in marks {
             self.sim.run_until(at);
-            let sw = self.sys.fabric[switch];
-            self.sys.net.fail_switch(sw);
-            // Signalling walks every live circuit: those crossing the
-            // corpse are re-routed with their endpoint VCIs pinned so
-            // the attached devices never notice; circuits that cannot
-            // be repaired (an endpoint on the dead switch, or no spare
-            // capacity on the surviving paths) are stranded and their
-            // reservations released.
-            let held = std::mem::take(&mut self.vcs);
-            for vc in held {
-                if !vc.crosses_switch(sw) {
-                    self.vcs.push(vc);
-                } else {
-                    match self.sys.net.reroute_vc(vc) {
-                        Ok(repaired) => {
-                            vcs_rerouted += 1;
-                            self.vcs.push(repaired);
+            match mark {
+                Mark::Death(switch) => {
+                    let sw = self.sys.fabric[switch];
+                    self.sys.net.fail_switch(sw);
+                    // Signalling walks every live circuit: those
+                    // crossing the corpse are re-routed with their
+                    // endpoint VCIs pinned so the attached devices (and
+                    // their credit registrations, keyed by delivery
+                    // VCI) never notice; circuits that cannot be
+                    // repaired are stranded, their reservations
+                    // released and their book slot marked so no later
+                    // renegotiation resizes a dead circuit.
+                    for b in &mut self.books {
+                        for (i, slot) in b.grant.vcs.iter_mut().enumerate() {
+                            if b.stranded[i] || !slot.crosses_switch(sw) {
+                                continue;
+                            }
+                            match self.sys.net.reroute_vc(slot.clone()) {
+                                Ok(repaired) => {
+                                    vcs_rerouted += 1;
+                                    *slot = repaired;
+                                }
+                                Err(_) => {
+                                    vcs_stranded += 1;
+                                    b.stranded[i] = true;
+                                }
+                            }
                         }
-                        Err(_) => vcs_stranded += 1,
+                    }
+                    for (vc, _, stranded) in &mut self.blasts {
+                        if *stranded || !vc.crosses_switch(sw) {
+                            continue;
+                        }
+                        match self.sys.net.reroute_vc(vc.clone()) {
+                            Ok(repaired) => {
+                                vcs_rerouted += 1;
+                                *vc = repaired;
+                            }
+                            Err(_) => {
+                                vcs_stranded += 1;
+                                *stranded = true;
+                            }
+                        }
+                    }
+                }
+                Mark::Epoch => {
+                    // Sample the epoch's congestion evidence...
+                    let mut sig = CongestionSignal::default();
+                    for b in &mut self.books {
+                        if let Some(w) = &b.credit {
+                            sig.credit_stalls += w.borrow_mut().take_epoch_stalls();
+                        }
+                    }
+                    for i in 0..self.sys.net.switch_count() {
+                        let sw = self.sys.net.switch(pegasus_atm::network::SwitchId(i));
+                        sig.peak_queue_cells = sig
+                            .peak_queue_cells
+                            .max(sw.borrow_mut().stats.take_epoch_peak());
+                    }
+                    sig.cm_slot_pressure =
+                        self.counts.1 > 0 && self.broker.pfs_headroom_slots() == 0;
+                    // ...settle dropped cells' credits so producers
+                    // never wedge on cells that will never arrive...
+                    let (ov, ou) = reconcile_drops(&self.sys, &self.books, &self.blasts);
+                    admitted_dropped.0 += ov;
+                    admitted_dropped.1 += ou;
+                    // ...and act on the hysteresis verdict: one rung
+                    // down under sustained pressure, back toward the
+                    // admitted contract once the fabric has drained.
+                    let verdict = controller.observe(&sig);
+                    if verdict != Verdict::Hold {
+                        let rung = spec.broker.degrade_milli;
+                        for b in &mut self.books {
+                            if b.stranded.iter().any(|&s| s) {
+                                continue;
+                            }
+                            let target = match verdict {
+                                Verdict::Down => (b.grant.quality_milli * rung / 1000).max(1),
+                                Verdict::Up => b.grant.admitted_milli,
+                                Verdict::Hold => unreachable!(),
+                            };
+                            if self
+                                .broker
+                                .renegotiate_live(&mut self.sys.net, &mut b.grant, target, at)
+                                .is_ok()
+                            {
+                                if let Some(cam) = &b.camera {
+                                    let cfg = camera_for(spec.camera, b.grant.quality_milli);
+                                    let mut cam = cam.borrow_mut();
+                                    cam.set_fps(cfg.fps);
+                                    cam.set_mode(cfg.mode);
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
         self.sim.run_until(spec.duration + drain);
+        // Settle drops from the drain window (and, with the monitor
+        // off, the whole run) so attribution covers every dropped cell.
+        let (ov, ou) = reconcile_drops(&self.sys, &self.books, &self.blasts);
+        admitted_dropped.0 += ov;
+        admitted_dropped.1 += ou;
 
         let mut report = ScenarioReport {
             name: spec.name.clone(),
@@ -716,9 +990,47 @@ impl Scenario {
         cells.delivered = cells.sent.saturating_sub(
             cells.dropped_overflow + cells.dropped_unroutable + cells.dropped_outage,
         );
+        cells.admitted_dropped_overflow = admitted_dropped.0;
+        cells.admitted_dropped_outage = admitted_dropped.1;
         report.cells = cells;
         report.vcs_rerouted = vcs_rerouted;
         report.vcs_stranded = vcs_stranded;
+
+        // The flow-control plane's own ledger: stalls by class, frames
+        // held at source, reclaimed credits, renegotiation history and
+        // the constructive queue bound.
+        let mut bp_rep = BackpressureReport {
+            enabled: bp.enabled,
+            ..BackpressureReport::default()
+        };
+        for b in &self.books {
+            if let Some(w) = &b.credit {
+                let w = w.borrow();
+                match b.class {
+                    SessionClass::Videophone => bp_rep.credit_stalls.0 += w.stalls(),
+                    SessionClass::Vod => bp_rep.credit_stalls.1 += w.stalls(),
+                    SessionClass::Tv => bp_rep.credit_stalls.2 += w.stalls(),
+                }
+                bp_rep.credits_reclaimed += w.reclaimed();
+                bp_rep.queue_bound_cells += w.window();
+            }
+            if let Some(cam) = &b.camera {
+                bp_rep.frames_skipped += cam.borrow().stats.frames_skipped;
+            }
+            for r in &b.grant.history {
+                if r.to_milli < r.from_milli {
+                    bp_rep.renegotiations_down += 1;
+                } else {
+                    bp_rep.renegotiations_up += 1;
+                }
+            }
+        }
+        for (_, w, _) in &self.blasts {
+            let w = w.borrow();
+            bp_rep.credits_reclaimed += w.reclaimed();
+            bp_rep.queue_bound_cells += w.window();
+        }
+        report.backpressure = bp_rep;
 
         // File-server side of VoD: replay the CM schedule. A server
         // with a scheduled disk incident replays in three spans —
@@ -854,6 +1166,71 @@ impl Scenario {
         report.deadline_misses = report.total_misses();
         report
     }
+}
+
+/// Settles the fabric's per-VCI drop counters against the session
+/// books: every dropped cell on a credited circuit has its credit
+/// reclaimed (the consumer will never see the cell, so it can never
+/// return it), and drops on an *admitted* session's circuits are
+/// attributed by cause. Returns `(admitted overflow, admitted outage)`
+/// for the cells report. VCIs are allocated from one network-wide
+/// counter, so any hop's label identifies exactly one circuit.
+fn reconcile_drops(
+    sys: &System,
+    books: &[SessionBook],
+    blasts: &[(VcHandle, CreditRef, bool)],
+) -> (u64, u64) {
+    let mut table: Vec<(Vci, Option<CreditRef>, bool)> = Vec::new();
+    for b in books {
+        for (i, vc) in b.grant.vcs.iter().enumerate() {
+            // Media flow 0 carries the credit window; a stranded
+            // circuit's producer is wedged by design (its credits leak
+            // with the corpse), so it gets attribution only.
+            let credit = if i == 0 && !b.stranded[i] {
+                b.credit.clone()
+            } else {
+                None
+            };
+            for vci in vc.vcis() {
+                table.push((vci, credit.clone(), true));
+            }
+        }
+    }
+    for (vc, w, stranded) in blasts {
+        for vci in vc.vcis() {
+            table.push((vci, (!stranded).then(|| w.clone()), false));
+        }
+    }
+    table.sort_by_key(|e| e.0);
+    let mut acc = (0u64, 0u64);
+    let settle = |drops: Vec<(Vci, u64)>, overflow: bool, acc: &mut (u64, u64)| {
+        for (vci, n) in drops {
+            if let Ok(idx) = table.binary_search_by_key(&vci, |e| e.0) {
+                let (_, credit, admitted) = &table[idx];
+                if let Some(w) = credit {
+                    w.borrow_mut().reclaim(n);
+                }
+                if *admitted {
+                    if overflow {
+                        acc.0 += n;
+                    } else {
+                        acc.1 += n;
+                    }
+                }
+            }
+        }
+    };
+    for i in 0..sys.net.switch_count() {
+        let sw = sys.net.switch(pegasus_atm::network::SwitchId(i));
+        let mut sw = sw.borrow_mut();
+        settle(sw.take_dropped_by_vci(), true, &mut acc);
+        let mut outage: Vec<(Vci, u64)> = Vec::new();
+        for link in sw.output_links_mut() {
+            outage.extend(link.take_dropped_by_vci());
+        }
+        settle(outage, false, &mut acc);
+    }
+    acc
 }
 
 /// Compiles and runs `spec` in one call.

@@ -59,6 +59,12 @@ impl JsonWriter {
         self.buf.push_str(&v.to_string());
     }
 
+    /// Writes a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
     /// Writes a float field with three decimals (fixed, deterministic).
     pub fn f64(&mut self, k: &str, v: f64) {
         self.key(k);

@@ -202,6 +202,53 @@ pub fn flash_crowd() -> ScenarioSpec {
     spec
 }
 
+/// Three-times-sustainable best-effort load on the shared trunk of a
+/// two-switch star, mid-run, with credit backpressure on: the blast is
+/// credit-bounded so no queue can overflow, admitted media sessions
+/// feel it as credit stalls, and the congestion controller renegotiates
+/// them down a rung until the blast ends, then restores them. Overload
+/// as explicit, bounded, reversible degradation — queues bounded by
+/// construction, zero overflow drops, zero deadline misses.
+pub fn sustained_3x() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("sustained-3x");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::Star,
+        switches: 2,
+        link: LinkConfig::pegasus_default(),
+    };
+    spec.sessions = 8;
+    spec.mix = SessionMix::new(0.5, 0.25, 0.25);
+    spec.duration = 300 * MS;
+    spec.backpressure.enabled = true;
+    spec.backpressure.window_cells = 24;
+    spec.faults = vec![FaultSpec::BestEffortBlast {
+        at: 60 * MS,
+        until: 200 * MS,
+        from_switch: 1,
+        to_switch: 0,
+        // 3× the 100 Mbit/s trunk, held to a standing queue of at most
+        // 512 cells by its credit window (switch queues hold 1024).
+        rate_bps: 300_000_000,
+        window: 512,
+    }];
+    spec
+}
+
+/// The full nemesis-storm fault schedule with credit backpressure on
+/// top: the same rogue CPU hog, degraded line card, flapping lines,
+/// switch death and disk failure, now with every media circuit
+/// credit-gated. Dropped cells' credits are reclaimed each epoch so
+/// producers never wedge, stranded circuits wedge *by design* (their
+/// credits died with the corpse), and drops on admitted sessions are
+/// attributed by cause instead of vanishing into a counter.
+pub fn storm_backpressure() -> ScenarioSpec {
+    let mut spec = nemesis_storm();
+    spec.name = "storm-backpressure".to_string();
+    spec.backpressure.enabled = true;
+    spec.backpressure.window_cells = 64;
+    spec
+}
+
 /// Looks a preset up by name.
 pub fn by_name(name: &str) -> Option<ScenarioSpec> {
     match name {
@@ -213,12 +260,14 @@ pub fn by_name(name: &str) -> Option<ScenarioSpec> {
         "metropolis-1k" => Some(metropolis_1k()),
         "overload-2x" => Some(overload_2x()),
         "flash-crowd" => Some(flash_crowd()),
+        "sustained-3x" => Some(sustained_3x()),
+        "storm-backpressure" => Some(storm_backpressure()),
         _ => None,
     }
 }
 
 /// Every preset name, in menu order.
-pub const PRESETS: [&str; 8] = [
+pub const PRESETS: [&str; 10] = [
     "smoke",
     "videophone-wall",
     "vod-rack",
@@ -227,6 +276,8 @@ pub const PRESETS: [&str; 8] = [
     "metropolis-1k",
     "overload-2x",
     "flash-crowd",
+    "sustained-3x",
+    "storm-backpressure",
 ];
 
 #[cfg(test)]

@@ -43,6 +43,13 @@ pub struct CellReport {
     pub dropped_unroutable: u64,
     /// Cells dropped on dark lines during link-flap outages.
     pub dropped_outage: u64,
+    /// Overflow drops attributed to an *admitted* session's circuit —
+    /// the silent-degradation number. Under credit backpressure it must
+    /// be zero: overload shows up as stalls and renegotiations instead.
+    pub admitted_dropped_overflow: u64,
+    /// Outage drops attributed to an admitted session's circuit (these
+    /// are legitimate fault damage, reported by cause, never silent).
+    pub admitted_dropped_outage: u64,
 }
 
 /// File-server activity of the VoD class.
@@ -100,6 +107,29 @@ pub struct BrokerReport {
     pub headroom_pfs: Summary,
 }
 
+/// What the credit flow-control plane did during the run (all zeros
+/// when the spec leaves backpressure disabled).
+#[derive(Debug, Clone, Default)]
+pub struct BackpressureReport {
+    /// Whether the spec enabled credit flow control.
+    pub enabled: bool,
+    /// Cumulative failed credit acquires per class (videophone, vod,
+    /// tv) — each one a whole AAL5 frame held at its source.
+    pub credit_stalls: (u64, u64, u64),
+    /// Whole frames producers withheld for want of credits.
+    pub frames_skipped: u64,
+    /// Credits reclaimed for cells the fabric dropped (conservation:
+    /// every spent credit is in flight, returned, or reclaimed).
+    pub credits_reclaimed: u64,
+    /// Live renegotiations down a quality rung.
+    pub renegotiations_down: u64,
+    /// Live renegotiations restoring quality.
+    pub renegotiations_up: u64,
+    /// Σ credit windows through the fabric: the constructive bound no
+    /// queue can exceed on credited traffic alone.
+    pub queue_bound_cells: u64,
+}
+
 /// Nemesis control-plane health under the fault schedule.
 #[derive(Debug, Clone, Default)]
 pub struct NemesisReport {
@@ -141,6 +171,8 @@ pub struct ScenarioReport {
     /// The QoS broker's admission record (counts, per-class quality,
     /// capacity headroom over setup time).
     pub broker: BrokerReport,
+    /// Credit flow control and live renegotiation.
+    pub backpressure: BackpressureReport,
     /// Most-reserved link as a fraction of its line rate.
     pub max_link_utilization: f64,
     /// Circuits signalling repaired around a dead switch (endpoint
@@ -221,6 +253,11 @@ impl ScenarioReport {
                 w.u64("dropped_overflow", self.cells.dropped_overflow);
                 w.u64("dropped_unroutable", self.cells.dropped_unroutable);
                 w.u64("dropped_outage", self.cells.dropped_outage);
+                w.u64(
+                    "admitted_dropped_overflow",
+                    self.cells.admitted_dropped_overflow,
+                );
+                w.u64("admitted_dropped_outage", self.cells.admitted_dropped_outage);
             });
             w.obj("signalling", |w| {
                 w.u64("vcs_rerouted", self.vcs_rerouted);
@@ -259,6 +296,19 @@ impl ScenarioReport {
                     summary(w, "bandwidth_milli", &self.broker.headroom_bandwidth);
                     summary(w, "pfs_slots", &self.broker.headroom_pfs);
                 });
+            });
+            w.obj("backpressure", |w| {
+                w.bool("enabled", self.backpressure.enabled);
+                w.obj("credit_stalls", |w| {
+                    w.u64("videophone", self.backpressure.credit_stalls.0);
+                    w.u64("vod", self.backpressure.credit_stalls.1);
+                    w.u64("tv", self.backpressure.credit_stalls.2);
+                });
+                w.u64("frames_skipped", self.backpressure.frames_skipped);
+                w.u64("credits_reclaimed", self.backpressure.credits_reclaimed);
+                w.u64("renegotiations_down", self.backpressure.renegotiations_down);
+                w.u64("renegotiations_up", self.backpressure.renegotiations_up);
+                w.u64("queue_bound_cells", self.backpressure.queue_bound_cells);
             });
             w.u64("peak_queue_cells", self.peak_queue_cells);
             w.u64("audio_underruns", self.audio_underruns);

@@ -156,6 +156,27 @@ pub enum FaultSpec {
         /// Index into the fabric switch list.
         switch: usize,
     },
+    /// A best-effort bulk transfer blasts cells at `rate_bps` from an
+    /// injector endpoint on `from_switch` toward a sink endpoint on
+    /// `to_switch` between `at` and `until` — several times the trunk
+    /// rate, the classic congestion source. The blast itself runs under
+    /// a credit window of `window` cells, so its standing queue in the
+    /// fabric is bounded by construction: pressure without overflow.
+    BestEffortBlast {
+        /// Onset.
+        at: Ns,
+        /// End of the blast.
+        until: Ns,
+        /// Fabric switch the injector endpoint attaches to.
+        from_switch: usize,
+        /// Fabric switch the discard endpoint attaches to.
+        to_switch: usize,
+        /// Injector link rate — size it above the trunk to congest.
+        rate_bps: u64,
+        /// The blast's credit window, in cells. Keep it below the
+        /// switch queue capacity and the blast can never overflow.
+        window: u64,
+    },
     /// Member disk `disk` of VoD server `server`'s RAID array
     /// fail-stops at `at`; reads run degraded (parity reconstruction)
     /// until a fresh spindle is swapped in at `replace_at`, when a full
@@ -171,6 +192,49 @@ pub enum FaultSpec {
         /// When the replacement spindle arrives.
         replace_at: Ns,
     },
+}
+
+/// End-to-end backpressure policy: per-VC credit windows on the media
+/// circuits plus the congestion feedback loop that renegotiates live
+/// sessions ([`pegasus::congestion`]). Disabled by default so the
+/// classic presets run exactly as before; the overload presets switch
+/// it on to show explicit, bounded, reversible degradation instead of
+/// queue growth and drops.
+#[derive(Debug, Clone, Copy)]
+pub struct BackpressureSpec {
+    /// Master switch. Off: no credit gating, no epoch monitor, and the
+    /// run's event schedule is byte-identical to the pre-credit world.
+    pub enabled: bool,
+    /// Credits the consuming endpoint grants each media circuit, in
+    /// cells — the hard cap on that circuit's in-flight cells.
+    pub window_cells: u64,
+    /// Congestion sampling period: every epoch the run collects credit
+    /// stalls, epoch-peak queue depth and CM slot pressure, reconciles
+    /// dropped cells' credits, and consults the hysteresis controller.
+    pub epoch: Ns,
+    /// Consecutive pressured epochs before renegotiating down.
+    pub down_after: u32,
+    /// Consecutive clear epochs before renegotiating back up.
+    pub up_after: u32,
+    /// Stalls per epoch at or above which an epoch counts as pressured.
+    pub stall_threshold: u64,
+    /// An epoch is clear only if the fabric's epoch-peak queue stayed
+    /// at or below this — the anti-flap headroom condition.
+    pub headroom_cells: u64,
+}
+
+impl Default for BackpressureSpec {
+    fn default() -> Self {
+        BackpressureSpec {
+            enabled: false,
+            window_cells: 64,
+            epoch: 10 * MS,
+            down_after: 3,
+            up_after: 3,
+            stall_threshold: 4,
+            headroom_cells: 64,
+        }
+    }
 }
 
 /// Capacity and policy knobs of the cross-layer QoS broker
@@ -246,6 +310,8 @@ pub struct ScenarioSpec {
     pub tv_cut_period: Ns,
     /// QoS-broker capacities and renegotiation policy.
     pub broker: BrokerSpec,
+    /// Credit flow control and the live-renegotiation feedback loop.
+    pub backpressure: BackpressureSpec,
 }
 
 impl ScenarioSpec {
@@ -275,6 +341,7 @@ impl ScenarioSpec {
             tv_group: 4,
             tv_cut_period: 400 * MS,
             broker: BrokerSpec::default(),
+            backpressure: BackpressureSpec::default(),
         }
     }
 

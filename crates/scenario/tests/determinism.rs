@@ -56,6 +56,43 @@ fn full_storm_is_byte_identical_and_survives() {
 }
 
 #[test]
+fn sustained_overload_is_bounded_reversible_and_byte_identical() {
+    // The backpressure contract, nailed down as a unit of record: a 3x
+    // best-effort blast over the shared trunk produces *explicit,
+    // bounded, reversible* degradation — credit stalls and quality
+    // rungs, never queue growth or silent drops — and the whole feedback
+    // loop stays a pure function of (spec, seed).
+    let spec = presets::sustained_3x();
+    let a = run(&spec);
+    let b = run(&spec);
+    assert_eq!(a.to_json(), b.to_json(), "the feedback loop must rerun byte-identically");
+
+    let bp = &a.backpressure;
+    assert!(bp.enabled);
+    let stalls = bp.credit_stalls.0 + bp.credit_stalls.1 + bp.credit_stalls.2;
+    assert!(stalls > 0, "the blast must make producers stall");
+    assert!(bp.renegotiations_down > 0, "sustained pressure must degrade");
+    assert!(bp.renegotiations_up > 0, "clearance must restore");
+    assert_eq!(
+        bp.renegotiations_down, bp.renegotiations_up,
+        "every degraded session is restored before the run ends"
+    );
+    // Bounded by construction: zero drops of any kind, zero misses, and
+    // the peak queue stays under the sum of the credit windows plus the
+    // (uncredited) audio flows' train.
+    assert_eq!(a.cells.dropped_overflow, 0);
+    assert_eq!(a.cells.admitted_dropped_overflow, 0);
+    assert_eq!(a.cells.admitted_dropped_outage, 0);
+    assert_eq!(a.deadline_misses, 0);
+    assert!(
+        a.peak_queue_cells <= bp.queue_bound_cells + 64,
+        "peak queue {} above the credit bound {}",
+        a.peak_queue_cells,
+        bp.queue_bound_cells
+    );
+}
+
+#[test]
 fn different_seeds_differ_but_each_reproduces() {
     let spec = presets::smoke();
     let first = run_seeds(&spec, &[1, 2]);

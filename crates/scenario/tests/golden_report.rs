@@ -92,3 +92,13 @@ fn golden_overload_2x() {
 fn golden_flash_crowd() {
     check("flash-crowd", 1.0);
 }
+
+#[test]
+fn golden_sustained_3x() {
+    check("sustained-3x", 1.0);
+}
+
+#[test]
+fn golden_storm_backpressure() {
+    check("storm-backpressure", 0.5);
+}

@@ -10,7 +10,9 @@
 
 use proptest::prelude::*;
 
-use pegasus::broker::Outcome;
+use pegasus::broker::{FlowRequest, Outcome, QosBroker, SessionClass, SessionRequest};
+use pegasus_atm::link::CaptureSink;
+use pegasus_atm::network::{LinkConfig, Network};
 use pegasus_scenario::build::SessionContract;
 use pegasus_scenario::spec::{ScenarioSpec, SessionMix};
 use pegasus_sim::time::MS;
@@ -139,5 +141,64 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Invariant 4 (live renegotiation): however the congestion loop
+    /// walks a live session's quality up and down, it never exceeds the
+    /// originally admitted contract, the CPU ledger tracks the granted
+    /// vector exactly at every step, and releasing the session restores
+    /// every ledger to its pre-admission state.
+    #[test]
+    fn live_renegotiation_clamps_to_admitted_and_restores_ledgers(
+        video_mbps in 1u64..40,
+        cpu_micro in 100u64..5_000,
+        walk in prop::collection::vec(1u64..2_000, 1..24),
+    ) {
+        let mut net = Network::new();
+        let a = net.add_switch("a", 8, 100);
+        let b = net.add_switch("b", 8, 100);
+        net.connect_switches_auto(a, b, LinkConfig::pegasus_default());
+        let src = net.add_endpoint_auto(a, LinkConfig::pegasus_default(), CaptureSink::shared());
+        let dst = net.add_endpoint_auto(b, LinkConfig::pegasus_default(), CaptureSink::shared());
+
+        let mut broker = QosBroker::new(10_000, 0, 0, 700);
+        let req = SessionRequest {
+            class: SessionClass::Videophone,
+            media_flows: vec![FlowRequest { src, dst, bps: video_mbps * 1_000_000 }],
+            fixed_flows: Vec::new(),
+            cpu_micro,
+            pfs_server: None,
+        };
+        let mut grant = broker.admit(&mut net, &req);
+        prop_assert!(grant.is_admitted(), "this request always fits");
+        let admitted = grant.admitted_milli;
+
+        for (i, target) in walk.iter().enumerate() {
+            let from = grant.quality_milli;
+            let transitions = grant.history.len();
+            if broker
+                .renegotiate_live(&mut net, &mut grant, *target, i as u64)
+                .is_ok()
+            {
+                // Up is clamped to the admitted contract, down lands
+                // exactly on the target.
+                prop_assert_eq!(grant.quality_milli, (*target).min(admitted));
+                prop_assert!(grant.quality_milli <= admitted, "quality above contract");
+                // Every real move is in the history; a no-op is not.
+                let expect = transitions + (grant.quality_milli != from) as usize;
+                prop_assert_eq!(grant.history.len(), expect);
+            } else {
+                // A refusal has no side effects.
+                prop_assert_eq!(grant.quality_milli, from);
+                prop_assert_eq!(grant.history.len(), transitions);
+            }
+            // The CPU ledger is exactly the one granted vector.
+            prop_assert_eq!(broker.cpu.reserved_micro(), grant.granted.cpu_micro);
+        }
+
+        broker.release(&mut net, grant);
+        prop_assert_eq!(broker.cpu.reserved_micro(), 0, "CPU ledger restored");
+        let u = net.max_reservation_utilization();
+        prop_assert!(u.abs() < 1e-12, "bandwidth ledger restored, got {}", u);
     }
 }

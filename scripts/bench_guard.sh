@@ -69,4 +69,19 @@ if [ "$FRAME_OK" != "1" ]; then
     echo "bench_guard: REGRESSION — zero-copy frame path speedup ${FRAME_SPEEDUP}x below 1.5x" >&2
     exit 1
 fi
+
+# Credit accounting on the uncongested hot path must stay within noise
+# of the plain view lane ("relative_to_view" is credited/view; the
+# committed full-scale run shows ~1.0, the smoke floor absorbs CI jitter).
+CREDIT_REL=$(json_field BENCH_frame_path.smoke.json relative_to_view 1)
+if [ -z "$CREDIT_REL" ]; then
+    echo "bench_guard.sh: could not parse credit-lane ratio" >&2
+    exit 1
+fi
+CREDIT_OK=$(awk -v s="$CREDIT_REL" 'BEGIN { print (s >= 0.85) ? 1 : 0 }')
+echo "bench_guard: credited frame path at ${CREDIT_REL}x of the view lane (floor 0.85x)"
+if [ "$CREDIT_OK" != "1" ]; then
+    echo "bench_guard: REGRESSION — credit accounting costs more than 15% on the hot path" >&2
+    exit 1
+fi
 echo "bench_guard: OK"

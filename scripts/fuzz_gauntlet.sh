@@ -16,6 +16,7 @@
 #                                      #   crash  power cut at every
 #                                      #          boundary of a 60-op run
 #                                      #   storm  2 fresh-seed reruns
+#                                      #   control 300 QoS-loop walks
 #   scripts/fuzz_gauntlet.sh --deep    # 10x budgets, three seeds
 set -eu
 cd "$(dirname "$0")/.."
@@ -40,6 +41,7 @@ case "$MODE" in
         "$BIN" --seed "$SEED" --front disk --iters 4000
         "$BIN" --seed "$SEED" --front crash --iters 150
         "$BIN" --seed "$SEED" --front storm --iters 5
+        "$BIN" --seed "$SEED" --front control --iters 3000
     done
     ;;
 *)

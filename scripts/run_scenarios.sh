@@ -4,11 +4,15 @@
 #
 # Usage:
 #   scripts/run_scenarios.sh --smoke   # CI: smoke + metropolis-1k @5%
-#                                      # + the overload presets;
+#                                      # + the overload presets
+#                                      # + the backpressure presets;
 #                                      # zero deadline misses required
 #                                      # (for admitted sessions),
 #                                      # overload must reject some
 #                                      # sessions deterministically,
+#                                      # zero admitted overflow drops,
+#                                      # sustained-3x must renegotiate
+#                                      # down AND back up,
 #                                      # determinism checked byte-for-byte
 #   scripts/run_scenarios.sh --full    # every preset at full scale
 #                                      # (fault presets may miss by design;
@@ -63,6 +67,41 @@ require_rejections() {
     echo "run_scenarios.sh: $1 rejected $REJECTED sessions under overload"
 }
 
+require_no_overflow() {
+    # require_no_overflow NAME FILE — no admitted session's cell may be
+    # lost to queue overflow: admission control bounds the average rates
+    # and, where enabled, credit backpressure bounds the queues by
+    # construction. An overflow drop on an admitted circuit is silent
+    # degradation and fails the gate.
+    OVER=$(field_of "$2" admitted_dropped_overflow)
+    if [ -z "$OVER" ]; then
+        echo "run_scenarios.sh: no admitted_dropped_overflow in $2" >&2
+        exit 1
+    fi
+    if [ "$OVER" -ne 0 ]; then
+        echo "run_scenarios.sh: $1 dropped $OVER admitted cells to overflow (want 0)" >&2
+        exit 1
+    fi
+    echo "run_scenarios.sh: $1 zero admitted overflow drops"
+}
+
+require_renegotiation() {
+    # require_renegotiation NAME FILE — the congestion loop must have
+    # both degraded under pressure and restored when it cleared;
+    # otherwise the backpressure preset is not exercising the loop.
+    DOWN=$(field_of "$2" renegotiations_down)
+    UP=$(field_of "$2" renegotiations_up)
+    if [ -z "$DOWN" ] || [ "$DOWN" -eq 0 ]; then
+        echo "run_scenarios.sh: $1 renegotiated nothing down (want > 0)" >&2
+        exit 1
+    fi
+    if [ -z "$UP" ] || [ "$UP" -eq 0 ]; then
+        echo "run_scenarios.sh: $1 restored nothing after the pressure cleared (want > 0)" >&2
+        exit 1
+    fi
+    echo "run_scenarios.sh: $1 renegotiated $DOWN down, $UP up"
+}
+
 require_deterministic() {
     # require_deterministic NAME PRESET ARGS... — rerun and byte-compare.
     NAME=$1
@@ -94,22 +133,50 @@ if [ "$MODE" = "--smoke" ]; then
         "$BIN" run "$preset" --quiet --out "$OUTDIR/$preset.json"
         require_clean "$preset (admitted sessions)" "$OUTDIR/$preset.json"
         require_rejections "$preset" "$OUTDIR/$preset.json"
+        require_no_overflow "$preset" "$OUTDIR/$preset.json"
         require_deterministic "$preset" "$preset"
     done
+
+    # Sustained 3x best-effort overload with credit backpressure:
+    # bounded queues, zero overflow, zero misses, and the congestion
+    # loop must renegotiate down under the blast and back up after it.
+    "$BIN" run sustained-3x --quiet --out "$OUTDIR/sustained-3x.json"
+    require_clean "sustained-3x (admitted sessions)" "$OUTDIR/sustained-3x.json"
+    require_no_overflow sustained-3x "$OUTDIR/sustained-3x.json"
+    require_renegotiation sustained-3x "$OUTDIR/sustained-3x.json"
+    require_deterministic sustained-3x sustained-3x
+
+    # The nemesis storm under backpressure: faults strand circuits and
+    # shrink queues, so drops happen — but they are *attributed*, the
+    # loop still degrades under pressure, and the report is byte-stable.
+    "$BIN" run storm-backpressure --scale 0.5 --quiet \
+        --out "$OUTDIR/storm-backpressure.json"
+    DOWN=$(field_of "$OUTDIR/storm-backpressure.json" renegotiations_down)
+    if [ -z "$DOWN" ] || [ "$DOWN" -eq 0 ]; then
+        echo "run_scenarios.sh: storm-backpressure never degraded under the storm" >&2
+        exit 1
+    fi
+    echo "run_scenarios.sh: storm-backpressure renegotiated $DOWN down under the storm"
+    require_deterministic storm-backpressure storm-backpressure --scale 0.5
 elif [ "$MODE" = "--full" ]; then
     for preset in smoke videophone-wall vod-rack tv-studio nemesis-storm \
-                  metropolis-1k overload-2x flash-crowd; do
+                  metropolis-1k overload-2x flash-crowd sustained-3x \
+                  storm-backpressure; do
         "$BIN" run "$preset" --out "$OUTDIR/$preset.json"
     done
     # The clean presets must stay clean even at full scale — including
-    # the overload pair, whose *admitted* sessions must never miss.
+    # the overload trio, whose *admitted* sessions must never miss.
     for preset in smoke videophone-wall vod-rack tv-studio metropolis-1k \
-                  overload-2x flash-crowd; do
+                  overload-2x flash-crowd sustained-3x; do
         require_clean "$preset" "$OUTDIR/$preset.json"
     done
     for preset in overload-2x flash-crowd; do
         require_rejections "$preset" "$OUTDIR/$preset.json"
     done
+    for preset in overload-2x flash-crowd sustained-3x; do
+        require_no_overflow "$preset" "$OUTDIR/$preset.json"
+    done
+    require_renegotiation sustained-3x "$OUTDIR/sustained-3x.json"
 else
     echo "usage: scripts/run_scenarios.sh [--smoke|--full]" >&2
     exit 2

@@ -6,7 +6,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-FLOOR=552
+FLOOR=576
 
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
