@@ -27,9 +27,15 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use pegasus_sim::time::{tx_time, Ns};
-use pegasus_sim::{SharedHandler, Simulator};
+use pegasus_sim::{Lane, SharedHandler, Simulator};
 
 use crate::cell::{Cell, Vci, CELL_SIZE};
+
+/// The boundary buffer of a link whose receiver lives in another region
+/// shard: `(arrival time, cell)` pairs accumulated during an epoch, in
+/// send order, drained and sealed by the sharded executor at the next
+/// barrier instead of being scheduled locally.
+pub type ExportBuffer = Rc<RefCell<Vec<(Ns, Cell)>>>;
 
 /// Anything that can receive cells: switch ports, displays, audio sinks,
 /// host network interfaces.
@@ -125,6 +131,16 @@ pub struct Link {
     outage_until: Ns,
     train: Rc<RefCell<Train>>,
     handler: SharedHandler,
+    /// Scheduling lane for delivery events. Lane 0 (default) is the
+    /// shared FIFO lane; the sharded executor gives every inter-switch
+    /// trunk link a private lane so boundary-injected cells land in the
+    /// same canonical order the single-threaded run produces.
+    lane: Lane,
+    /// When set, this link's transmit side sits on a shard boundary:
+    /// accepted cells are accounted here (serialization, outage drops,
+    /// counters) but diverted to the export buffer instead of being
+    /// scheduled — the receiving shard injects them after the barrier.
+    export: Option<ExportBuffer>,
 }
 
 impl Link {
@@ -193,7 +209,27 @@ impl Link {
             outage_until: 0,
             train,
             handler,
+            lane: 0,
+            export: None,
         }
+    }
+
+    /// Assigns the scheduling lane delivery events ride on. Called once
+    /// at wiring time (before any traffic); lane 0 is the default.
+    pub fn set_lane(&mut self, lane: Lane) {
+        self.lane = lane;
+    }
+
+    /// The delivery-event scheduling lane.
+    pub fn lane(&self) -> Lane {
+        self.lane
+    }
+
+    /// Marks this link's transmit side as a shard boundary: accepted
+    /// cells are pushed to `buf` instead of being scheduled for local
+    /// delivery. The executor drains `buf` at each epoch barrier.
+    pub fn set_export(&mut self, buf: ExportBuffer) {
+        self.export = Some(buf);
     }
 
     /// The configured line rate in bits per second.
@@ -257,7 +293,11 @@ impl Link {
             // wire. Mid-frame losses are exactly what reassembly's
             // fallback path must absorb.
             self.cells_dropped += 1;
-            match self.dropped_by_vci.iter_mut().find(|(v, _)| *v == cell.vci()) {
+            match self
+                .dropped_by_vci
+                .iter_mut()
+                .find(|(v, _)| *v == cell.vci())
+            {
                 Some((_, n)) => *n += 1,
                 None => self.dropped_by_vci.push((cell.vci(), 1)),
             }
@@ -267,6 +307,21 @@ impl Link {
         self.next_free = done;
         self.cells_sent += 1;
         let arrival = done + self.prop_delay;
+        if let Some(export) = &self.export {
+            // Shard boundary: the receiving end lives in another region.
+            // All transmit-side accounting above is done; the cell waits
+            // in the export buffer for the next barrier exchange.
+            export.borrow_mut().push((arrival, cell));
+            return arrival;
+        }
+        self.enqueue_delivery(sim, arrival, cell);
+        arrival
+    }
+
+    /// Queues an accepted cell on the delivery train and schedules its
+    /// delivery event — the half of [`Link::send`] downstream of the
+    /// wire, shared by the local path and boundary injection.
+    fn enqueue_delivery(&mut self, sim: &mut Simulator, arrival: Ns, cell: Cell) {
         let mut t = self.train.borrow_mut();
         if t.cells.is_empty() && !t.scheduled {
             // A new train starts: sample the sink's lane preference.
@@ -280,9 +335,30 @@ impl Link {
         };
         drop(t);
         if need_event {
-            sim.schedule_shared_at(arrival, self.handler.clone());
+            sim.schedule_shared_at_on(self.lane, arrival, self.handler.clone());
         }
-        arrival
+    }
+
+    /// Injects a cell sealed by the transmitting shard: queues it for
+    /// delivery exactly as if [`Link::send`] had accepted it locally at
+    /// the same instant. Called by the sharded executor right after an
+    /// epoch barrier, on the receiving shard's replica of the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arrival` precedes the receiving shard's current
+    /// epoch — conservative lookahead guarantees every boundary cell
+    /// arrives at or after the barrier it crosses, so an early cell
+    /// means the epoch length exceeded the link's latency bound.
+    pub fn inject(&mut self, sim: &mut Simulator, arrival: Ns, cell: Cell) {
+        assert!(
+            arrival >= sim.now(),
+            "inter-shard cell timestamped before the receiving epoch: \
+             arrival={} epoch={}",
+            arrival,
+            sim.now()
+        );
+        self.enqueue_delivery(sim, arrival, cell);
     }
 
     /// Sends a burst of back-to-back cells, returning the arrival time of
@@ -503,6 +579,55 @@ mod tests {
         sim_a.run();
         sim_b.run();
         assert_eq!(sink_a.borrow().arrivals, sink_b.borrow().arrivals);
+    }
+
+    #[test]
+    fn exported_cells_reinjected_match_the_local_delivery_trace() {
+        // The shard boundary round trip: a transmit link with an export
+        // buffer captures (arrival, cell) pairs; injecting them into a
+        // fresh replica of the link reproduces the local trace exactly.
+        let local_sink = CaptureSink::shared();
+        let mut local = Link::new(MBPS_100, 500, local_sink.clone());
+        let mut local_sim = Simulator::new();
+        for vci in 0..6u16 {
+            local.send(&mut local_sim, Cell::new(vci));
+        }
+        local_sim.run();
+
+        let tx_sink = CaptureSink::shared();
+        let mut tx = Link::new(MBPS_100, 500, tx_sink.clone());
+        let buf: ExportBuffer = Rc::new(RefCell::new(Vec::new()));
+        tx.set_export(buf.clone());
+        let mut tx_sim = Simulator::new();
+        for vci in 0..6u16 {
+            tx.send(&mut tx_sim, Cell::new(vci));
+        }
+        tx_sim.run();
+        assert!(tx_sink.borrow().arrivals.is_empty(), "nothing local");
+        assert_eq!(tx.cells_sent(), 6, "transmit accounting still happens");
+
+        let rx_sink = CaptureSink::shared();
+        let mut rx = Link::new(MBPS_100, 500, rx_sink.clone());
+        let mut rx_sim = Simulator::new();
+        for (arrival, cell) in buf.borrow_mut().drain(..) {
+            rx.inject(&mut rx_sim, arrival, cell);
+        }
+        rx_sim.run();
+        assert_eq!(rx_sink.borrow().arrivals, local_sink.borrow().arrivals);
+    }
+
+    #[test]
+    #[should_panic(expected = "inter-shard cell timestamped before the receiving epoch")]
+    fn inject_rejects_cells_from_before_the_current_epoch() {
+        // The barrier-protocol invariant: conservative lookahead means a
+        // shard can never receive a cell timestamped before the epoch
+        // boundary its clock is parked on. An early cell is a protocol
+        // violation and must die loudly, not silently reorder history.
+        let sink = CaptureSink::shared();
+        let mut link = Link::new(MBPS_100, 0, sink);
+        let mut sim = Simulator::new();
+        sim.run_until(50_000); // the clock sits on an epoch boundary
+        link.inject(&mut sim, 49_999, Cell::new(1));
     }
 
     #[test]

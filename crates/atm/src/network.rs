@@ -12,6 +12,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use pegasus_sim::time::Ns;
+use pegasus_sim::Lane;
 
 use crate::cell::Vci;
 use crate::link::{Link, SinkRef};
@@ -120,6 +121,29 @@ struct EndpointInfo {
     tx: Rc<RefCell<Link>>,
 }
 
+/// One direction of an inter-switch trunk link, as recorded at wiring
+/// time. Trunks are the only links that cross region-shard boundaries,
+/// so each direction gets its own scheduling lane (assigned in wiring
+/// order, starting at 1; lane 0 stays the shared default). The lane
+/// makes every trunk's delivery sequence independent of what the rest
+/// of the city schedules — the property that lets a sharded run replay
+/// the exact 1-shard event order on the cut.
+#[derive(Debug, Clone, Copy)]
+pub struct TrunkDir {
+    /// Transmitting switch index.
+    pub from: usize,
+    /// Output port on the transmitting switch.
+    pub port: usize,
+    /// Receiving switch index.
+    pub to: usize,
+    /// Scheduling lane of this direction's delivery events.
+    pub lane: Lane,
+    /// Line rate, for lookahead (cell serialisation time) computation.
+    pub rate_bps: u64,
+    /// One-way propagation delay, the other lookahead term.
+    pub prop_delay: Ns,
+}
+
 /// The network: switches, inter-switch links, endpoints, signalling.
 pub struct Network {
     switches: Vec<Rc<RefCell<Switch>>>,
@@ -130,6 +154,9 @@ pub struct Network {
     /// gaps left by explicit wiring; auto-allocation never reuses them).
     used_ports: Vec<usize>,
     endpoints: Vec<EndpointInfo>,
+    /// Every inter-switch link direction, in wiring order. Entry `i`
+    /// carries lane `i + 1`.
+    trunks: Vec<TrunkDir>,
     acs: HashMap<ReservationKey, AdmissionController>,
     /// dead\[s\] = switch `s` has failed: no adjacency, no routes, and
     /// signalling refuses to route anything through or onto it.
@@ -154,6 +181,7 @@ impl Network {
             adj: Vec::new(),
             used_ports: Vec::new(),
             endpoints: Vec::new(),
+            trunks: Vec::new(),
             acs: HashMap::new(),
             dead: Vec::new(),
             next_vci: 32,
@@ -245,16 +273,39 @@ impl Network {
         pb: usize,
         cfg: LinkConfig,
     ) {
-        let link_ab = Link::new(
+        let mut link_ab = Link::new(
             cfg.rate_bps,
             cfg.prop_delay,
             input_port(&self.switches[b.0], pb),
         );
-        let link_ba = Link::new(
+        let mut link_ba = Link::new(
             cfg.rate_bps,
             cfg.prop_delay,
             input_port(&self.switches[a.0], pa),
         );
+        // Every trunk direction gets its own scheduling lane,
+        // unconditionally — single-threaded runs use the same lanes, so
+        // equal-time tie-breaking is identical at every shard count.
+        let lane_ab = (self.trunks.len() + 1) as Lane;
+        let lane_ba = (self.trunks.len() + 2) as Lane;
+        link_ab.set_lane(lane_ab);
+        link_ba.set_lane(lane_ba);
+        self.trunks.push(TrunkDir {
+            from: a.0,
+            port: pa,
+            to: b.0,
+            lane: lane_ab,
+            rate_bps: cfg.rate_bps,
+            prop_delay: cfg.prop_delay,
+        });
+        self.trunks.push(TrunkDir {
+            from: b.0,
+            port: pb,
+            to: a.0,
+            lane: lane_ba,
+            rate_bps: cfg.rate_bps,
+            prop_delay: cfg.prop_delay,
+        });
         self.switches[a.0].borrow_mut().attach_output(pa, link_ab);
         self.switches[b.0].borrow_mut().attach_output(pb, link_ba);
         self.adj[a.0].push((pa, b.0));
@@ -342,6 +393,40 @@ impl Network {
     /// Number of endpoints attached.
     pub fn endpoint_count(&self) -> usize {
         self.endpoints.len()
+    }
+
+    /// The fabric switch an endpoint hangs off — ownership of the
+    /// endpoint in a sharded run follows this switch.
+    pub fn endpoint_switch(&self, ep: EndpointId) -> SwitchId {
+        SwitchId(self.endpoints[ep.0].switch)
+    }
+
+    /// Every inter-switch link direction, in wiring order. The shard
+    /// partitioner reads this to find cut links (trunks whose two ends
+    /// land in different shards) and to compute the conservative
+    /// lookahead window (min over cut trunks of cell time + propagation
+    /// delay).
+    pub fn trunks(&self) -> &[TrunkDir] {
+        &self.trunks
+    }
+
+    /// Runs `f` on the output link at `port` of switch `sw` — the
+    /// sharded executor's hook for redirecting a cut trunk's transmit
+    /// side into an export buffer ([`Link::set_export`]) and for
+    /// injecting sealed cells into the receiving replica
+    /// ([`Link::inject`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is unwired.
+    pub fn with_switch_output<R>(
+        &self,
+        sw: usize,
+        port: usize,
+        f: impl FnOnce(&mut Link) -> R,
+    ) -> R {
+        let mut guard = self.switches[sw].borrow_mut();
+        f(guard.output_mut(port).expect("trunk port wired"))
     }
 
     fn alloc_vci(&mut self) -> Vci {
@@ -841,7 +926,10 @@ mod tests {
             .unwrap();
         let err = net.resize_vc(&mut vc, 60_000_000).unwrap_err();
         assert!(matches!(err, AdmissionError::InsufficientBandwidth { .. }));
-        assert_eq!(vc.qos.peak_bps, 30_000_000, "failed resize kept the old rate");
+        assert_eq!(
+            vc.qos.peak_bps, 30_000_000,
+            "failed resize kept the old rate"
+        );
         assert_eq!(net.endpoint_tx_available(cam), before - 80_000_000);
 
         // Back up once the contender is gone: original rate restores.
@@ -849,7 +937,11 @@ mod tests {
         net.resize_vc(&mut vc, 60_000_000).unwrap();
         assert_eq!(net.endpoint_tx_available(cam), before - 60_000_000);
         net.close_vc(vc);
-        assert_eq!(net.endpoint_tx_available(cam), before, "no leak after resizes");
+        assert_eq!(
+            net.endpoint_tx_available(cam),
+            before,
+            "no leak after resizes"
+        );
     }
 
     #[test]

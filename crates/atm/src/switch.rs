@@ -145,6 +145,13 @@ impl Switch {
         self.outputs.iter_mut().filter_map(|l| l.as_mut())
     }
 
+    /// The output link at `port`, if wired — targeted access for the
+    /// sharded executor to set export buffers on, or inject into, a
+    /// specific trunk line.
+    pub fn output_mut(&mut self, port: usize) -> Option<&mut Link> {
+        self.outputs.get_mut(port).and_then(|l| l.as_mut())
+    }
+
     /// Cells this switch's output lines lost to outage windows.
     pub fn cells_dropped_outage(&self) -> u64 {
         self.outputs
@@ -193,7 +200,8 @@ impl Switch {
         link.send(sim, cell);
         self.stats.switched += 1;
         self.stats.peak_queue_cells = self.stats.peak_queue_cells.max(backlog_cells + 1);
-        self.stats.epoch_peak_queue_cells = self.stats.epoch_peak_queue_cells.max(backlog_cells + 1);
+        self.stats.epoch_peak_queue_cells =
+            self.stats.epoch_peak_queue_cells.max(backlog_cells + 1);
     }
 }
 

@@ -553,7 +553,9 @@ mod tests {
         assert_eq!(g.outcome, Outcome::Admitted);
         let (src_vci, dst_vci) = (g.vcs[0].src_vci, g.vcs[0].dst_vci);
 
-        broker.renegotiate_live(&mut net, &mut g, 500, 1_000).unwrap();
+        broker
+            .renegotiate_live(&mut net, &mut g, 500, 1_000)
+            .unwrap();
         assert_eq!(g.quality_milli, 500);
         assert_eq!(g.granted.video_bps, 30_000_000);
         assert_eq!(g.vcs[0].qos.peak_bps, 30_000_000);
@@ -565,7 +567,9 @@ mod tests {
         );
 
         // Asking for more than admitted clamps to the admitted contract.
-        broker.renegotiate_live(&mut net, &mut g, 1500, 2_000).unwrap();
+        broker
+            .renegotiate_live(&mut net, &mut g, 1500, 2_000)
+            .unwrap();
         assert_eq!(g.quality_milli, 1000);
         assert_eq!(g.granted, g.requested);
         assert_eq!(broker.cpu.reserved_micro(), 300);

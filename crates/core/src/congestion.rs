@@ -74,8 +74,14 @@ pub struct CongestionController {
 impl CongestionController {
     /// A controller with the given hysteresis constants.
     pub fn new(down_after: u32, up_after: u32, stall_threshold: u64, headroom_cells: u64) -> Self {
-        assert!(down_after > 0 && up_after > 0, "hysteresis must be positive");
-        assert!(stall_threshold > 0, "a zero threshold would trip on nothing");
+        assert!(
+            down_after > 0 && up_after > 0,
+            "hysteresis must be positive"
+        );
+        assert!(
+            stall_threshold > 0,
+            "a zero threshold would trip on nothing"
+        );
         CongestionController {
             down_after,
             up_after,
@@ -209,7 +215,11 @@ mod tests {
             peak_queue_cells: 0,
             cm_slot_pressure: true,
         };
-        assert_eq!(c.observe(&sig), Verdict::Hold, "slots alone are not congestion");
+        assert_eq!(
+            c.observe(&sig),
+            Verdict::Hold,
+            "slots alone are not congestion"
+        );
         let sig = CongestionSignal {
             credit_stalls: 2, // below the stall threshold on its own
             cm_slot_pressure: true,

@@ -40,5 +40,5 @@ pub use broker::{
     SessionGrant, SessionRequest,
 };
 pub use congestion::{CongestionController, CongestionSignal, Verdict};
-pub use system::{System, Workstation};
+pub use system::{System, SystemBuilder, Workstation};
 pub use videophone::{VideoPath, VideoPhone, VideoPhoneConfig, VideoPhoneReport};

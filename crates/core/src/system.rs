@@ -110,13 +110,79 @@ pub struct Workstation {
     pub host_nic: Rc<RefCell<HostNic>>,
 }
 
+/// Fluent constructor for a [`System`] — the one entry point replacing
+/// the accreted `with_topology` + piecewise assembly calls.
+///
+/// ```
+/// use pegasus::system::SystemBuilder;
+/// use pegasus_atm::network::{LinkConfig, TopologyShape};
+///
+/// let sys = SystemBuilder::new()
+///     .topology(TopologyShape::Ring, 4)
+///     .link(LinkConfig::pegasus_default())
+///     .build();
+/// assert_eq!(sys.fabric.len(), 4);
+/// ```
+///
+/// Devices then attach with [`System::device`] and come alive with
+/// [`System::camera_on`] / [`System::audio_source_on`]; sessions go
+/// through [`System::admit_session`].
+pub struct SystemBuilder {
+    shape: TopologyShape,
+    switches: usize,
+    link: LinkConfig,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemBuilder {
+    /// Starts from the classic single-backbone shape on default links.
+    pub fn new() -> Self {
+        SystemBuilder {
+            shape: TopologyShape::Star,
+            switches: 1,
+            link: LinkConfig::pegasus_default(),
+        }
+    }
+
+    /// Sets the fabric shape and switch count.
+    pub fn topology(mut self, shape: TopologyShape, switches: usize) -> Self {
+        self.shape = shape;
+        self.switches = switches;
+        self
+    }
+
+    /// Sets the link parameters used for every trunk and endpoint link.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Wires the fabric and returns the assembled [`System`].
+    pub fn build(self) -> System {
+        let mut net = Network::new();
+        let fabric = net.build_topology(self.shape, self.switches, "backbone", 16, 500, self.link);
+        System {
+            net,
+            backbone: fabric[0],
+            fabric,
+            link: self.link,
+            next_site: 0,
+        }
+    }
+}
+
 /// The whole Pegasus installation (Figure 4).
 ///
 /// The default [`System::new`] is the classic single-backbone shape; a
-/// scenario assembles larger installations piecewise with
-/// [`System::with_topology`], [`System::add_workstation_at`] and
-/// [`System::attach_device`], so city-scale fabrics and hand-wired
-/// two-site experiments share one construction path.
+/// scenario assembles larger installations with [`SystemBuilder`], then
+/// hangs devices off the fabric with [`System::device`] — so city-scale
+/// fabrics and hand-wired two-site experiments share one construction
+/// path.
 pub struct System {
     /// The ATM network.
     pub net: Network,
@@ -140,21 +206,25 @@ impl Default for System {
 impl System {
     /// Creates a system with an empty backbone switch.
     pub fn new() -> Self {
-        Self::with_topology(TopologyShape::Star, 1, LinkConfig::pegasus_default())
+        SystemBuilder::new().build()
+    }
+
+    /// Starts a [`SystemBuilder`].
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::new()
     }
 
     /// Creates a system whose backbone is a multi-switch fabric in the
     /// given shape, all inter-switch links at `link` parameters.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use System::builder().topology(..).link(..).build()"
+    )]
     pub fn with_topology(shape: TopologyShape, switches: usize, link: LinkConfig) -> Self {
-        let mut net = Network::new();
-        let fabric = net.build_topology(shape, switches, "backbone", 16, 500, link);
-        System {
-            net,
-            backbone: fabric[0],
-            fabric,
-            link,
-            next_site: 0,
-        }
+        SystemBuilder::new()
+            .topology(shape, switches)
+            .link(link)
+            .build()
     }
 
     /// Adds a multimedia workstation: local switch uplinked to the
@@ -221,10 +291,17 @@ impl System {
     /// Attaches a bare device endpoint directly to fabric switch
     /// `fabric_idx` — the bulk path scenarios use to hang hundreds of
     /// cameras, displays and audio nodes off a city fabric without an
-    /// edge switch per device.
-    pub fn attach_device(&mut self, fabric_idx: usize, sink: SinkRef) -> EndpointId {
+    /// edge switch per device. In a sharded run the endpoint is owned
+    /// by whichever shard owns its fabric switch.
+    pub fn device(&mut self, fabric_idx: usize, sink: SinkRef) -> EndpointId {
         self.net
             .add_endpoint_auto(self.fabric[fabric_idx], self.link, sink)
+    }
+
+    /// Deprecated name for [`System::device`].
+    #[deprecated(since = "0.8.0", note = "use System::device")]
+    pub fn attach_device(&mut self, fabric_idx: usize, sink: SinkRef) -> EndpointId {
+        self.device(fabric_idx, sink)
     }
 
     /// Builds a camera on `ws`, producing `scene` with `cfg`, stamped
@@ -236,13 +313,13 @@ impl System {
         cfg: CameraConfig,
         vci: u16,
     ) -> Rc<RefCell<Camera>> {
-        self.build_camera_on(ws.camera_ep, scene, cfg, vci)
+        self.camera_on(ws.camera_ep, scene, cfg, vci)
     }
 
     /// Builds a camera transmitting from an arbitrary endpoint — the
-    /// spec-driven path where the endpoint came from
-    /// [`System::attach_device`] rather than a [`Workstation`].
-    pub fn build_camera_on(
+    /// spec-driven path where the endpoint came from [`System::device`]
+    /// rather than a [`Workstation`].
+    pub fn camera_on(
         &self,
         ep: EndpointId,
         scene: Scene,
@@ -253,19 +330,42 @@ impl System {
         Camera::new(video, cfg, vci, self.net.endpoint_tx(ep))
     }
 
+    /// Deprecated name for [`System::camera_on`].
+    #[deprecated(since = "0.8.0", note = "use System::camera_on")]
+    pub fn build_camera_on(
+        &self,
+        ep: EndpointId,
+        scene: Scene,
+        cfg: CameraConfig,
+        vci: u16,
+    ) -> Rc<RefCell<Camera>> {
+        self.camera_on(ep, scene, cfg, vci)
+    }
+
     /// Builds an audio source on `ws` for an already-opened connection.
     pub fn build_audio_source(&self, ws: &Workstation, vci: u16) -> Rc<RefCell<AudioSource>> {
-        self.build_audio_source_on(ws.audio_src_ep, AudioConfig::telephony(), vci)
+        self.audio_source_on(ws.audio_src_ep, AudioConfig::telephony(), vci)
     }
 
     /// Builds an audio source transmitting from an arbitrary endpoint.
-    pub fn build_audio_source_on(
+    pub fn audio_source_on(
         &self,
         ep: EndpointId,
         cfg: AudioConfig,
         vci: u16,
     ) -> Rc<RefCell<AudioSource>> {
         AudioSource::new(cfg, vci, self.net.endpoint_tx(ep))
+    }
+
+    /// Deprecated name for [`System::audio_source_on`].
+    #[deprecated(since = "0.8.0", note = "use System::audio_source_on")]
+    pub fn build_audio_source_on(
+        &self,
+        ep: EndpointId,
+        cfg: AudioConfig,
+        vci: u16,
+    ) -> Rc<RefCell<AudioSource>> {
+        self.audio_source_on(ep, cfg, vci)
     }
 
     /// Runs a session request through the QoS broker against this
@@ -378,7 +478,10 @@ mod tests {
     #[test]
     fn multi_switch_fabric_carries_video_between_sites() {
         use pegasus_atm::network::TopologyShape;
-        let mut sys = System::with_topology(TopologyShape::Ring, 4, LinkConfig::pegasus_default());
+        let mut sys = System::builder()
+            .topology(TopologyShape::Ring, 4)
+            .link(LinkConfig::pegasus_default())
+            .build();
         assert_eq!(sys.fabric.len(), 4);
         let a = sys.add_workstation_at(0, "north", 40);
         let b = sys.add_workstation_at(2, "south", 40);
@@ -403,9 +506,9 @@ mod tests {
     fn attach_device_puts_endpoints_on_the_fabric() {
         use pegasus_atm::link::CaptureSink;
         let mut sys = System::new();
-        let cam_ep = sys.attach_device(0, HostNic::shared());
+        let cam_ep = sys.device(0, HostNic::shared());
         let sink = CaptureSink::shared();
-        let dst_ep = sys.attach_device(0, sink.clone());
+        let dst_ep = sys.device(0, sink.clone());
         let vc = sys
             .net
             .open_vc(cam_ep, dst_ep, QosSpec::guaranteed(5_000_000))

@@ -93,7 +93,14 @@ pub struct DisplayStats {
 pub struct Display {
     width: i32,
     height: i32,
+    /// Empty in headless mode; `width × height` bytes otherwise.
     framebuffer: Vec<u8>,
+    /// Headless displays evaluate the full blit geometry (clipping,
+    /// occlusion, every counter in [`DisplayStats`]) but never allocate
+    /// or write the framebuffer — city-scale presets attach thousands of
+    /// displays whose pixels nobody reads, and the stats must stay
+    /// byte-identical to a framebuffer run.
+    headless: bool,
     windows: HashMap<Vci, WindowDescriptor>,
     reasm: HashMap<Vci, Reassembler>,
     /// Device counters.
@@ -108,6 +115,22 @@ impl Display {
             width,
             height,
             framebuffer: vec![0; (width * height) as usize],
+            headless: false,
+            windows: HashMap::new(),
+            reasm: HashMap::new(),
+            stats: DisplayStats::default(),
+        }))
+    }
+
+    /// Creates a headless display: same geometry and statistics as
+    /// [`Display::shared`], no framebuffer memory. [`Display::pixel`]
+    /// must not be called on it.
+    pub fn shared_headless(width: i32, height: i32) -> Rc<RefCell<Display>> {
+        Rc::new(RefCell::new(Display {
+            width,
+            height,
+            framebuffer: Vec::new(),
+            headless: true,
             windows: HashMap::new(),
             reasm: HashMap::new(),
             stats: DisplayStats::default(),
@@ -125,7 +148,12 @@ impl Display {
     }
 
     /// Reads a pixel (for tests and screenshots).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a headless display — there are no pixels to read.
     pub fn pixel(&self, x: i32, y: i32) -> u8 {
+        assert!(!self.headless, "headless display has no framebuffer");
         assert!(x >= 0 && x < self.width && y >= 0 && y < self.height);
         self.framebuffer[(y * self.width + x) as usize]
     }
@@ -193,8 +221,10 @@ impl Display {
                     if !desc.clip.contains(px, py) || self.occluded(px, py, desc.z) {
                         continue;
                     }
-                    self.framebuffer[(py * self.width + px) as usize] =
-                        pixels[(row * 8 + col) as usize];
+                    if !self.headless {
+                        self.framebuffer[(py * self.width + px) as usize] =
+                            pixels[(row * 8 + col) as usize];
+                    }
                     self.stats.pixels_written += 1;
                     wrote = true;
                 }
@@ -558,6 +588,35 @@ mod tests {
         // Next frame is unaffected.
         send_frame(&display, &mut sim, 5, &solid_frame(8, 0));
         assert_eq!(display.borrow().stats.tiles_blitted, 1);
+    }
+
+    #[test]
+    fn headless_display_matches_framebuffer_stats() {
+        // Same traffic into a framebuffer display and a headless one:
+        // every counter identical, including the clip/occlusion-driven
+        // blit-vs-discard verdicts.
+        let with_fb = Display::shared(64, 64);
+        let headless = Display::shared_headless(64, 64);
+        for d in [&with_fb, &headless] {
+            let mut wm = WindowManager::new(d.clone(), 1);
+            wm.create(5, Rect::new(0, 0, 4, 64)); // clips half of each tile
+            wm.create(6, Rect::new(0, 0, 8, 8)); // occludes window 5's corner
+        }
+        let mut sim = Simulator::new();
+        for d in [&with_fb, &headless] {
+            send_frame(d, &mut sim, 5, &solid_frame(9, 0));
+            send_frame(d, &mut sim, 6, &solid_frame(1, 0));
+            send_frame(d, &mut sim, 99, &solid_frame(2, 0)); // unknown VCI
+        }
+        let (a, b) = (with_fb.borrow(), headless.borrow());
+        assert_eq!(a.stats.tiles_blitted, b.stats.tiles_blitted);
+        assert_eq!(a.stats.tiles_discarded, b.stats.tiles_discarded);
+        assert_eq!(a.stats.pixels_written, b.stats.pixels_written);
+        assert_eq!(a.stats.frames_bad, b.stats.frames_bad);
+        assert_eq!(
+            a.stats.latency.clone().summarize(),
+            b.stats.latency.clone().summarize()
+        );
     }
 
     #[test]

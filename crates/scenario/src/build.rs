@@ -31,7 +31,7 @@ use pegasus::broker::{
     SessionRequest,
 };
 use pegasus::congestion::{CongestionController, CongestionSignal, Verdict};
-use pegasus::system::{HostNic, System};
+use pegasus::system::{HostNic, System, SystemBuilder};
 use pegasus_atm::cell::{Cell, Vci, CELL_SIZE};
 use pegasus_atm::credit::{CreditRef, CreditSink, CreditWindow};
 use pegasus_atm::link::{CellSink, Link};
@@ -55,9 +55,10 @@ use pegasus_streams::playback::{ArrivalSink, PlaybackControl, PlaybackPolicy, St
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::partition::ShardPlan;
 use crate::report::{
     BackpressureReport, BrokerReport, CellReport, ClassReport, NemesisReport, PfsReport,
-    ScenarioReport,
+    ScenarioReport, ShardSlice, SCHEMA_VERSION,
 };
 use crate::spec::{Arrival, FaultSpec, ScenarioSpec};
 
@@ -224,6 +225,10 @@ impl BrokerTally {
 /// A compiled scenario, ready to run.
 pub struct Scenario {
     spec: ScenarioSpec,
+    /// The shard this compilation materialized: which switches it owns,
+    /// how many peers it has, whether it is the coordinator. The
+    /// classic path compiles under [`ShardPlan::single`].
+    plan: ShardPlan,
     /// The assembled installation.
     pub sys: System,
     /// The engine that will drive it.
@@ -252,6 +257,67 @@ pub struct Scenario {
     /// credit windows: pressure by construction, never overflow. The
     /// bool marks a blast stranded by a switch death.
     blasts: Vec<(VcHandle, CreditRef, bool)>,
+}
+
+/// Runtime counters of one shard's epoch loop — all zero on the
+/// classic single-threaded path, which never waits at a barrier.
+#[derive(Debug, Default)]
+pub struct ShardRuntime {
+    /// Barrier crossings the shard waited at.
+    pub barrier_waits: u64,
+    /// Sealed cells published onto outbound cut trunks.
+    pub cells_exported: u64,
+    /// Sealed cells accepted from other shards.
+    pub cells_imported: u64,
+}
+
+/// Everything one shard measured, in `Send` form — plain counters,
+/// histograms and report fragments, no `Rc`. [`assemble`] folds a
+/// vector of these into the final [`ScenarioReport`]. The classic
+/// single-shard path produces exactly one, so both paths share the
+/// fold and cannot drift apart.
+pub struct ShardOutcome {
+    shard: usize,
+    events_executed: u64,
+    runtime: ShardRuntime,
+    tiles_blitted: u64,
+    video_lat: Histogram,
+    video_jit: Histogram,
+    audio_underruns: u64,
+    audio_lat: Histogram,
+    audio_jit: Histogram,
+    vod_presented: u64,
+    playback_late: u64,
+    vod_lat: Histogram,
+    vod_jit: Histogram,
+    /// `delivered` is left zero here; [`assemble`] computes it from the
+    /// summed totals.
+    cells: CellReport,
+    peak_queue_cells: u64,
+    vcs_rerouted: u64,
+    vcs_stranded: u64,
+    bp: BackpressureReport,
+    coord: Option<CoordinatorOutcome>,
+}
+
+impl ShardOutcome {
+    /// This outcome's shard index.
+    pub(crate) fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+/// Sections only the coordinator (shard 0) contributes: either
+/// identical on every shard by replication (broker ledgers, topology
+/// counts) or requiring state only it materializes (the PFS CM replay)
+/// or replays (the Nemesis epoch schedule).
+struct CoordinatorOutcome {
+    switches: u64,
+    endpoints: u64,
+    max_link_utilization: f64,
+    broker: BrokerReport,
+    pfs: PfsReport,
+    nemesis: NemesisReport,
 }
 
 /// The camera settings a session runs at after renegotiation: frame
@@ -289,14 +355,28 @@ fn start_time(rng: &mut SmallRng, arrival: Arrival, poisson_clock: &mut Ns) -> N
     }
 }
 
-/// Compiles `spec` into a wired, scheduled [`Scenario`].
+/// Compiles `spec` into a wired, scheduled [`Scenario`] that owns the
+/// whole city (the classic single-threaded path).
 pub fn compile(spec: &ScenarioSpec) -> Scenario {
+    compile_for(spec, ShardPlan::single())
+}
+
+/// Compiles `spec` into the world as shard `plan.shard` sees it.
+///
+/// Every shard builds the *full* city — same RNG draws, same admission
+/// decisions, same VCIs, same broker ledgers — so all shards agree on
+/// every compile-time fact without communicating. Only runtime activity
+/// is partitioned: an event is armed on the one shard owning the
+/// switch its device hangs off, and statistics are collected only from
+/// owned devices, so the per-shard measurements sum to exactly the
+/// single-shard ones. Remote replicas of switches and devices exist but
+/// stay silent — no event ever touches them.
+pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
     let mut rng = seeded(spec.seed);
-    let mut sys = System::with_topology(
-        spec.topology.shape,
-        spec.topology.switches,
-        spec.topology.link,
-    );
+    let mut sys = SystemBuilder::new()
+        .topology(spec.topology.shape, spec.topology.switches)
+        .link(spec.topology.link)
+        .build();
     let mut sim = Simulator::new();
     let n_fabric = sys.fabric.len();
     let counts = spec.mix.counts(spec.sessions);
@@ -318,6 +398,7 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
 
     let mut scenario = Scenario {
         spec: spec.clone(),
+        plan: ShardPlan::single(), // replaced by `plan` below
         counts,
         contracts: Vec::new(),
         tally: BrokerTally::default(),
@@ -351,6 +432,17 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         grant
     };
     let bp = spec.backpressure;
+    assert!(
+        !bp.enabled || plan.shards == 1,
+        "backpressure clamps the plan to one shard"
+    );
+    let make_display = || {
+        if spec.headless_displays {
+            Display::shared_headless(176, 144)
+        } else {
+            Display::shared(176, 144)
+        }
+    };
 
     let mut poisson_clock: Ns = 0;
     let pick_pair = |rng: &mut SmallRng| -> (usize, usize) {
@@ -372,21 +464,22 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
     // ---- Videophone sessions: camera→display plus audio, one way. ----
     for _ in 0..n_vp {
         let (src, dst) = pick_pair(&mut rng);
+        let (owns_src, owns_dst) = (plan.owns(src), plan.owns(dst));
         let t0 = start_time(&mut rng, spec.arrival, &mut poisson_clock).min(spec.duration);
         let scene = pick_scene(&mut rng);
 
-        let cam_ep = sys.attach_device(src, HostNic::shared());
-        let display = Display::shared(176, 144);
+        let cam_ep = sys.device(src, HostNic::shared());
+        let display = make_display();
         // With backpressure on, the consuming endpoint fronts its sink
         // with a credit gate that returns one credit per drained cell.
         let credit_sink = bp.enabled.then(|| CreditSink::wrap(display.clone()));
         let disp_ep = match &credit_sink {
-            Some(cs) => sys.attach_device(dst, cs.clone()),
-            None => sys.attach_device(dst, display.clone()),
+            Some(cs) => sys.device(dst, cs.clone()),
+            None => sys.device(dst, display.clone()),
         };
-        let audio_src_ep = sys.attach_device(src, HostNic::shared());
+        let audio_src_ep = sys.device(src, HostNic::shared());
         let audio_sink = AudioSink::shared(AudioConfig::telephony(), spec.audio_jitter_buffer);
-        let audio_sink_ep = sys.attach_device(dst, audio_sink.clone());
+        let audio_sink_ep = sys.device(dst, audio_sink.clone());
 
         let req = SessionRequest {
             class: SessionClass::Videophone,
@@ -416,41 +509,59 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         let mut wm = WindowManager::new(display.clone(), 1);
         wm.create(vc_dst, Rect::new(0, 0, 176, 144));
         let cam_cfg = camera_for(spec.camera, grant.quality_milli);
-        let cam = sys.build_camera_on(cam_ep, scene, cam_cfg, vc_src);
+        let cam = sys.camera_on(cam_ep, scene, cam_cfg, vc_src);
         let credit = credit_sink.map(|cs| {
             let w = CreditWindow::shared(bp.window_cells);
             cs.borrow_mut().register(vc_dst, w.clone());
             cam.borrow_mut().set_credit(w.clone());
             w
         });
-        scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
-        scenario.displays.push(display);
+        if owns_src {
+            scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
+        }
+        if owns_dst {
+            scenario.displays.push(display);
+        }
         let stranded = vec![false; grant.vcs.len()];
         scenario.books.push(SessionBook {
             grant,
             class: SessionClass::Videophone,
-            camera: Some(cam.clone()),
+            camera: owns_src.then(|| cam.clone()),
             credit,
             stranded,
         });
-        let (cam_start, cam_stop) = (cam.clone(), cam);
-        sim.schedule_at(t0, move |sim| Camera::start(&cam_start, sim));
-        sim.schedule_at(spec.duration, move |_| cam_stop.borrow_mut().stop());
+        if owns_src {
+            let (cam_start, cam_stop) = (cam.clone(), cam);
+            sim.schedule_at(t0, move |sim| Camera::start(&cam_start, sim));
+            sim.schedule_at(spec.duration, move |_| cam_stop.borrow_mut().stop());
+        }
 
-        let audio = sys.build_audio_source_on(audio_src_ep, AudioConfig::telephony(), avc_src);
-        scenario.tx_links.push(sys.net.endpoint_tx(audio_src_ep));
-        scenario.audio_sinks.push(audio_sink.clone());
-        let (a_start, a_stop) = (audio.clone(), audio);
+        let audio = sys.audio_source_on(audio_src_ep, AudioConfig::telephony(), avc_src);
+        if owns_src {
+            scenario.tx_links.push(sys.net.endpoint_tx(audio_src_ep));
+        }
+        if owns_dst {
+            scenario.audio_sinks.push(audio_sink.clone());
+        }
         let duration = spec.duration;
-        sim.schedule_at(t0, move |sim| {
-            AudioSource::start(&a_start, sim);
-            AudioSink::start_playout(&audio_sink, sim, duration);
-        });
-        sim.schedule_at(spec.duration, move |_| a_stop.borrow_mut().stop());
+        // The source's start and the sink's play-out start are separate
+        // events — each lands on the shard owning its end of the call.
+        if owns_src {
+            let (a_start, a_stop) = (audio.clone(), audio);
+            sim.schedule_at(t0, move |sim| AudioSource::start(&a_start, sim));
+            sim.schedule_at(spec.duration, move |_| a_stop.borrow_mut().stop());
+        }
+        if owns_dst {
+            sim.schedule_at(t0, move |sim| {
+                AudioSink::start_playout(&audio_sink, sim, duration)
+            });
+        }
     }
 
     // ---- VoD sessions: file server → synchronized playback client. ----
-    if n_vod > 0 {
+    // The servers' disk state (prerecord + CM replay) lives only on the
+    // coordinator: the replay is post-hoc and global, not event-driven.
+    if n_vod > 0 && plan.materialize_pfs {
         // Rate ceiling sized to a slot-full server at the requested
         // rate: the stream *slots* are the binding capacity, enforced
         // by the broker's ledger and the scheduler's own cap.
@@ -476,6 +587,7 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
     }
     for i in 0..n_vod {
         let (src, dst) = pick_pair(&mut rng);
+        let (owns_src, owns_dst) = (plan.owns(src), plan.owns(dst));
         let t0 = start_time(&mut rng, spec.arrival, &mut poisson_clock).min(spec.duration);
         let scene = pick_scene(&mut rng);
 
@@ -488,10 +600,10 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         });
         let credit_sink = bp.enabled.then(|| CreditSink::wrap(sink.clone()));
         let client_ep = match &credit_sink {
-            Some(cs) => sys.attach_device(dst, cs.clone()),
-            None => sys.attach_device(dst, sink.clone()),
+            Some(cs) => sys.device(dst, cs.clone()),
+            None => sys.device(dst, sink.clone()),
         };
-        let server_ep = sys.attach_device(src, HostNic::shared());
+        let server_ep = sys.device(src, HostNic::shared());
 
         let req = SessionRequest {
             class: SessionClass::Vod,
@@ -514,15 +626,19 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         // camera model doubles as that paced pusher, renegotiated down
         // with the rest of the session when degraded.
         let cam_cfg = camera_for(spec.camera, grant.quality_milli);
-        let cam = sys.build_camera_on(server_ep, scene, cam_cfg, vc_src);
+        let cam = sys.camera_on(server_ep, scene, cam_cfg, vc_src);
         let credit = credit_sink.map(|cs| {
             let w = CreditWindow::shared(bp.window_cells);
             cs.borrow_mut().register(vc_dst, w.clone());
             cam.borrow_mut().set_credit(w.clone());
             w
         });
-        scenario.tx_links.push(sys.net.endpoint_tx(server_ep));
-        scenario.vod_clients.push((ctl, stream, sink));
+        if owns_src {
+            scenario.tx_links.push(sys.net.endpoint_tx(server_ep));
+        }
+        if owns_dst {
+            scenario.vod_clients.push((ctl, stream, sink));
+        }
         // Disk side: admit the stream on its granted server at the
         // granted (possibly renegotiated-down) rate.
         let granted_disk = (req_disk * grant.quality_milli / 1000).max(1);
@@ -530,19 +646,23 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         scenario.books.push(SessionBook {
             grant,
             class: SessionClass::Vod,
-            camera: Some(cam.clone()),
+            camera: owns_src.then(|| cam.clone()),
             credit,
             stranded,
         });
-        let (c_start, c_stop) = (cam.clone(), cam);
-        sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
-        sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
-        let server = &mut scenario.vod_servers[i % n_servers];
-        let fid = server.file;
-        server
-            .cm
-            .admit(fid, granted_disk, 0)
-            .expect("broker slot grant implies CM capacity");
+        if owns_src {
+            let (c_start, c_stop) = (cam.clone(), cam);
+            sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
+            sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
+        }
+        if plan.materialize_pfs {
+            let server = &mut scenario.vod_servers[i % n_servers];
+            let fid = server.file;
+            server
+                .cm
+                .admit(fid, granted_disk, 0)
+                .expect("broker slot grant implies CM capacity");
+        }
     }
 
     // ---- TV distribution: studio cameras into control-room stacks. ----
@@ -552,23 +672,27 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
         let feeds = group.min(tv_left);
         tv_left -= feeds;
         let dst = rng.gen_range(0..n_fabric);
-        let display = Display::shared(176, 144);
+        let owns_dst = plan.owns(dst);
+        let display = make_display();
         // One credit gate per control room: every admitted feed
         // registers its own window on it, keyed by delivery VCI.
         let credit_sink = bp.enabled.then(|| CreditSink::wrap(display.clone()));
         let disp_ep = match &credit_sink {
-            Some(cs) => sys.attach_device(dst, cs.clone()),
-            None => sys.attach_device(dst, display.clone()),
+            Some(cs) => sys.device(dst, cs.clone()),
+            None => sys.device(dst, display.clone()),
         };
         let wm = Rc::new(RefCell::new(WindowManager::new(display.clone(), 1)));
-        scenario.tv_displays.push(display);
+        if owns_dst {
+            scenario.tv_displays.push(display);
+        }
         let mut feed_vcis = Vec::new();
         let mut group_t0 = spec.duration;
         for _ in 0..feeds {
             let src = rng.gen_range(0..n_fabric);
+            let owns_src = plan.owns(src);
             let t0 = start_time(&mut rng, spec.arrival, &mut poisson_clock).min(spec.duration);
             let scene = pick_scene(&mut rng);
-            let cam_ep = sys.attach_device(src, HostNic::shared());
+            let cam_ep = sys.device(src, HostNic::shared());
 
             let req = SessionRequest {
                 class: SessionClass::Tv,
@@ -591,30 +715,35 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
             wm.borrow_mut().create(vc_dst, Rect::new(0, 0, 176, 144));
             feed_vcis.push(vc_dst);
             let cam_cfg = camera_for(spec.camera, grant.quality_milli);
-            let cam = sys.build_camera_on(cam_ep, scene, cam_cfg, vc_src);
+            let cam = sys.camera_on(cam_ep, scene, cam_cfg, vc_src);
             let credit = credit_sink.as_ref().map(|cs| {
                 let w = CreditWindow::shared(bp.window_cells);
                 cs.borrow_mut().register(vc_dst, w.clone());
                 cam.borrow_mut().set_credit(w.clone());
                 w
             });
-            scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
+            if owns_src {
+                scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
+            }
             let stranded = vec![false; grant.vcs.len()];
             scenario.books.push(SessionBook {
                 grant,
                 class: SessionClass::Tv,
-                camera: Some(cam.clone()),
+                camera: owns_src.then(|| cam.clone()),
                 credit,
                 stranded,
             });
-            let (c_start, c_stop) = (cam.clone(), cam);
-            sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
-            sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
+            if owns_src {
+                let (c_start, c_stop) = (cam.clone(), cam);
+                sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
+                sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
+            }
         }
         // The director cuts round-robin through the admitted feeds: one
-        // window raise per cut, pure control. A room whose every feed
-        // was rejected has nothing to cut between.
-        if !feed_vcis.is_empty() {
+        // window raise per cut, pure control, run where the control
+        // room's display lives. A room whose every feed was rejected
+        // has nothing to cut between.
+        if owns_dst && !feed_vcis.is_empty() {
             let mut cut_no = 0usize;
             let mut t = group_t0 + spec.tv_cut_period;
             while t < spec.duration {
@@ -640,20 +769,30 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
                 queue_capacity,
             } => {
                 assert!(switch < sys.fabric.len(), "fault names a fabric switch");
-                let sw = sys.net.switch(sys.fabric[switch]).clone();
-                sim.schedule_at(at.min(spec.duration), move |_| {
-                    sw.borrow_mut().queue_capacity = queue_capacity;
-                });
+                // Armed only on the owner: the degradation bites where
+                // cells transit the switch, and only the owner's
+                // replica carries traffic.
+                if plan.owns(switch) {
+                    let sw = sys.net.switch(sys.fabric[switch]).clone();
+                    sim.schedule_at(at.min(spec.duration), move |_| {
+                        sw.borrow_mut().queue_capacity = queue_capacity;
+                    });
+                }
             }
             FaultSpec::LinkFlap { at, until, switch } => {
                 assert!(switch < sys.fabric.len(), "fault names a fabric switch");
                 assert!(until >= at, "flap must end after it starts");
-                let sw = sys.net.switch(sys.fabric[switch]).clone();
-                sim.schedule_at(at.min(spec.duration), move |_| {
-                    for link in sw.borrow_mut().output_links_mut() {
-                        link.set_outage_until(until);
-                    }
-                });
+                // Outage drops happen at send time on the transmitting
+                // switch's output links, so the owner arms the flap —
+                // including on cut trunks, whose tx side it owns.
+                if plan.owns(switch) {
+                    let sw = sys.net.switch(sys.fabric[switch]).clone();
+                    sim.schedule_at(at.min(spec.duration), move |_| {
+                        for link in sw.borrow_mut().output_links_mut() {
+                            link.set_outage_until(until);
+                        }
+                    });
+                }
             }
             FaultSpec::BestEffortBlast {
                 at,
@@ -669,6 +808,10 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
                 );
                 assert!(until >= at, "blast must end after it starts");
                 assert!(rate_bps > 0 && window > 0, "blast needs rate and credits");
+                debug_assert_eq!(
+                    plan.shards, 1,
+                    "blasts clamp the plan to one shard (shared credit window)"
+                );
                 // The injector gets its own fat access link so the
                 // bottleneck is the shared trunk, not its first hop; the
                 // sink end discards, its credit gate returning credits
@@ -679,12 +822,16 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
                     prop_delay: spec.topology.link.prop_delay,
                 };
                 let csink = CreditSink::wrap(NullSink::shared());
-                let src_ep =
-                    sys.net
-                        .add_endpoint_auto(sys.fabric[from_switch], blast_link, NullSink::shared());
-                let dst_ep =
-                    sys.net
-                        .add_endpoint_auto(sys.fabric[to_switch], spec.topology.link, csink.clone());
+                let src_ep = sys.net.add_endpoint_auto(
+                    sys.fabric[from_switch],
+                    blast_link,
+                    NullSink::shared(),
+                );
+                let dst_ep = sys.net.add_endpoint_auto(
+                    sys.fabric[to_switch],
+                    spec.topology.link,
+                    csink.clone(),
+                );
                 let vc = sys
                     .net
                     .open_vc(src_ep, dst_ep, QosSpec::best_effort(0))
@@ -722,10 +869,10 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
                 assert!(switch < sys.fabric.len(), "fault names a fabric switch");
             }
             FaultSpec::DiskFail { server, disk, .. } => {
-                assert!(
-                    server < scenario.vod_servers.len().max(1),
-                    "fault names a VoD server"
-                );
+                // Validated against the planned server count, not the
+                // materialized set — worker shards materialize none.
+                let planned = if n_vod > 0 { n_servers } else { 0 };
+                assert!(server < planned.max(1), "fault names a VoD server");
                 assert!(
                     disk <= pegasus_pfs::raid::DATA_DISKS,
                     "fault names a RAID member"
@@ -738,15 +885,45 @@ pub fn compile(spec: &ScenarioSpec) -> Scenario {
     scenario.sys = sys;
     scenario.sim = sim;
     scenario.broker = broker;
+    scenario.plan = plan;
     scenario
 }
 
 impl Scenario {
-    /// Runs the compiled scenario to completion and reports.
+    /// The shard plan this scenario was compiled under.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The spec this scenario was compiled from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// When the engine stops: the run length plus a drain long enough
+    /// for held playback items to present. Every shard computes the
+    /// same deadline, so the epoch loops agree on the final barrier.
+    pub fn end_time(&self) -> Ns {
+        self.spec.duration + self.spec.drain.max(self.spec.vod_target_latency + 20 * MS)
+    }
+
+    /// Settles the fabric's per-VCI drop counters against the session
+    /// books (see [`reconcile_drops`]). The executor calls this after
+    /// its final epoch; the classic path folds it into [`Scenario::run`].
+    pub(crate) fn settle_drops(&self) -> (u64, u64) {
+        reconcile_drops(&self.sys, &self.books, &self.blasts)
+    }
+
+    /// Runs the compiled scenario to completion and reports — the
+    /// classic single-threaded path. Multi-shard scenarios are driven
+    /// by `crate::executor`, which runs the epoch loop itself and calls
+    /// `Scenario::collect` directly.
     pub fn run(mut self) -> ScenarioReport {
+        assert_eq!(
+            self.plan.shards, 1,
+            "multi-shard scenarios run under the executor"
+        );
         let spec = &self.spec;
-        // Drain long enough for held playback items to present.
-        let drain = spec.drain.max(spec.vod_target_latency + 20 * MS);
 
         // Two kinds of timeline mark need the owned `Network`, so the
         // engine runs in segments split at each one: switch deaths
@@ -890,92 +1067,88 @@ impl Scenario {
                 }
             }
         }
-        self.sim.run_until(spec.duration + drain);
+        self.sim.run_until(self.end_time());
         // Settle drops from the drain window (and, with the monitor
         // off, the whole run) so attribution covers every dropped cell.
-        let (ov, ou) = reconcile_drops(&self.sys, &self.books, &self.blasts);
+        let (ov, ou) = self.settle_drops();
         admitted_dropped.0 += ov;
         admitted_dropped.1 += ou;
 
-        let mut report = ScenarioReport {
-            name: spec.name.clone(),
-            seed: spec.seed,
-            duration: spec.duration,
-            switches: self.sys.net.switch_count() as u64,
-            endpoints: self.sys.net.endpoint_count() as u64,
-            sessions: (
-                self.counts.0 as u64,
-                self.counts.1 as u64,
-                self.counts.2 as u64,
-            ),
-            broker: self.tally.into_report(),
-            max_link_utilization: self.sys.net.max_reservation_utilization(),
-            events_executed: self.sim.events_executed(),
-            ..ScenarioReport::default()
-        };
+        let spec = self.spec.clone();
+        let outcome = self.collect(
+            vcs_rerouted,
+            vcs_stranded,
+            admitted_dropped,
+            ShardRuntime::default(),
+        );
+        assemble(&spec, vec![outcome])
+    }
 
-        // Video class: every display (videophone windows + TV stacks).
-        // Jitter is a per-stream quantity (latency in excess of the
-        // stream's own floor), so only single-stream displays feed it:
-        // a TV control room merges feeds with different hop counts, and
-        // subtracting one shared floor would read the constant
-        // path-delay differences as jitter.
+    /// Folds this shard's owned devices and switches into a portable
+    /// [`ShardOutcome`]. Consumes the scenario: the `Rc`-laden world
+    /// stays on its thread, only plain measurements cross.
+    pub(crate) fn collect(
+        mut self,
+        vcs_rerouted: u64,
+        vcs_stranded: u64,
+        admitted_dropped: (u64, u64),
+        runtime: ShardRuntime,
+    ) -> ShardOutcome {
+        // Video class: every owned display (videophone windows + TV
+        // stacks). Jitter is a per-stream quantity (latency in excess
+        // of the stream's own floor), so only single-stream displays
+        // feed it: a TV control room merges feeds with different hop
+        // counts, and subtracting one shared floor would read the
+        // constant path-delay differences as jitter.
+        let mut tiles_blitted = 0u64;
         let mut video_lat = Histogram::new();
         let mut video_jit = Histogram::new();
         for d in &self.displays {
             let d = d.borrow();
-            report.tiles_blitted += d.stats.tiles_blitted;
+            tiles_blitted += d.stats.tiles_blitted;
             video_lat.merge(&d.stats.latency);
             video_jit.merge(&d.stats.latency.jitter_histogram());
         }
         for d in &self.tv_displays {
             let d = d.borrow();
-            report.tiles_blitted += d.stats.tiles_blitted;
+            tiles_blitted += d.stats.tiles_blitted;
             video_lat.merge(&d.stats.latency);
         }
-        report.video = ClassReport {
-            sessions: (self.counts.0 + self.counts.2) as u64,
-            latency: video_lat.summarize(),
-            jitter: video_jit.summarize(),
-        };
 
         // Audio class: DAC play-out.
+        let mut audio_underruns = 0u64;
         let mut audio_lat = Histogram::new();
         let mut audio_jit = Histogram::new();
         for s in &self.audio_sinks {
             let s = s.borrow();
-            report.audio_underruns += s.stats.underruns;
+            audio_underruns += s.stats.underruns;
             audio_lat.merge(&s.stats.playout_latency);
             audio_jit.merge(&s.stats.playout_latency.jitter_histogram());
         }
-        report.audio = ClassReport {
-            sessions: self.counts.0 as u64,
-            latency: audio_lat.summarize(),
-            jitter: audio_jit.summarize(),
-        };
 
         // VoD class: synchronized presentations.
+        let mut vod_presented = 0u64;
+        let mut playback_late = 0u64;
         let mut vod_lat = Histogram::new();
         let mut vod_jit = Histogram::new();
         for (ctl, stream, _sink) in &self.vod_clients {
             let ctl = ctl.borrow();
             let st = ctl.stats(*stream);
-            report.vod_presented += st.presented;
-            report.playback_late += ctl.late_total();
+            vod_presented += st.presented;
+            playback_late += ctl.late_total();
             vod_lat.merge(&st.latency);
             vod_jit.merge(&st.latency.jitter_histogram());
         }
-        report.vod = ClassReport {
-            sessions: self.counts.1 as u64,
-            latency: vod_lat.summarize(),
-            jitter: vod_jit.summarize(),
-        };
 
-        // Cell accounting and queue depths across the fabric.
+        // Cell accounting and queue depths. Only owned switches carried
+        // traffic — remote replicas are silent, so iterating all of
+        // them adds zeros and the per-shard numbers sum to the
+        // single-shard totals.
         let mut cells = CellReport::default();
         for link in &self.tx_links {
             cells.sent += link.borrow().cells_sent();
         }
+        let mut peak_queue_cells = 0u64;
         for i in 0..self.sys.net.switch_count() {
             let sw = self
                 .sys
@@ -985,22 +1158,16 @@ impl Scenario {
             cells.dropped_overflow += sw.stats.overflowed;
             cells.dropped_unroutable += sw.stats.unroutable;
             cells.dropped_outage += sw.cells_dropped_outage();
-            report.peak_queue_cells = report.peak_queue_cells.max(sw.stats.peak_queue_cells);
+            peak_queue_cells = peak_queue_cells.max(sw.stats.peak_queue_cells);
         }
-        cells.delivered = cells.sent.saturating_sub(
-            cells.dropped_overflow + cells.dropped_unroutable + cells.dropped_outage,
-        );
         cells.admitted_dropped_overflow = admitted_dropped.0;
         cells.admitted_dropped_outage = admitted_dropped.1;
-        report.cells = cells;
-        report.vcs_rerouted = vcs_rerouted;
-        report.vcs_stranded = vcs_stranded;
 
         // The flow-control plane's own ledger: stalls by class, frames
         // held at source, reclaimed credits, renegotiation history and
         // the constructive queue bound.
         let mut bp_rep = BackpressureReport {
-            enabled: bp.enabled,
+            enabled: self.spec.backpressure.enabled,
             ..BackpressureReport::default()
         };
         for b in &self.books {
@@ -1030,15 +1197,56 @@ impl Scenario {
             bp_rep.credits_reclaimed += w.reclaimed();
             bp_rep.queue_bound_cells += w.window();
         }
-        report.backpressure = bp_rep;
 
-        // File-server side of VoD: replay the CM schedule. A server
-        // with a scheduled disk incident replays in three spans —
-        // healthy, degraded (one member fail-stopped, reads
-        // reconstructing through parity), healthy again after the
-        // spindle swap and rebuild. `run_periods` keeps no state across
-        // calls except the per-stream offsets, so the split replay is
-        // byte-identical to an unsplit one at the same health.
+        // Coordinator-only sections: the replays and the
+        // replicated-identical ledgers.
+        let coord = if self.plan.materialize_pfs {
+            let pfs = self.replay_pfs();
+            let nemesis = self.replay_nemesis();
+            Some(CoordinatorOutcome {
+                switches: self.sys.net.switch_count() as u64,
+                endpoints: self.sys.net.endpoint_count() as u64,
+                max_link_utilization: self.sys.net.max_reservation_utilization(),
+                broker: std::mem::take(&mut self.tally).into_report(),
+                pfs,
+                nemesis,
+            })
+        } else {
+            None
+        };
+
+        ShardOutcome {
+            shard: self.plan.shard,
+            events_executed: self.sim.events_executed(),
+            runtime,
+            tiles_blitted,
+            video_lat,
+            video_jit,
+            audio_underruns,
+            audio_lat,
+            audio_jit,
+            vod_presented,
+            playback_late,
+            vod_lat,
+            vod_jit,
+            cells,
+            peak_queue_cells,
+            vcs_rerouted,
+            vcs_stranded,
+            bp: bp_rep,
+            coord,
+        }
+    }
+
+    /// File-server side of VoD: replay the CM schedule. A server
+    /// with a scheduled disk incident replays in three spans —
+    /// healthy, degraded (one member fail-stopped, reads
+    /// reconstructing through parity), healthy again after the
+    /// spindle swap and rebuild. `run_periods` keeps no state across
+    /// calls except the per-stream offsets, so the split replay is
+    /// byte-identical to an unsplit one at the same health.
+    fn replay_pfs(&mut self) -> PfsReport {
+        let spec = &self.spec;
         let periods = vod_periods(spec.duration);
         let mut pfs = PfsReport::default();
         for (si, server) in self.vod_servers.iter_mut().enumerate() {
@@ -1111,12 +1319,15 @@ impl Scenario {
         let replay = periods * VOD_PERIOD;
         pfs.throughput_bps =
             (pfs.bytes_delivered as u128 * 8 * SEC as u128 / replay as u128) as u64;
-        report.pfs = pfs;
+        pfs
+    }
 
-        // Control plane: replay the CPU fault schedule against the QoS
-        // manager. Media demand is exactly what the broker's CPU ledger
-        // granted (plus a control baseline): rejected and degraded
-        // sessions demand less, which is the broker's whole point.
+    /// Control plane: replay the CPU fault schedule against the QoS
+    /// manager. Media demand is exactly what the broker's CPU ledger
+    /// granted (plus a control baseline): rejected and degraded
+    /// sessions demand less, which is the broker's whole point.
+    fn replay_nemesis(&self) -> NemesisReport {
+        let spec = &self.spec;
         let mut mgr = QosManager::new(0.9, 1.0);
         let media = mgr.add_app("media-control", 1.0);
         let batch = mgr.add_app("batch", 1.0);
@@ -1156,16 +1367,117 @@ impl Scenario {
             spec.duration,
         );
         let mut quality = er.quality_milli.clone();
-        report.nemesis = NemesisReport {
+        NemesisReport {
             epochs: er.epochs,
             starved_epochs: er.starved_epochs,
             quality_p50_milli: quality.percentile(50.0).unwrap_or(1000),
             quality_min_milli: quality.min().unwrap_or(1000),
-        };
-
-        report.deadline_misses = report.total_misses();
-        report
+        }
     }
+}
+
+/// Merges per-shard outcomes into the final [`ScenarioReport`].
+///
+/// With one outcome this reproduces the classic report exactly; with
+/// several, counters sum, peaks take the max, and histograms merge in
+/// shard order. Summaries are insensitive to that merge order — the
+/// percentile pass sorts the samples and the mean is computed over the
+/// sorted data — so the canonical JSON is identical at any shard count.
+pub fn assemble(spec: &ScenarioSpec, mut outcomes: Vec<ShardOutcome>) -> ScenarioReport {
+    outcomes.sort_by_key(|o| o.shard);
+    let coord = outcomes
+        .iter_mut()
+        .find_map(|o| o.coord.take())
+        .expect("one outcome carries the coordinator sections");
+    let counts = spec.mix.counts(spec.sessions);
+    let mut report = ScenarioReport {
+        schema_version: SCHEMA_VERSION,
+        name: spec.name.clone(),
+        seed: spec.seed,
+        duration: spec.duration,
+        switches: coord.switches,
+        endpoints: coord.endpoints,
+        sessions: (counts.0 as u64, counts.1 as u64, counts.2 as u64),
+        broker: coord.broker,
+        max_link_utilization: coord.max_link_utilization,
+        pfs: coord.pfs,
+        nemesis: coord.nemesis,
+        ..ScenarioReport::default()
+    };
+
+    let mut video_lat = Histogram::new();
+    let mut video_jit = Histogram::new();
+    let mut audio_lat = Histogram::new();
+    let mut audio_jit = Histogram::new();
+    let mut vod_lat = Histogram::new();
+    let mut vod_jit = Histogram::new();
+    let mut cells = CellReport::default();
+    let mut bp_rep = BackpressureReport {
+        enabled: spec.backpressure.enabled,
+        ..BackpressureReport::default()
+    };
+    for o in &outcomes {
+        report.events_executed += o.events_executed;
+        report.tiles_blitted += o.tiles_blitted;
+        video_lat.merge(&o.video_lat);
+        video_jit.merge(&o.video_jit);
+        report.audio_underruns += o.audio_underruns;
+        audio_lat.merge(&o.audio_lat);
+        audio_jit.merge(&o.audio_jit);
+        report.vod_presented += o.vod_presented;
+        report.playback_late += o.playback_late;
+        vod_lat.merge(&o.vod_lat);
+        vod_jit.merge(&o.vod_jit);
+        cells.sent += o.cells.sent;
+        cells.dropped_overflow += o.cells.dropped_overflow;
+        cells.dropped_unroutable += o.cells.dropped_unroutable;
+        cells.dropped_outage += o.cells.dropped_outage;
+        cells.admitted_dropped_overflow += o.cells.admitted_dropped_overflow;
+        cells.admitted_dropped_outage += o.cells.admitted_dropped_outage;
+        report.peak_queue_cells = report.peak_queue_cells.max(o.peak_queue_cells);
+        report.vcs_rerouted += o.vcs_rerouted;
+        report.vcs_stranded += o.vcs_stranded;
+        bp_rep.credit_stalls.0 += o.bp.credit_stalls.0;
+        bp_rep.credit_stalls.1 += o.bp.credit_stalls.1;
+        bp_rep.credit_stalls.2 += o.bp.credit_stalls.2;
+        bp_rep.frames_skipped += o.bp.frames_skipped;
+        bp_rep.credits_reclaimed += o.bp.credits_reclaimed;
+        bp_rep.renegotiations_down += o.bp.renegotiations_down;
+        bp_rep.renegotiations_up += o.bp.renegotiations_up;
+        bp_rep.queue_bound_cells += o.bp.queue_bound_cells;
+    }
+    report.video = ClassReport {
+        sessions: (counts.0 + counts.2) as u64,
+        latency: video_lat.summarize(),
+        jitter: video_jit.summarize(),
+    };
+    report.audio = ClassReport {
+        sessions: counts.0 as u64,
+        latency: audio_lat.summarize(),
+        jitter: audio_jit.summarize(),
+    };
+    report.vod = ClassReport {
+        sessions: counts.1 as u64,
+        latency: vod_lat.summarize(),
+        jitter: vod_jit.summarize(),
+    };
+    cells.delivered = cells
+        .sent
+        .saturating_sub(cells.dropped_overflow + cells.dropped_unroutable + cells.dropped_outage);
+    report.cells = cells;
+    report.backpressure = bp_rep;
+    report.deadline_misses = report.total_misses();
+    report.shards = outcomes
+        .iter()
+        .map(|o| ShardSlice {
+            shard: o.shard as u64,
+            events: o.events_executed,
+            barrier_waits: o.runtime.barrier_waits,
+            cells_exported: o.runtime.cells_exported,
+            cells_imported: o.runtime.cells_imported,
+        })
+        .collect();
+    report
 }
 
 /// Settles the fabric's per-VCI drop counters against the session

@@ -1,0 +1,240 @@
+//! The sharded executor: conservative parallel simulation of one city.
+//!
+//! [`run_sharded`] partitions the spec's fabric into region shards
+//! ([`crate::partition::ExecPlan`]), compiles a full replica of the
+//! world on each worker thread ([`crate::build::compile_for`]), and
+//! drives them in lockstep lookahead epochs:
+//!
+//! 1. Every shard runs its engine up to (but not into) the epoch
+//!    boundary `t + L`, where the lookahead `L` is the minimum over cut
+//!    trunks of cell serialization time plus propagation delay. A cell
+//!    sent on a cut trunk at or after `t` cannot arrive before `t + L`,
+//!    so nothing a peer does during the epoch can affect this shard
+//!    before the boundary — the classic conservative-synchronization
+//!    argument, with the trunk itself supplying the lookahead.
+//! 2. Cells that crossed a cut during the epoch were captured by the
+//!    transmit link's export buffer ([`pegasus_atm::link::Link`]
+//!    `set_export`) with their exact arrival times. Each shard seals
+//!    them to wire bytes and posts them to per-pair mailboxes.
+//! 3. A barrier; then every shard drains its inbox in sender order and
+//!    injects each sealed cell into its own replica of the transmitting
+//!    link, which delivers into the receiving switch on the trunk's own
+//!    scheduling lane — reproducing the exact per-lane event order the
+//!    single-shard run would have used. A second barrier closes the
+//!    epoch.
+//!
+//! Determinism: ownership, lane assignment and the lookahead are pure
+//! functions of the spec, arrival times come from the sending link's
+//! serialization arithmetic (identical in every mode), and ties at
+//! equal timestamps break on compile-time lane ids. The canonical
+//! report is therefore byte-identical at any `--shards`; CI diffs it.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::{Barrier, Mutex};
+use std::thread;
+
+use pegasus_atm::cell::{Cell, CELL_SIZE};
+use pegasus_atm::link::ExportBuffer;
+use pegasus_atm::network::TrunkDir;
+use pegasus_sim::time::Ns;
+
+use crate::build::{assemble, compile_for, run, ShardOutcome, ShardRuntime};
+use crate::partition::{ExecPlan, ShardPlan};
+use crate::report::ScenarioReport;
+use crate::spec::ScenarioSpec;
+
+/// A cell in flight between shards: sealed to its 53 wire bytes, tagged
+/// with the cut trunk it crossed and the arrival time the sending
+/// link's serialization already fixed.
+struct SealedCell {
+    trunk: u32,
+    arrival: Ns,
+    bytes: [u8; CELL_SIZE],
+}
+
+/// `mailboxes[from][to]` carries sealed cells from shard `from` to
+/// shard `to` across one epoch boundary.
+type Mailboxes = Vec<Vec<Mutex<Vec<SealedCell>>>>;
+
+/// Runs `spec` across up to `requested` region shards and reports.
+///
+/// The effective shard count may be lower (see
+/// [`ExecPlan::partition`] for the clamping rules); at one shard this
+/// is exactly the classic [`crate::build::run`]. The report's canonical
+/// JSON is byte-identical at every shard count; only its `shards`
+/// block differs.
+pub fn run_sharded(spec: &ScenarioSpec, requested: usize) -> ScenarioReport {
+    let plan = ExecPlan::partition(spec, requested);
+    if plan.shards == 1 {
+        return run(spec);
+    }
+    let k = plan.shards;
+    let mailboxes: Mailboxes = (0..k)
+        .map(|_| (0..k).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let barrier = Barrier::new(k);
+    let mut outcomes: Vec<ShardOutcome> = thread::scope(|s| {
+        let handles: Vec<_> = (1..k)
+            .map(|i| {
+                let sp = plan.shard_plan(i);
+                let mb = &mailboxes;
+                let ba = &barrier;
+                s.spawn(move || run_shard(spec, sp, mb, ba))
+            })
+            .collect();
+        // The coordinator (shard 0) runs on this thread.
+        let mut outs = vec![run_shard(spec, plan.shard_plan(0), &mailboxes, &barrier)];
+        for h in handles {
+            outs.push(h.join().expect("shard thread panicked"));
+        }
+        outs
+    });
+    outcomes.sort_by_key(|o| o.shard());
+    assemble(spec, outcomes)
+}
+
+/// Compiles and drives one shard's replica through the epoch loop.
+fn run_shard(
+    spec: &ScenarioSpec,
+    plan: ShardPlan,
+    mailboxes: &Mailboxes,
+    barrier: &Barrier,
+) -> ShardOutcome {
+    let me = plan.shard;
+    let shards = plan.shards;
+    let mut sc = compile_for(spec, plan);
+    let owner = sc.plan().owner.clone();
+    let trunks: Vec<TrunkDir> = sc.sys.net.trunks().to_vec();
+
+    // Redirect the transmit side of every outbound cut trunk into an
+    // export buffer: cells this shard sends to a peer's switch are
+    // captured with their arrival times instead of delivered locally.
+    let mut outbound: Vec<(usize, ExportBuffer, usize)> = Vec::new();
+    for (ti, t) in trunks.iter().enumerate() {
+        if owner[t.from] == me && owner[t.to] != me {
+            let buf: ExportBuffer = Rc::new(RefCell::new(Vec::new()));
+            sc.sys
+                .net
+                .with_switch_output(t.from, t.port, |l| l.set_export(buf.clone()));
+            outbound.push((ti, buf, owner[t.to]));
+        }
+    }
+
+    // Conservative lookahead: the global minimum over *all* cut trunks
+    // (every shard computes the same value), never the local outbound
+    // set — shards must agree on the epoch boundaries.
+    let lookahead = trunks
+        .iter()
+        .filter(|t| owner[t.from] != owner[t.to])
+        .map(|t| (CELL_SIZE as u64 * 8 * pegasus_sim::time::SEC / t.rate_bps) + t.prop_delay)
+        .min()
+        .expect("a multi-shard plan over a connected fabric has cut trunks")
+        .max(1);
+
+    let end = sc.end_time();
+    let mut rt = ShardRuntime::default();
+    let mut t: Ns = 0;
+    while t < end {
+        let next = (t + lookahead).min(end);
+        // Run this epoch: strictly before the boundary, then park the
+        // clock exactly on it so injected arrivals can never precede it.
+        sc.sim.run_before(next);
+
+        // Publish: seal and post this epoch's cut crossings. Trunk
+        // order, and send order within a trunk, are deterministic.
+        for (ti, buf, dest) in &outbound {
+            let mut cells = buf.borrow_mut();
+            if cells.is_empty() {
+                continue;
+            }
+            let mut mb = mailboxes[me][*dest].lock().expect("mailbox lock");
+            for (arrival, cell) in cells.drain(..) {
+                rt.cells_exported += 1;
+                mb.push(SealedCell {
+                    trunk: *ti as u32,
+                    arrival,
+                    bytes: cell.to_bytes(),
+                });
+            }
+        }
+        barrier.wait();
+        rt.barrier_waits += 1;
+
+        // Drain: accept peers' cells in sender order, injecting each
+        // into this shard's replica of the transmitting link — delivery
+        // lands on the trunk's own lane, so per-lane order matches the
+        // single-shard schedule exactly.
+        for (sender, from_sender) in mailboxes.iter().enumerate().take(shards) {
+            if sender == me {
+                continue;
+            }
+            let batch: Vec<SealedCell> =
+                std::mem::take(&mut *from_sender[me].lock().expect("mailbox lock"));
+            for sealed in batch {
+                rt.cells_imported += 1;
+                let cell = Cell::from_bytes(&sealed.bytes).expect("sealed cell round-trips");
+                let tr = &trunks[sealed.trunk as usize];
+                let sim = &mut sc.sim;
+                sc.sys
+                    .net
+                    .with_switch_output(tr.from, tr.port, |l| l.inject(sim, sealed.arrival, cell));
+            }
+        }
+        // Close the epoch only once every shard has drained: a fast
+        // peer must not start publishing the next epoch's cells into a
+        // mailbox that is still being read.
+        barrier.wait();
+        rt.barrier_waits += 1;
+        t = next;
+    }
+    // The final boundary equals `end`: one last pass executes any
+    // event parked exactly on it (injected arrivals included).
+    sc.sim.run_until(end);
+
+    let admitted_dropped = sc.settle_drops();
+    sc.collect(0, 0, admitted_dropped, rt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    /// The tentpole's determinism bar, in-crate: the canonical report
+    /// of a small preset is byte-identical at 1, 2 and 4 shards, and
+    /// the per-shard event counts sum to the 1-shard total.
+    #[test]
+    fn preset_is_shard_count_invariant() {
+        // videophone-wall: four fabric switches, so four real shards.
+        let spec = presets::by_name("videophone-wall").expect("preset");
+        let base = run_sharded(&spec, 1);
+        let two = run_sharded(&spec, 2);
+        let four = run_sharded(&spec, 4);
+        assert_eq!(base.to_json_canonical(), two.to_json_canonical());
+        assert_eq!(base.to_json_canonical(), four.to_json_canonical());
+        assert_eq!(two.shards.len(), 2);
+        assert_eq!(four.shards.len(), 4);
+        for r in [&two, &four] {
+            let sum: u64 = r.shards.iter().map(|s| s.events).sum();
+            assert_eq!(sum, base.events_executed, "event count is invariant");
+            assert!(r.shards.iter().all(|s| s.barrier_waits > 0));
+            let exported: u64 = r.shards.iter().map(|s| s.cells_exported).sum();
+            let imported: u64 = r.shards.iter().map(|s| s.cells_imported).sum();
+            assert_eq!(exported, imported, "no cell lost between shards");
+            assert!(exported > 0, "a mesh city must cross the cut");
+        }
+    }
+
+    /// Backpressure clamps to one shard and still reports one slice.
+    #[test]
+    fn clamped_spec_still_runs_and_reports_one_slice() {
+        let mut spec = presets::by_name("smoke").expect("preset");
+        spec.backpressure.enabled = true;
+        let r = run_sharded(&spec, 4);
+        assert_eq!(r.shards.len(), 1);
+        assert_eq!(r.shards[0].barrier_waits, 0);
+        let classic = crate::build::run(&spec);
+        assert_eq!(r.to_json(), classic.to_json());
+    }
+}

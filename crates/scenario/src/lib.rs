@@ -11,8 +11,12 @@
 //! whose JSON is byte-identical for identical `(spec, seed)`.
 //!
 //! * [`spec`] — the declarative inputs.
-//! * [`presets`] — `smoke` through `metropolis-1k`, the named library.
+//! * [`presets`] — `smoke` through `metropolis-100k`, the named library.
 //! * [`build`] — [`build::compile`]: spec → wired system → report.
+//! * [`partition`] — region shards: who owns which switches.
+//! * [`executor`] — [`executor::run_sharded`]: the same spec on worker
+//!   threads under conservative lookahead, byte-identical canonical
+//!   reports at any shard count.
 //! * [`report`] — the structured results and their JSON rendering.
 //! * [`json`] — the deterministic writer underneath.
 //!
@@ -20,11 +24,15 @@
 //! CI (`scripts/run_scenarios.sh`).
 
 pub mod build;
+pub mod executor;
 pub mod json;
+pub mod partition;
 pub mod presets;
 pub mod report;
 pub mod spec;
 
-pub use build::{compile, run, run_seeds, Scenario};
+pub use build::{compile, compile_for, run, run_seeds, Scenario};
+pub use executor::run_sharded;
+pub use partition::{ExecPlan, ShardPlan};
 pub use report::ScenarioReport;
 pub use spec::{Arrival, FaultSpec, ScenarioSpec, SessionMix, TopologySpec};

@@ -3,22 +3,28 @@
 //! ```text
 //! pegasus-scenario list
 //! pegasus-scenario run <preset> [--seed N] [--seeds A,B,C]
-//!                      [--scale F] [--out FILE] [--quiet]
+//!                      [--scale F] [--shards N] [--canonical]
+//!                      [--out FILE] [--quiet]
 //! ```
 //!
 //! `run` prints the scenario's JSON report on stdout (one line per
 //! seed) plus a human summary on stderr; `--out` writes the JSON to a
-//! file instead. CI consumes this through `scripts/run_scenarios.sh`.
+//! file instead. `--shards N` executes on up to N region shards (the
+//! canonical report is byte-identical at any shard count; only the
+//! `shards` block differs). `--canonical` prints the canonical
+//! rendering with that block stripped — what CI diffs across shard
+//! counts. CI consumes this through `scripts/run_scenarios.sh`.
 
 use std::io::Write;
 use std::process::ExitCode;
 
-use pegasus_scenario::{presets, run_seeds, ScenarioReport};
+use pegasus_scenario::{presets, run_sharded, ScenarioReport};
 
 fn usage() -> ExitCode {
     eprintln!("usage: pegasus-scenario list");
     eprintln!("       pegasus-scenario run <preset> [--seed N] [--seeds A,B,C]");
-    eprintln!("                          [--scale F] [--out FILE] [--quiet]");
+    eprintln!("                          [--scale F] [--shards N] [--canonical]");
+    eprintln!("                          [--out FILE] [--quiet]");
     eprintln!("presets: {}", presets::PRESETS.join(", "));
     ExitCode::from(2)
 }
@@ -99,6 +105,8 @@ fn main() -> ExitCode {
             let mut seeds: Vec<u64> = Vec::new();
             let mut out: Option<String> = None;
             let mut quiet = false;
+            let mut shards = 1usize;
+            let mut canonical = false;
             let mut i = 2;
             while i < args.len() {
                 let flag = args[i].as_str();
@@ -130,6 +138,11 @@ fn main() -> ExitCode {
                         Some(path) => out = Some(path),
                         None => return usage(),
                     },
+                    "--shards" => match value(&mut i).and_then(|v| v.parse::<usize>().ok()) {
+                        Some(n) if n >= 1 => shards = n,
+                        _ => return usage(),
+                    },
+                    "--canonical" => canonical = true,
                     "--quiet" => quiet = true,
                     _ => return usage(),
                 }
@@ -138,13 +151,20 @@ fn main() -> ExitCode {
             if seeds.is_empty() {
                 seeds.push(spec.seed);
             }
-            let reports = run_seeds(&spec, &seeds);
+            let reports: Vec<ScenarioReport> = seeds
+                .iter()
+                .map(|&s| run_sharded(&spec.clone().with_seed(s), shards))
+                .collect();
             let mut json = String::new();
             for r in &reports {
                 if !quiet {
                     summarize(r);
                 }
-                json.push_str(&r.to_json());
+                json.push_str(&if canonical {
+                    r.to_json_canonical()
+                } else {
+                    r.to_json()
+                });
             }
             match out {
                 Some(path) => {

@@ -1,4 +1,4 @@
-//! Named scenario presets, from CI-sized `smoke` to `metropolis-1k`.
+//! Named scenario presets, from CI-sized `smoke` to `metropolis-100k`.
 //!
 //! Presets are ordinary [`ScenarioSpec`] values — the cookbook in
 //! `docs/SCENARIOS.md` explains each one's intent and the knobs worth
@@ -158,6 +158,39 @@ pub fn metropolis_1k() -> ScenarioSpec {
     spec
 }
 
+/// The whole city at once: 100,000 session attempts on the 16-switch
+/// metro mesh — the sharded executor's showcase workload. The QoS
+/// broker is the city's front door: its CPU ledger (2.7 CPUs of media
+/// budget at 300 µCPU per session, admit-or-reject) caps the admitted
+/// population at 9,000 concurrent sessions, and the 48-server VoD
+/// cluster caps streaming at its 384 slots — everyone else is turned
+/// away with a reason, exactly as §3's broker argument demands.
+/// Displays are headless (identical statistics, no framebuffers) and
+/// streams run at a metro-realistic 2 Mbit/s so a single bench run
+/// stays in memory and in budget. `scripts/bench_engine.sh` drives
+/// this preset at `--shards` 1, 2 and 4 for the scaling lanes.
+pub fn metropolis_100k() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("metropolis-100k");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::FullMesh,
+        switches: 16,
+        link: oc12(),
+    };
+    spec.sessions = 100_000;
+    spec.mix = SessionMix::new(0.5, 0.3, 0.2);
+    spec.pfs_servers = 48;
+    spec.arrival = Arrival::Uniform { window: 60 * MS };
+    spec.duration = 120 * MS;
+    spec.video_bps = 2_000_000;
+    // 2.7 CPUs of reservable media budget; admit-or-reject (no degrade
+    // rung) keeps the admitted count — and the network-wide VCI pool —
+    // firmly bounded at city scale.
+    spec.broker.cpu_capacity_micro = 2_700_000;
+    spec.broker.degrade_milli = 1000;
+    spec.headless_displays = true;
+    spec
+}
+
 /// Twice-sustainable demand on a two-switch star: every session crosses
 /// the single 100 Mbit/s trunk asking for double the nominal vector, so
 /// the QoS broker must renegotiate some sessions down and turn the rest
@@ -258,6 +291,7 @@ pub fn by_name(name: &str) -> Option<ScenarioSpec> {
         "tv-studio" => Some(tv_studio()),
         "nemesis-storm" => Some(nemesis_storm()),
         "metropolis-1k" => Some(metropolis_1k()),
+        "metropolis-100k" => Some(metropolis_100k()),
         "overload-2x" => Some(overload_2x()),
         "flash-crowd" => Some(flash_crowd()),
         "sustained-3x" => Some(sustained_3x()),
@@ -267,13 +301,14 @@ pub fn by_name(name: &str) -> Option<ScenarioSpec> {
 }
 
 /// Every preset name, in menu order.
-pub const PRESETS: [&str; 10] = [
+pub const PRESETS: [&str; 11] = [
     "smoke",
     "videophone-wall",
     "vod-rack",
     "tv-studio",
     "nemesis-storm",
     "metropolis-1k",
+    "metropolis-100k",
     "overload-2x",
     "flash-crowd",
     "sustained-3x",

@@ -13,6 +13,30 @@ use pegasus_sim::time::Ns;
 
 use crate::json::JsonWriter;
 
+/// Version of the report's JSON schema. Bumped when fields are added,
+/// removed or reordered, so downstream diffing tools can refuse to
+/// compare across schema changes. History in `SCENARIOS.md`.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// What one region shard did during a sharded run. A classic
+/// single-threaded run reports exactly one slice with zero barrier
+/// waits and zero inter-shard cells.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSlice {
+    /// Shard index (0 = coordinator).
+    pub shard: u64,
+    /// Events this shard's engine executed. Summed across slices this
+    /// equals the report's `events_executed` — the count is invariant
+    /// under the shard count.
+    pub events: u64,
+    /// Lookahead-epoch barrier crossings this shard waited at.
+    pub barrier_waits: u64,
+    /// Sealed cells this shard published onto cut trunks.
+    pub cells_exported: u64,
+    /// Sealed cells this shard accepted from other shards.
+    pub cells_imported: u64,
+}
+
 /// Latency/jitter distributions of one traffic class.
 #[derive(Debug, Clone, Default)]
 pub struct ClassReport {
@@ -147,6 +171,8 @@ pub struct NemesisReport {
 /// Everything a scenario run measured.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioReport {
+    /// JSON schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
     /// Scenario name.
     pub name: String,
     /// Seed the run used.
@@ -200,6 +226,11 @@ pub struct ScenarioReport {
     pub deadline_misses: u64,
     /// Events the engine executed.
     pub events_executed: u64,
+    /// Per-shard execution record. Length equals the effective shard
+    /// count; the measurements above are its shard-count-independent
+    /// merge. Excluded from canonical JSON so runs at different shard
+    /// counts can be diffed byte-for-byte.
+    pub shards: Vec<ShardSlice>,
 }
 
 impl ScenarioReport {
@@ -209,8 +240,21 @@ impl ScenarioReport {
     }
 
     /// Renders the report as deterministic JSON (trailing newline, no
-    /// whitespace, fixed key order).
+    /// whitespace, fixed key order), including the per-shard block.
     pub fn to_json(&self) -> String {
+        self.render(true)
+    }
+
+    /// Renders the *canonical* JSON: everything except the `shards`
+    /// block, which is the one section that legitimately depends on the
+    /// shard count. Two runs of the same `(spec, seed)` must produce
+    /// byte-identical canonical JSON at any `--shards`; golden reports
+    /// store this form.
+    pub fn to_json_canonical(&self) -> String {
+        self.render(false)
+    }
+
+    fn render(&self, with_shards: bool) -> String {
         fn summary(w: &mut JsonWriter, k: &str, s: &Summary) {
             w.obj(k, |w| {
                 w.u64("n", s.n);
@@ -230,6 +274,7 @@ impl ScenarioReport {
             });
         }
         JsonWriter::document(|w| {
+            w.u64("schema_version", self.schema_version);
             w.str("scenario", &self.name);
             w.u64("seed", self.seed);
             w.u64("duration_ns", self.duration);
@@ -257,7 +302,10 @@ impl ScenarioReport {
                     "admitted_dropped_overflow",
                     self.cells.admitted_dropped_overflow,
                 );
-                w.u64("admitted_dropped_outage", self.cells.admitted_dropped_outage);
+                w.u64(
+                    "admitted_dropped_outage",
+                    self.cells.admitted_dropped_outage,
+                );
             });
             w.obj("signalling", |w| {
                 w.u64("vcs_rerouted", self.vcs_rerouted);
@@ -317,6 +365,15 @@ impl ScenarioReport {
             w.u64("vod_presented", self.vod_presented);
             w.u64("deadline_misses", self.deadline_misses);
             w.u64("events_executed", self.events_executed);
+            if with_shards {
+                w.arr("shards", &self.shards, |w, s| {
+                    w.u64("shard", s.shard);
+                    w.u64("events", s.events);
+                    w.u64("barrier_waits", s.barrier_waits);
+                    w.u64("cells_exported", s.cells_exported);
+                    w.u64("cells_imported", s.cells_imported);
+                });
+            }
         })
     }
 }
@@ -328,6 +385,7 @@ mod tests {
     #[test]
     fn json_contains_the_headline_fields() {
         let mut r = ScenarioReport {
+            schema_version: SCHEMA_VERSION,
             name: "unit".into(),
             seed: 9,
             ..ScenarioReport::default()
@@ -341,7 +399,7 @@ mod tests {
         r.broker.rejected_bandwidth = 1;
         r.broker.quality_milli = (1000, 750, 500);
         let s = r.to_json();
-        assert!(s.starts_with("{\"scenario\":\"unit\",\"seed\":9,"));
+        assert!(s.starts_with("{\"schema_version\":2,\"scenario\":\"unit\",\"seed\":9,"));
         assert!(s.contains("\"deadline_misses\":3"));
         assert!(s.contains("\"broker\":{\"admitted\":5,\"degraded\":2,\"rejected\":1,"));
         assert!(s.contains("\"rejected_by_layer\":{\"cpu\":0,\"bandwidth\":1,\"pfs\":0}"));
@@ -350,5 +408,35 @@ mod tests {
         assert!(s.ends_with("}\n"));
         // Deterministic: rendering twice is identical.
         assert_eq!(s, r.to_json());
+    }
+
+    #[test]
+    fn canonical_json_strips_only_the_shards_block() {
+        let mut r = ScenarioReport {
+            schema_version: SCHEMA_VERSION,
+            name: "unit".into(),
+            ..ScenarioReport::default()
+        };
+        r.shards.push(ShardSlice {
+            shard: 0,
+            events: 100,
+            barrier_waits: 4,
+            cells_exported: 7,
+            cells_imported: 3,
+        });
+        let full = r.to_json();
+        let canonical = r.to_json_canonical();
+        assert!(full.contains(
+            "\"shards\":[{\"shard\":0,\"events\":100,\"barrier_waits\":4,\
+             \"cells_exported\":7,\"cells_imported\":3}]"
+        ));
+        assert!(!canonical.contains("\"shards\""));
+        // Canonical is a strict prefix apart from the shards suffix.
+        let cut = full.find(",\"shards\":").unwrap();
+        assert_eq!(&full[..cut], &canonical[..cut]);
+        // Different shard layouts, same canonical bytes.
+        let mut r2 = r.clone();
+        r2.shards[0].barrier_waits = 99;
+        assert_eq!(canonical, r2.to_json_canonical());
     }
 }

@@ -312,6 +312,10 @@ pub struct ScenarioSpec {
     pub broker: BrokerSpec,
     /// Credit flow control and the live-renegotiation feedback loop.
     pub backpressure: BackpressureSpec,
+    /// Build displays without framebuffers: identical statistics, no
+    /// pixel memory. City-scale presets turn this on — 100k sessions'
+    /// framebuffers would cost gigabytes nobody reads.
+    pub headless_displays: bool,
 }
 
 impl ScenarioSpec {
@@ -342,6 +346,7 @@ impl ScenarioSpec {
             tv_cut_period: 400 * MS,
             broker: BrokerSpec::default(),
             backpressure: BackpressureSpec::default(),
+            headless_displays: false,
         }
     }
 

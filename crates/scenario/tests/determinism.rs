@@ -65,13 +65,20 @@ fn sustained_overload_is_bounded_reversible_and_byte_identical() {
     let spec = presets::sustained_3x();
     let a = run(&spec);
     let b = run(&spec);
-    assert_eq!(a.to_json(), b.to_json(), "the feedback loop must rerun byte-identically");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "the feedback loop must rerun byte-identically"
+    );
 
     let bp = &a.backpressure;
     assert!(bp.enabled);
     let stalls = bp.credit_stalls.0 + bp.credit_stalls.1 + bp.credit_stalls.2;
     assert!(stalls > 0, "the blast must make producers stall");
-    assert!(bp.renegotiations_down > 0, "sustained pressure must degrade");
+    assert!(
+        bp.renegotiations_down > 0,
+        "sustained pressure must degrade"
+    );
     assert!(bp.renegotiations_up > 0, "clearance must restore");
     assert_eq!(
         bp.renegotiations_down, bp.renegotiations_up,

@@ -2,6 +2,13 @@
 //! the contract for every preset's report — admission outcomes, QoS
 //! percentiles, cell accounting, all of it, byte for byte.
 //!
+//! Goldens store the *canonical* rendering
+//! ([`ScenarioReport::to_json_canonical`]): everything except the
+//! per-shard execution block, which legitimately depends on `--shards`.
+//! That makes one committed file the contract for every shard count —
+//! the CI gauntlet diffs `--shards 1` against `--shards 4` against
+//! these same bytes.
+//!
 //! Any intentional change to the report format, the presets, the broker
 //! policy or the engine's event ordering shows up here as a diff, which
 //! is the point: reviewers see exactly what moved. To regenerate after
@@ -29,7 +36,7 @@ fn check(preset: &str, scale: f64) {
         spec = spec.scale_sessions(scale);
         name = format!("{preset}@{scale}.json");
     }
-    let got = run(&spec).to_json();
+    let got = run(&spec).to_json_canonical();
     let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", &name]
         .iter()
         .collect();
@@ -81,6 +88,11 @@ fn golden_nemesis_storm() {
 #[test]
 fn golden_metropolis_1k() {
     check("metropolis-1k", 0.05);
+}
+
+#[test]
+fn golden_metropolis_100k() {
+    check("metropolis-100k", 0.001);
 }
 
 #[test]

@@ -2,37 +2,62 @@
 //!
 //! A [`Simulator`] owns a priority queue of timestamped events. Shared
 //! world state lives in `Rc<RefCell<_>>` cells captured by the event
-//! actions. Events at equal times fire in scheduling order (FIFO), which
-//! makes runs fully deterministic.
+//! actions. Events at equal times fire in a canonical order — by
+//! scheduling *lane*, then by per-lane scheduling order (FIFO within a
+//! lane) — which makes runs fully deterministic, and deterministic
+//! *across execution strategies*: a sharded executor that replays only
+//! a subset of each lane's schedule calls still agrees with the
+//! single-threaded run on the relative order of every pair of events it
+//! executes (see `docs/ARCHITECTURE.md`, "Sharded execution").
 //!
 //! # Internals
 //!
 //! The queue is split into two structures tuned for the hot path:
 //!
-//! * a [`BinaryHeap`] of small `(time, seq, slot)` entries — 24 bytes
-//!   each, so sift operations move triples, not boxed closures;
+//! * a [`BinaryHeap`] of small `(time, key, slot)` entries — 24 bytes
+//!   each, so sift operations move triples, not boxed closures. The
+//!   `key` packs `(lane << 40) | lane_seq`, so comparing keys compares
+//!   `(lane, lane_seq)` lexicographically and equal-time ties break by
+//!   lane id, then by within-lane scheduling order;
 //! * a *slab* of event slots holding the actions. Freed slots go on a
 //!   free list and are recycled, so a steady-state simulation stops
 //!   allocating slab storage entirely.
 //!
-//! Cancellation is by *sequence-number generation*: an [`EventId`] is the
-//! `(seq, slot)` pair assigned at schedule time. [`Simulator::cancel`]
-//! compares the id's seq against the slot's current seq — a mismatch
+//! Cancellation is by *key generation*: an [`EventId`] is the
+//! `(key, slot)` pair assigned at schedule time. [`Simulator::cancel`]
+//! compares the id's key against the slot's current key — a mismatch
 //! means the event already fired (or the slot was recycled) — and simply
-//! disarms the slot: O(1), no queue surgery. The heap entry becomes a
-//! husk that is skipped ("lazy deletion") when it reaches the top.
+//! disarms the slot: O(1), no queue surgery. `(lane, lane_seq)` pairs
+//! are never reused, so stale ids can never alias a later event. The
+//! heap entry becomes a husk that is skipped ("lazy deletion") when it
+//! reaches the top.
 //!
-//! Two scheduling lanes share this machinery:
+//! # Lanes
 //!
-//! * [`Simulator::schedule_at`] — the generic lane: one boxed `FnOnce`
-//!   per event (exactly one heap allocation);
-//! * [`Simulator::schedule_shared_at`] — the allocation-free lane: a
-//!   [`SharedHandler`] (`Rc<RefCell<dyn FnMut …>>`) created once and
-//!   scheduled any number of times. Returning `Some(t)` from the handler
-//!   reschedules the same handler at `t` without touching the allocator,
-//!   which is how device models (audio ticks, camera frame loops) and
-//!   link cell-trains run millions of events with zero per-event
-//!   allocations.
+//! Lane 0 is the default: [`Simulator::schedule_at`] and
+//! [`Simulator::schedule_shared_at`] put everything there, where
+//! equal-time events fire in plain global FIFO order exactly as before.
+//! Distinct lanes exist for schedulers whose call *order* is not stable
+//! across execution strategies: the sharded scenario executor gives
+//! every inter-switch trunk link its own lane, so cells injected at a
+//! shard boundary land in the same canonical position the single-
+//! threaded run gives them. Within one lane, order is the order of
+//! schedule calls on that lane; across lanes at one instant, the lower
+//! lane id fires first.
+//!
+//! Two scheduling flavours share the machinery on every lane:
+//!
+//! * [`Simulator::schedule_at`] / [`Simulator::schedule_at_on`] — the
+//!   generic flavour: one boxed `FnOnce` per event (exactly one heap
+//!   allocation);
+//! * [`Simulator::schedule_shared_at`] /
+//!   [`Simulator::schedule_shared_at_on`] — the allocation-free
+//!   flavour: a [`SharedHandler`] (`Rc<RefCell<dyn FnMut …>>`) created
+//!   once and scheduled any number of times. Returning `Some(t)` from
+//!   the handler reschedules the same handler at `t` *on the lane it
+//!   just fired on* without touching the allocator, which is how device
+//!   models (audio ticks, camera frame loops) and link cell-trains run
+//!   millions of events with zero per-event allocations.
 
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -41,14 +66,26 @@ use std::rc::Rc;
 
 use crate::time::Ns;
 
+/// A scheduling lane: the major tie-breaker among equal-time events.
+///
+/// Lane 0 is the general-purpose lane. Other lanes are allocated by
+/// schedulers (one per inter-shard trunk link in the sharded executor)
+/// that need a schedule order independent of global call interleaving.
+pub type Lane = u32;
+
+/// Bits of the packed event key used for the per-lane sequence number.
+const SEQ_BITS: u32 = 40;
+/// Largest usable lane id (the key packs the lane into the high bits).
+pub const MAX_LANE: Lane = ((1u64 << (64 - SEQ_BITS)) - 1) as Lane;
+
 /// Identifier of a scheduled event, usable for cancellation.
 ///
-/// Carries the event's sequence number and its slab slot; both are needed
-/// so that [`Simulator::cancel`] is O(1) and ids of fired events can
-/// never alias a later event that recycled the same slot.
+/// Carries the event's packed `(lane, lane_seq)` key and its slab slot;
+/// both are needed so that [`Simulator::cancel`] is O(1) and ids of
+/// fired events can never alias a later event that recycled the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId {
-    seq: u64,
+    key: u64,
     slot: u32,
 }
 
@@ -57,8 +94,8 @@ pub struct EventId {
 /// Cloning the `Rc` is all it costs to schedule one, so a handler built
 /// once can carry an unbounded stream of events. When the event fires the
 /// handler runs with the simulator clock at the event's time; returning
-/// `Some(t)` immediately reschedules the same handler at `t` (a fresh
-/// sequence number, no allocation), `None` lets it rest.
+/// `Some(t)` immediately reschedules the same handler at `t` on the same
+/// lane (a fresh sequence number, no allocation), `None` lets it rest.
 pub type SharedHandler = Rc<RefCell<dyn FnMut(&mut Simulator) -> Option<Ns>>>;
 
 enum Action {
@@ -68,11 +105,11 @@ enum Action {
     Shared(SharedHandler),
 }
 
-/// One slab slot. `seq` identifies the event currently occupying the
+/// One slab slot. `key` identifies the event currently occupying the
 /// slot; `action` is `None` while the slot is free (or disarmed by
 /// cancellation but not yet recycled).
 struct Slot {
-    seq: u64,
+    key: u64,
     action: Option<Action>,
 }
 
@@ -80,13 +117,13 @@ struct Slot {
 #[derive(Clone, Copy)]
 struct Entry {
     time: Ns,
-    seq: u64,
+    key: u64,
     slot: u32,
 }
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
 impl Eq for Entry {}
@@ -97,8 +134,10 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, lane, lane_seq) pops first — the key's high bits are
+        // the lane, so the u64 compare is the lexicographic compare.
+        (other.time, other.key).cmp(&(self.time, self.key))
     }
 }
 
@@ -121,7 +160,9 @@ impl Ord for Entry {
 /// ```
 pub struct Simulator {
     now: Ns,
-    next_seq: u64,
+    /// Next sequence number of each lane, indexed by lane id (grown on
+    /// first use; lane 0 always exists).
+    lane_seqs: Vec<u64>,
     queue: BinaryHeap<Entry>,
     slots: Vec<Slot>,
     free: Vec<u32>,
@@ -139,7 +180,7 @@ impl Simulator {
     pub fn new() -> Self {
         Simulator {
             now: 0,
-            next_seq: 0,
+            lane_seqs: vec![0],
             queue: BinaryHeap::new(),
             slots: Vec::new(),
             free: Vec::new(),
@@ -162,44 +203,52 @@ impl Simulator {
         self.queue.len()
     }
 
-    fn arm(&mut self, time: Ns, action: Action) -> EventId {
+    fn arm(&mut self, time: Ns, lane: Lane, action: Action) -> EventId {
         assert!(
             time >= self.now,
             "cannot schedule into the past: now={} target={}",
             self.now,
             time
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        assert!(lane <= MAX_LANE, "lane {lane} out of range");
+        if self.lane_seqs.len() <= lane as usize {
+            self.lane_seqs.resize(lane as usize + 1, 0);
+        }
+        let seq = self.lane_seqs[lane as usize];
+        self.lane_seqs[lane as usize] = seq + 1;
+        assert!(seq < 1u64 << SEQ_BITS, "lane {lane} sequence exhausted");
+        let key = ((lane as u64) << SEQ_BITS) | seq;
         let slot = match self.free.pop() {
             Some(s) => {
                 let sl = &mut self.slots[s as usize];
-                sl.seq = seq;
+                sl.key = key;
                 sl.action = Some(action);
                 s
             }
             None => {
                 let s = u32::try_from(self.slots.len()).expect("event slot space exhausted");
                 self.slots.push(Slot {
-                    seq,
+                    key,
                     action: Some(action),
                 });
                 s
             }
         };
-        self.queue.push(Entry { time, seq, slot });
-        EventId { seq, slot }
+        self.queue.push(Entry { time, key, slot });
+        EventId { key, slot }
     }
 
-    /// Schedules `action` to run at absolute virtual time `time`.
+    /// Schedules `action` to run at absolute virtual time `time` on the
+    /// default lane (0).
     ///
     /// Scheduling in the past is a logic error and panics; events for the
     /// current instant are allowed and run after all earlier-scheduled
-    /// events of the same instant.
+    /// events of the same instant and lane.
     ///
-    /// This is the generic lane: the closure is boxed (one allocation).
-    /// Hot paths that fire repeatedly should build a [`SharedHandler`]
-    /// once and use [`Self::schedule_shared_at`] instead.
+    /// This is the generic flavour: the closure is boxed (one
+    /// allocation). Hot paths that fire repeatedly should build a
+    /// [`SharedHandler`] once and use [`Self::schedule_shared_at`]
+    /// instead.
     ///
     /// # Panics
     ///
@@ -208,7 +257,20 @@ impl Simulator {
     where
         F: FnOnce(&mut Simulator) + 'static,
     {
-        self.arm(time, Action::Once(Box::new(action)))
+        self.arm(time, 0, Action::Once(Box::new(action)))
+    }
+
+    /// Schedules `action` at `time` on an explicit lane.
+    ///
+    /// Equal-time ties break by lane id first, then by within-lane
+    /// scheduling order, so an event's position among its instant-mates
+    /// depends only on its own lane's call history — the property the
+    /// sharded executor needs to replay a lane's schedule consistently.
+    pub fn schedule_at_on<F>(&mut self, lane: Lane, time: Ns, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        self.arm(time, lane, Action::Once(Box::new(action)))
     }
 
     /// Schedules `action` to run `delay` nanoseconds from now.
@@ -219,9 +281,10 @@ impl Simulator {
         self.schedule_at(self.now.saturating_add(delay), action)
     }
 
-    /// Schedules a [`SharedHandler`] to run at absolute time `time`.
+    /// Schedules a [`SharedHandler`] to run at absolute time `time` on
+    /// the default lane (0).
     ///
-    /// The allocation-free lane: only the `Rc` is cloned. The same
+    /// The allocation-free flavour: only the `Rc` is cloned. The same
     /// handler may be scheduled many times (each call is a distinct
     /// event); when it fires it can reschedule itself by returning
     /// `Some(next_time)`.
@@ -230,7 +293,18 @@ impl Simulator {
     ///
     /// Panics if `time` is earlier than [`Self::now`].
     pub fn schedule_shared_at(&mut self, time: Ns, handler: SharedHandler) -> EventId {
-        self.arm(time, Action::Shared(handler))
+        self.arm(time, 0, Action::Shared(handler))
+    }
+
+    /// Schedules a [`SharedHandler`] at `time` on an explicit lane. A
+    /// `Some(t)` return from the handler re-arms it on the same lane.
+    pub fn schedule_shared_at_on(
+        &mut self,
+        lane: Lane,
+        time: Ns,
+        handler: SharedHandler,
+    ) -> EventId {
+        self.arm(time, lane, Action::Shared(handler))
     }
 
     /// Schedules a [`SharedHandler`] to run `delay` nanoseconds from now.
@@ -262,7 +336,7 @@ impl Simulator {
     /// entry is left behind as a husk and skipped when it surfaces.
     pub fn cancel(&mut self, id: EventId) -> bool {
         match self.slots.get_mut(id.slot as usize) {
-            Some(slot) if slot.seq == id.seq && slot.action.is_some() => {
+            Some(slot) if slot.key == id.key && slot.action.is_some() => {
                 slot.action = None;
                 self.free.push(id.slot);
                 true
@@ -275,7 +349,7 @@ impl Simulator {
     pub fn step(&mut self) -> bool {
         while let Some(entry) = self.queue.pop() {
             let slot = &mut self.slots[entry.slot as usize];
-            if slot.seq != entry.seq || slot.action.is_none() {
+            if slot.key != entry.key || slot.action.is_none() {
                 continue; // cancelled husk, or the slot moved on
             }
             let action = slot.action.take().expect("checked above");
@@ -288,7 +362,10 @@ impl Simulator {
                 Action::Shared(h) => {
                     let next = (h.borrow_mut())(self);
                     if let Some(t) = next {
-                        self.schedule_shared_at(t, h);
+                        // Re-arm on the lane the event fired on, so a
+                        // self-clocking handler stays in its own lane.
+                        let lane = (entry.key >> SEQ_BITS) as Lane;
+                        self.arm(t, lane, Action::Shared(h));
                     }
                 }
             }
@@ -307,7 +384,7 @@ impl Simulator {
     fn next_live_time(&mut self) -> Option<Ns> {
         while let Some(entry) = self.queue.peek() {
             let slot = &self.slots[entry.slot as usize];
-            if slot.seq == entry.seq && slot.action.is_some() {
+            if slot.key == entry.key && slot.action.is_some() {
                 return Some(entry.time);
             }
             self.queue.pop();
@@ -323,6 +400,23 @@ impl Simulator {
     /// before the deadline check.)
     pub fn run_until(&mut self, deadline: Ns) {
         while self.next_live_time().is_some_and(|t| t <= deadline) {
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs events with timestamps *strictly before* `deadline`, then
+    /// sets the clock to `deadline`.
+    ///
+    /// This is the epoch primitive of the sharded executor: a shard runs
+    /// everything before the barrier time, parks exactly at the barrier,
+    /// absorbs the cells its neighbours sealed during the epoch (all
+    /// timestamped at or after the barrier — conservative lookahead
+    /// guarantees it), and continues.
+    pub fn run_before(&mut self, deadline: Ns) {
+        while self.next_live_time().is_some_and(|t| t < deadline) {
             self.step();
         }
         if self.now < deadline {
@@ -618,5 +712,124 @@ mod tests {
         assert_eq!(sim.events_executed(), 0);
         assert_eq!(sim.pending(), 0);
         assert_eq!(sim.now(), 0, "only husks were queued; the clock must hold");
+    }
+
+    #[test]
+    fn equal_time_ties_break_by_lane_then_lane_order() {
+        let mut sim = Simulator::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        // Schedule in a deliberately scrambled call order; the firing
+        // order must sort by (lane, within-lane call order), not by the
+        // global call order.
+        for (lane, tag) in [(2u32, "c0"), (0, "a0"), (1, "b0"), (2, "c1"), (0, "a1")] {
+            let order = order.clone();
+            sim.schedule_at_on(lane, 100, move |_| order.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["a0", "a1", "b0", "c0", "c1"]);
+        assert_eq!(sim.events_executed(), 5);
+    }
+
+    #[test]
+    fn lane_order_is_independent_of_other_lanes_interleaving() {
+        // The property the sharded executor rests on: the relative order
+        // of one lane's events depends only on that lane's schedule
+        // calls, so dropping the other lane's calls entirely must leave
+        // the surviving lane's order untouched.
+        let run = |skip_lane_2: bool| {
+            let mut sim = Simulator::new();
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..10u64 {
+                let order = order.clone();
+                sim.schedule_at_on(1, 50, move |_| order.borrow_mut().push(i));
+                if !skip_lane_2 {
+                    sim.schedule_at_on(2, 50, |_| {});
+                }
+            }
+            sim.run();
+            let o = order.borrow().clone();
+            o
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn shared_handler_rearms_on_its_own_lane() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        // A self-clocking handler on lane 3, racing a lane-0 event at
+        // each instant: lane 0 must always win the tie, including on the
+        // re-armed occurrences.
+        let handler: SharedHandler = Rc::new(RefCell::new(move |sim: &mut Simulator| {
+            h.borrow_mut().push(("lane3", sim.now()));
+            if sim.now() < 30 {
+                Some(sim.now() + 10)
+            } else {
+                None
+            }
+        }));
+        sim.schedule_shared_at_on(3, 10, handler);
+        for t in [10u64, 20, 30] {
+            let hits = hits.clone();
+            sim.schedule_at(t, move |sim| hits.borrow_mut().push(("lane0", sim.now())));
+        }
+        sim.run();
+        assert_eq!(
+            *hits.borrow(),
+            vec![
+                ("lane0", 10),
+                ("lane3", 10),
+                ("lane0", 20),
+                ("lane3", 20),
+                ("lane0", 30),
+                ("lane3", 30),
+            ]
+        );
+    }
+
+    #[test]
+    fn cancel_works_across_lanes() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(Cell::new(0u32));
+        let f1 = fired.clone();
+        let f2 = fired.clone();
+        let keep = sim.schedule_at_on(5, 10, move |_| f1.set(f1.get() + 1));
+        let kill = sim.schedule_at_on(5, 20, move |_| f2.set(f2.get() + 10));
+        assert!(sim.cancel(kill));
+        assert!(!sim.cancel(kill));
+        sim.run();
+        assert_eq!(fired.get(), 1);
+        assert!(!sim.cancel(keep), "fired event cannot be cancelled");
+    }
+
+    #[test]
+    fn run_before_stops_strictly_at_deadline() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for t in [10u64, 50, 100] {
+            let hits = hits.clone();
+            sim.schedule_at(t, move |sim| hits.borrow_mut().push(sim.now()));
+        }
+        // Events strictly before 50 run; the event AT 50 stays queued.
+        sim.run_before(50);
+        assert_eq!(*hits.borrow(), vec![10]);
+        assert_eq!(sim.now(), 50);
+        // Scheduling at exactly the barrier time is legal (the sharded
+        // executor injects boundary cells here) and fires before the
+        // previously queued same-time event only if its key sorts first.
+        let hits2 = hits.clone();
+        sim.schedule_at(50, move |sim| hits2.borrow_mut().push(sim.now() + 1));
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![10, 50, 51, 100]);
+        assert_eq!(sim.now(), 100);
+    }
+
+    #[test]
+    fn run_before_on_empty_queue_advances_clock() {
+        let mut sim = Simulator::new();
+        sim.run_before(77);
+        assert_eq!(sim.now(), 77);
+        assert_eq!(sim.events_executed(), 0);
     }
 }

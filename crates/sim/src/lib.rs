@@ -28,6 +28,6 @@ pub mod stats;
 pub mod time;
 
 pub use arena::{Arena, ArenaStats, FrameBuf, FrameBufMut, FrameView};
-pub use engine::{EventId, SharedHandler, Simulator};
+pub use engine::{EventId, Lane, SharedHandler, Simulator, MAX_LANE};
 pub use stats::{Counter, Histogram, TimeWeighted};
 pub use time::Ns;

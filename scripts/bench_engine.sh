@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Runs the e18 engine-throughput macro-bench (BENCH_engine.json) and the
-# e19 zero-copy frame-path bench (BENCH_frame_path.json): events/sec,
-# cells/sec, cancels/sec, and copy-vs-view frames/sec with the speedup
-# ratios against each bench's in-binary baseline.
+# Runs the e18 engine-throughput macro-bench (BENCH_engine.json), the
+# e19 zero-copy frame-path bench (BENCH_frame_path.json), and the e20
+# sharded-executor scaling bench (BENCH_shards.json): events/sec,
+# cells/sec, cancels/sec, copy-vs-view frames/sec, and per-shard-count
+# lanes (shards1/shards2/shards4) over metropolis-100k.
 #
 # Usage:
 #   scripts/bench_engine.sh           # full run, updates BENCH_*.json
@@ -15,10 +16,12 @@ cd "$(dirname "$0")/.."
 SCALE=1
 OUT=BENCH_engine.json
 FRAME_OUT=BENCH_frame_path.json
+SHARD_OUT=BENCH_shards.json
 if [ "${1:-}" = "--smoke" ]; then
     SCALE=20
     OUT=BENCH_engine.smoke.json
     FRAME_OUT=BENCH_frame_path.smoke.json
+    SHARD_OUT=BENCH_shards.smoke.json
 fi
 
 # cargo runs bench binaries with the package directory as cwd; hand the
@@ -50,3 +53,15 @@ if [ ! -s "$FRAME_OUT" ]; then
 fi
 echo "--- $FRAME_OUT"
 cat "$FRAME_OUT"
+
+rm -f "$SHARD_OUT"
+if ! cargo bench --bench e20_shard_scaling -- --scale "$SCALE" --json "$PWD/$SHARD_OUT"; then
+    echo "bench_engine.sh: e20 bench binary failed (scale $SCALE)" >&2
+    exit 1
+fi
+if [ ! -s "$SHARD_OUT" ]; then
+    echo "bench_engine.sh: bench produced no $SHARD_OUT" >&2
+    exit 1
+fi
+echo "--- $SHARD_OUT"
+cat "$SHARD_OUT"

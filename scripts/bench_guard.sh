@@ -1,11 +1,15 @@
 #!/usr/bin/env sh
-# The bench-regression guard: runs the e18/e19 smoke benches and fails
-# when events/sec falls more than 30% below the committed floor in
+# The bench-regression guard: runs the e18/e19/e20 smoke benches and
+# fails when events/sec falls more than 30% below the committed floor in
 # BENCH_engine.json (the other rates are reported for context only —
-# events/sec is the engine's headline number), or when the zero-copy
+# events/sec is the engine's headline number), when the zero-copy
 # frame path's copy-vs-view speedup drops below the e19 floor (the
 # committed full-scale run shows >=2x; the smoke floor is 1.5x to absorb
-# slow CI machines).
+# slow CI machines), or when the sharded executor regresses: the
+# shards1 lane of BENCH_shards.json has the same -30% floor, and on a
+# host with >=4 cores the shards4 lane must hold >=2.5x the shards1
+# events/sec (on fewer cores the scaling check is skipped — the lanes
+# still run and the canonical-report cross-check inside e20 still bites).
 #
 # Caveat: the floor is an absolute rate recorded on the hardware that
 # last ran `scripts/bench_engine.sh` (full mode updates the committed
@@ -83,5 +87,39 @@ echo "bench_guard: credited frame path at ${CREDIT_REL}x of the view lane (floor
 if [ "$CREDIT_OK" != "1" ]; then
     echo "bench_guard: REGRESSION — credit accounting costs more than 15% on the hot path" >&2
     exit 1
+fi
+
+# Sharded-executor lanes. The lanes appear in shards1/shards2/shards4
+# order in both files, so the first events_per_sec hit is the shards1
+# lane — the single-shard floor is hardware-comparable the same way the
+# e18 floor is. The committed shards1 rate is a *full-scale* run and the
+# smoke lane is scale 20, so only like-for-like fields are compared.
+SHARD1_BASE=$(json_field BENCH_shards.json events_per_sec 1)
+SHARD1_SMOKE=$(json_field BENCH_shards.smoke.json events_per_sec 1)
+if [ -z "$SHARD1_BASE" ] || [ -z "$SHARD1_SMOKE" ]; then
+    echo "bench_guard.sh: could not parse shards1 events_per_sec" >&2
+    exit 1
+fi
+SHARD_FLOOR=$(awk -v b="$SHARD1_BASE" -v t="$TOLERANCE" 'BEGIN { printf "%d", b * (100 - t) / 100 }')
+echo "bench_guard: smoke shards1 $SHARD1_SMOKE vs floor $SHARD_FLOOR (committed $SHARD1_BASE, -$TOLERANCE%)"
+if [ "$SHARD1_SMOKE" -lt "$SHARD_FLOOR" ]; then
+    echo "bench_guard: REGRESSION — shards1 events/sec $SHARD1_SMOKE below floor $SHARD_FLOOR" >&2
+    exit 1
+fi
+
+# The scaling gate only means something when there are cores to scale
+# onto: a 1-core runner executes all shards on one core and can only
+# measure barrier overhead.
+HOST_CORES=$(json_field BENCH_shards.smoke.json host_cores 1)
+if [ -n "$HOST_CORES" ] && [ "$HOST_CORES" -ge 4 ]; then
+    SPEEDUP=$(json_field BENCH_shards.smoke.json speedup_4v1 1)
+    SCALE_OK=$(awk -v s="$SPEEDUP" 'BEGIN { print (s >= 2.5) ? 1 : 0 }')
+    echo "bench_guard: shards4 speedup ${SPEEDUP}x on $HOST_CORES cores (floor 2.5x)"
+    if [ "$SCALE_OK" != "1" ]; then
+        echo "bench_guard: REGRESSION — shards4 speedup ${SPEEDUP}x below 2.5x on a $HOST_CORES-core host" >&2
+        exit 1
+    fi
+else
+    echo "bench_guard: ${HOST_CORES:-?} core(s) — shards4 scaling gate skipped (needs >=4)"
 fi
 echo "bench_guard: OK"

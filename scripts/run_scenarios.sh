@@ -13,7 +13,9 @@
 #                                      # zero admitted overflow drops,
 #                                      # sustained-3x must renegotiate
 #                                      # down AND back up,
-#                                      # determinism checked byte-for-byte
+#                                      # determinism checked byte-for-byte,
+#                                      # canonical reports byte-identical
+#                                      # at --shards 1 vs --shards 4
 #   scripts/run_scenarios.sh --full    # every preset at full scale
 #                                      # (fault presets may miss by design;
 #                                      # only completion is enforced)
@@ -122,6 +124,30 @@ if [ "$MODE" = "--smoke" ]; then
     # byte-identically.
     require_deterministic smoke smoke --seed 7
 
+    # Cross-shard determinism gate: the canonical report (schema v2
+    # minus the per-shard execution block) must be byte-identical
+    # whether the city runs on one thread or across region shards.
+    # smoke's two-switch star clamps --shards 4 to 2 real shards; the
+    # 16-switch metropolis mesh below runs 4 genuine ones.
+    "$BIN" run smoke --seed 7 --shards 1 --canonical --quiet \
+        --out "$OUTDIR/smoke.shards1.json"
+    "$BIN" run smoke --seed 7 --shards 4 --canonical --quiet \
+        --out "$OUTDIR/smoke.shards4.json"
+    if ! cmp -s "$OUTDIR/smoke.shards1.json" "$OUTDIR/smoke.shards4.json"; then
+        echo "run_scenarios.sh: smoke canonical report differs across shard counts" >&2
+        exit 1
+    fi
+    echo "run_scenarios.sh: smoke byte-identical at --shards 1 and --shards 4"
+    "$BIN" run metropolis-1k --seed 7 --scale 0.05 --shards 1 --canonical --quiet \
+        --out "$OUTDIR/metropolis-smoke.shards1.json"
+    "$BIN" run metropolis-1k --seed 7 --scale 0.05 --shards 4 --canonical --quiet \
+        --out "$OUTDIR/metropolis-smoke.shards4.json"
+    if ! cmp -s "$OUTDIR/metropolis-smoke.shards1.json" "$OUTDIR/metropolis-smoke.shards4.json"; then
+        echo "run_scenarios.sh: metropolis-1k@5% canonical report differs across shard counts" >&2
+        exit 1
+    fi
+    echo "run_scenarios.sh: metropolis-1k@5% byte-identical at --shards 1 and --shards 4"
+
     # The city, CI-sized: 5% of the sessions on the full 16-switch mesh.
     "$BIN" run metropolis-1k --seed 7 --scale 0.05 --quiet \
         --out "$OUTDIR/metropolis-smoke.json"
@@ -164,6 +190,10 @@ elif [ "$MODE" = "--full" ]; then
                   storm-backpressure; do
         "$BIN" run "$preset" --out "$OUTDIR/$preset.json"
     done
+    # The 100k-session city runs under the sharded executor at full
+    # scale; completion and the in-binary canonical cross-checks are
+    # the gate here (its QoS numbers live in BENCH_shards.json lanes).
+    "$BIN" run metropolis-100k --shards 4 --out "$OUTDIR/metropolis-100k.json"
     # The clean presets must stay clean even at full scale — including
     # the overload trio, whose *admitted* sessions must never miss.
     for preset in smoke videophone-wall vod-rack tv-studio metropolis-1k \

@@ -6,7 +6,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-FLOOR=576
+FLOOR=596
 
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
