@@ -188,6 +188,17 @@ impl SessionGrant {
     pub fn is_admitted(&self) -> bool {
         !matches!(self.outcome, Outcome::Rejected(_))
     }
+
+    /// The disk playback rate this grant actually buys: `nominal_bps`
+    /// scaled by the admitted quality, floored at one byte/second so a
+    /// degraded-but-admitted stream still progresses. Both the CM
+    /// scheduler's reservation and the content cache's sequential
+    /// prefetch horizon take *this* rate — the broker's contract, not
+    /// the request — so prefetch never races ahead of what admission
+    /// promised the array could sustain.
+    pub fn disk_rate_hint(&self, nominal_bps: u64) -> u64 {
+        (nominal_bps * self.quality_milli / 1000).max(1)
+    }
 }
 
 /// The cross-layer QoS broker: one CPU ledger, one slot ledger per file

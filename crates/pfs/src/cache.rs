@@ -42,6 +42,15 @@ pub struct LruCache<K: Eq + Hash + Clone, V> {
     pub hits: u64,
     /// Lookup misses.
     pub misses: u64,
+    /// Consecutive misses since the last hit — the signature of a
+    /// sequential scan wider than the cache.
+    cold_run: u64,
+    /// Sequential scans detected: each time the cold run grows past
+    /// another full cache capacity of lookups, the caller is walking a
+    /// working set the cache cannot hold (§5's continuous-media
+    /// pathology). The counter makes the failure *observable*; the
+    /// tiered cache (`crate::tier`) makes it *avoidable*.
+    pub scans_detected: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -58,6 +67,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             clock: 0,
             hits: 0,
             misses: 0,
+            cold_run: 0,
+            scans_detected: 0,
         }
     }
 
@@ -79,10 +90,17 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             Some((v, stamp)) => {
                 *stamp = clock;
                 self.hits += 1;
+                self.cold_run = 0;
                 Some(&*v)
             }
             None => {
                 self.misses += 1;
+                self.cold_run += 1;
+                // A miss streak one capacity long means every resident
+                // entry was evicted unused since the last hit: a scan.
+                if self.cold_run % self.capacity as u64 == 0 {
+                    self.scans_detected += 1;
+                }
                 None
             }
         }
@@ -250,6 +268,30 @@ mod tests {
         }
         assert_eq!(c.hits, 0, "cyclic sequential access defeats LRU entirely");
         assert_eq!(c.misses, 400);
+        // The pathology is now *detected*: 400 consecutive misses over a
+        // 100-entry cache is four full capacity-widths of cold scan.
+        assert_eq!(c.scans_detected, 4, "sequential scan must be reported");
+    }
+
+    #[test]
+    fn scan_detector_stays_quiet_on_ordinary_traffic() {
+        let mut c = LruCache::new(64);
+        for _round in 0..10 {
+            for block in 0..32u32 {
+                if c.get(&block).is_none() {
+                    c.put(block, ());
+                }
+            }
+        }
+        assert_eq!(c.scans_detected, 0, "a cache-resident working set is not a scan");
+        // A hit resets the cold run: short miss bursts never add up to one.
+        let mut c = LruCache::new(4);
+        for i in 0..12u32 {
+            let _ = c.get(&i);
+            c.put(i, ());
+            let _ = c.get(&i); // hit, resetting the run
+        }
+        assert_eq!(c.scans_detected, 0);
     }
 
     #[test]

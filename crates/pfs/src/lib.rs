@@ -16,6 +16,8 @@
 //!   the garbage, with a Sprite-LFS-style scanning cleaner as baseline.
 //! * [`cache`] — client/server LRU caching for ordinary data and the
 //!   sequential-scan pathology that makes caching video useless.
+//! * [`tier`] — the tiered content cache (hot arena / warm SSD-class /
+//!   cold log) that fixes that pathology by construction.
 //! * [`cm`] — the continuous-media service stack: rate-guaranteed
 //!   streams and control-stream-derived indexes for seek/FF/reverse.
 //! * [`client`] — client agents: write-behind buffering whose copies
@@ -35,6 +37,7 @@ pub mod cm;
 pub mod disk;
 pub mod log;
 pub mod raid;
+pub mod tier;
 pub mod vnode;
 pub mod workload;
 

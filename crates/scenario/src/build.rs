@@ -46,7 +46,8 @@ use pegasus_nemesis::faults::{EpochDriver, Fault, FaultSchedule};
 use pegasus_nemesis::qosmgr::QosManager;
 use pegasus_pfs::cm::CmScheduler;
 use pegasus_pfs::disk::DiskConfig;
-use pegasus_pfs::log::{FileClass, LogFs, SEGMENT_BYTES};
+use pegasus_pfs::log::{FileClass, FileId, LogFs, SEGMENT_BYTES};
+use pegasus_pfs::tier::{TierConfig, TieredCache};
 use pegasus_sim::rng::{exponential, seeded};
 use pegasus_sim::stats::Histogram;
 use pegasus_sim::time::{Ns, MS, SEC};
@@ -57,8 +58,8 @@ use rand::Rng;
 
 use crate::partition::ShardPlan;
 use crate::report::{
-    BackpressureReport, BrokerReport, CellReport, ClassReport, NemesisReport, PfsReport,
-    ScenarioReport, ShardSlice, SCHEMA_VERSION,
+    BackpressureReport, BrokerReport, CacheReport, CellReport, ClassReport, NemesisReport,
+    PfsReport, ScenarioReport, ShardSlice, SCHEMA_VERSION,
 };
 use crate::spec::{Arrival, FaultSpec, ScenarioSpec};
 
@@ -77,12 +78,17 @@ fn vod_periods(duration: Ns) -> u64 {
     (duration / VOD_PERIOD).max(1)
 }
 
-/// One VoD file server: a log file system with a pre-recorded
-/// continuous-media file and a rate-guaranteed scheduler over it.
+/// One VoD file server: a log file system with pre-recorded
+/// continuous-media titles, a rate-guaranteed scheduler over it, and —
+/// when the spec enables it — a tiered content cache in front of the
+/// log store.
 struct VodServer {
     fs: LogFs,
     cm: CmScheduler,
-    file: pegasus_pfs::log::FileId,
+    /// Pre-recorded titles; sessions pick one (title 0 when the spec
+    /// records a single title, the classic world).
+    files: Vec<FileId>,
+    cache: Option<TieredCache>,
 }
 
 /// One VoD client's receive side: controller, its stream id, and the
@@ -317,6 +323,7 @@ struct CoordinatorOutcome {
     max_link_utilization: f64,
     broker: BrokerReport,
     pfs: PfsReport,
+    cache: CacheReport,
     nemesis: NemesisReport,
 }
 
@@ -334,6 +341,26 @@ fn camera_for(cfg: CameraConfig, quality_milli: u64) -> CameraConfig {
         degraded.mode = VideoMode::Mjpeg(((q as u64 * quality_milli / 1000).max(1)) as u8);
     }
     degraded
+}
+
+/// Draws a title index from a Zipf law over `titles` titles with
+/// exponent `alpha_milli / 1000` — title 0 the most popular. α = 0
+/// degenerates to uniform. Only called when a spec records more than
+/// one title, so single-title specs keep their RNG streams untouched.
+fn zipf_pick(rng: &mut SmallRng, titles: usize, alpha_milli: u64) -> usize {
+    let alpha = alpha_milli as f64 / 1000.0;
+    let weights: Vec<f64> = (0..titles)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(alpha))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen_range(0.0..1.0) * total;
+    for (k, w) in weights.iter().enumerate() {
+        if u < *w {
+            return k;
+        }
+        u -= *w;
+    }
+    titles - 1
 }
 
 fn pick_scene(rng: &mut SmallRng) -> Scene {
@@ -469,17 +496,30 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         let scene = pick_scene(&mut rng);
 
         let cam_ep = sys.device(src, HostNic::shared());
-        let display = make_display();
-        // With backpressure on, the consuming endpoint fronts its sink
-        // with a credit gate that returns one credit per drained cell.
-        let credit_sink = bp.enabled.then(|| CreditSink::wrap(display.clone()));
-        let disp_ep = match &credit_sink {
-            Some(cs) => sys.device(dst, cs.clone()),
-            None => sys.device(dst, display.clone()),
+        // Remote-silent pruning: heavy device state (framebuffers,
+        // synthetic video, jitter buffers) is built only on the shard
+        // owning its switch. An unowned endpoint never receives a cell,
+        // so a null sink keeps the endpoint (and VCI) numbering
+        // identical while the replica costs nothing.
+        let display = owns_dst.then(|| make_display());
+        // With backpressure on (which clamps the plan to one shard, so
+        // every device is owned), the consuming endpoint fronts its
+        // sink with a credit gate returning one credit per drained cell.
+        let credit_sink = bp
+            .enabled
+            .then(|| CreditSink::wrap(display.clone().expect("one shard owns all")));
+        let disp_ep = match (&credit_sink, &display) {
+            (Some(cs), _) => sys.device(dst, cs.clone()),
+            (None, Some(d)) => sys.device(dst, d.clone()),
+            (None, None) => sys.device(dst, NullSink::shared()),
         };
         let audio_src_ep = sys.device(src, HostNic::shared());
-        let audio_sink = AudioSink::shared(AudioConfig::telephony(), spec.audio_jitter_buffer);
-        let audio_sink_ep = sys.device(dst, audio_sink.clone());
+        let audio_sink = owns_dst
+            .then(|| AudioSink::shared(AudioConfig::telephony(), spec.audio_jitter_buffer));
+        let audio_sink_ep = match &audio_sink {
+            Some(s) => sys.device(dst, s.clone()),
+            None => sys.device(dst, NullSink::shared()),
+        };
 
         let req = SessionRequest {
             class: SessionClass::Videophone,
@@ -506,52 +546,54 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
             grant.vcs[1].src_vci,
         );
 
-        let mut wm = WindowManager::new(display.clone(), 1);
-        wm.create(vc_dst, Rect::new(0, 0, 176, 144));
+        if let Some(display) = &display {
+            let mut wm = WindowManager::new(display.clone(), 1);
+            wm.create(vc_dst, Rect::new(0, 0, 176, 144));
+            scenario.displays.push(display.clone());
+        }
         let cam_cfg = camera_for(spec.camera, grant.quality_milli);
-        let cam = sys.camera_on(cam_ep, scene, cam_cfg, vc_src);
+        let cam = owns_src.then(|| sys.camera_on(cam_ep, scene, cam_cfg, vc_src));
         let credit = credit_sink.map(|cs| {
             let w = CreditWindow::shared(bp.window_cells);
             cs.borrow_mut().register(vc_dst, w.clone());
-            cam.borrow_mut().set_credit(w.clone());
+            cam.as_ref()
+                .expect("one shard owns all")
+                .borrow_mut()
+                .set_credit(w.clone());
             w
         });
         if owns_src {
             scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
         }
-        if owns_dst {
-            scenario.displays.push(display);
-        }
         let stranded = vec![false; grant.vcs.len()];
         scenario.books.push(SessionBook {
             grant,
             class: SessionClass::Videophone,
-            camera: owns_src.then(|| cam.clone()),
+            camera: cam.clone(),
             credit,
             stranded,
         });
-        if owns_src {
+        if let Some(cam) = cam {
             let (cam_start, cam_stop) = (cam.clone(), cam);
             sim.schedule_at(t0, move |sim| Camera::start(&cam_start, sim));
             sim.schedule_at(spec.duration, move |_| cam_stop.borrow_mut().stop());
         }
 
-        let audio = sys.audio_source_on(audio_src_ep, AudioConfig::telephony(), avc_src);
+        let audio =
+            owns_src.then(|| sys.audio_source_on(audio_src_ep, AudioConfig::telephony(), avc_src));
         if owns_src {
             scenario.tx_links.push(sys.net.endpoint_tx(audio_src_ep));
-        }
-        if owns_dst {
-            scenario.audio_sinks.push(audio_sink.clone());
         }
         let duration = spec.duration;
         // The source's start and the sink's play-out start are separate
         // events — each lands on the shard owning its end of the call.
-        if owns_src {
+        if let Some(audio) = audio {
             let (a_start, a_stop) = (audio.clone(), audio);
             sim.schedule_at(t0, move |sim| AudioSource::start(&a_start, sim));
             sim.schedule_at(spec.duration, move |_| a_stop.borrow_mut().stop());
         }
-        if owns_dst {
+        if let Some(audio_sink) = audio_sink {
+            scenario.audio_sinks.push(audio_sink.clone());
             sim.schedule_at(t0, move |sim| {
                 AudioSink::start_playout(&audio_sink, sim, duration)
             });
@@ -567,41 +609,86 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         // by the broker's ledger and the scheduler's own cap.
         let slots = spec.broker.pfs_slots_per_server;
         let per_server_rate = req_disk * slots.max(1) as u64;
+        let titles = spec.cache.titles_per_server.max(1);
         for _ in 0..n_servers {
             let mut fs = LogFs::new(DiskConfig::hp_1994());
             fs.raid_mut().set_store(false);
-            let file = fs.create(FileClass::Continuous);
-            // Pre-record enough media for every stream to read the whole
-            // replay from offset 0, even at the full requested rate.
+            // Pre-record enough media per title for every stream to read
+            // the whole replay from offset 0, even at the full requested
+            // rate.
             let replay = vod_periods(spec.duration) * VOD_PERIOD;
             let need = (req_disk as u128 * replay as u128 / SEC as u128) as usize;
-            for _ in 0..need.div_ceil(SEGMENT_BYTES).max(1) {
-                fs.append(file, &vec![0u8; SEGMENT_BYTES])
-                    .expect("prerecord");
+            let mut files = Vec::with_capacity(titles);
+            for _ in 0..titles {
+                let file = fs.create(FileClass::Continuous);
+                for _ in 0..need.div_ceil(SEGMENT_BYTES).max(1) {
+                    fs.append(file, &vec![0u8; SEGMENT_BYTES])
+                        .expect("prerecord");
+                }
+                files.push(file);
             }
             fs.sync().expect("prerecord sync");
             let mut cm = CmScheduler::new(VOD_PERIOD, per_server_rate * 2 + 1_000_000);
             cm.set_max_streams(slots);
-            scenario.vod_servers.push(VodServer { fs, cm, file });
+            let cache = spec.cache.enabled.then(|| {
+                let mut c = TieredCache::new(TierConfig {
+                    hot_chunks: spec.cache.hot_chunks,
+                    warm_chunks: spec.cache.warm_chunks,
+                    prefetch_chunks: spec.cache.prefetch_chunks,
+                    ..TierConfig::default()
+                });
+                // Title 0 is the most popular under the Zipf draw and
+                // the flash crowd's target — the one the report's
+                // crowd-hit gate watches.
+                c.set_crowd_file(files[0]);
+                c
+            });
+            scenario.vod_servers.push(VodServer {
+                fs,
+                cm,
+                files,
+                cache,
+            });
         }
     }
+    let titles = spec.cache.titles_per_server.max(1);
     for i in 0..n_vod {
         let (src, dst) = pick_pair(&mut rng);
         let (owns_src, owns_dst) = (plan.owns(src), plan.owns(dst));
         let t0 = start_time(&mut rng, spec.arrival, &mut poisson_clock).min(spec.duration);
         let scene = pick_scene(&mut rng);
+        // Which title this viewer plays: the flash-crowd fraction —
+        // the *last* arrivals, as a real flash crowd piles onto an
+        // already-playing hit — is pinned to title 0; the rest draw
+        // from the Zipf law. With one recorded title there is no draw
+        // at all — the classic RNG stream is untouched.
+        let title = if titles > 1 {
+            if (i as u64) * 1000 >= n_vod as u64 * (1000 - spec.cache.crowd_milli) {
+                0
+            } else {
+                zipf_pick(&mut rng, titles, spec.cache.zipf_alpha_milli)
+            }
+        } else {
+            0
+        };
 
-        let ctl = PlaybackControl::shared(PlaybackPolicy::Synchronized {
-            target_latency: spec.vod_target_latency,
+        let client = owns_dst.then(|| {
+            let ctl = PlaybackControl::shared(PlaybackPolicy::Synchronized {
+                target_latency: spec.vod_target_latency,
+            });
+            let stream = ctl.borrow_mut().add_stream("vod");
+            let sink = ArrivalSink::shared(ctl.clone(), stream, |bytes| {
+                TileFrame::decode(bytes).ok().map(|tf| tf.timestamp)
+            });
+            (ctl, stream, sink)
         });
-        let stream = ctl.borrow_mut().add_stream("vod");
-        let sink = ArrivalSink::shared(ctl.clone(), stream, |bytes| {
-            TileFrame::decode(bytes).ok().map(|tf| tf.timestamp)
-        });
-        let credit_sink = bp.enabled.then(|| CreditSink::wrap(sink.clone()));
-        let client_ep = match &credit_sink {
-            Some(cs) => sys.device(dst, cs.clone()),
-            None => sys.device(dst, sink.clone()),
+        let credit_sink = bp
+            .enabled
+            .then(|| CreditSink::wrap(client.as_ref().expect("one shard owns all").2.clone()));
+        let client_ep = match (&credit_sink, &client) {
+            (Some(cs), _) => sys.device(dst, cs.clone()),
+            (None, Some((_, _, sink))) => sys.device(dst, sink.clone()),
+            (None, None) => sys.device(dst, NullSink::shared()),
         };
         let server_ep = sys.device(src, HostNic::shared());
 
@@ -626,42 +713,49 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         // camera model doubles as that paced pusher, renegotiated down
         // with the rest of the session when degraded.
         let cam_cfg = camera_for(spec.camera, grant.quality_milli);
-        let cam = sys.camera_on(server_ep, scene, cam_cfg, vc_src);
+        let cam = owns_src.then(|| sys.camera_on(server_ep, scene, cam_cfg, vc_src));
         let credit = credit_sink.map(|cs| {
             let w = CreditWindow::shared(bp.window_cells);
             cs.borrow_mut().register(vc_dst, w.clone());
-            cam.borrow_mut().set_credit(w.clone());
+            cam.as_ref()
+                .expect("one shard owns all")
+                .borrow_mut()
+                .set_credit(w.clone());
             w
         });
         if owns_src {
             scenario.tx_links.push(sys.net.endpoint_tx(server_ep));
         }
-        if owns_dst {
+        if let Some((ctl, stream, sink)) = client {
             scenario.vod_clients.push((ctl, stream, sink));
         }
-        // Disk side: admit the stream on its granted server at the
-        // granted (possibly renegotiated-down) rate.
-        let granted_disk = (req_disk * grant.quality_milli / 1000).max(1);
+        // Disk side: admit the stream on its granted server at the rate
+        // the broker's contract actually buys — the same hint drives
+        // the CM reservation and the cache's prefetch horizon.
+        let granted_disk = grant.disk_rate_hint(req_disk);
         let stranded = vec![false; grant.vcs.len()];
         scenario.books.push(SessionBook {
             grant,
             class: SessionClass::Vod,
-            camera: owns_src.then(|| cam.clone()),
+            camera: cam.clone(),
             credit,
             stranded,
         });
-        if owns_src {
+        if let Some(cam) = cam {
             let (c_start, c_stop) = (cam.clone(), cam);
             sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
             sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
         }
         if plan.materialize_pfs {
             let server = &mut scenario.vod_servers[i % n_servers];
-            let fid = server.file;
+            let fid = server.files[title.min(server.files.len() - 1)];
             server
                 .cm
                 .admit(fid, granted_disk, 0)
                 .expect("broker slot grant implies CM capacity");
+            if let Some(cache) = &mut server.cache {
+                cache.register_stream(fid, granted_disk);
+            }
         }
     }
 
@@ -673,18 +767,21 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         tv_left -= feeds;
         let dst = rng.gen_range(0..n_fabric);
         let owns_dst = plan.owns(dst);
-        let display = make_display();
+        let display = owns_dst.then(|| make_display());
         // One credit gate per control room: every admitted feed
         // registers its own window on it, keyed by delivery VCI.
-        let credit_sink = bp.enabled.then(|| CreditSink::wrap(display.clone()));
-        let disp_ep = match &credit_sink {
-            Some(cs) => sys.device(dst, cs.clone()),
-            None => sys.device(dst, display.clone()),
+        let credit_sink = bp
+            .enabled
+            .then(|| CreditSink::wrap(display.clone().expect("one shard owns all")));
+        let disp_ep = match (&credit_sink, &display) {
+            (Some(cs), _) => sys.device(dst, cs.clone()),
+            (None, Some(d)) => sys.device(dst, d.clone()),
+            (None, None) => sys.device(dst, NullSink::shared()),
         };
-        let wm = Rc::new(RefCell::new(WindowManager::new(display.clone(), 1)));
-        if owns_dst {
-            scenario.tv_displays.push(display);
-        }
+        let wm = display.as_ref().map(|d| {
+            scenario.tv_displays.push(d.clone());
+            Rc::new(RefCell::new(WindowManager::new(d.clone(), 1)))
+        });
         let mut feed_vcis = Vec::new();
         let mut group_t0 = spec.duration;
         for _ in 0..feeds {
@@ -712,14 +809,19 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
             let (vc_src, vc_dst) = (grant.vcs[0].src_vci, grant.vcs[0].dst_vci);
             group_t0 = group_t0.min(t0);
 
-            wm.borrow_mut().create(vc_dst, Rect::new(0, 0, 176, 144));
+            if let Some(wm) = &wm {
+                wm.borrow_mut().create(vc_dst, Rect::new(0, 0, 176, 144));
+            }
             feed_vcis.push(vc_dst);
             let cam_cfg = camera_for(spec.camera, grant.quality_milli);
-            let cam = sys.camera_on(cam_ep, scene, cam_cfg, vc_src);
+            let cam = owns_src.then(|| sys.camera_on(cam_ep, scene, cam_cfg, vc_src));
             let credit = credit_sink.as_ref().map(|cs| {
                 let w = CreditWindow::shared(bp.window_cells);
                 cs.borrow_mut().register(vc_dst, w.clone());
-                cam.borrow_mut().set_credit(w.clone());
+                cam.as_ref()
+                    .expect("one shard owns all")
+                    .borrow_mut()
+                    .set_credit(w.clone());
                 w
             });
             if owns_src {
@@ -729,11 +831,11 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
             scenario.books.push(SessionBook {
                 grant,
                 class: SessionClass::Tv,
-                camera: owns_src.then(|| cam.clone()),
+                camera: cam.clone(),
                 credit,
                 stranded,
             });
-            if owns_src {
+            if let Some(cam) = cam {
                 let (c_start, c_stop) = (cam.clone(), cam);
                 sim.schedule_at(t0, move |sim| Camera::start(&c_start, sim));
                 sim.schedule_at(spec.duration, move |_| c_stop.borrow_mut().stop());
@@ -743,7 +845,7 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         // window raise per cut, pure control, run where the control
         // room's display lives. A room whose every feed was rejected
         // has nothing to cut between.
-        if owns_dst && !feed_vcis.is_empty() {
+        if let Some(wm) = wm.filter(|_| !feed_vcis.is_empty()) {
             let mut cut_no = 0usize;
             let mut t = group_t0 + spec.tv_cut_period;
             while t < spec.duration {
@@ -1202,6 +1304,9 @@ impl Scenario {
         // replicated-identical ledgers.
         let coord = if self.plan.materialize_pfs {
             let pfs = self.replay_pfs();
+            // Read the cache counters only after the replay: the tiers
+            // fill during it, not during the live network run.
+            let cache = self.cache_report();
             let nemesis = self.replay_nemesis();
             Some(CoordinatorOutcome {
                 switches: self.sys.net.switch_count() as u64,
@@ -1209,6 +1314,7 @@ impl Scenario {
                 max_link_utilization: self.sys.net.max_reservation_utilization(),
                 broker: std::mem::take(&mut self.tally).into_report(),
                 pfs,
+                cache,
                 nemesis,
             })
         } else {
@@ -1246,6 +1352,20 @@ impl Scenario {
     /// calls except the per-stream offsets, so the split replay is
     /// byte-identical to an unsplit one at the same health.
     fn replay_pfs(&mut self) -> PfsReport {
+        /// One replay span, through the tiered cache when the server
+        /// has one. The cache only changes *where* bytes come from
+        /// (and so the disk clock), never which bytes a stream gets.
+        fn play(
+            cm: &mut CmScheduler,
+            fs: &mut LogFs,
+            cache: &mut Option<TieredCache>,
+            n: u64,
+        ) -> Result<pegasus_pfs::cm::CmReport, pegasus_pfs::log::FsError> {
+            match cache {
+                Some(c) => cm.run_periods_tiered(fs, c, n),
+                None => cm.run_periods(fs, n),
+            }
+        }
         let spec = &self.spec;
         let periods = vod_periods(spec.duration);
         let mut pfs = PfsReport::default();
@@ -1271,18 +1391,14 @@ impl Scenario {
                 pfs.missed += r.missed;
                 pfs.bytes_delivered += r.bytes_delivered;
             };
+            let VodServer { fs, cm, cache, .. } = server;
             match incident {
                 Some((fail_p, rep_p, disk)) if fail_p < periods => {
                     let rep_p = rep_p.min(periods);
-                    let r = server
-                        .cm
-                        .run_periods(&mut server.fs, fail_p)
-                        .expect("prerecorded file");
+                    let r = play(cm, fs, cache, fail_p).expect("prerecorded file");
                     fold(&r);
-                    server.fs.raid_mut().disk_mut(disk).fail();
-                    let r = server
-                        .cm
-                        .run_periods(&mut server.fs, rep_p - fail_p)
+                    fs.raid_mut().disk_mut(disk).fail();
+                    let r = play(cm, fs, cache, rep_p - fail_p)
                         .expect("degraded reads reconstruct through parity");
                     fold(&r);
                     // Swap the spindle and rebuild it from the
@@ -1290,26 +1406,19 @@ impl Scenario {
                     // layer, not against the log's clock, so the
                     // remaining periods' deadline accounting is clean —
                     // the array is simply whole again.
-                    server.fs.raid_mut().disk_mut(disk).replace();
-                    let stripes = server.fs.used_segments() as u64;
-                    let t = server
-                        .fs
+                    fs.raid_mut().disk_mut(disk).replace();
+                    let stripes = fs.used_segments() as u64;
+                    let t = fs
                         .raid_mut()
                         .rebuild_disk(disk, stripes)
                         .expect("single failure is rebuildable");
                     pfs.rebuilds += 1;
                     pfs.rebuild_ns += t;
-                    let r = server
-                        .cm
-                        .run_periods(&mut server.fs, periods - rep_p)
-                        .expect("prerecorded file");
+                    let r = play(cm, fs, cache, periods - rep_p).expect("prerecorded file");
                     fold(&r);
                 }
                 _ => {
-                    let r = server
-                        .cm
-                        .run_periods(&mut server.fs, periods)
-                        .expect("prerecorded file");
+                    let r = play(cm, fs, cache, periods).expect("prerecorded file");
                     fold(&r);
                 }
             }
@@ -1320,6 +1429,45 @@ impl Scenario {
         pfs.throughput_bps =
             (pfs.bytes_delivered as u128 * 8 * SEC as u128 / replay as u128) as u64;
         pfs
+    }
+
+    /// Tiered-cache section: counters summed across servers, ratios
+    /// recomputed from the sums so busy servers weigh what they served,
+    /// not one vote each. All zeros (enabled false) when the spec left
+    /// the cache off.
+    fn cache_report(&self) -> CacheReport {
+        let mut r = CacheReport {
+            enabled: self.spec.cache.enabled,
+            ..CacheReport::default()
+        };
+        let mut bytes_saved = 0u64;
+        let mut crowd_hot = 0u64;
+        for server in &self.vod_servers {
+            if let Some(cache) = &server.cache {
+                let s = cache.stats();
+                r.hot_hits += s.hot_hits;
+                r.warm_hits += s.warm_hits;
+                r.cold_misses += s.cold_misses;
+                r.prefetched_chunks += s.prefetched_chunks;
+                r.crowd_accesses += s.crowd_accesses;
+                crowd_hot += s.crowd_hot_hits;
+                bytes_saved += s.bytes_saved;
+                let a = cache.arena().stats();
+                r.shared_attaches += a.shared_attaches;
+                r.fresh_allocs += a.fresh_allocs;
+            }
+        }
+        let total = r.hot_hits + r.warm_hits + r.cold_misses;
+        if total > 0 {
+            r.hot_milli = r.hot_hits * 1000 / total;
+            r.warm_milli = r.warm_hits * 1000 / total;
+            r.cold_milli = 1000 - r.hot_milli - r.warm_milli;
+        }
+        if r.crowd_accesses > 0 {
+            r.crowded_title_hot_milli = crowd_hot * 1000 / r.crowd_accesses;
+        }
+        r.disk_io_saved_cells = bytes_saved / 48;
+        r
     }
 
     /// Control plane: replay the CPU fault schedule against the QoS
@@ -1401,6 +1549,7 @@ pub fn assemble(spec: &ScenarioSpec, mut outcomes: Vec<ShardOutcome>) -> Scenari
         broker: coord.broker,
         max_link_utilization: coord.max_link_utilization,
         pfs: coord.pfs,
+        cache: coord.cache,
         nemesis: coord.nemesis,
         ..ScenarioReport::default()
     };

@@ -282,6 +282,46 @@ pub fn storm_backpressure() -> ScenarioSpec {
     spec
 }
 
+/// A VoD city with a hit catalogue: pure streaming load on a ring of
+/// two servers, each holding eight titles drawn under a Zipf(α = 1)
+/// popularity law, with the second half of the audience flash-crowding
+/// onto title 0 — and the tiered content cache turned on in front of
+/// the log stores. This is the §5 pathology preset: plain LRU would
+/// evict every title sequentially and serve the crowd from disk N
+/// times over; the tiers serve the crowd from one shared arena buffer
+/// (`crowded_title_hot_milli` ≥ 900 with `fresh_allocs` flat) and the
+/// Zipf head from the popularity-admitted warm tier. The hot tier is
+/// deliberately small (four chunks against nine-odd live titles) so
+/// the Zipf tail churns through warm, and the run is three full CM
+/// service periods so steady-state hits dominate the cold first
+/// touches. CI gates on the per-tier hit ratios and
+/// `disk_io_saved_cells` staying positive.
+pub fn vod_city() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::base("vod-city");
+    spec.topology = TopologySpec {
+        shape: TopologyShape::Ring,
+        switches: 4,
+        link: oc12(),
+    };
+    spec.sessions = 16;
+    spec.mix = SessionMix::new(0.0, 1.0, 0.0);
+    spec.pfs_servers = 2;
+    spec.arrival = Arrival::Poisson { mean_gap: 2 * MS };
+    spec.duration = 1500 * MS;
+    // 1 MB/s per stream: each viewer crosses a chunk (= RAID stripe)
+    // boundary during the run, so the sequential prefetcher and the
+    // warm tier both see real work.
+    spec.vod_disk_rate = 1_000_000;
+    spec.cache.enabled = true;
+    spec.cache.titles_per_server = 8;
+    spec.cache.zipf_alpha_milli = 1000;
+    spec.cache.crowd_milli = 500;
+    spec.cache.hot_chunks = 4;
+    spec.cache.warm_chunks = 64;
+    spec.cache.prefetch_chunks = 2;
+    spec
+}
+
 /// Looks a preset up by name.
 pub fn by_name(name: &str) -> Option<ScenarioSpec> {
     match name {
@@ -296,12 +336,13 @@ pub fn by_name(name: &str) -> Option<ScenarioSpec> {
         "flash-crowd" => Some(flash_crowd()),
         "sustained-3x" => Some(sustained_3x()),
         "storm-backpressure" => Some(storm_backpressure()),
+        "vod-city" => Some(vod_city()),
         _ => None,
     }
 }
 
 /// Every preset name, in menu order.
-pub const PRESETS: [&str; 11] = [
+pub const PRESETS: [&str; 12] = [
     "smoke",
     "videophone-wall",
     "vod-rack",
@@ -313,6 +354,7 @@ pub const PRESETS: [&str; 11] = [
     "flash-crowd",
     "sustained-3x",
     "storm-backpressure",
+    "vod-city",
 ];
 
 #[cfg(test)]

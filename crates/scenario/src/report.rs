@@ -16,7 +16,7 @@ use crate::json::JsonWriter;
 /// Version of the report's JSON schema. Bumped when fields are added,
 /// removed or reordered, so downstream diffing tools can refuse to
 /// compare across schema changes. History in `SCENARIOS.md`.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// What one region shard did during a sharded run. A classic
 /// single-threaded run reports exactly one slice with zero barrier
@@ -92,6 +92,50 @@ pub struct PfsReport {
     /// Total disk time the rebuilds took (charged at the RAID layer,
     /// not against the CM schedule).
     pub rebuild_ns: u64,
+}
+
+/// What the tiered content cache in front of the file servers did
+/// (all zeros with `enabled` false when the spec leaves the cache off —
+/// VoD reads then go straight to the log store).
+///
+/// Ratios are reported in thousandths so the report stays integer-only
+/// and byte-stable. `crowded_title_hot_milli` is the §5 flash-crowd
+/// claim: the fraction of accesses to the crowd-pinned title served
+/// from the hot tier, where N concurrent viewers share one arena
+/// buffer (`shared_attaches` grows with viewers, `fresh_allocs` does
+/// not).
+#[derive(Debug, Clone, Default)]
+pub struct CacheReport {
+    /// Whether the spec enabled the tiered cache.
+    pub enabled: bool,
+    /// Chunk reads served by the arena-resident hot tier (no disk I/O).
+    pub hot_hits: u64,
+    /// Chunk reads served by the SSD-class warm tier.
+    pub warm_hits: u64,
+    /// Chunk reads that went all the way to the log store.
+    pub cold_misses: u64,
+    /// Hot-tier share of all cache accesses, thousandths.
+    pub hot_milli: u64,
+    /// Warm-tier share of all cache accesses, thousandths.
+    pub warm_milli: u64,
+    /// Cold-miss share of all cache accesses, thousandths.
+    pub cold_milli: u64,
+    /// RAID cell reads the hot+warm tiers absorbed (48-byte payloads
+    /// the log store never had to produce).
+    pub disk_io_saved_cells: u64,
+    /// Chunks staged ahead of registered streams by the broker-rate
+    /// sequential prefetcher.
+    pub prefetched_chunks: u64,
+    /// Accesses that targeted the crowd-pinned title.
+    pub crowd_accesses: u64,
+    /// Hot-tier share of the crowd-pinned title's accesses, thousandths.
+    pub crowded_title_hot_milli: u64,
+    /// Shared leases handed out by the hot tier (one per viewer served
+    /// from an already-resident buffer).
+    pub shared_attaches: u64,
+    /// Fresh arena allocations across the cache's arenas — the number
+    /// that must stay independent of the viewer count.
+    pub fresh_allocs: u64,
 }
 
 /// The QoS broker's admission record for one run.
@@ -219,6 +263,8 @@ pub struct ScenarioReport {
     pub vod_presented: u64,
     /// File-server side of the VoD class.
     pub pfs: PfsReport,
+    /// Tiered content cache in front of the file servers.
+    pub cache: CacheReport,
     /// Control-plane health.
     pub nemesis: NemesisReport,
     /// Audio underruns + late playback + missed CM periods + starved
@@ -319,6 +365,23 @@ impl ScenarioReport {
                 w.u64("rebuilds", self.pfs.rebuilds);
                 w.u64("rebuild_ns", self.pfs.rebuild_ns);
             });
+            w.obj("cache", |w| {
+                w.bool("enabled", self.cache.enabled);
+                w.obj("hit_ratio_per_tier", |w| {
+                    w.u64("hot_milli", self.cache.hot_milli);
+                    w.u64("warm_milli", self.cache.warm_milli);
+                    w.u64("cold_milli", self.cache.cold_milli);
+                });
+                w.u64("hot_hits", self.cache.hot_hits);
+                w.u64("warm_hits", self.cache.warm_hits);
+                w.u64("cold_misses", self.cache.cold_misses);
+                w.u64("disk_io_saved_cells", self.cache.disk_io_saved_cells);
+                w.u64("prefetched_chunks", self.cache.prefetched_chunks);
+                w.u64("crowd_accesses", self.cache.crowd_accesses);
+                w.u64("crowded_title_hot_milli", self.cache.crowded_title_hot_milli);
+                w.u64("shared_attaches", self.cache.shared_attaches);
+                w.u64("fresh_allocs", self.cache.fresh_allocs);
+            });
             w.obj("nemesis", |w| {
                 w.u64("epochs", self.nemesis.epochs);
                 w.u64("starved_epochs", self.nemesis.starved_epochs);
@@ -399,7 +462,11 @@ mod tests {
         r.broker.rejected_bandwidth = 1;
         r.broker.quality_milli = (1000, 750, 500);
         let s = r.to_json();
-        assert!(s.starts_with("{\"schema_version\":2,\"scenario\":\"unit\",\"seed\":9,"));
+        assert!(s.starts_with("{\"schema_version\":3,\"scenario\":\"unit\",\"seed\":9,"));
+        assert!(s.contains(
+            "\"cache\":{\"enabled\":false,\"hit_ratio_per_tier\":\
+             {\"hot_milli\":0,\"warm_milli\":0,\"cold_milli\":0},"
+        ));
         assert!(s.contains("\"deadline_misses\":3"));
         assert!(s.contains("\"broker\":{\"admitted\":5,\"degraded\":2,\"rejected\":1,"));
         assert!(s.contains("\"rejected_by_layer\":{\"cpu\":0,\"bandwidth\":1,\"pfs\":0}"));

@@ -237,6 +237,52 @@ impl Default for BackpressureSpec {
     }
 }
 
+/// The tiered content cache fronting each VoD server's log store
+/// ([`pegasus_pfs::tier::TieredCache`]): an arena-backed hot tier whose
+/// hits are shared-lease attaches, a popularity-admitted warm tier, the
+/// RAID array as cold tier, and broker-rate-driven sequential prefetch.
+/// Disabled by default: the classic presets replay their CM schedules
+/// straight against the array, byte-identical to the pre-cache world.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheSpec {
+    /// Master switch. Off: per-period reads go straight to the log
+    /// store and the report's cache section stays all-zero.
+    pub enabled: bool,
+    /// Hot-tier capacity per server, in chunks (one chunk = one RAID
+    /// stripe).
+    pub hot_chunks: usize,
+    /// Warm-tier capacity per server, in chunks.
+    pub warm_chunks: usize,
+    /// Prefetch horizon per served read, in chunks (0 disables).
+    pub prefetch_chunks: u64,
+    /// Distinct titles pre-recorded per server. With 1 title every VoD
+    /// session plays the same file (the classic world, no extra RNG
+    /// draws); more titles make sessions draw theirs from a Zipf law.
+    pub titles_per_server: usize,
+    /// Zipf exponent α in thousandths (1000 = α 1.0) for the title
+    /// draw. 0 is uniform popularity.
+    pub zipf_alpha_milli: u64,
+    /// Fraction of VoD sessions, in thousandths, pinned to title 0 of
+    /// their server — the flash crowd, taken from the *last* arrivals
+    /// (a crowd piles onto a hit that is already playing). The rest
+    /// draw Zipf.
+    pub crowd_milli: u64,
+}
+
+impl Default for CacheSpec {
+    fn default() -> Self {
+        CacheSpec {
+            enabled: false,
+            hot_chunks: 16,
+            warm_chunks: 64,
+            prefetch_chunks: 2,
+            titles_per_server: 1,
+            zipf_alpha_milli: 1000,
+            crowd_milli: 0,
+        }
+    }
+}
+
 /// Capacity and policy knobs of the cross-layer QoS broker
 /// ([`pegasus::broker::QosBroker`]) a scenario's sessions are admitted
 /// through.
@@ -304,6 +350,8 @@ pub struct ScenarioSpec {
     pub vod_disk_rate: u64,
     /// Number of file servers VoD streams are spread across.
     pub pfs_servers: usize,
+    /// Tiered content cache fronting each VoD server.
+    pub cache: CacheSpec,
     /// Camera feeds per TV control room.
     pub tv_group: usize,
     /// Time between TV director cuts.
@@ -342,6 +390,7 @@ impl ScenarioSpec {
             vod_target_latency: 80 * MS,
             vod_disk_rate: 250_000,
             pfs_servers: 1,
+            cache: CacheSpec::default(),
             tv_group: 4,
             tv_cut_period: 400 * MS,
             broker: BrokerSpec::default(),

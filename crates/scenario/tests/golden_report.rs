@@ -114,3 +114,8 @@ fn golden_sustained_3x() {
 fn golden_storm_backpressure() {
     check("storm-backpressure", 0.5);
 }
+
+#[test]
+fn golden_vod_city() {
+    check("vod-city", 0.5);
+}

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Runs the e18 engine-throughput macro-bench (BENCH_engine.json), the
-# e19 zero-copy frame-path bench (BENCH_frame_path.json), and the e20
-# sharded-executor scaling bench (BENCH_shards.json): events/sec,
-# cells/sec, cancels/sec, copy-vs-view frames/sec, and per-shard-count
-# lanes (shards1/shards2/shards4) over metropolis-100k.
+# e19 zero-copy frame-path bench (BENCH_frame_path.json), the e20
+# sharded-executor scaling bench (BENCH_shards.json), and the e21
+# tiered-cache bench (BENCH_cache.json): events/sec, cells/sec,
+# cancels/sec, copy-vs-view frames/sec, per-shard-count lanes
+# (shards1/shards2/shards4) over metropolis-100k, and cached-vs-uncached
+# disk-time lanes over a Zipf alpha sweep.
 #
 # Usage:
 #   scripts/bench_engine.sh           # full run, updates BENCH_*.json
@@ -17,11 +19,13 @@ SCALE=1
 OUT=BENCH_engine.json
 FRAME_OUT=BENCH_frame_path.json
 SHARD_OUT=BENCH_shards.json
+CACHE_OUT=BENCH_cache.json
 if [ "${1:-}" = "--smoke" ]; then
     SCALE=20
     OUT=BENCH_engine.smoke.json
     FRAME_OUT=BENCH_frame_path.smoke.json
     SHARD_OUT=BENCH_shards.smoke.json
+    CACHE_OUT=BENCH_cache.smoke.json
 fi
 
 # cargo runs bench binaries with the package directory as cwd; hand the
@@ -65,3 +69,18 @@ if [ ! -s "$SHARD_OUT" ]; then
 fi
 echo "--- $SHARD_OUT"
 cat "$SHARD_OUT"
+
+# The e21 lanes are virtual-time disk clocks, not wall-clock rates, so
+# the same workload runs at full scale in smoke mode too — the numbers
+# are hardware-independent and the smoke file differs only in name.
+rm -f "$CACHE_OUT"
+if ! cargo bench --bench e21_cache_tiers -- --json "$PWD/$CACHE_OUT"; then
+    echo "bench_engine.sh: e21 bench binary failed" >&2
+    exit 1
+fi
+if [ ! -s "$CACHE_OUT" ]; then
+    echo "bench_engine.sh: bench produced no $CACHE_OUT" >&2
+    exit 1
+fi
+echo "--- $CACHE_OUT"
+cat "$CACHE_OUT"

@@ -8,8 +8,11 @@
 # slow CI machines), or when the sharded executor regresses: the
 # shards1 lane of BENCH_shards.json has the same -30% floor, and on a
 # host with >=4 cores the shards4 lane must hold >=2.5x the shards1
-# events/sec (on fewer cores the scaling check is skipped — the lanes
-# still run and the canonical-report cross-check inside e20 still bites).
+# events/sec (on fewer cores the scaling check is skipped with an
+# explicit SKIPPED line and a scaling_gate_skipped marker in the smoke
+# JSON — the lanes still run and the canonical-report cross-check
+# inside e20 still bites). The e21 tiered-cache lane must hold a >=2x
+# disk-time reduction at Zipf alpha 1.0 (virtual time, no tolerance).
 #
 # Caveat: the floor is an absolute rate recorded on the hardware that
 # last ran `scripts/bench_engine.sh` (full mode updates the committed
@@ -109,9 +112,22 @@ fi
 
 # The scaling gate only means something when there are cores to scale
 # onto: a 1-core runner executes all shards on one core and can only
-# measure barrier overhead.
+# measure barrier overhead. The skip is never silent: the bench records
+# it in the smoke JSON (scaling_gate_skipped) and the guard prints a
+# SKIPPED line, so a CI log where the 2.5x gate did not run says so in
+# so many words — and a bench that recorded a skip on a >=4-core host
+# is itself a failure.
 HOST_CORES=$(json_field BENCH_shards.smoke.json host_cores 1)
+GATE_SKIPPED=$(json_field BENCH_shards.smoke.json scaling_gate_skipped 1)
+if [ -z "$GATE_SKIPPED" ]; then
+    echo "bench_guard.sh: no scaling_gate_skipped marker in BENCH_shards.smoke.json" >&2
+    exit 1
+fi
 if [ -n "$HOST_CORES" ] && [ "$HOST_CORES" -ge 4 ]; then
+    if [ "$GATE_SKIPPED" -ne 0 ]; then
+        echo "bench_guard: BENCH_shards.smoke.json claims the scaling gate was skipped on a $HOST_CORES-core host" >&2
+        exit 1
+    fi
     SPEEDUP=$(json_field BENCH_shards.smoke.json speedup_4v1 1)
     SCALE_OK=$(awk -v s="$SPEEDUP" 'BEGIN { print (s >= 2.5) ? 1 : 0 }')
     echo "bench_guard: shards4 speedup ${SPEEDUP}x on $HOST_CORES cores (floor 2.5x)"
@@ -120,6 +136,21 @@ if [ -n "$HOST_CORES" ] && [ "$HOST_CORES" -ge 4 ]; then
         exit 1
     fi
 else
-    echo "bench_guard: ${HOST_CORES:-?} core(s) — shards4 scaling gate skipped (needs >=4)"
+    echo "bench_guard: shards4 2.5x scaling gate SKIPPED (host_cores=${HOST_CORES:-?}, needs >=4; marker recorded in BENCH_shards.smoke.json)"
+fi
+
+# Tiered-cache floor: the alpha=1.0 lane of the e21 bench must keep at
+# least a 2x disk-time reduction over raw log reads. The lanes are
+# virtual-time, so this floor is hardware-independent — no tolerance.
+CACHE_REDUCTION=$(json_field BENCH_cache.smoke.json io_reduction_alpha1 1)
+if [ -z "$CACHE_REDUCTION" ]; then
+    echo "bench_guard.sh: could not parse io_reduction_alpha1 from BENCH_cache.smoke.json" >&2
+    exit 1
+fi
+CACHE_OK=$(awk -v s="$CACHE_REDUCTION" 'BEGIN { print (s >= 2.0) ? 1 : 0 }')
+echo "bench_guard: tiered cache disk-time reduction ${CACHE_REDUCTION}x at alpha 1.0 (floor 2.0x)"
+if [ "$CACHE_OK" != "1" ]; then
+    echo "bench_guard: REGRESSION — cache reduction ${CACHE_REDUCTION}x below 2.0x at alpha 1.0" >&2
+    exit 1
 fi
 echo "bench_guard: OK"

@@ -6,7 +6,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-FLOOR=596
+FLOOR=611
 
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
