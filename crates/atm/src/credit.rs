@@ -24,6 +24,18 @@
 //! returns them via [`CreditWindow::reclaim`] at each congestion epoch.
 //! Conservation is then exact and checkable:
 //! `consumed == in_flight + returned + reclaimed`.
+//!
+//! Credits returned across a trunk are not instantaneous: a circuit
+//! whose producer and consumer sit on different switches models the
+//! reverse crossing as a fixed per-spec delay (one trunk cell time plus
+//! propagation). The consumer-side [`CreditSink`] records such returns
+//! with [`CreditWindow::release_at`] and the producer drains them with
+//! [`CreditWindow::try_acquire_at`] — or, when the producer's window
+//! lives on another executor shard, the return becomes a sealed
+//! [`CreditReturn`] record for the epoch exchange. Because the delay is
+//! never smaller than the sharded executor's trunk lookahead, a record
+//! always reaches the producer's shard before its `apply_at` tick, and
+//! the single-shard and sharded runs agree byte for byte.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -38,6 +50,28 @@ use crate::link::{CellSink, SinkRef};
 /// one clone (to acquire), the consumer-side [`CreditSink`] another (to
 /// release), the control plane a third (to reclaim and read stats).
 pub type CreditRef = Rc<RefCell<CreditWindow>>;
+
+/// A sealed credit-return record: `n` credits for the circuit delivered
+/// under `dst_vci`, applicable at virtual time `apply_at`. Produced by
+/// a [`CreditSink`] registration in export mode when the circuit's
+/// window lives on another executor shard; the owning shard looks the
+/// record up by `dst_vci` and applies it with
+/// [`CreditWindow::release_at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditReturn {
+    /// The destination VCI the cells arrived under (the producer-side
+    /// registry key).
+    pub dst_vci: Vci,
+    /// Virtual time at which the credits reach the producer.
+    pub apply_at: Ns,
+    /// Number of credits returned.
+    pub n: u64,
+}
+
+/// Shared buffer a [`CreditSink`] export registration appends
+/// [`CreditReturn`] records to; the executor drains it at each epoch
+/// boundary into the per-pair mailboxes.
+pub type CreditExportBuf = Rc<RefCell<Vec<CreditReturn>>>;
 
 /// One virtual circuit's credit state.
 ///
@@ -62,6 +96,11 @@ pub struct CreditWindow {
     epoch_stalls: u64,
     /// High-water mark of `in_flight`.
     peak_in_flight: u64,
+    /// Returns scheduled but not yet applied: `(apply_at, n)` for
+    /// credits still travelling back across a trunk. Entries commute
+    /// (each is a pure counter increment), so application order within
+    /// a drain does not matter.
+    pending: Vec<(Ns, u64)>,
 }
 
 impl CreditWindow {
@@ -76,6 +115,7 @@ impl CreditWindow {
             stalls: 0,
             epoch_stalls: 0,
             peak_in_flight: 0,
+            pending: Vec::new(),
         }))
     }
 
@@ -101,6 +141,36 @@ impl CreditWindow {
         debug_assert!(n <= self.in_flight, "released more credits than in flight");
         self.in_flight = self.in_flight.saturating_sub(n);
         self.returned += n;
+    }
+
+    /// Schedules `n` credits to come back at `apply_at`: the consumer
+    /// has drained the cells, but the return itself still has a trunk
+    /// to cross. The credits count as in flight until
+    /// [`CreditWindow::advance_to`] passes `apply_at`.
+    pub fn release_at(&mut self, apply_at: Ns, n: u64) {
+        self.pending.push((apply_at, n));
+    }
+
+    /// Applies every pending return due at or before `now`. The scan is
+    /// unordered (`swap_remove`) because pending entries commute.
+    pub fn advance_to(&mut self, now: Ns) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= now {
+                let (_, n) = self.pending.swap_remove(i);
+                self.release(n);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// [`CreditWindow::try_acquire`] with the clock attached: applies
+    /// the returns that are due first, so a producer never stalls on
+    /// credits that have already arrived.
+    pub fn try_acquire_at(&mut self, now: Ns, n: u64) -> bool {
+        self.advance_to(now);
+        self.try_acquire(n)
     }
 
     /// Returns `n` credits for cells the fabric dropped (they will never
@@ -150,6 +220,22 @@ impl CreditWindow {
     }
 }
 
+/// How a registered circuit's credits travel back to the producer.
+#[derive(Debug)]
+enum ReturnPath {
+    /// Producer and consumer share a switch: the return is a local
+    /// wire, credits come back the instant the cell drains.
+    Immediate(CreditRef),
+    /// Cross-switch circuit whose window lives in this address space:
+    /// credits come back `delay` ns later (one reverse trunk crossing),
+    /// parked in the window's pending list until they are due.
+    Delayed { window: CreditRef, delay: Ns },
+    /// Cross-switch circuit whose producer lives on another executor
+    /// shard: the return becomes a [`CreditReturn`] record in `buf`,
+    /// shipped through the epoch exchange and applied remotely.
+    Export { delay: Ns, buf: CreditExportBuf },
+}
+
 /// The consumer side: wraps an endpoint's receive sink and returns one
 /// credit per delivered cell on every registered circuit, before
 /// forwarding the cell unchanged.
@@ -159,8 +245,8 @@ impl CreditWindow {
 /// so the table is a linear scan.
 pub struct CreditSink {
     inner: SinkRef,
-    /// `(dst_vci, window)` for every credited circuit ending here.
-    windows: Vec<(Vci, CreditRef)>,
+    /// `(dst_vci, return path)` for every credited circuit ending here.
+    windows: Vec<(Vci, ReturnPath)>,
 }
 
 impl CreditSink {
@@ -172,39 +258,76 @@ impl CreditSink {
         }))
     }
 
-    /// Registers `window` for cells arriving with `dst_vci`.
-    pub fn register(&mut self, dst_vci: Vci, window: CreditRef) {
+    fn push(&mut self, dst_vci: Vci, path: ReturnPath) {
         debug_assert!(
             self.windows.iter().all(|(v, _)| *v != dst_vci),
             "duplicate credit registration for VCI {dst_vci}"
         );
-        self.windows.push((dst_vci, window));
+        self.windows.push((dst_vci, path));
     }
 
-    fn credit_for(&self, vci: Vci) -> Option<&CreditRef> {
-        self.windows.iter().find(|(v, _)| *v == vci).map(|(_, w)| w)
+    /// Registers `window` for cells arriving with `dst_vci`; credits
+    /// return immediately on delivery (same-switch circuits).
+    pub fn register(&mut self, dst_vci: Vci, window: CreditRef) {
+        self.push(dst_vci, ReturnPath::Immediate(window));
+    }
+
+    /// Registers `window` with a fixed return delay (cross-switch
+    /// circuits whose producer lives in this address space).
+    pub fn register_delayed(&mut self, dst_vci: Vci, window: CreditRef, delay: Ns) {
+        self.push(dst_vci, ReturnPath::Delayed { window, delay });
+    }
+
+    /// Registers an export-only return path: the producer's window lives
+    /// on another shard, so returns become [`CreditReturn`] records in
+    /// `buf` for the executor to ship at the next epoch boundary.
+    pub fn register_export(&mut self, dst_vci: Vci, delay: Ns, buf: CreditExportBuf) {
+        self.push(dst_vci, ReturnPath::Export { delay, buf });
+    }
+
+    fn path_for(&self, vci: Vci) -> Option<&ReturnPath> {
+        self.windows.iter().find(|(v, _)| *v == vci).map(|(_, p)| p)
+    }
+}
+
+fn credit_back(path: &ReturnPath, dst_vci: Vci, now: Ns, n: u64) {
+    match path {
+        ReturnPath::Immediate(w) => w.borrow_mut().release(n),
+        ReturnPath::Delayed { window, delay } => window.borrow_mut().release_at(now + delay, n),
+        ReturnPath::Export { delay, buf } => buf.borrow_mut().push(CreditReturn {
+            dst_vci,
+            apply_at: now + delay,
+            n,
+        }),
     }
 }
 
 impl CellSink for CreditSink {
     fn deliver(&mut self, sim: &mut Simulator, cell: Cell) {
-        if let Some(w) = self.credit_for(cell.vci()) {
-            w.borrow_mut().release(1);
+        if let Some(path) = self.path_for(cell.vci()) {
+            credit_back(path, cell.vci(), sim.now(), 1);
         }
         self.inner.borrow_mut().deliver(sim, cell);
     }
 
+    /// Batch returns coalesce per circuit and stamp the whole train
+    /// with the batch's event time (not per-cell arrival times): a
+    /// train can span an epoch boundary, and the train-end event time
+    /// is the one timestamp both the single-shard and sharded runs
+    /// agree on before the next barrier.
     fn deliver_batch(&mut self, sim: &mut Simulator, cells: &mut Vec<(Ns, Cell)>) {
-        for (_, cell) in cells.iter() {
-            if let Some(w) = self.credit_for(cell.vci()) {
-                w.borrow_mut().release(1);
+        let now = sim.now();
+        for (vci, path) in &self.windows {
+            let n = cells.iter().filter(|(_, c)| c.vci() == *vci).count() as u64;
+            if n > 0 {
+                credit_back(path, *vci, now, n);
             }
         }
         self.inner.borrow_mut().deliver_batch(sim, cells);
     }
 
-    /// Credit bookkeeping reads no clocks, so batching is safe exactly
-    /// when the wrapped sink says it is.
+    /// Credit bookkeeping reads only the event clock, so batching is
+    /// safe exactly when the wrapped sink says it is.
     fn batch_capable(&self) -> bool {
         self.inner.borrow().batch_capable()
     }
@@ -270,5 +393,69 @@ mod tests {
         assert_eq!(w.borrow().in_flight(), 0);
         assert!(w.borrow().conserved());
         assert_eq!(capture.borrow().arrivals.len(), 3, "all cells forwarded");
+    }
+
+    #[test]
+    fn delayed_returns_apply_only_when_due() {
+        let w = CreditWindow::shared(2);
+        assert!(w.borrow_mut().try_acquire_at(0, 2));
+        w.borrow_mut().release_at(100, 1);
+        w.borrow_mut().release_at(200, 1);
+        // At t=50 nothing is due: both credits still count in flight.
+        assert!(!w.borrow_mut().try_acquire_at(50, 1));
+        // At t=100 the first return lands; conservation holds throughout.
+        assert!(w.borrow_mut().try_acquire_at(100, 1));
+        assert!(w.borrow().conserved());
+        assert!(!w.borrow_mut().try_acquire_at(150, 1));
+        assert!(w.borrow_mut().try_acquire_at(200, 1));
+        assert_eq!(w.borrow().in_flight(), 2);
+        assert!(w.borrow().conserved());
+    }
+
+    #[test]
+    fn delayed_sink_parks_returns_until_due() {
+        let mut sim = Simulator::new();
+        let capture = CaptureSink::shared();
+        let sink = CreditSink::wrap(capture.clone());
+        let w = CreditWindow::shared(4);
+        sink.borrow_mut().register_delayed(7, w.clone(), 50);
+        assert!(w.borrow_mut().try_acquire(2));
+
+        sink.borrow_mut().deliver(&mut sim, Cell::new(7));
+        assert_eq!(w.borrow().in_flight(), 2, "return still crossing the trunk");
+        assert!(!w.borrow_mut().try_acquire_at(49, 3));
+        assert!(w.borrow_mut().try_acquire_at(50, 3), "due return applied");
+        assert!(w.borrow().conserved());
+    }
+
+    #[test]
+    fn export_sink_seals_coalesced_records() {
+        let mut sim = Simulator::new();
+        let capture = CaptureSink::shared();
+        let sink = CreditSink::wrap(capture.clone());
+        let buf: CreditExportBuf = Rc::new(RefCell::new(Vec::new()));
+        sink.borrow_mut().register_export(7, 40, buf.clone());
+
+        let mut batch = vec![(0, Cell::new(7)), (1, Cell::new(7)), (2, Cell::new(9))];
+        sink.borrow_mut().deliver_batch(&mut sim, &mut batch);
+        sink.borrow_mut().deliver(&mut sim, Cell::new(7));
+        let records = buf.borrow().clone();
+        assert_eq!(
+            records,
+            vec![
+                CreditReturn {
+                    dst_vci: 7,
+                    apply_at: 40,
+                    n: 2
+                },
+                CreditReturn {
+                    dst_vci: 7,
+                    apply_at: 40,
+                    n: 1
+                },
+            ],
+            "one coalesced record per batch, unregistered VCI ignored"
+        );
+        assert_eq!(capture.borrow().arrivals.len(), 4, "all cells forwarded");
     }
 }

@@ -120,6 +120,78 @@ impl Pipeline {
 fn zero_copy_forwarding_hot_path() {
     steady_state_forwarding_allocates_per_frame_not_per_cell();
     view_cells_cross_the_switch_without_payload_copies();
+    credit_return_paths_allocate_nothing_in_steady_state();
+}
+
+/// The sharded control plane's alloc gate: the delayed-return ledger
+/// (a swap-remove `Vec` that keeps its capacity) and the cross-shard
+/// export path (records drained executor-style into a reusable buffer,
+/// both ends keeping their capacities) allocate **nothing** once warm.
+fn credit_return_paths_allocate_nothing_in_steady_state() {
+    use pegasus_atm::credit::{CreditExportBuf, CreditReturn, CreditSink, CreditWindow};
+
+    // Delayed in-process returns: acquire a burst, park its returns,
+    // advance past their due times. One cycle at steady state.
+    let w = CreditWindow::shared(64);
+    let mut now: u64 = 0;
+    let mut delayed_cycle = |measure: bool| -> u64 {
+        let before = allocs();
+        assert!(w.borrow_mut().try_acquire_at(now, 32));
+        for i in 0..32u64 {
+            w.borrow_mut().release_at(now + 5 + i, 1);
+        }
+        now += 100;
+        if measure {
+            allocs() - before
+        } else {
+            0
+        }
+    };
+    for _ in 0..8 {
+        delayed_cycle(false); // warm-up: grow the pending ledger
+    }
+    let delayed = (0..3).map(|_| delayed_cycle(true)).min().expect("windows");
+    assert_eq!(
+        delayed, 0,
+        "delayed credit returns must not allocate at steady state"
+    );
+
+    // Cross-shard export: a consumer-side gate seals records into the
+    // export buffer; the executor drains them with `clear` + `append`,
+    // which retains both capacities.
+    let buf: CreditExportBuf = Rc::new(RefCell::new(Vec::new()));
+    let cs = CreditSink::wrap(Rc::new(RefCell::new(DrainSink::default())));
+    cs.borrow_mut().register_export(7, 5, buf.clone());
+    let mut sim = Simulator::new();
+    let mut drain_buf: Vec<CreditReturn> = Vec::new();
+    let mut export_cycle = |sim: &mut Simulator, measure: bool| -> u64 {
+        let before = allocs();
+        for _ in 0..32 {
+            cs.borrow_mut().deliver(sim, Cell::new(7));
+        }
+        {
+            let mut records = buf.borrow_mut();
+            drain_buf.clear();
+            drain_buf.append(&mut records);
+        }
+        assert_eq!(drain_buf.len(), 32);
+        if measure {
+            allocs() - before
+        } else {
+            0
+        }
+    };
+    for _ in 0..8 {
+        export_cycle(&mut sim, false);
+    }
+    let export = (0..3)
+        .map(|_| export_cycle(&mut sim, true))
+        .min()
+        .expect("windows");
+    assert_eq!(
+        export, 0,
+        "sealed credit exports must not allocate at steady state"
+    );
 }
 
 fn steady_state_forwarding_allocates_per_frame_not_per_cell() {

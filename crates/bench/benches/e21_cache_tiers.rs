@@ -16,7 +16,7 @@ use pegasus_bench::{banner, row};
 use pegasus_pfs::cm::CmScheduler;
 use pegasus_pfs::disk::DiskConfig;
 use pegasus_pfs::log::{FileClass, FileId, LogFs, SEGMENT_BYTES};
-use pegasus_pfs::tier::{TierConfig, TieredCache, TierStats};
+use pegasus_pfs::tier::{TierConfig, TierStats, TieredCache};
 use pegasus_sim::rng::seeded;
 use pegasus_sim::time::MS;
 use rand::rngs::SmallRng;
@@ -136,7 +136,9 @@ fn main() {
         // One title draw per viewer, shared by both lanes: the cached
         // and uncached runs replay the *same* workload.
         let mut rng = seeded(42 + alpha_milli);
-        let picks: Vec<usize> = (0..VIEWERS).map(|_| zipf_pick(&mut rng, alpha_milli)).collect();
+        let picks: Vec<usize> = (0..VIEWERS)
+            .map(|_| zipf_pick(&mut rng, alpha_milli))
+            .collect();
         let (io_uncached_ns, _) = play(&picks, false);
         let (io_cached_ns, stats) = play(&picks, true);
         let stats = stats.expect("cached lane has stats");
@@ -168,7 +170,10 @@ fn main() {
         .find(|l| l.alpha_milli == 1000)
         .expect("alpha 1.0 lane")
         .io_reduction;
-    row(&[("reduction @ alpha 1.0", format!("{io_reduction_alpha1:.2}x"))]);
+    row(&[(
+        "reduction @ alpha 1.0",
+        format!("{io_reduction_alpha1:.2}x"),
+    )]);
 
     if let Some(path) = json_path {
         let mut json = format!(

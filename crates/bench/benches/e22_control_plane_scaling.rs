@@ -1,0 +1,167 @@
+//! E22 — Sharded control-plane scaling.
+//!
+//! Runs the `sustained-3x` preset scaled up 8x (128 sessions, two
+//! cross-hub blasts, credit backpressure and congestion epochs live)
+//! at `--shards` 1, 2 and 4. This is the lane the control-plane
+//! sharding work unblocked: before cut-crossing credits, epoch-merged
+//! congestion signals and replicated repair, this preset clamped to a
+//! single shard. The canonical reports are asserted byte-identical
+//! across the lanes, and the multi-shard lanes must actually cross
+//! credits over the cuts — a control-plane bench with an idle control
+//! plane would be measuring nothing.
+//!
+//! Lane keys are prefixed `control_` so the object can share
+//! BENCH_shards.json with the e20 data-plane lanes without colliding
+//! in the guard's key lookup.
+//!
+//! Usage:
+//!   cargo bench --bench e22_control_plane_scaling [-- [--scale N] [--json PATH]]
+//!
+//! `--scale N` divides the scaled-up session count by N (CI smoke uses
+//! 20); `--json PATH` writes the lane object (appended to
+//! BENCH_shards.json by `scripts/bench_engine.sh`).
+
+use std::time::Instant;
+
+use pegasus_bench::{banner, row};
+use pegasus_scenario::{presets, run_sharded};
+
+const PRESET: &str = "sustained-3x";
+const SCALE_UP: f64 = 8.0;
+const LANES: [usize; 3] = [1, 2, 4];
+
+struct Lane {
+    label: String,
+    shards: usize,
+    wall_sec: f64,
+    events_total: u64,
+    events_per_sec: f64,
+    credits_crossed: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = 1u64;
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("--scale N");
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(args.get(i + 1).expect("--json needs a path").clone());
+                i += 2;
+            }
+            _ => i += 1, // ignore cargo-bench plumbing like --bench
+        }
+    }
+    let scale = scale.max(1);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    banner(
+        "E22",
+        "sharded control-plane scaling: sustained-3x (8x sessions) at --shards 1/2/4",
+        "ROADMAP 'city-scale on every core' — backpressure + congestion epochs, unclamped",
+    );
+    let spec = presets::by_name(PRESET)
+        .expect("preset")
+        .scale_sessions(SCALE_UP / scale as f64);
+    row(&[
+        ("sessions", format!("{}", spec.sessions)),
+        ("host cores", format!("{host_cores}")),
+    ]);
+
+    let mut lanes: Vec<Lane> = Vec::new();
+    let mut canonical: Option<String> = None;
+    for shards in LANES {
+        let start = Instant::now();
+        let report = run_sharded(&spec, shards);
+        let wall_sec = start.elapsed().as_secs_f64();
+        let got = report.to_json_canonical();
+        match &canonical {
+            None => canonical = Some(got),
+            Some(want) => assert!(
+                *want == got,
+                "canonical report diverged at {shards} shards — the lanes are not \
+                 measuring the same run"
+            ),
+        }
+        assert_eq!(report.shards.len(), shards, "the plan must not clamp");
+        let credits_crossed: u64 = report.shards.iter().map(|s| s.credits_crossed).sum();
+        assert!(
+            shards == 1 || credits_crossed > 0,
+            "multi-shard lanes must exercise cut-crossing credit returns"
+        );
+        let events_total = report.events_executed;
+        let events_per_sec = events_total as f64 / wall_sec;
+        row(&[
+            (
+                &format!("ctrl_shards{shards}"),
+                format!("{events_total} events in {wall_sec:.2}s"),
+            ),
+            ("rate", format!("{events_per_sec:.0}/s")),
+            ("credits crossed", format!("{credits_crossed}")),
+        ]);
+        lanes.push(Lane {
+            label: format!("ctrl_shards{shards}"),
+            shards,
+            wall_sec,
+            events_total,
+            events_per_sec,
+            credits_crossed,
+        });
+    }
+
+    let control_speedup_4v1 = lanes[2].events_per_sec / lanes[0].events_per_sec;
+    row(&[
+        ("speedup 4v1", format!("{control_speedup_4v1:.2}x")),
+        (
+            "canonical reports",
+            "byte-identical across lanes".to_string(),
+        ),
+    ]);
+
+    // Same loud-skip discipline as e20: the scaling expectation only
+    // applies where the cores exist, and the skip is recorded in the
+    // JSON so the guard can print it instead of waving the gate through.
+    let control_scaling_gate_skipped = if host_cores < 4 { 1 } else { 0 };
+
+    if let Some(path) = json_path {
+        let mut json = format!(
+            "{{\n  \"bench\": \"e22_control_plane_scaling\",\n  \"preset\": \"{PRESET}\",\n  \"sessions\": {},\n  \"host_cores\": {host_cores},\n  \"control_scaling_gate_skipped\": {control_scaling_gate_skipped},\n  \"lanes\": [\n",
+            spec.sessions,
+        );
+        for (i, l) in lanes.iter().enumerate() {
+            // The guard's awk field extractor reads the value after the
+            // *last* colon of a matching line, so the gated key goes last.
+            json.push_str(&format!(
+                "    {{ \"label\": \"{}\", \"shards\": {}, \"wall_sec\": {:.2}, \"events_total\": {}, \"credits_crossed\": {}, \"control_events_per_sec\": {:.0} }}{}\n",
+                l.label,
+                l.shards,
+                l.wall_sec,
+                l.events_total,
+                l.credits_crossed,
+                l.events_per_sec,
+                if i + 1 < lanes.len() { "," } else { "" },
+            ));
+        }
+        json.push_str(&format!(
+            "  ],\n  \"control_speedup_4v1\": {control_speedup_4v1:.2}\n}}\n"
+        ));
+        std::fs::write(&path, json).expect("write bench json");
+        println!("  wrote {path}");
+    }
+    println!(
+        "expect: the control plane scales with the data plane on a >=4-core host \
+         (>=1.8x at 4 shards); on fewer cores the lanes record the honest barrier \
+         overhead instead"
+    );
+}

@@ -315,7 +315,10 @@ impl Camera {
             .segment_frame(&frame.view_all(), &mut self.cells)
             .expect("tile frames are far below the AAL5 maximum");
         if let Some(credit) = &self.credit {
-            if !credit.borrow_mut().try_acquire(self.cells.len() as u64) {
+            if !credit
+                .borrow_mut()
+                .try_acquire_at(sim.now(), self.cells.len() as u64)
+            {
                 // No credits for the whole frame: hold it at the source.
                 // Dropping a complete tile-frame costs one frame's tiles;
                 // sending part of one would poison reassembly downstream.

@@ -98,7 +98,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 self.cold_run += 1;
                 // A miss streak one capacity long means every resident
                 // entry was evicted unused since the last hit: a scan.
-                if self.cold_run % self.capacity as u64 == 0 {
+                if self.cold_run.is_multiple_of(self.capacity as u64) {
                     self.scans_detected += 1;
                 }
                 None
@@ -283,7 +283,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(c.scans_detected, 0, "a cache-resident working set is not a scan");
+        assert_eq!(
+            c.scans_detected, 0,
+            "a cache-resident working set is not a scan"
+        );
         // A hit resets the cold run: short miss bursts never add up to one.
         let mut c = LruCache::new(4);
         for i in 0..12u32 {

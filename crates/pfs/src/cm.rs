@@ -309,7 +309,7 @@ impl CmScheduler {
         Ok(report)
     }
 
-    /// [`CmScheduler::run_periods`] with a [`TieredCache`] fronting the
+    /// [`CmScheduler::run_periods`] with a [`crate::tier::TieredCache`] fronting the
     /// log store: every per-period read is served chunk-wise through the
     /// tiers (hot attach, warm SSD-class read, cold RAID stripe), and
     /// registered streams get next-period chunks prefetched. Deadline

@@ -97,11 +97,7 @@ impl TierStats {
 
     /// Hit ratio of tier `hits` over all accesses, in thousandths.
     fn ratio_milli(hits: u64, total: u64) -> u64 {
-        if total == 0 {
-            0
-        } else {
-            hits * 1000 / total
-        }
+        (hits * 1000).checked_div(total).unwrap_or(0)
     }
 
     /// Hot-tier hit ratio in thousandths.
@@ -247,7 +243,12 @@ impl TieredCache {
         self.warm
             .iter()
             .min_by_key(|((file, chunk), (_, stamp))| {
-                (self.freq.get(file).copied().unwrap_or(0), *stamp, *file, *chunk)
+                (
+                    self.freq.get(file).copied().unwrap_or(0),
+                    *stamp,
+                    *file,
+                    *chunk,
+                )
             })
             .map(|(key, _)| *key)
     }
@@ -532,8 +533,7 @@ mod tests {
         // over passes × length accesses — the capacity/length bound LRU
         // can never reach (it stays at exactly zero).
         let warm_capacity = 8u64;
-        let predicted_milli =
-            (passes - 1) * warm_capacity * 1000 / (passes * video_chunks);
+        let predicted_milli = (passes - 1) * warm_capacity * 1000 / (passes * video_chunks);
         assert!(
             s.hit_milli() >= predicted_milli,
             "tiered hit ratio {}‰ below predicted floor {}‰",
@@ -565,14 +565,18 @@ mod tests {
         // Build popularity: several passes over the popular title.
         for _ in 0..4 {
             for b in 0..8u64 {
-                cache.read(&mut fs, popular, b << 16, 1 << 16, &mut out).unwrap();
+                cache
+                    .read(&mut fs, popular, b << 16, 1 << 16, &mut out)
+                    .unwrap();
             }
         }
         let warm_before = cache.warm_len();
         assert!(warm_before > 0);
         // One cold sequential pass over the other title.
         for b in 0..32u64 {
-            cache.read(&mut fs, scan, b << 16, 1 << 16, &mut out).unwrap();
+            cache
+                .read(&mut fs, scan, b << 16, 1 << 16, &mut out)
+                .unwrap();
         }
         // Every warm chunk still belongs to the popular title.
         assert!(
@@ -595,11 +599,12 @@ mod tests {
             handles.extend(out);
         }
         let s = cache.arena().stats();
-        assert_eq!(s.fresh_allocs, fresh_one, "nine more viewers, zero new buffers");
+        assert_eq!(
+            s.fresh_allocs, fresh_one,
+            "nine more viewers, zero new buffers"
+        );
         assert!(s.shared_attaches >= 9);
-        assert!(handles
-            .iter()
-            .all(|h| FrameBuf::same_buffer(h, &first[0])));
+        assert!(handles.iter().all(|h| FrameBuf::same_buffer(h, &first[0])));
     }
 
     #[test]
@@ -658,7 +663,9 @@ mod tests {
         cache.read(&mut fs, hit, 0, 1 << 16, &mut out).unwrap();
         // A long sequential pass floods the two-chunk hot tier.
         for b in 0..32u64 {
-            cache.read(&mut fs, churn, b << 16, 1 << 16, &mut out).unwrap();
+            cache
+                .read(&mut fs, churn, b << 16, 1 << 16, &mut out)
+                .unwrap();
         }
         let io_before = fs.io_time;
         cache.read(&mut fs, hit, 0, 1 << 16, &mut out).unwrap();
@@ -676,9 +683,7 @@ mod tests {
         assert!(cache
             .read(&mut fs, id, SEGMENT_BYTES as u64, 1, &mut out)
             .is_err());
-        assert!(cache
-            .read(&mut fs, FileId(999), 0, 1, &mut out)
-            .is_err());
+        assert!(cache.read(&mut fs, FileId(999), 0, 1, &mut out).is_err());
         // Zero-length reads are a no-op.
         cache.read(&mut fs, id, 0, 0, &mut out).unwrap();
         assert_eq!(cache.stats().accesses(), 0);
@@ -696,7 +701,10 @@ mod tests {
         }
         let s = cache.stats();
         let total = s.hot_milli() + s.warm_milli() + s.cold_milli();
-        assert!((998..=1000).contains(&total), "ratios sum to ~1000‰, got {total}");
+        assert!(
+            (998..=1000).contains(&total),
+            "ratios sum to ~1000‰, got {total}"
+        );
         assert_eq!(s.disk_io_saved_cells(), s.bytes_saved / 48);
     }
 }

@@ -41,12 +41,7 @@ fn cache() -> TieredCache {
 
 /// Replays `accesses` (title, chunk) pairs, each fanned out to
 /// `viewers` concurrent readers, and returns the arena ledger.
-fn run(
-    fs: &mut LogFs,
-    files: &[FileId],
-    accesses: &[(usize, u64)],
-    viewers: usize,
-) -> (u64, u64) {
+fn run(fs: &mut LogFs, files: &[FileId], accesses: &[(usize, u64)], viewers: usize) -> (u64, u64) {
     let mut cache = cache();
     let mut out = Vec::new();
     for &(title, chunk) in accesses {

@@ -30,10 +30,10 @@ use pegasus::broker::{
     FlowRequest, Outcome, QosBroker, RejectLayer, ResourceVector, SessionClass, SessionGrant,
     SessionRequest,
 };
-use pegasus::congestion::{CongestionController, CongestionSignal, Verdict};
+use pegasus::congestion::{CongestionController, EpochSignal, Verdict};
 use pegasus::system::{HostNic, System, SystemBuilder};
 use pegasus_atm::cell::{Cell, Vci, CELL_SIZE};
-use pegasus_atm::credit::{CreditRef, CreditSink, CreditWindow};
+use pegasus_atm::credit::{CreditExportBuf, CreditRef, CreditSink, CreditWindow};
 use pegasus_atm::link::{CellSink, Link};
 use pegasus_atm::network::{LinkConfig, Network, VcHandle};
 use pegasus_atm::signalling::QosSpec;
@@ -50,7 +50,7 @@ use pegasus_pfs::log::{FileClass, FileId, LogFs, SEGMENT_BYTES};
 use pegasus_pfs::tier::{TierConfig, TieredCache};
 use pegasus_sim::rng::{exponential, seeded};
 use pegasus_sim::stats::Histogram;
-use pegasus_sim::time::{Ns, MS, SEC};
+use pegasus_sim::time::{tx_time, Ns, MS, SEC};
 use pegasus_sim::Simulator;
 use pegasus_streams::playback::{ArrivalSink, PlaybackControl, PlaybackPolicy, StreamId};
 use rand::rngs::SmallRng;
@@ -260,9 +260,22 @@ pub struct Scenario {
     /// window, and the circuits signalling repairs after a switch death.
     books: Vec<SessionBook>,
     /// Best-effort blast circuits (congestion sources), with their own
-    /// credit windows: pressure by construction, never overflow. The
-    /// bool marks a blast stranded by a switch death.
-    blasts: Vec<(VcHandle, CreditRef, bool)>,
+    /// credit windows: pressure by construction, never overflow. Every
+    /// shard carries an entry per blast (the route is replicated state
+    /// switch-death repair walks); the window is `Some` only on the
+    /// shard owning the pump. The bool marks a blast stranded by a
+    /// switch death.
+    blasts: Vec<(VcHandle, Option<CreditRef>, bool)>,
+    /// Outbound credit-return records, one buffer per *producer* shard:
+    /// a consumer-side [`CreditSink`] in export mode appends here, and
+    /// the executor seals the records into that shard's mailbox at the
+    /// next epoch boundary. Empty buffers (and an empty vec on the
+    /// classic path) cost nothing.
+    credit_out: Vec<CreditExportBuf>,
+    /// Registry of credit windows whose producer this shard owns,
+    /// keyed by delivery VCI and sorted for binary search — the lookup
+    /// table for applying sealed credit returns and remote reclaims.
+    credit_windows: Vec<(Vci, CreditRef)>,
 }
 
 /// Runtime counters of one shard's epoch loop — all zero on the
@@ -275,6 +288,16 @@ pub struct ShardRuntime {
     pub cells_exported: u64,
     /// Sealed cells accepted from other shards.
     pub cells_imported: u64,
+    /// The conservative lookahead the epoch loop ran under, in ns.
+    pub lookahead_ns: u64,
+    /// Outbound cut trunks this shard exports on.
+    pub cut_trunks: u64,
+    /// Sealed credit-return records published to other shards.
+    pub credits_crossed: u64,
+    /// Circuits this shard's replica walked during replicated
+    /// switch-death repair (rerouted + stranded; identical on every
+    /// shard by construction).
+    pub repairs_replicated: u64,
 }
 
 /// Everything one shard measured, in `Send` form — plain counters,
@@ -382,6 +405,49 @@ fn start_time(rng: &mut SmallRng, arrival: Arrival, poisson_clock: &mut Ns) -> N
     }
 }
 
+/// Wires one credited circuit's two halves as this shard sees them.
+///
+/// The producer half (the window, created iff this shard owns the
+/// source switch) is returned and recorded in the registry so sealed
+/// returns and remote reclaims can find it. The consumer half — how
+/// drained cells' credits travel back — is registered on `sink` (which
+/// the caller built iff it owns the destination switch) by geometry
+/// and ownership: same switch → immediate; cross-switch with the
+/// window in this address space → delayed by `ret_delay`; cross-shard
+/// → sealed export records addressed to the producer's shard.
+#[allow(clippy::too_many_arguments)]
+fn wire_credit(
+    plan: &ShardPlan,
+    ret_delay: Ns,
+    window_cells: u64,
+    dst_vci: Vci,
+    src_switch: usize,
+    dst_switch: usize,
+    sink: Option<&Rc<RefCell<CreditSink>>>,
+    registry: &mut Vec<(Vci, CreditRef)>,
+    credit_out: &[CreditExportBuf],
+) -> Option<CreditRef> {
+    let window = plan.owns(src_switch).then(|| {
+        let w = CreditWindow::shared(window_cells);
+        registry.push((dst_vci, w.clone()));
+        w
+    });
+    if let Some(cs) = sink {
+        let mut cs = cs.borrow_mut();
+        if src_switch == dst_switch {
+            // Same switch ⇒ same owner: the window is always local and
+            // the return is a same-host wire.
+            cs.register(dst_vci, window.clone().expect("same switch, same shard"));
+        } else if let Some(w) = &window {
+            cs.register_delayed(dst_vci, w.clone(), ret_delay);
+        } else {
+            let producer = plan.owner_of(src_switch);
+            cs.register_export(dst_vci, ret_delay, credit_out[producer].clone());
+        }
+    }
+    window
+}
+
 /// Compiles `spec` into a wired, scheduled [`Scenario`] that owns the
 /// whole city (the classic single-threaded path).
 pub fn compile(spec: &ScenarioSpec) -> Scenario {
@@ -437,6 +503,10 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         vod_servers: Vec::new(),
         books: Vec::new(),
         blasts: Vec::new(),
+        credit_out: (0..plan.shards)
+            .map(|_| Rc::new(RefCell::new(Vec::new())))
+            .collect(),
+        credit_windows: Vec::new(),
         // Placeholders, replaced below once sessions are wired.
         broker: QosBroker::new(0, 0, 0, 1000),
         sys: System::new(),
@@ -459,10 +529,13 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         grant
     };
     let bp = spec.backpressure;
-    assert!(
-        !bp.enabled || plan.shards == 1,
-        "backpressure clamps the plan to one shard"
-    );
+    // Cross-switch circuits return credits one reverse trunk crossing
+    // later: serialization (ceiling division, so never below the
+    // executor's floored lookahead) plus propagation. A pure function
+    // of the spec — identical at every shard count, and applied on the
+    // classic path too, so the physics don't depend on the plan.
+    let ret_delay: Ns =
+        tx_time(CELL_SIZE, spec.topology.link.rate_bps) + spec.topology.link.prop_delay;
     let make_display = || {
         if spec.headless_displays {
             Display::shared_headless(176, 144)
@@ -501,21 +574,21 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         // owning its switch. An unowned endpoint never receives a cell,
         // so a null sink keeps the endpoint (and VCI) numbering
         // identical while the replica costs nothing.
-        let display = owns_dst.then(|| make_display());
-        // With backpressure on (which clamps the plan to one shard, so
-        // every device is owned), the consuming endpoint fronts its
-        // sink with a credit gate returning one credit per drained cell.
-        let credit_sink = bp
-            .enabled
-            .then(|| CreditSink::wrap(display.clone().expect("one shard owns all")));
+        let display = owns_dst.then(&make_display);
+        // With backpressure on, the consuming endpoint fronts its sink
+        // with a credit gate — built only where the consumer lives; the
+        // gate's return path (immediate, delayed, or cross-shard
+        // export) is wired after admission fixes the delivery VCI.
+        let credit_sink = (bp.enabled && owns_dst)
+            .then(|| CreditSink::wrap(display.clone().expect("owner builds the display")));
         let disp_ep = match (&credit_sink, &display) {
             (Some(cs), _) => sys.device(dst, cs.clone()),
             (None, Some(d)) => sys.device(dst, d.clone()),
             (None, None) => sys.device(dst, NullSink::shared()),
         };
         let audio_src_ep = sys.device(src, HostNic::shared());
-        let audio_sink = owns_dst
-            .then(|| AudioSink::shared(AudioConfig::telephony(), spec.audio_jitter_buffer));
+        let audio_sink =
+            owns_dst.then(|| AudioSink::shared(AudioConfig::telephony(), spec.audio_jitter_buffer));
         let audio_sink_ep = match &audio_sink {
             Some(s) => sys.device(dst, s.clone()),
             None => sys.device(dst, NullSink::shared()),
@@ -553,15 +626,24 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         }
         let cam_cfg = camera_for(spec.camera, grant.quality_milli);
         let cam = owns_src.then(|| sys.camera_on(cam_ep, scene, cam_cfg, vc_src));
-        let credit = credit_sink.map(|cs| {
-            let w = CreditWindow::shared(bp.window_cells);
-            cs.borrow_mut().register(vc_dst, w.clone());
-            cam.as_ref()
-                .expect("one shard owns all")
-                .borrow_mut()
-                .set_credit(w.clone());
+        let credit = bp.enabled.then(|| {
+            let w = wire_credit(
+                &plan,
+                ret_delay,
+                bp.window_cells,
+                vc_dst,
+                src,
+                dst,
+                credit_sink.as_ref(),
+                &mut scenario.credit_windows,
+                &scenario.credit_out,
+            );
+            if let (Some(w), Some(cam)) = (&w, &cam) {
+                cam.borrow_mut().set_credit(w.clone());
+            }
             w
         });
+        let credit = credit.flatten();
         if owns_src {
             scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
         }
@@ -682,9 +764,8 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
             });
             (ctl, stream, sink)
         });
-        let credit_sink = bp
-            .enabled
-            .then(|| CreditSink::wrap(client.as_ref().expect("one shard owns all").2.clone()));
+        let credit_sink = (bp.enabled && owns_dst)
+            .then(|| CreditSink::wrap(client.as_ref().expect("owner builds the client").2.clone()));
         let client_ep = match (&credit_sink, &client) {
             (Some(cs), _) => sys.device(dst, cs.clone()),
             (None, Some((_, _, sink))) => sys.device(dst, sink.clone()),
@@ -714,15 +795,24 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         // with the rest of the session when degraded.
         let cam_cfg = camera_for(spec.camera, grant.quality_milli);
         let cam = owns_src.then(|| sys.camera_on(server_ep, scene, cam_cfg, vc_src));
-        let credit = credit_sink.map(|cs| {
-            let w = CreditWindow::shared(bp.window_cells);
-            cs.borrow_mut().register(vc_dst, w.clone());
-            cam.as_ref()
-                .expect("one shard owns all")
-                .borrow_mut()
-                .set_credit(w.clone());
+        let credit = bp.enabled.then(|| {
+            let w = wire_credit(
+                &plan,
+                ret_delay,
+                bp.window_cells,
+                vc_dst,
+                src,
+                dst,
+                credit_sink.as_ref(),
+                &mut scenario.credit_windows,
+                &scenario.credit_out,
+            );
+            if let (Some(w), Some(cam)) = (&w, &cam) {
+                cam.borrow_mut().set_credit(w.clone());
+            }
             w
         });
+        let credit = credit.flatten();
         if owns_src {
             scenario.tx_links.push(sys.net.endpoint_tx(server_ep));
         }
@@ -767,12 +857,11 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         tv_left -= feeds;
         let dst = rng.gen_range(0..n_fabric);
         let owns_dst = plan.owns(dst);
-        let display = owns_dst.then(|| make_display());
+        let display = owns_dst.then(&make_display);
         // One credit gate per control room: every admitted feed
         // registers its own window on it, keyed by delivery VCI.
-        let credit_sink = bp
-            .enabled
-            .then(|| CreditSink::wrap(display.clone().expect("one shard owns all")));
+        let credit_sink = (bp.enabled && owns_dst)
+            .then(|| CreditSink::wrap(display.clone().expect("owner builds the display")));
         let disp_ep = match (&credit_sink, &display) {
             (Some(cs), _) => sys.device(dst, cs.clone()),
             (None, Some(d)) => sys.device(dst, d.clone()),
@@ -815,15 +904,24 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
             feed_vcis.push(vc_dst);
             let cam_cfg = camera_for(spec.camera, grant.quality_milli);
             let cam = owns_src.then(|| sys.camera_on(cam_ep, scene, cam_cfg, vc_src));
-            let credit = credit_sink.as_ref().map(|cs| {
-                let w = CreditWindow::shared(bp.window_cells);
-                cs.borrow_mut().register(vc_dst, w.clone());
-                cam.as_ref()
-                    .expect("one shard owns all")
-                    .borrow_mut()
-                    .set_credit(w.clone());
+            let credit = bp.enabled.then(|| {
+                let w = wire_credit(
+                    &plan,
+                    ret_delay,
+                    bp.window_cells,
+                    vc_dst,
+                    src,
+                    dst,
+                    credit_sink.as_ref(),
+                    &mut scenario.credit_windows,
+                    &scenario.credit_out,
+                );
+                if let (Some(w), Some(cam)) = (&w, &cam) {
+                    cam.borrow_mut().set_credit(w.clone());
+                }
                 w
             });
+            let credit = credit.flatten();
             if owns_src {
                 scenario.tx_links.push(sys.net.endpoint_tx(cam_ep));
             }
@@ -910,61 +1008,80 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
                 );
                 assert!(until >= at, "blast must end after it starts");
                 assert!(rate_bps > 0 && window > 0, "blast needs rate and credits");
-                debug_assert_eq!(
-                    plan.shards, 1,
-                    "blasts clamp the plan to one shard (shared credit window)"
-                );
                 // The injector gets its own fat access link so the
                 // bottleneck is the shared trunk, not its first hop; the
                 // sink end discards, its credit gate returning credits
                 // as cells drain — which is exactly what bounds the
-                // standing queue the blast builds in the fabric.
+                // standing queue the blast builds in the fabric. The
+                // pump lives with the source switch's owner, the gate
+                // with the sink's; when those are different shards the
+                // returns cross as sealed records like any other
+                // cut-crossing circuit's.
                 let blast_link = LinkConfig {
                     rate_bps,
                     prop_delay: spec.topology.link.prop_delay,
                 };
-                let csink = CreditSink::wrap(NullSink::shared());
+                let (owns_from, owns_to) = (plan.owns(from_switch), plan.owns(to_switch));
+                let csink = owns_to.then(|| CreditSink::wrap(NullSink::shared()));
                 let src_ep = sys.net.add_endpoint_auto(
                     sys.fabric[from_switch],
                     blast_link,
                     NullSink::shared(),
                 );
-                let dst_ep = sys.net.add_endpoint_auto(
-                    sys.fabric[to_switch],
-                    spec.topology.link,
-                    csink.clone(),
-                );
+                let dst_ep = match &csink {
+                    Some(cs) => sys.net.add_endpoint_auto(
+                        sys.fabric[to_switch],
+                        spec.topology.link,
+                        cs.clone(),
+                    ),
+                    None => sys.net.add_endpoint_auto(
+                        sys.fabric[to_switch],
+                        spec.topology.link,
+                        NullSink::shared(),
+                    ),
+                };
                 let vc = sys
                     .net
                     .open_vc(src_ep, dst_ep, QosSpec::best_effort(0))
                     .expect("best-effort blast needs only a route");
-                let w = CreditWindow::shared(window);
-                csink.borrow_mut().register(vc.dst_vci, w.clone());
-                let tx = sys.net.endpoint_tx(src_ep);
-                scenario.tx_links.push(tx.clone());
-                // Offer bursts at the injector's line rate; an empty
-                // window holds the whole burst at the source.
-                const BURST: u64 = 32;
-                let tick: Ns = BURST * CELL_SIZE as u64 * 8 * SEC / rate_bps;
-                let vci = vc.src_vci;
-                let until_t = until.min(spec.duration);
-                let pump_w = w.clone();
-                sim.schedule_at(at.min(spec.duration), move |sim| {
-                    let pump_w = pump_w.clone();
-                    let tx = tx.clone();
-                    sim.schedule_chain(move |sim| {
-                        if sim.now() >= until_t {
-                            return None;
-                        }
-                        if pump_w.borrow_mut().try_acquire(BURST) {
-                            let mut l = tx.borrow_mut();
-                            for _ in 0..BURST {
-                                l.send(sim, Cell::new(vci));
+                let w = wire_credit(
+                    &plan,
+                    ret_delay,
+                    window,
+                    vc.dst_vci,
+                    from_switch,
+                    to_switch,
+                    csink.as_ref(),
+                    &mut scenario.credit_windows,
+                    &scenario.credit_out,
+                );
+                if owns_from {
+                    let tx = sys.net.endpoint_tx(src_ep);
+                    scenario.tx_links.push(tx.clone());
+                    // Offer bursts at the injector's line rate; an empty
+                    // window holds the whole burst at the source.
+                    const BURST: u64 = 32;
+                    let tick: Ns = BURST * CELL_SIZE as u64 * 8 * SEC / rate_bps;
+                    let vci = vc.src_vci;
+                    let until_t = until.min(spec.duration);
+                    let pump_w = w.clone().expect("pump owner holds the window");
+                    sim.schedule_at(at.min(spec.duration), move |sim| {
+                        let pump_w = pump_w.clone();
+                        let tx = tx.clone();
+                        sim.schedule_chain(move |sim| {
+                            if sim.now() >= until_t {
+                                return None;
                             }
-                        }
-                        Some(sim.now() + tick.max(1))
+                            if pump_w.borrow_mut().try_acquire_at(sim.now(), BURST) {
+                                let mut l = tx.borrow_mut();
+                                for _ in 0..BURST {
+                                    l.send(sim, Cell::new(vci));
+                                }
+                            }
+                            Some(sim.now() + tick.max(1))
+                        });
                     });
-                });
+                }
                 scenario.blasts.push((vc, w, false));
             }
             FaultSpec::SwitchDeath { switch, .. } => {
@@ -984,11 +1101,53 @@ pub fn compile_for(spec: &ScenarioSpec, plan: ShardPlan) -> Scenario {
         }
     }
 
+    // Sealed credit returns and remote reclaims look windows up by
+    // delivery VCI; sort once so application is a binary search.
+    scenario.credit_windows.sort_by_key(|e| e.0);
     scenario.sys = sys;
     scenario.sim = sim;
     scenario.broker = broker;
     scenario.plan = plan;
     scenario
+}
+
+/// A point on the control-plane timeline where the engine must pause:
+/// a switch death (structural repair) or a congestion epoch boundary
+/// (sampling + renegotiation). Every shard computes the same marks
+/// from the spec, so the executor's epoch loop and the classic path
+/// pause at identical instants.
+pub(crate) enum ControlMark {
+    /// `SwitchDeath` fault on this fabric switch.
+    Death(usize),
+    /// Backpressure congestion-epoch boundary.
+    Epoch,
+}
+
+/// The sorted control-plane timeline of `spec`: deaths at their fault
+/// times, epoch boundaries on the backpressure grid. Stable by
+/// `(time, kind)` with deaths first, so a death at an epoch boundary
+/// lands before the sample — on every shard, and on the classic path.
+pub(crate) fn control_marks(spec: &ScenarioSpec) -> Vec<(Ns, ControlMark)> {
+    let bp = spec.backpressure;
+    let mut marks: Vec<(Ns, u8, ControlMark)> = spec
+        .faults
+        .iter()
+        .filter_map(|f| match *f {
+            FaultSpec::SwitchDeath { at, switch } => {
+                Some((at.min(spec.duration), 0u8, ControlMark::Death(switch)))
+            }
+            _ => None,
+        })
+        .collect();
+    if bp.enabled {
+        let mut t = bp.epoch.max(1);
+        while t <= spec.duration {
+            marks.push((t, 1, ControlMark::Epoch));
+            t += bp.epoch.max(1);
+        }
+    }
+    marks.sort_by_key(|&(t, tag, _)| (t, tag));
+    marks.into_iter().map(|(t, _, m)| (t, m)).collect()
 }
 
 impl Scenario {
@@ -1010,10 +1169,174 @@ impl Scenario {
     }
 
     /// Settles the fabric's per-VCI drop counters against the session
-    /// books (see [`reconcile_drops`]). The executor calls this after
-    /// its final epoch; the classic path folds it into [`Scenario::run`].
-    pub(crate) fn settle_drops(&self) -> (u64, u64) {
-        reconcile_drops(&self.sys, &self.books, &self.blasts)
+    /// books (see [`reconcile_drops`]). Reclaims against windows this
+    /// shard owns happen in place; drops on circuits whose window lives
+    /// on another shard are appended to `remote` as `(delivery VCI, n)`
+    /// reclaim records for the executor to broadcast. The classic path
+    /// never produces any (one shard owns every window).
+    pub(crate) fn settle_drops(&self, remote: &mut Vec<(Vci, u64)>) -> (u64, u64) {
+        reconcile_drops(
+            &self.sys,
+            &self.books,
+            &self.blasts,
+            self.spec.backpressure.enabled,
+            remote,
+        )
+    }
+
+    /// The congestion controller the spec's hysteresis constants
+    /// define. Every shard builds an identical replica.
+    pub(crate) fn make_controller(&self) -> CongestionController {
+        let bp = self.spec.backpressure;
+        CongestionController::new(
+            bp.down_after,
+            bp.up_after,
+            bp.stall_threshold,
+            bp.headroom_cells,
+        )
+    }
+
+    /// Samples this shard's slice of one epoch's congestion evidence:
+    /// stalls from the credit windows it owns, the peak backlog of its
+    /// switches (unowned replicas are silent and read zero), and slot
+    /// pressure from the replicated broker ledgers. Merging every
+    /// shard's sample reproduces the single-shard signal exactly.
+    pub(crate) fn sample_epoch_signal(&mut self) -> EpochSignal {
+        let mut sig = EpochSignal::default();
+        for b in &mut self.books {
+            if let Some(w) = &b.credit {
+                sig.credit_stalls += w.borrow_mut().take_epoch_stalls();
+            }
+        }
+        for i in 0..self.sys.net.switch_count() {
+            let sw = self.sys.net.switch(pegasus_atm::network::SwitchId(i));
+            sig.peak_queue_cells = sig
+                .peak_queue_cells
+                .max(sw.borrow_mut().stats.take_epoch_peak());
+        }
+        sig.cm_slot_pressure = self.counts.1 > 0 && self.broker.pfs_headroom_slots() == 0;
+        sig
+    }
+
+    /// Kills fabric switch `switch` and repairs the circuits that
+    /// crossed it. Signalling walks every live circuit: those crossing
+    /// the corpse are re-routed with their endpoint VCIs pinned so the
+    /// attached devices (and their credit registrations, keyed by
+    /// delivery VCI) never notice; circuits that cannot be repaired are
+    /// stranded, their reservations released and their book slot marked
+    /// so no later renegotiation resizes a dead circuit. Runs on every
+    /// shard's full `Network` replica — route state is replicated, so
+    /// the walk is identical everywhere. Returns `(rerouted, stranded)`.
+    pub(crate) fn apply_death(&mut self, switch: usize) -> (u64, u64) {
+        let sw = self.sys.fabric[switch];
+        self.sys.net.fail_switch(sw);
+        let mut rerouted = 0u64;
+        let mut stranded_n = 0u64;
+        for b in &mut self.books {
+            for (i, slot) in b.grant.vcs.iter_mut().enumerate() {
+                if b.stranded[i] || !slot.crosses_switch(sw) {
+                    continue;
+                }
+                match self.sys.net.reroute_vc(slot.clone()) {
+                    Ok(repaired) => {
+                        rerouted += 1;
+                        *slot = repaired;
+                    }
+                    Err(_) => {
+                        stranded_n += 1;
+                        b.stranded[i] = true;
+                    }
+                }
+            }
+        }
+        for (vc, _, stranded) in &mut self.blasts {
+            if *stranded || !vc.crosses_switch(sw) {
+                continue;
+            }
+            match self.sys.net.reroute_vc(vc.clone()) {
+                Ok(repaired) => {
+                    rerouted += 1;
+                    *vc = repaired;
+                }
+                Err(_) => {
+                    stranded_n += 1;
+                    *stranded = true;
+                }
+            }
+        }
+        (rerouted, stranded_n)
+    }
+
+    /// Acts on one epoch's hysteresis verdict: one rung down under
+    /// sustained pressure, back toward the admitted contract once the
+    /// fabric has drained. Every shard calls this with the identical
+    /// merged verdict against its replicated broker and network, so
+    /// ledgers and grants stay byte-identical everywhere; producers are
+    /// retuned only where they exist (the owner's shard).
+    pub(crate) fn apply_verdict(&mut self, verdict: Verdict, at: Ns) {
+        if verdict == Verdict::Hold {
+            return;
+        }
+        let rung = self.spec.broker.degrade_milli;
+        let camera_cfg = self.spec.camera;
+        for b in &mut self.books {
+            if b.stranded.iter().any(|&s| s) {
+                continue;
+            }
+            let target = match verdict {
+                Verdict::Down => (b.grant.quality_milli * rung / 1000).max(1),
+                Verdict::Up => b.grant.admitted_milli,
+                Verdict::Hold => unreachable!(),
+            };
+            if self
+                .broker
+                .renegotiate_live(&mut self.sys.net, &mut b.grant, target, at)
+                .is_ok()
+            {
+                if let Some(cam) = &b.camera {
+                    let cfg = camera_for(camera_cfg, b.grant.quality_milli);
+                    let mut cam = cam.borrow_mut();
+                    cam.set_fps(cfg.fps);
+                    cam.set_mode(cfg.mode);
+                }
+            }
+        }
+    }
+
+    /// Applies a sealed cross-shard credit return to the circuit's
+    /// window, parked until `apply_at`. Returns whether the window was
+    /// found — records are addressed to the producer's shard, so a miss
+    /// is an executor routing bug.
+    pub(crate) fn apply_credit_return(&self, dst_vci: Vci, apply_at: Ns, n: u64) -> bool {
+        match self.credit_windows.binary_search_by_key(&dst_vci, |e| e.0) {
+            Ok(idx) => {
+                self.credit_windows[idx]
+                    .1
+                    .borrow_mut()
+                    .release_at(apply_at, n);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Applies a broadcast reclaim record (credits for cells another
+    /// shard watched the fabric drop). Returns whether this shard owns
+    /// the window; exactly one shard does, the rest ignore the record.
+    pub(crate) fn apply_remote_reclaim(&self, dst_vci: Vci, n: u64) -> bool {
+        match self.credit_windows.binary_search_by_key(&dst_vci, |e| e.0) {
+            Ok(idx) => {
+                self.credit_windows[idx].1.borrow_mut().reclaim(n);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The buffer where consumer-side gates on this shard seal credit
+    /// returns addressed to `shard`'s windows.
+    pub(crate) fn credit_export(&self, shard: usize) -> CreditExportBuf {
+        self.credit_out[shard].clone()
     }
 
     /// Runs the compiled scenario to completion and reports — the
@@ -1025,154 +1348,48 @@ impl Scenario {
             self.plan.shards, 1,
             "multi-shard scenarios run under the executor"
         );
-        let spec = &self.spec;
-
         // Two kinds of timeline mark need the owned `Network`, so the
         // engine runs in segments split at each one: switch deaths
         // (structural — routing state plus signalling repair) and, when
         // backpressure is on, congestion epochs (sampling, credit
         // reconciliation, renegotiation). Splitting at an event boundary
         // preserves determinism — the engine's schedule is identical
-        // whether or not it pauses there.
-        enum Mark {
-            Death(usize),
-            Epoch,
-        }
-        let bp = spec.backpressure;
-        let mut marks: Vec<(Ns, u8, Mark)> = spec
-            .faults
-            .iter()
-            .filter_map(|f| match *f {
-                FaultSpec::SwitchDeath { at, switch } => {
-                    Some((at.min(spec.duration), 0u8, Mark::Death(switch)))
-                }
-                _ => None,
-            })
-            .collect();
-        if bp.enabled {
-            let mut t = bp.epoch.max(1);
-            while t <= spec.duration {
-                marks.push((t, 1, Mark::Epoch));
-                t += bp.epoch.max(1);
-            }
-        }
-        // Stable by (time, kind): same-time deaths keep schedule order,
-        // and a death at an epoch boundary lands before the sample.
-        marks.sort_by_key(|&(t, tag, _)| (t, tag));
-
-        let mut controller = CongestionController::new(
-            bp.down_after,
-            bp.up_after,
-            bp.stall_threshold,
-            bp.headroom_cells,
-        );
+        // whether or not it pauses there. The executor's epoch loop
+        // pauses at exactly the same marks and calls the same helpers,
+        // so the two paths cannot drift apart.
+        let mut controller = self.make_controller();
         let mut vcs_rerouted = 0u64;
         let mut vcs_stranded = 0u64;
         let mut admitted_dropped = (0u64, 0u64); // (overflow, outage)
-        for (at, _, mark) in marks {
+        let mut remote: Vec<(Vci, u64)> = Vec::new();
+        for (at, mark) in control_marks(&self.spec) {
             self.sim.run_until(at);
             match mark {
-                Mark::Death(switch) => {
-                    let sw = self.sys.fabric[switch];
-                    self.sys.net.fail_switch(sw);
-                    // Signalling walks every live circuit: those
-                    // crossing the corpse are re-routed with their
-                    // endpoint VCIs pinned so the attached devices (and
-                    // their credit registrations, keyed by delivery
-                    // VCI) never notice; circuits that cannot be
-                    // repaired are stranded, their reservations
-                    // released and their book slot marked so no later
-                    // renegotiation resizes a dead circuit.
-                    for b in &mut self.books {
-                        for (i, slot) in b.grant.vcs.iter_mut().enumerate() {
-                            if b.stranded[i] || !slot.crosses_switch(sw) {
-                                continue;
-                            }
-                            match self.sys.net.reroute_vc(slot.clone()) {
-                                Ok(repaired) => {
-                                    vcs_rerouted += 1;
-                                    *slot = repaired;
-                                }
-                                Err(_) => {
-                                    vcs_stranded += 1;
-                                    b.stranded[i] = true;
-                                }
-                            }
-                        }
-                    }
-                    for (vc, _, stranded) in &mut self.blasts {
-                        if *stranded || !vc.crosses_switch(sw) {
-                            continue;
-                        }
-                        match self.sys.net.reroute_vc(vc.clone()) {
-                            Ok(repaired) => {
-                                vcs_rerouted += 1;
-                                *vc = repaired;
-                            }
-                            Err(_) => {
-                                vcs_stranded += 1;
-                                *stranded = true;
-                            }
-                        }
-                    }
+                ControlMark::Death(switch) => {
+                    let (r, s) = self.apply_death(switch);
+                    vcs_rerouted += r;
+                    vcs_stranded += s;
                 }
-                Mark::Epoch => {
-                    // Sample the epoch's congestion evidence...
-                    let mut sig = CongestionSignal::default();
-                    for b in &mut self.books {
-                        if let Some(w) = &b.credit {
-                            sig.credit_stalls += w.borrow_mut().take_epoch_stalls();
-                        }
-                    }
-                    for i in 0..self.sys.net.switch_count() {
-                        let sw = self.sys.net.switch(pegasus_atm::network::SwitchId(i));
-                        sig.peak_queue_cells = sig
-                            .peak_queue_cells
-                            .max(sw.borrow_mut().stats.take_epoch_peak());
-                    }
-                    sig.cm_slot_pressure =
-                        self.counts.1 > 0 && self.broker.pfs_headroom_slots() == 0;
-                    // ...settle dropped cells' credits so producers
-                    // never wedge on cells that will never arrive...
-                    let (ov, ou) = reconcile_drops(&self.sys, &self.books, &self.blasts);
+                ControlMark::Epoch => {
+                    // Sample the epoch's congestion evidence, settle
+                    // dropped cells' credits so producers never wedge
+                    // on cells that will never arrive, and act on the
+                    // hysteresis verdict.
+                    let sig = self.sample_epoch_signal();
+                    let (ov, ou) = self.settle_drops(&mut remote);
+                    debug_assert!(remote.is_empty(), "one shard owns every window");
                     admitted_dropped.0 += ov;
                     admitted_dropped.1 += ou;
-                    // ...and act on the hysteresis verdict: one rung
-                    // down under sustained pressure, back toward the
-                    // admitted contract once the fabric has drained.
-                    let verdict = controller.observe(&sig);
-                    if verdict != Verdict::Hold {
-                        let rung = spec.broker.degrade_milli;
-                        for b in &mut self.books {
-                            if b.stranded.iter().any(|&s| s) {
-                                continue;
-                            }
-                            let target = match verdict {
-                                Verdict::Down => (b.grant.quality_milli * rung / 1000).max(1),
-                                Verdict::Up => b.grant.admitted_milli,
-                                Verdict::Hold => unreachable!(),
-                            };
-                            if self
-                                .broker
-                                .renegotiate_live(&mut self.sys.net, &mut b.grant, target, at)
-                                .is_ok()
-                            {
-                                if let Some(cam) = &b.camera {
-                                    let cfg = camera_for(spec.camera, b.grant.quality_milli);
-                                    let mut cam = cam.borrow_mut();
-                                    cam.set_fps(cfg.fps);
-                                    cam.set_mode(cfg.mode);
-                                }
-                            }
-                        }
-                    }
+                    let verdict = controller.observe(&sig.into_signal());
+                    self.apply_verdict(verdict, at);
                 }
             }
         }
         self.sim.run_until(self.end_time());
         // Settle drops from the drain window (and, with the monitor
         // off, the whole run) so attribution covers every dropped cell.
-        let (ov, ou) = self.settle_drops();
+        let (ov, ou) = self.settle_drops(&mut remote);
+        debug_assert!(remote.is_empty(), "one shard owns every window");
         admitted_dropped.0 += ov;
         admitted_dropped.1 += ou;
 
@@ -1285,19 +1502,24 @@ impl Scenario {
             }
             if let Some(cam) = &b.camera {
                 bp_rep.frames_skipped += cam.borrow().stats.frames_skipped;
-            }
-            for r in &b.grant.history {
-                if r.to_milli < r.from_milli {
-                    bp_rep.renegotiations_down += 1;
-                } else {
-                    bp_rep.renegotiations_up += 1;
+                // Renegotiation replays on every shard's replicated
+                // grant; count each session's history exactly once, on
+                // the shard owning its producer.
+                for r in &b.grant.history {
+                    if r.to_milli < r.from_milli {
+                        bp_rep.renegotiations_down += 1;
+                    } else {
+                        bp_rep.renegotiations_up += 1;
+                    }
                 }
             }
         }
         for (_, w, _) in &self.blasts {
-            let w = w.borrow();
-            bp_rep.credits_reclaimed += w.reclaimed();
-            bp_rep.queue_bound_cells += w.window();
+            if let Some(w) = w {
+                let w = w.borrow();
+                bp_rep.credits_reclaimed += w.reclaimed();
+                bp_rep.queue_bound_cells += w.window();
+            }
         }
 
         // Coordinator-only sections: the replays and the
@@ -1458,14 +1680,12 @@ impl Scenario {
             }
         }
         let total = r.hot_hits + r.warm_hits + r.cold_misses;
-        if total > 0 {
-            r.hot_milli = r.hot_hits * 1000 / total;
+        if let Some(hot) = (r.hot_hits * 1000).checked_div(total) {
+            r.hot_milli = hot;
             r.warm_milli = r.warm_hits * 1000 / total;
             r.cold_milli = 1000 - r.hot_milli - r.warm_milli;
         }
-        if r.crowd_accesses > 0 {
-            r.crowded_title_hot_milli = crowd_hot * 1000 / r.crowd_accesses;
-        }
+        r.crowded_title_hot_milli = (crowd_hot * 1000).checked_div(r.crowd_accesses).unwrap_or(0);
         r.disk_io_saved_cells = bytes_saved / 48;
         r
     }
@@ -1624,9 +1844,28 @@ pub fn assemble(spec: &ScenarioSpec, mut outcomes: Vec<ShardOutcome>) -> Scenari
             barrier_waits: o.runtime.barrier_waits,
             cells_exported: o.runtime.cells_exported,
             cells_imported: o.runtime.cells_imported,
+            lookahead_ns: o.runtime.lookahead_ns,
+            cut_trunks: o.runtime.cut_trunks,
+            credits_crossed: o.runtime.credits_crossed,
+            repairs_replicated: o.runtime.repairs_replicated,
         })
         .collect();
     report
+}
+
+/// Where a dropped cell's credit goes when the fabric is settled.
+#[derive(Clone)]
+enum Target {
+    /// The circuit's window lives in this address space: reclaim here.
+    Local(CreditRef),
+    /// The window lives on the shard owning the producer's switch:
+    /// emit a reclaim record keyed by delivery VCI for the executor to
+    /// broadcast.
+    Remote(Vci),
+    /// No credit to move — an uncredited flow, or a stranded circuit
+    /// whose producer is wedged by design (its credits leak with the
+    /// corpse). Attribution still applies.
+    Skip,
 }
 
 /// Settles the fabric's per-VCI drop counters against the session
@@ -1634,42 +1873,59 @@ pub fn assemble(spec: &ScenarioSpec, mut outcomes: Vec<ShardOutcome>) -> Scenari
 /// reclaimed (the consumer will never see the cell, so it can never
 /// return it), and drops on an *admitted* session's circuits are
 /// attributed by cause. Returns `(admitted overflow, admitted outage)`
-/// for the cells report. VCIs are allocated from one network-wide
-/// counter, so any hop's label identifies exactly one circuit.
+/// for the cells report; reclaims against windows living on other
+/// shards land in `remote` as `(delivery VCI, n)` records. VCIs are
+/// allocated from one network-wide counter, so any hop's label
+/// identifies exactly one circuit — on every shard.
 fn reconcile_drops(
     sys: &System,
     books: &[SessionBook],
-    blasts: &[(VcHandle, CreditRef, bool)],
+    blasts: &[(VcHandle, Option<CreditRef>, bool)],
+    bp_enabled: bool,
+    remote: &mut Vec<(Vci, u64)>,
 ) -> (u64, u64) {
-    let mut table: Vec<(Vci, Option<CreditRef>, bool)> = Vec::new();
+    let mut table: Vec<(Vci, Target, bool)> = Vec::new();
     for b in books {
         for (i, vc) in b.grant.vcs.iter().enumerate() {
-            // Media flow 0 carries the credit window; a stranded
-            // circuit's producer is wedged by design (its credits leak
-            // with the corpse), so it gets attribution only.
-            let credit = if i == 0 && !b.stranded[i] {
-                b.credit.clone()
+            // Media flow 0 carries the credit window.
+            let target = if i == 0 && !b.stranded[i] {
+                match &b.credit {
+                    Some(w) => Target::Local(w.clone()),
+                    None if bp_enabled => Target::Remote(vc.dst_vci),
+                    None => Target::Skip,
+                }
             } else {
-                None
+                Target::Skip
             };
             for vci in vc.vcis() {
-                table.push((vci, credit.clone(), true));
+                table.push((vci, target.clone(), true));
             }
         }
     }
     for (vc, w, stranded) in blasts {
+        // Blasts are always credited, whatever the backpressure spec.
+        let target = if *stranded {
+            Target::Skip
+        } else {
+            match w {
+                Some(w) => Target::Local(w.clone()),
+                None => Target::Remote(vc.dst_vci),
+            }
+        };
         for vci in vc.vcis() {
-            table.push((vci, (!stranded).then(|| w.clone()), false));
+            table.push((vci, target.clone(), false));
         }
     }
     table.sort_by_key(|e| e.0);
     let mut acc = (0u64, 0u64);
-    let settle = |drops: Vec<(Vci, u64)>, overflow: bool, acc: &mut (u64, u64)| {
+    let mut settle = |drops: Vec<(Vci, u64)>, overflow: bool, acc: &mut (u64, u64)| {
         for (vci, n) in drops {
             if let Ok(idx) = table.binary_search_by_key(&vci, |e| e.0) {
-                let (_, credit, admitted) = &table[idx];
-                if let Some(w) = credit {
-                    w.borrow_mut().reclaim(n);
+                let (_, target, admitted) = &table[idx];
+                match target {
+                    Target::Local(w) => w.borrow_mut().reclaim(n),
+                    Target::Remote(dst_vci) => remote.push((*dst_vci, n)),
+                    Target::Skip => {}
                 }
                 if *admitted {
                     if overflow {

@@ -15,31 +15,52 @@
 //! 2. Cells that crossed a cut during the epoch were captured by the
 //!    transmit link's export buffer ([`pegasus_atm::link::Link`]
 //!    `set_export`) with their exact arrival times. Each shard seals
-//!    them to wire bytes and posts them to per-pair mailboxes.
-//! 3. A barrier; then every shard drains its inbox in sender order and
-//!    injects each sealed cell into its own replica of the transmitting
-//!    link, which delivers into the receiving switch on the trunk's own
-//!    scheduling lane — reproducing the exact per-lane event order the
-//!    single-shard run would have used. A second barrier closes the
-//!    epoch.
+//!    them to wire bytes and posts them to per-pair mailboxes. Credit
+//!    returns for cut-crossing circuits ride the same mailboxes as
+//!    sealed [`CreditReturn`] records: their application time is the
+//!    delivery event time plus the circuit's return delay, which is
+//!    never below the trunk lookahead, so a record sealed in epoch
+//!    `[t, b)` always applies at or after `b` — the conservative bound
+//!    covers the control plane for free.
+//! 3. A barrier; then every shard drains its inbox in sender order,
+//!    injecting each sealed cell into its own replica of the
+//!    transmitting link (delivery lands on the trunk's own scheduling
+//!    lane, reproducing the exact per-lane event order the single-shard
+//!    run would have used) and parking each credit record on its
+//!    window. A second barrier closes the epoch.
 //!
-//! Determinism: ownership, lane assignment and the lookahead are pure
-//! functions of the spec, arrival times come from the sending link's
-//! serialization arithmetic (identical in every mode), and ties at
-//! equal timestamps break on compile-time lane ids. The canonical
-//! report is therefore byte-identical at any `--shards`; CI diffs it.
+//! The epoch boundaries also stop at every *control mark* — switch
+//! deaths and congestion-epoch boundaries, the same timeline the
+//! classic path pauses at (`control_marks` in `build.rs`). Death
+//! repair replays identically on every shard's full `Network` replica;
+//! congestion epochs sample a per-shard [`EpochSignal`], exchange the
+//! samples (and any cross-shard drop reclaims) through per-shard
+//! control slots at a barrier, and feed every replica's controller the
+//! identical merged signal — so renegotiation verdicts, broker ledgers
+//! and grants stay byte-identical at any shard count.
+//!
+//! Determinism: ownership, lane assignment, the lookahead and the mark
+//! timeline are pure functions of the spec, arrival times come from the
+//! sending link's serialization arithmetic (identical in every mode),
+//! and ties at equal timestamps break on compile-time lane ids. The
+//! canonical report is therefore byte-identical at any `--shards`; CI
+//! diffs it.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::{Barrier, Mutex};
 use std::thread;
 
-use pegasus_atm::cell::{Cell, CELL_SIZE};
+use pegasus::congestion::EpochSignal;
+use pegasus_atm::cell::{Cell, Vci, CELL_SIZE};
+use pegasus_atm::credit::CreditReturn;
 use pegasus_atm::link::ExportBuffer;
 use pegasus_atm::network::TrunkDir;
 use pegasus_sim::time::Ns;
 
-use crate::build::{assemble, compile_for, run, ShardOutcome, ShardRuntime};
+use crate::build::{
+    assemble, compile_for, control_marks, run, ControlMark, ShardOutcome, ShardRuntime,
+};
 use crate::partition::{ExecPlan, ShardPlan};
 use crate::report::ScenarioReport;
 use crate::spec::ScenarioSpec;
@@ -53,9 +74,27 @@ struct SealedCell {
     bytes: [u8; CELL_SIZE],
 }
 
-/// `mailboxes[from][to]` carries sealed cells from shard `from` to
+/// One sealed record crossing an epoch boundary: a data cell on a cut
+/// trunk, or a credit return for a circuit whose window lives on the
+/// receiving shard.
+enum SealedMsg {
+    Cell(SealedCell),
+    Credit(CreditReturn),
+}
+
+/// `mailboxes[from][to]` carries sealed records from shard `from` to
 /// shard `to` across one epoch boundary.
-type Mailboxes = Vec<Vec<Mutex<Vec<SealedCell>>>>;
+type Mailboxes = Vec<Vec<Mutex<Vec<SealedMsg>>>>;
+
+/// One shard's contribution to a congestion-epoch exchange: its slice
+/// of the epoch signal and any reclaim records for drops it observed on
+/// circuits whose windows live elsewhere. Written by the owner before
+/// the exchange barrier, read by everyone after it.
+#[derive(Default)]
+struct ControlSlot {
+    signal: EpochSignal,
+    reclaims: Vec<(Vci, u64)>,
+}
 
 /// Runs `spec` across up to `requested` region shards and reports.
 ///
@@ -73,18 +112,27 @@ pub fn run_sharded(spec: &ScenarioSpec, requested: usize) -> ScenarioReport {
     let mailboxes: Mailboxes = (0..k)
         .map(|_| (0..k).map(|_| Mutex::new(Vec::new())).collect())
         .collect();
+    let control: Vec<Mutex<ControlSlot>> =
+        (0..k).map(|_| Mutex::new(ControlSlot::default())).collect();
     let barrier = Barrier::new(k);
     let mut outcomes: Vec<ShardOutcome> = thread::scope(|s| {
         let handles: Vec<_> = (1..k)
             .map(|i| {
                 let sp = plan.shard_plan(i);
                 let mb = &mailboxes;
+                let ct = &control;
                 let ba = &barrier;
-                s.spawn(move || run_shard(spec, sp, mb, ba))
+                s.spawn(move || run_shard(spec, sp, mb, ct, ba))
             })
             .collect();
         // The coordinator (shard 0) runs on this thread.
-        let mut outs = vec![run_shard(spec, plan.shard_plan(0), &mailboxes, &barrier)];
+        let mut outs = vec![run_shard(
+            spec,
+            plan.shard_plan(0),
+            &mailboxes,
+            &control,
+            &barrier,
+        )];
         for h in handles {
             outs.push(h.join().expect("shard thread panicked"));
         }
@@ -99,26 +147,37 @@ fn run_shard(
     spec: &ScenarioSpec,
     plan: ShardPlan,
     mailboxes: &Mailboxes,
+    control: &[Mutex<ControlSlot>],
     barrier: &Barrier,
 ) -> ShardOutcome {
     let me = plan.shard;
     let shards = plan.shards;
     let mut sc = compile_for(spec, plan);
     let owner = sc.plan().owner.clone();
+    let coordinator = sc.plan().materialize_pfs;
     let trunks: Vec<TrunkDir> = sc.sys.net.trunks().to_vec();
 
     // Redirect the transmit side of every outbound cut trunk into an
     // export buffer: cells this shard sends to a peer's switch are
     // captured with their arrival times instead of delivered locally.
+    // Pre-sized so the steady-state epoch loop never grows them.
     let mut outbound: Vec<(usize, ExportBuffer, usize)> = Vec::new();
     for (ti, t) in trunks.iter().enumerate() {
         if owner[t.from] == me && owner[t.to] != me {
-            let buf: ExportBuffer = Rc::new(RefCell::new(Vec::new()));
+            let buf: ExportBuffer = Rc::new(RefCell::new(Vec::with_capacity(256)));
             sc.sys
                 .net
                 .with_switch_output(t.from, t.port, |l| l.set_export(buf.clone()));
             outbound.push((ti, buf, owner[t.to]));
         }
+    }
+    // Outbound credit-return records, addressed by producer shard. The
+    // consumer-side gates filled the buffers during the epoch; the slot
+    // for this shard stays empty by construction (a locally-owned
+    // window gets a delayed in-process return, not an export).
+    let credit_out: Vec<_> = (0..shards).map(|d| sc.credit_export(d)).collect();
+    for buf in &credit_out {
+        buf.borrow_mut().reserve(64);
     }
 
     // Conservative lookahead: the global minimum over *all* cut trunks
@@ -132,11 +191,30 @@ fn run_shard(
         .expect("a multi-shard plan over a connected fabric has cut trunks")
         .max(1);
 
+    // The control-plane timeline: identical on every shard, so the
+    // extra boundaries (and the barriers some of them cost) align.
+    let marks = control_marks(spec);
+    let mut mark_idx = 0usize;
+    let mut controller = sc.make_controller();
+    let mut vcs_rerouted = 0u64;
+    let mut vcs_stranded = 0u64;
+    let mut admitted_dropped = (0u64, 0u64); // (overflow, outage)
+    let mut remote: Vec<(Vci, u64)> = Vec::new();
+
     let end = sc.end_time();
-    let mut rt = ShardRuntime::default();
+    let mut rt = ShardRuntime {
+        lookahead_ns: lookahead,
+        cut_trunks: outbound.len() as u64,
+        ..ShardRuntime::default()
+    };
+    // Reusable drain buffer: swap a mailbox's contents out under the
+    // lock, process outside it. `clear` + `append` retains both
+    // vectors' capacities, so the steady-state loop allocates nothing.
+    let mut drain_buf: Vec<SealedMsg> = Vec::new();
     let mut t: Ns = 0;
     while t < end {
-        let next = (t + lookahead).min(end);
+        let next_mark = marks.get(mark_idx).map_or(Ns::MAX, |&(at, _)| at);
+        let next = (t + lookahead).min(end).min(next_mark);
         // Run this epoch: strictly before the boundary, then park the
         // clock exactly on it so injected arrivals can never precede it.
         sc.sim.run_before(next);
@@ -151,34 +229,67 @@ fn run_shard(
             let mut mb = mailboxes[me][*dest].lock().expect("mailbox lock");
             for (arrival, cell) in cells.drain(..) {
                 rt.cells_exported += 1;
-                mb.push(SealedCell {
+                mb.push(SealedMsg::Cell(SealedCell {
                     trunk: *ti as u32,
                     arrival,
                     bytes: cell.to_bytes(),
-                });
+                }));
+            }
+        }
+        // Credit returns for windows living on other shards ride the
+        // same mailboxes. Their application times already clear the
+        // next boundary: delivery happened strictly before `next`, and
+        // the return delay is never below the trunk lookahead.
+        for (dest, buf) in credit_out.iter().enumerate() {
+            let mut records = buf.borrow_mut();
+            if dest == me {
+                debug_assert!(records.is_empty(), "no export path to our own windows");
+                continue;
+            }
+            if records.is_empty() {
+                continue;
+            }
+            let mut mb = mailboxes[me][dest].lock().expect("mailbox lock");
+            for r in records.drain(..) {
+                debug_assert!(r.apply_at >= next, "credit return clears the boundary");
+                rt.credits_crossed += 1;
+                mb.push(SealedMsg::Credit(r));
             }
         }
         barrier.wait();
         rt.barrier_waits += 1;
 
-        // Drain: accept peers' cells in sender order, injecting each
-        // into this shard's replica of the transmitting link — delivery
-        // lands on the trunk's own lane, so per-lane order matches the
-        // single-shard schedule exactly.
+        // Drain: accept peers' records in sender order. Cells are
+        // injected into this shard's replica of the transmitting link —
+        // delivery lands on the trunk's own lane, so per-lane order
+        // matches the single-shard schedule exactly. Credit records are
+        // parked on their windows until their application times.
         for (sender, from_sender) in mailboxes.iter().enumerate().take(shards) {
             if sender == me {
                 continue;
             }
-            let batch: Vec<SealedCell> =
-                std::mem::take(&mut *from_sender[me].lock().expect("mailbox lock"));
-            for sealed in batch {
-                rt.cells_imported += 1;
-                let cell = Cell::from_bytes(&sealed.bytes).expect("sealed cell round-trips");
-                let tr = &trunks[sealed.trunk as usize];
-                let sim = &mut sc.sim;
-                sc.sys
-                    .net
-                    .with_switch_output(tr.from, tr.port, |l| l.inject(sim, sealed.arrival, cell));
+            {
+                let mut mb = from_sender[me].lock().expect("mailbox lock");
+                drain_buf.clear();
+                drain_buf.append(&mut mb);
+            }
+            for msg in drain_buf.drain(..) {
+                match msg {
+                    SealedMsg::Cell(sealed) => {
+                        rt.cells_imported += 1;
+                        let cell =
+                            Cell::from_bytes(&sealed.bytes).expect("sealed cell round-trips");
+                        let tr = &trunks[sealed.trunk as usize];
+                        let sim = &mut sc.sim;
+                        sc.sys.net.with_switch_output(tr.from, tr.port, |l| {
+                            l.inject(sim, sealed.arrival, cell)
+                        });
+                    }
+                    SealedMsg::Credit(r) => {
+                        let found = sc.apply_credit_return(r.dst_vci, r.apply_at, r.n);
+                        debug_assert!(found, "credit record addressed to the window's owner");
+                    }
+                }
             }
         }
         // Close the epoch only once every shard has drained: a fast
@@ -186,14 +297,98 @@ fn run_shard(
         // mailbox that is still being read.
         barrier.wait();
         rt.barrier_waits += 1;
+
+        // Control marks at this boundary, in the classic order (deaths
+        // before a same-time epoch sample). Events parked exactly on
+        // the mark — injected arrivals included — run first, matching
+        // the classic path's inclusive `run_until(at)`.
+        while marks.get(mark_idx).is_some_and(|&(at, _)| at == next) {
+            sc.sim.run_until(next);
+            match marks[mark_idx].1 {
+                ControlMark::Death(switch) => {
+                    // Repair replays identically on every shard's full
+                    // replica; the report's totals count it once, on
+                    // the coordinator.
+                    let (r, s) = sc.apply_death(switch);
+                    rt.repairs_replicated += r + s;
+                    if coordinator {
+                        vcs_rerouted += r;
+                        vcs_stranded += s;
+                    }
+                }
+                ControlMark::Epoch => {
+                    // Sample locally, settle local drops (emitting
+                    // reclaim records for windows living elsewhere),
+                    // publish both through this shard's control slot...
+                    let sig = sc.sample_epoch_signal();
+                    let (ov, ou) = sc.settle_drops(&mut remote);
+                    admitted_dropped.0 += ov;
+                    admitted_dropped.1 += ou;
+                    {
+                        let mut slot = control[me].lock().expect("control slot lock");
+                        slot.signal = sig;
+                        slot.reclaims.clear();
+                        slot.reclaims.append(&mut remote);
+                    }
+                    barrier.wait();
+                    rt.barrier_waits += 1;
+                    // ...then fold every shard's sample (the merge is
+                    // associative and commutative, folded in shard
+                    // order) and apply peers' reclaims to any window
+                    // this shard owns.
+                    let mut merged = EpochSignal::default();
+                    for (i, slot) in control.iter().enumerate().take(shards) {
+                        let slot = slot.lock().expect("control slot lock");
+                        merged.merge(&slot.signal);
+                        if i != me {
+                            for &(vci, n) in &slot.reclaims {
+                                sc.apply_remote_reclaim(vci, n);
+                            }
+                        }
+                    }
+                    barrier.wait();
+                    rt.barrier_waits += 1;
+                    // Every replica's controller observes the identical
+                    // merged signal, so every replica applies the
+                    // identical verdict to its replicated ledgers.
+                    let verdict = controller.observe(&merged.into_signal());
+                    sc.apply_verdict(verdict, next);
+                }
+            }
+            mark_idx += 1;
+        }
         t = next;
     }
     // The final boundary equals `end`: one last pass executes any
     // event parked exactly on it (injected arrivals included).
     sc.sim.run_until(end);
 
-    let admitted_dropped = sc.settle_drops();
-    sc.collect(0, 0, admitted_dropped, rt)
+    // Final settle exchange: drops from the drain window may still sit
+    // on circuits whose windows live elsewhere, and the reclaim ledger
+    // feeds the report — so the records cross once more before collect.
+    let (ov, ou) = sc.settle_drops(&mut remote);
+    admitted_dropped.0 += ov;
+    admitted_dropped.1 += ou;
+    {
+        let mut slot = control[me].lock().expect("control slot lock");
+        slot.reclaims.clear();
+        slot.reclaims.append(&mut remote);
+    }
+    barrier.wait();
+    rt.barrier_waits += 1;
+    for (i, slot) in control.iter().enumerate().take(shards) {
+        if i == me {
+            continue;
+        }
+        let slot = slot.lock().expect("control slot lock");
+        for &(vci, n) in &slot.reclaims {
+            sc.apply_remote_reclaim(vci, n);
+        }
+    }
+    barrier.wait();
+    rt.barrier_waits += 1;
+
+    sc.collect(vcs_rerouted, vcs_stranded, admitted_dropped, rt)
 }
 
 #[cfg(test)]
@@ -219,6 +414,7 @@ mod tests {
             let sum: u64 = r.shards.iter().map(|s| s.events).sum();
             assert_eq!(sum, base.events_executed, "event count is invariant");
             assert!(r.shards.iter().all(|s| s.barrier_waits > 0));
+            assert!(r.shards.iter().all(|s| s.lookahead_ns > 0));
             let exported: u64 = r.shards.iter().map(|s| s.cells_exported).sum();
             let imported: u64 = r.shards.iter().map(|s| s.cells_imported).sum();
             assert_eq!(exported, imported, "no cell lost between shards");
@@ -226,15 +422,21 @@ mod tests {
         }
     }
 
-    /// Backpressure clamps to one shard and still reports one slice.
+    /// The control plane shards: a sustained-overload preset — live
+    /// backpressure, congestion epochs, renegotiation and a best-effort
+    /// blast — runs unclamped at four shards, crosses credits at the
+    /// cut, and produces the byte-identical canonical report.
     #[test]
-    fn clamped_spec_still_runs_and_reports_one_slice() {
-        let mut spec = presets::by_name("smoke").expect("preset");
-        spec.backpressure.enabled = true;
-        let r = run_sharded(&spec, 4);
-        assert_eq!(r.shards.len(), 1);
-        assert_eq!(r.shards[0].barrier_waits, 0);
-        let classic = crate::build::run(&spec);
-        assert_eq!(r.to_json(), classic.to_json());
+    fn backpressure_preset_shards_without_clamping() {
+        let spec = presets::by_name("sustained-3x").expect("preset");
+        let plan = ExecPlan::partition(&spec, 4);
+        assert_eq!(plan.shards, 4);
+        assert!(plan.clamp_reason.is_none(), "no feature clamp remains");
+        let base = run_sharded(&spec, 1);
+        let four = run_sharded(&spec, 4);
+        assert_eq!(base.to_json_canonical(), four.to_json_canonical());
+        assert_eq!(four.shards.len(), 4);
+        let crossed: u64 = four.shards.iter().map(|s| s.credits_crossed).sum();
+        assert!(crossed > 0, "cut-crossing circuits sealed credit returns");
     }
 }

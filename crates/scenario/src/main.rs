@@ -151,6 +151,17 @@ fn main() -> ExitCode {
             if seeds.is_empty() {
                 seeds.push(spec.seed);
             }
+            // Clamping is visible, never silent: say why the run uses
+            // fewer shards than asked for.
+            let plan = pegasus_scenario::ExecPlan::partition(&spec, shards);
+            if plan.shards < plan.requested {
+                eprintln!(
+                    "note: clamped to {} shard(s) of {} requested: {}",
+                    plan.shards,
+                    plan.requested,
+                    plan.clamp_reason.unwrap_or("unknown"),
+                );
+            }
             let reports: Vec<ScenarioReport> = seeds
                 .iter()
                 .map(|&s| run_sharded(&spec.clone().with_seed(s), shards))

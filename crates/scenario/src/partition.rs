@@ -14,21 +14,21 @@
 //! the per-trunk scheduling lanes assigned at wiring time
 //! (`pegasus_atm::network::TrunkDir`).
 //!
-//! Some spec features couple state across the whole city and force the
-//! plan down to one shard rather than silently diverging:
+//! The control plane shards too. Credit returns on cut-crossing
+//! circuits ride the same sealed mailboxes as data cells (their return
+//! delay is never below the trunk lookahead, so the conservative
+//! argument covers them); congestion epochs are sampled per shard into
+//! a mergeable `EpochSignal` and exchanged at the barrier; and switch
+//! death repair replays identically on every shard's full `Network`
+//! replica at the fault's mark. None of those features clamps the plan
+//! any more — the only remaining clamp is geometric: a plan can never
+//! have more shards than fabric switches.
 //!
-//! * **Backpressure** — credit windows are shared between the producing
-//!   and consuming endpoints, and the congestion epochs sample every
-//!   switch in one pass.
-//! * **Switch death** — signalling repair walks the one true `Network`
-//!   and re-routes live circuits through it.
-//! * **Best-effort blasts** — the blast's pump holds the credit window
-//!   its remote discard sink refills.
-//!
-//! Clamping is *visible* (the plan records it), never an error: a spec
-//! that cannot shard still runs, exactly as before, on one shard.
+//! Clamping is *visible* (the plan records it, and the CLI prints the
+//! reason), never an error: a spec that cannot use every requested
+//! shard still runs on the clamped count.
 
-use crate::spec::{FaultSpec, ScenarioSpec};
+use crate::spec::ScenarioSpec;
 
 /// The partition of a scenario into region shards.
 #[derive(Debug, Clone)]
@@ -60,24 +60,6 @@ impl ExecPlan {
             }
         };
         clamp(&mut shards, n, "more shards than fabric switches");
-        if spec.backpressure.enabled {
-            clamp(
-                &mut shards,
-                1,
-                "backpressure couples producers and consumers",
-            );
-        }
-        for f in &spec.faults {
-            match f {
-                FaultSpec::SwitchDeath { .. } => {
-                    clamp(&mut shards, 1, "switch death repairs the whole network");
-                }
-                FaultSpec::BestEffortBlast { .. } => {
-                    clamp(&mut shards, 1, "blast pump shares its sink's credit window");
-                }
-                _ => {}
-            }
-        }
         // Contiguous balanced ranges: switch s goes to shard s·k/n.
         let owner = (0..n).map(|s| s * shards / n).collect();
         ExecPlan {
@@ -140,12 +122,24 @@ impl ShardPlan {
     pub fn owns(&self, s: usize) -> bool {
         self.shards == 1 || self.owner.get(s).copied().unwrap_or(0) == self.shard
     }
+
+    /// The shard owning fabric switch `s` (shard 0 under the trivial
+    /// plan). Credit records for a cut-crossing circuit are addressed
+    /// to the shard owning the *producer's* switch, which is where the
+    /// circuit's window lives.
+    pub fn owner_of(&self, s: usize) -> usize {
+        if self.shards == 1 {
+            0
+        } else {
+            self.owner.get(s).copied().unwrap_or(0)
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{BackpressureSpec, ScenarioSpec};
+    use crate::spec::{BackpressureSpec, FaultSpec, ScenarioSpec};
     use pegasus_sim::time::MS;
 
     fn mesh_spec(switches: usize) -> ScenarioSpec {
@@ -178,25 +172,35 @@ mod tests {
     }
 
     #[test]
-    fn backpressure_forces_one_shard() {
+    fn backpressure_no_longer_clamps() {
         let mut spec = mesh_spec(8);
         spec.backpressure = BackpressureSpec {
             enabled: true,
             ..spec.backpressure
         };
         let plan = ExecPlan::partition(&spec, 4);
-        assert_eq!(plan.shards, 1);
-        assert!(plan.clamp_reason.is_some());
+        assert_eq!(plan.shards, 4, "cut-crossing credits shard");
+        assert!(plan.clamp_reason.is_none());
     }
 
     #[test]
-    fn switch_death_forces_one_shard() {
+    fn switch_death_and_blasts_no_longer_clamp() {
         let mut spec = mesh_spec(8);
         spec.faults.push(FaultSpec::SwitchDeath {
             at: 10 * MS,
             switch: 2,
         });
-        assert_eq!(ExecPlan::partition(&spec, 4).shards, 1);
+        spec.faults.push(FaultSpec::BestEffortBlast {
+            at: MS,
+            until: 5 * MS,
+            from_switch: 1,
+            to_switch: 6,
+            rate_bps: 100_000_000,
+            window: 64,
+        });
+        let plan = ExecPlan::partition(&spec, 4);
+        assert_eq!(plan.shards, 4, "repair replicates, blasts export credits");
+        assert!(plan.clamp_reason.is_none());
     }
 
     #[test]

@@ -235,35 +235,53 @@ pub fn flash_crowd() -> ScenarioSpec {
     spec
 }
 
-/// Three-times-sustainable best-effort load on the shared trunk of a
-/// two-switch star, mid-run, with credit backpressure on: the blast is
+/// Three-times-sustainable best-effort load on a hub trunk of a
+/// four-switch star, mid-run, with credit backpressure on: the blast is
 /// credit-bounded so no queue can overflow, admitted media sessions
 /// feel it as credit stalls, and the congestion controller renegotiates
 /// them down a rung until the blast ends, then restores them. Overload
 /// as explicit, bounded, reversible degradation — queues bounded by
-/// construction, zero overflow drops, zero deadline misses.
+/// construction, zero overflow drops, zero deadline misses. Four
+/// switches so the heaviest backpressure preset shards for real:
+/// `--shards 4` runs it unclamped, credits crossing the cuts as sealed
+/// records.
 pub fn sustained_3x() -> ScenarioSpec {
     let mut spec = ScenarioSpec::base("sustained-3x");
     spec.topology = TopologySpec {
         shape: TopologyShape::Star,
-        switches: 2,
+        switches: 4,
         link: LinkConfig::pegasus_default(),
     };
-    spec.sessions = 8;
+    spec.sessions = 16;
     spec.mix = SessionMix::new(0.5, 0.25, 0.25);
     spec.duration = 300 * MS;
     spec.backpressure.enabled = true;
     spec.backpressure.window_cells = 24;
-    spec.faults = vec![FaultSpec::BestEffortBlast {
-        at: 60 * MS,
-        until: 200 * MS,
-        from_switch: 1,
-        to_switch: 0,
-        // 3× the 100 Mbit/s trunk, held to a standing queue of at most
-        // 512 cells by its credit window (switch queues hold 1024).
-        rate_bps: 300_000_000,
-        window: 512,
-    }];
+    // Two spoke-to-spoke blasts transit the hub in opposite senses,
+    // loading four of the six directed hub trunks (1→0, 0→2, 3→0,
+    // 0→1) — most sessions source or sink behind a loaded trunk.
+    // Each is 3× the 100 Mbit/s trunk, held to a standing queue of at
+    // most 512 cells by its credit window; the queues build on
+    // *different* hub output ports, so the per-port 1024-cell switch
+    // queues never overflow.
+    spec.faults = vec![
+        FaultSpec::BestEffortBlast {
+            at: 60 * MS,
+            until: 200 * MS,
+            from_switch: 1,
+            to_switch: 2,
+            rate_bps: 300_000_000,
+            window: 512,
+        },
+        FaultSpec::BestEffortBlast {
+            at: 60 * MS,
+            until: 200 * MS,
+            from_switch: 3,
+            to_switch: 1,
+            rate_bps: 300_000_000,
+            window: 512,
+        },
+    ];
     spec
 }
 

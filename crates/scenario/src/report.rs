@@ -16,7 +16,7 @@ use crate::json::JsonWriter;
 /// Version of the report's JSON schema. Bumped when fields are added,
 /// removed or reordered, so downstream diffing tools can refuse to
 /// compare across schema changes. History in `SCENARIOS.md`.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// What one region shard did during a sharded run. A classic
 /// single-threaded run reports exactly one slice with zero barrier
@@ -35,6 +35,16 @@ pub struct ShardSlice {
     pub cells_exported: u64,
     /// Sealed cells this shard accepted from other shards.
     pub cells_imported: u64,
+    /// The conservative lookahead the epoch loop ran under, in ns
+    /// (zero on the classic path, which has no epochs).
+    pub lookahead_ns: u64,
+    /// Outbound cut trunks this shard exported on.
+    pub cut_trunks: u64,
+    /// Sealed credit-return records this shard published to peers.
+    pub credits_crossed: u64,
+    /// Circuits this shard's replica walked during replicated
+    /// switch-death repair (identical on every shard by construction).
+    pub repairs_replicated: u64,
 }
 
 /// Latency/jitter distributions of one traffic class.
@@ -378,7 +388,10 @@ impl ScenarioReport {
                 w.u64("disk_io_saved_cells", self.cache.disk_io_saved_cells);
                 w.u64("prefetched_chunks", self.cache.prefetched_chunks);
                 w.u64("crowd_accesses", self.cache.crowd_accesses);
-                w.u64("crowded_title_hot_milli", self.cache.crowded_title_hot_milli);
+                w.u64(
+                    "crowded_title_hot_milli",
+                    self.cache.crowded_title_hot_milli,
+                );
                 w.u64("shared_attaches", self.cache.shared_attaches);
                 w.u64("fresh_allocs", self.cache.fresh_allocs);
             });
@@ -435,6 +448,10 @@ impl ScenarioReport {
                     w.u64("barrier_waits", s.barrier_waits);
                     w.u64("cells_exported", s.cells_exported);
                     w.u64("cells_imported", s.cells_imported);
+                    w.u64("lookahead_ns", s.lookahead_ns);
+                    w.u64("cut_trunks", s.cut_trunks);
+                    w.u64("credits_crossed", s.credits_crossed);
+                    w.u64("repairs_replicated", s.repairs_replicated);
                 });
             }
         })
@@ -462,7 +479,7 @@ mod tests {
         r.broker.rejected_bandwidth = 1;
         r.broker.quality_milli = (1000, 750, 500);
         let s = r.to_json();
-        assert!(s.starts_with("{\"schema_version\":3,\"scenario\":\"unit\",\"seed\":9,"));
+        assert!(s.starts_with("{\"schema_version\":4,\"scenario\":\"unit\",\"seed\":9,"));
         assert!(s.contains(
             "\"cache\":{\"enabled\":false,\"hit_ratio_per_tier\":\
              {\"hot_milli\":0,\"warm_milli\":0,\"cold_milli\":0},"
@@ -490,12 +507,17 @@ mod tests {
             barrier_waits: 4,
             cells_exported: 7,
             cells_imported: 3,
+            lookahead_ns: 2120,
+            cut_trunks: 1,
+            credits_crossed: 5,
+            repairs_replicated: 2,
         });
         let full = r.to_json();
         let canonical = r.to_json_canonical();
         assert!(full.contains(
             "\"shards\":[{\"shard\":0,\"events\":100,\"barrier_waits\":4,\
-             \"cells_exported\":7,\"cells_imported\":3}]"
+             \"cells_exported\":7,\"cells_imported\":3,\"lookahead_ns\":2120,\
+             \"cut_trunks\":1,\"credits_crossed\":5,\"repairs_replicated\":2}]"
         ));
         assert!(!canonical.contains("\"shards\""));
         // Canonical is a strict prefix apart from the shards suffix.

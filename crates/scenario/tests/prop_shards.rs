@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 
 use pegasus_atm::network::TopologyShape;
-use pegasus_scenario::spec::{Arrival, ScenarioSpec, SessionMix, TopologySpec};
+use pegasus_scenario::spec::{Arrival, FaultSpec, ScenarioSpec, SessionMix, TopologySpec};
 use pegasus_scenario::{run_sharded, ExecPlan};
 use pegasus_sim::time::MS;
 
@@ -67,6 +67,58 @@ proptest! {
                 canon == base,
                 "canonical report diverged at {} shards (plan ran {}):\n--- 1 shard ---\n{}\n--- {} shards ---\n{}",
                 shards, plan.shards, base, shards, canon
+            );
+        }
+    }
+
+    /// The sharded *control plane*'s determinism claim: backpressure
+    /// (credit gates, congestion epochs, renegotiation, cross-shard
+    /// credit returns) and switch death (replicated signalling repair)
+    /// no longer clamp the plan, and the canonical report stays
+    /// byte-identical at any shard count with both in play.
+    #[test]
+    fn control_plane_is_invariant_under_sharding(
+        tag in 0u8..3,
+        switches in 2usize..7,
+        sessions in 1usize..12,
+        epoch_ms in 1u64..3,
+        window in 8u64..48,
+        death_ms in 1u64..8,
+        dead_switch in 0usize..7,
+        seed in 0u64..1000,
+    ) {
+        let mut spec = ScenarioSpec::base("prop-control").with_seed(seed);
+        spec.topology = TopologySpec {
+            shape: shape_for(tag),
+            switches,
+            ..spec.topology
+        };
+        spec.sessions = sessions;
+        spec.mix = SessionMix::new(2.0, 1.0, 1.0);
+        spec.arrival = Arrival::Uniform { window: 2 * MS };
+        spec.duration = 8 * MS;
+        spec.drain = 5 * MS;
+        spec.backpressure.enabled = true;
+        spec.backpressure.epoch = epoch_ms * MS;
+        spec.backpressure.window_cells = window;
+        spec.faults.push(FaultSpec::SwitchDeath {
+            at: death_ms * MS,
+            switch: dead_switch % switches,
+        });
+
+        let plan = ExecPlan::partition(&spec, 4);
+        prop_assert!(
+            plan.clamp_reason.is_none() || plan.shards == switches.min(4),
+            "only the geometric clamp may fire"
+        );
+        let base = run_sharded(&spec, 1).to_json_canonical();
+        for shards in [2usize, 4] {
+            let got = run_sharded(&spec, shards);
+            let canon = got.to_json_canonical();
+            prop_assert!(
+                canon == base,
+                "control plane diverged at {} shards:\n--- 1 shard ---\n{}\n--- {} shards ---\n{}",
+                shards, base, shards, canon
             );
         }
     }

@@ -67,6 +67,22 @@ if [ ! -s "$SHARD_OUT" ]; then
     echo "bench_engine.sh: bench produced no $SHARD_OUT" >&2
     exit 1
 fi
+
+# The e22 control-plane lanes share BENCH_shards.json with the e20
+# data-plane lanes (its keys are `control_`-prefixed so the guard's
+# lookups cannot collide); the bench writes its own object and the
+# script appends it after e20's.
+rm -f "$SHARD_OUT.ctrl"
+if ! cargo bench --bench e22_control_plane_scaling -- --scale "$SCALE" --json "$PWD/$SHARD_OUT.ctrl"; then
+    echo "bench_engine.sh: e22 bench binary failed (scale $SCALE)" >&2
+    exit 1
+fi
+if [ ! -s "$SHARD_OUT.ctrl" ]; then
+    echo "bench_engine.sh: bench produced no $SHARD_OUT.ctrl" >&2
+    exit 1
+fi
+cat "$SHARD_OUT.ctrl" >> "$SHARD_OUT"
+rm -f "$SHARD_OUT.ctrl"
 echo "--- $SHARD_OUT"
 cat "$SHARD_OUT"
 

@@ -11,8 +11,12 @@
 # events/sec (on fewer cores the scaling check is skipped with an
 # explicit SKIPPED line and a scaling_gate_skipped marker in the smoke
 # JSON — the lanes still run and the canonical-report cross-check
-# inside e20 still bites). The e21 tiered-cache lane must hold a >=2x
-# disk-time reduction at Zipf alpha 1.0 (virtual time, no tolerance).
+# inside e20 still bites). The e22 control-plane lanes (sustained-3x
+# scaled up, backpressure and congestion epochs live, appended to the
+# same BENCH_shards.json) carry the same -30% single-shard floor and a
+# 1.8x four-shard gate behind the same core-count skip. The e21
+# tiered-cache lane must hold a >=2x disk-time reduction at Zipf alpha
+# 1.0 (virtual time, no tolerance).
 #
 # Caveat: the floor is an absolute rate recorded on the hardware that
 # last ran `scripts/bench_engine.sh` (full mode updates the committed
@@ -137,6 +141,48 @@ if [ -n "$HOST_CORES" ] && [ "$HOST_CORES" -ge 4 ]; then
     fi
 else
     echo "bench_guard: shards4 2.5x scaling gate SKIPPED (host_cores=${HOST_CORES:-?}, needs >=4; marker recorded in BENCH_shards.smoke.json)"
+fi
+
+# Control-plane lanes (e22, appended to the same BENCH_shards.json by
+# bench_engine.sh). Same shape as the e20 gates: the ctrl_shards1 lane
+# holds a -30% rate floor against the committed full-scale run, and on
+# a >=4-core host the ctrl_shards4 lane must hold >=1.8x the shards1
+# rate — the control plane synchronizes at every congestion epoch on
+# top of the lookahead barriers, so its scaling bar sits below the
+# data plane's 2.5x. On fewer cores the check is loud-skipped exactly
+# like e20's.
+CTRL1_BASE=$(json_field BENCH_shards.json control_events_per_sec 1)
+CTRL1_SMOKE=$(json_field BENCH_shards.smoke.json control_events_per_sec 1)
+if [ -z "$CTRL1_BASE" ] || [ -z "$CTRL1_SMOKE" ]; then
+    echo "bench_guard.sh: could not parse ctrl_shards1 control_events_per_sec" >&2
+    exit 1
+fi
+CTRL_FLOOR=$(awk -v b="$CTRL1_BASE" -v t="$TOLERANCE" 'BEGIN { printf "%d", b * (100 - t) / 100 }')
+echo "bench_guard: smoke ctrl_shards1 $CTRL1_SMOKE vs floor $CTRL_FLOOR (committed $CTRL1_BASE, -$TOLERANCE%)"
+if [ "$CTRL1_SMOKE" -lt "$CTRL_FLOOR" ]; then
+    echo "bench_guard: REGRESSION — ctrl_shards1 events/sec $CTRL1_SMOKE below floor $CTRL_FLOOR" >&2
+    exit 1
+fi
+
+CTRL_GATE_SKIPPED=$(json_field BENCH_shards.smoke.json control_scaling_gate_skipped 1)
+if [ -z "$CTRL_GATE_SKIPPED" ]; then
+    echo "bench_guard.sh: no control_scaling_gate_skipped marker in BENCH_shards.smoke.json" >&2
+    exit 1
+fi
+if [ -n "$HOST_CORES" ] && [ "$HOST_CORES" -ge 4 ]; then
+    if [ "$CTRL_GATE_SKIPPED" -ne 0 ]; then
+        echo "bench_guard: BENCH_shards.smoke.json claims the control scaling gate was skipped on a $HOST_CORES-core host" >&2
+        exit 1
+    fi
+    CTRL_SPEEDUP=$(json_field BENCH_shards.smoke.json control_speedup_4v1 1)
+    CTRL_SCALE_OK=$(awk -v s="$CTRL_SPEEDUP" 'BEGIN { print (s >= 1.8) ? 1 : 0 }')
+    echo "bench_guard: ctrl_shards4 speedup ${CTRL_SPEEDUP}x on $HOST_CORES cores (floor 1.8x)"
+    if [ "$CTRL_SCALE_OK" != "1" ]; then
+        echo "bench_guard: REGRESSION — control-plane speedup ${CTRL_SPEEDUP}x below 1.8x on a $HOST_CORES-core host" >&2
+        exit 1
+    fi
+else
+    echo "bench_guard: ctrl_shards4 1.8x scaling gate SKIPPED (host_cores=${HOST_CORES:-?}, needs >=4; marker recorded in BENCH_shards.smoke.json)"
 fi
 
 # Tiered-cache floor: the alpha=1.0 lane of the e21 bench must keep at

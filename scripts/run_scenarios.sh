@@ -15,7 +15,10 @@
 #                                      # down AND back up,
 #                                      # determinism checked byte-for-byte,
 #                                      # canonical reports byte-identical
-#                                      # at --shards 1 vs --shards 4
+#                                      # at --shards 1/2/4 — including
+#                                      # the control-plane presets
+#                                      # (sustained-3x, storm-backpressure,
+#                                      # nemesis-storm)
 #   scripts/run_scenarios.sh --full    # every preset at full scale
 #                                      # (fault presets may miss by design;
 #                                      # only completion is enforced)
@@ -104,6 +107,25 @@ require_renegotiation() {
     echo "run_scenarios.sh: $1 renegotiated $DOWN down, $UP up"
 }
 
+require_shard_invariance() {
+    # require_shard_invariance NAME PRESET ARGS... — the canonical
+    # report (schema minus the per-shard execution block) must be
+    # byte-identical at --shards 1, 2 and 4.
+    NAME=$1
+    shift
+    "$BIN" run "$@" --shards 1 --canonical --quiet \
+        --out "$OUTDIR/$NAME.shards1.json"
+    for n in 2 4; do
+        "$BIN" run "$@" --shards "$n" --canonical --quiet \
+            --out "$OUTDIR/$NAME.shards$n.json"
+        if ! cmp -s "$OUTDIR/$NAME.shards1.json" "$OUTDIR/$NAME.shards$n.json"; then
+            echo "run_scenarios.sh: $NAME canonical report differs at --shards $n" >&2
+            exit 1
+        fi
+    done
+    echo "run_scenarios.sh: $NAME byte-identical at --shards 1, 2 and 4"
+}
+
 require_deterministic() {
     # require_deterministic NAME PRESET ARGS... — rerun and byte-compare.
     NAME=$1
@@ -124,29 +146,13 @@ if [ "$MODE" = "--smoke" ]; then
     # byte-identically.
     require_deterministic smoke smoke --seed 7
 
-    # Cross-shard determinism gate: the canonical report (schema v3
-    # minus the per-shard execution block) must be byte-identical
-    # whether the city runs on one thread or across region shards.
-    # smoke's two-switch star clamps --shards 4 to 2 real shards; the
-    # 16-switch metropolis mesh below runs 4 genuine ones.
-    "$BIN" run smoke --seed 7 --shards 1 --canonical --quiet \
-        --out "$OUTDIR/smoke.shards1.json"
-    "$BIN" run smoke --seed 7 --shards 4 --canonical --quiet \
-        --out "$OUTDIR/smoke.shards4.json"
-    if ! cmp -s "$OUTDIR/smoke.shards1.json" "$OUTDIR/smoke.shards4.json"; then
-        echo "run_scenarios.sh: smoke canonical report differs across shard counts" >&2
-        exit 1
-    fi
-    echo "run_scenarios.sh: smoke byte-identical at --shards 1 and --shards 4"
-    "$BIN" run metropolis-1k --seed 7 --scale 0.05 --shards 1 --canonical --quiet \
-        --out "$OUTDIR/metropolis-smoke.shards1.json"
-    "$BIN" run metropolis-1k --seed 7 --scale 0.05 --shards 4 --canonical --quiet \
-        --out "$OUTDIR/metropolis-smoke.shards4.json"
-    if ! cmp -s "$OUTDIR/metropolis-smoke.shards1.json" "$OUTDIR/metropolis-smoke.shards4.json"; then
-        echo "run_scenarios.sh: metropolis-1k@5% canonical report differs across shard counts" >&2
-        exit 1
-    fi
-    echo "run_scenarios.sh: metropolis-1k@5% byte-identical at --shards 1 and --shards 4"
+    # Cross-shard determinism gate: the canonical report (schema minus
+    # the per-shard execution block) must be byte-identical whether the
+    # city runs on one thread or across region shards. smoke's
+    # two-switch star clamps --shards 4 to 2 real shards; the 16-switch
+    # metropolis mesh runs 4 genuine ones.
+    require_shard_invariance smoke smoke --seed 7
+    require_shard_invariance metropolis-smoke metropolis-1k --seed 7 --scale 0.05
 
     # The city, CI-sized: 5% of the sessions on the full 16-switch mesh.
     "$BIN" run metropolis-1k --seed 7 --scale 0.05 --quiet \
@@ -171,6 +177,12 @@ if [ "$MODE" = "--smoke" ]; then
     require_no_overflow sustained-3x "$OUTDIR/sustained-3x.json"
     require_renegotiation sustained-3x "$OUTDIR/sustained-3x.json"
     require_deterministic sustained-3x sustained-3x
+
+    # The sharded control plane's headline gate: the backpressure preset
+    # runs unclamped across region shards — cut-crossing credit returns,
+    # epoch-merged congestion signals and all — and the canonical report
+    # stays byte-identical to the single-shard run.
+    require_shard_invariance sustained-3x sustained-3x
 
     # The VoD city with the tiered content cache: zero misses, a
     # byte-identical rerun, and the §5 cache claims measured, not
@@ -205,6 +217,11 @@ if [ "$MODE" = "--smoke" ]; then
     fi
     echo "run_scenarios.sh: storm-backpressure renegotiated $DOWN down under the storm"
     require_deterministic storm-backpressure storm-backpressure --scale 0.5
+
+    # Same cross-shard gate with faults in play: switch deaths repaired
+    # by every shard's replicated signalling at the same epoch boundary.
+    require_shard_invariance storm-backpressure storm-backpressure --scale 0.5
+    require_shard_invariance nemesis-storm nemesis-storm
 elif [ "$MODE" = "--full" ]; then
     for preset in smoke videophone-wall vod-rack tv-studio nemesis-storm \
                   metropolis-1k overload-2x flash-crowd sustained-3x \

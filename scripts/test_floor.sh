@@ -6,7 +6,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-FLOOR=611
+FLOOR=616
 
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
